@@ -1,0 +1,58 @@
+// Experiment E2 — reproduces paper Figure 4.
+//
+// "ROC curves for different test scenarios": the classifier at original
+// scale, and both scaling methods at scale 1.1, with AUC (area under curve)
+// and EER (equal error rate) reported for each. We print ASCII ROC plots
+// and the AUC/EER summary table.
+#include <cstdio>
+
+#include "src/core/scale_experiment.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdet;
+  util::Cli cli("bench_fig4_roc", "Reproduce paper Figure 4 (ROC curves)");
+  cli.add_int("test-pos", 400, "positive test windows");
+  cli.add_int("test-neg", 1200, "negative test windows");
+  cli.add_flag("quick", "small test set for smoke runs");
+  if (!cli.parse(argc, argv)) return 1;
+
+  util::set_log_level(util::LogLevel::kWarn);
+  core::ScaleExperimentConfig config;
+  config.train_pos = 400;
+  config.train_neg = 800;
+  config.test_pos = cli.get_flag("quick") ? 120 : cli.get_int("test-pos");
+  config.test_neg = cli.get_flag("quick") ? 240 : cli.get_int("test-neg");
+  config.scales = {1.1};
+
+  std::printf("E2 / paper Figure 4: ROC curves, AUC and EER\n\n");
+  util::Timer timer;
+  const core::ScaleExperimentResult result = core::run_scale_experiment(config);
+  const core::ScaleRow& row = result.rows.front();
+
+  std::printf("--- original scale (1.0) ---\n%s\n",
+              eval::roc_ascii_plot(result.base.roc).c_str());
+  std::printf("--- scale 1.1, conventional (image resize) ---\n%s\n",
+              eval::roc_ascii_plot(row.image.roc).c_str());
+  std::printf("--- scale 1.1, proposed (HOG feature resize) ---\n%s\n",
+              eval::roc_ascii_plot(row.feature.roc).c_str());
+
+  util::Table table({"scenario", "AUC", "EER"});
+  table.add_row({"scale 1.0", util::to_fixed(result.base.roc.auc, 4),
+                 util::to_fixed(result.base.roc.eer, 4)});
+  table.add_row({"scale 1.1 image", util::to_fixed(row.image.roc.auc, 4),
+                 util::to_fixed(row.image.roc.eer, 4)});
+  table.add_row({"scale 1.1 HOG", util::to_fixed(row.feature.roc.auc, 4),
+                 util::to_fixed(row.feature.roc.eer, 4)});
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\npaper shape: all three classifiers near-ideal (AUC ~ 1, small EER),\n"
+      "with the proposed method's curve indistinguishable from the\n"
+      "conventional one at scale 1.1.\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

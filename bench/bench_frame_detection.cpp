@@ -1,0 +1,153 @@
+// Frame-level detection comparison: feature pyramid vs image pyramid.
+//
+// Extends the paper's window-level Table 1 to the operational question — do
+// the two pyramid strategies detect the same pedestrians in whole frames? —
+// using the standard miss-rate / FPPI protocol (Dollar et al. [6], the
+// evaluation framework of the pedestrian-detection literature the paper
+// cites). Also reports the effect of hard-negative bootstrapping.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/bootstrap.hpp"
+#include "src/core/pedestrian_detector.hpp"
+#include "src/dataset/scene.hpp"
+#include "src/eval/detection_eval.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace pdet;
+
+struct FrameSet {
+  std::vector<dataset::Scene> scenes;
+  std::vector<std::vector<eval::GroundTruth>> truth;
+};
+
+FrameSet make_frames(int count, std::uint64_t seed) {
+  FrameSet set;
+  util::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    dataset::SceneOptions opts;
+    opts.width = 512;
+    opts.height = 384;
+    opts.camera.focal_px = 1000.0;
+    opts.clutter_density = 1.5;
+    // One or two pedestrians in the scale-1..2 band; some frames empty.
+    opts.pedestrian_distances_m.clear();
+    const int n = rng.uniform_int(0, 2);
+    for (int k = 0; k < n; ++k) {
+      opts.pedestrian_distances_m.push_back(rng.uniform(7.0, 18.0));
+    }
+    set.scenes.push_back(dataset::render_scene(rng, opts));
+    std::vector<eval::GroundTruth> gt;
+    for (const auto& t : set.scenes.back().truth) {
+      gt.push_back({t.x, t.y, t.width, t.height});
+    }
+    set.truth.push_back(std::move(gt));
+  }
+  return set;
+}
+
+struct Summary {
+  double lamr = 0.0;        ///< log-average miss rate
+  double mr_at_1fppi = 1.0;
+  std::size_t curve_points = 0;
+};
+
+Summary evaluate(core::PedestrianDetector& detector, const FrameSet& frames) {
+  std::vector<std::vector<detect::Detection>> dets;
+  auto& ms = detector.mutable_config().multiscale;
+  const float saved = ms.scan.threshold;
+  ms.scan.threshold = -0.6f;  // sweep range; eval varies the threshold
+  for (const auto& scene : frames.scenes) {
+    dets.push_back(detector.detect(scene.image).detections);
+  }
+  ms.scan.threshold = saved;
+  const auto curve = eval::miss_rate_curve(dets, frames.truth);
+  Summary s;
+  s.lamr = eval::log_average_miss_rate(curve);
+  s.curve_points = curve.size();
+  for (const auto& p : curve) {
+    if (p.fppi <= 1.0) s.mr_at_1fppi = std::min(s.mr_at_1fppi, p.miss_rate);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_frame_detection",
+                "miss rate vs FPPI, feature vs image pyramid");
+  cli.add_int("frames", 24, "evaluation frames");
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_log_level(util::LogLevel::kWarn);
+  util::Timer timer;
+
+  core::PedestrianDetector detector;
+  const dataset::WindowSet train = dataset::make_window_set(71, 300, 600);
+  detector.train(train);
+  auto& ms = detector.mutable_config().multiscale;
+  ms.scales = {1.0, 1.26, 1.59, 2.0};
+
+  const FrameSet frames = make_frames(cli.get_int("frames"), 555);
+  std::size_t total_truth = 0;
+  for (const auto& t : frames.truth) total_truth += t.size();
+  std::printf("E8: frame-level evaluation on %zu frames, %zu pedestrians\n\n",
+              frames.scenes.size(), total_truth);
+
+  util::Table table({"configuration", "log-avg miss rate", "miss rate @1 FPPI"});
+  auto add = [&](const char* name, const Summary& s) {
+    table.add_row({name, util::to_fixed(s.lamr, 3), util::to_fixed(s.mr_at_1fppi, 3)});
+  };
+
+  ms.strategy = detect::PyramidStrategy::kFeature;
+  add("feature pyramid (paper)", evaluate(detector, frames));
+  ms.strategy = detect::PyramidStrategy::kImage;
+  add("image pyramid (baseline)", evaluate(detector, frames));
+
+  // Bootstrapped model, both strategies.
+  core::BootstrapOptions bopts;
+  bopts.negative_scenes = 8;
+  core::bootstrap_hard_negatives(detector, train, bopts);
+  ms.strategy = detect::PyramidStrategy::kFeature;
+  add("feature pyramid + hard negatives", evaluate(detector, frames));
+  ms.strategy = detect::PyramidStrategy::kImage;
+  add("image pyramid + hard negatives", evaluate(detector, frames));
+
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nexpected shape: the two pyramid strategies perform comparably (the\n"
+      "paper's claim at the window level carries to frames), and hard-\n"
+      "negative mining helps or is neutral on both.\n");
+
+  // --- occlusion robustness: window recall vs hidden body fraction ---
+  std::printf("\n--- occlusion robustness (window recall at threshold 0) ---\n");
+  util::Table occ_table({"occluded frac", "recall %", "mean score"});
+  for (const double frac : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    dataset::RenderOptions ropts;
+    ropts.occlusion_frac = frac;
+    const dataset::WindowSet test = dataset::make_window_set(909, 120, 0, ropts);
+    int recalled = 0;
+    double score_sum = 0.0;
+    for (const auto& w : test.windows) {
+      const auto desc =
+          hog::compute_window_descriptor(w, detector.config().hog);
+      const float s = detector.model().decision(desc);
+      if (s > 0) ++recalled;
+      score_sum += s;
+    }
+    occ_table.add_row({util::to_fixed(frac, 1),
+                       util::to_fixed(100.0 * recalled / 120.0, 1),
+                       util::to_fixed(score_sum / 120.0, 3)});
+  }
+  std::fputs(occ_table.to_string().c_str(), stdout);
+  std::printf("(lower-body occlusion degrades recall gracefully — legs carry\n"
+              " much of the HOG signature, as Dalal & Triggs observed)\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

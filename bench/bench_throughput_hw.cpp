@@ -1,0 +1,109 @@
+// Experiment E4 — the paper's throughput/latency claims (Section 5).
+//
+//  * classifier completes an HDTV frame in 1,200,420 cycles (< 10 ms @125MHz)
+//  * 36-cycle steady-state window cadence after a 288-cycle buffer fill
+//  * two-scale detection of a 1080x1920 frame within 16.6 ms => 60 fps
+//
+// The closed-form timing model produces the paper's exact numbers; the
+// cycle-level pipeline simulation (every RTL block as a clocked module) is
+// then run end to end — including on the full HDTV frame size — and must
+// agree with the model.
+#include <cstdio>
+
+#include "src/hwsim/pipeline.hpp"
+#include "src/hwsim/timing.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main() {
+  using namespace pdet;
+  using namespace pdet::hwsim;
+
+  std::printf("E4: accelerator throughput and latency\n\n");
+
+  const TimingModel hdtv;  // 1920x1080 @ 125 MHz
+  std::printf("--- closed-form model (paper Section 5 arithmetic) ---\n");
+  std::printf("classifier cycles / frame : %llu   (paper: 1200420)\n",
+              static_cast<unsigned long long>(hdtv.classifier_frame_cycles()));
+  std::printf("classifier time           : %.3f ms (paper: < 10 ms)\n",
+              hdtv.classifier_frame_ms());
+  std::printf("extractor cycles / frame  : %llu   (1 px/cycle ingest)\n",
+              static_cast<unsigned long long>(hdtv.extractor_frame_cycles()));
+  std::printf("frame latency             : %.3f ms (paper: within 16.6 ms)\n",
+              hdtv.frame_latency_ms());
+  std::printf("sustained throughput      : %.2f fps (paper: 60 fps HDTV)\n",
+              hdtv.max_fps());
+  std::printf("scale-2 classifier cycles : %llu\n\n",
+              static_cast<unsigned long long>(
+                  hdtv.classifier_frame_cycles_at_scale(2.0)));
+
+  std::printf("--- cycle-level simulation vs model ---\n");
+  util::Table table({"frame", "sim cycles", "model estimate", "sim fps@125MHz",
+                     "windows s1", "windows s2", "NHOG max occ", "sim wall s"});
+  struct Case {
+    int w;
+    int h;
+  };
+  for (const Case c : {Case{256, 256}, Case{640, 480}, Case{1280, 720},
+                       Case{1920, 1080}}) {
+    PipelineConfig config;
+    config.frame_width = c.w;
+    config.frame_height = c.h;
+    config.extra_scales = {2.0};
+    util::Timer wall;
+    AcceleratorPipeline pipeline(config);
+    const PipelineStats stats = pipeline.run_frame();
+    TimingConfig tc;
+    tc.frame_width = c.w;
+    tc.frame_height = c.h;
+    const TimingModel model(tc);
+    table.add_row(
+        {util::format("%dx%d", c.w, c.h),
+         util::format("%llu", static_cast<unsigned long long>(stats.total_cycles)),
+         util::format("%llu",
+                      static_cast<unsigned long long>(model.frame_latency_cycles())),
+         util::to_fixed(stats.fps, 2),
+         util::format("%llu", static_cast<unsigned long long>(stats.windows_s0)),
+         util::format("%llu", stats.windows_extra.empty()
+                                  ? 0ULL
+                                  : static_cast<unsigned long long>(
+                                        stats.windows_extra[0])),
+         util::format("%d/%d", stats.nhog_max_occupancy, stats.nhog_capacity),
+         util::to_fixed(wall.seconds(), 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "(sim counts single-frame latency incl. line-buffer priming, ~0.5%%\n"
+      " above the closed-form estimate; sustained fps with frames streamed\n"
+      " back-to-back is the bottleneck-stage rate reported above the table)\n");
+
+  std::printf("\n--- sustained throughput: 3 HDTV frames back to back ---\n");
+  {
+    PipelineConfig config;
+    config.extra_scales = {2.0};
+    config.frames = 3;
+    AcceleratorPipeline pipeline(config);
+    const PipelineStats stats = pipeline.run_frame();
+    const double period = static_cast<double>(stats.sustained_period_cycles);
+    std::printf("inter-frame period : %llu cycles (extractor bound: %llu)\n",
+                static_cast<unsigned long long>(stats.sustained_period_cycles),
+                static_cast<unsigned long long>(hdtv.extractor_frame_cycles()));
+    std::printf("sustained rate     : %.2f fps (simulated, 2 scales)\n",
+                config.clock_hz / period);
+    std::printf("NHOG max occupancy : %d/%d rows across frame boundaries\n",
+                stats.nhog_max_occupancy, stats.nhog_capacity);
+  }
+
+  std::printf("\n--- standalone classifier cadence check ---\n");
+  std::printf("sweep(240 cols) = %llu cycles = 288 fill + 239 x 36\n",
+              static_cast<unsigned long long>(TimingModel::sweep_cycles(240)));
+  std::printf("135 rows x sweep = %llu cycles (paper: 1200420)\n",
+              static_cast<unsigned long long>(
+                  AcceleratorPipeline::classifier_standalone_cycles(135, 240)));
+
+  const bool sixty = hdtv.meets_fps(60.0);
+  std::printf("\n60 fps HDTV claim: %s (%.2f fps, 2 scales concurrently)\n",
+              sixty ? "REPRODUCED" : "NOT MET", hdtv.max_fps());
+  return sixty ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Multi-class detection: pedestrians AND vehicles from one feature pyramid.
+//
+//   $ multi_object [--out multi.ppm]
+//
+// Demonstrates the paper's multi-object claim (Section 1): two SVM
+// "classifier instances" — a 64x128 pedestrian model and a 64x64 vehicle
+// model — scan the same HOG feature pyramid, the software equivalent of two
+// MACBAR arrays sharing one NHOGMem. Renders a street scene with one of
+// each, detects both, and writes an annotated PPM.
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/multiclass.hpp"
+#include "src/dataset/builder.hpp"
+#include "src/dataset/scene.hpp"
+#include "src/imgproc/convert.hpp"
+#include "src/imgproc/draw.hpp"
+#include "src/svm/train_dcd.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdet;
+  util::Cli cli("multi_object", "pedestrian + vehicle from one pyramid");
+  cli.add_string("out", "multi_object.ppm", "annotated output image");
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  // Train the two class models (offline stage).
+  hog::HogParams ped_params;  // 64x128
+  hog::HogParams veh_params;
+  veh_params.window_width = 64;
+  veh_params.window_height = 64;
+
+  std::printf("training pedestrian model (64x128)...\n");
+  const svm::LinearModel ped_model = svm::train_dcd(
+      dataset::to_svm_dataset(dataset::make_window_set(801, 250, 500), ped_params),
+      {.C = 0.01});
+  std::printf("training vehicle model (64x64)...\n");
+  const svm::LinearModel veh_model = svm::train_dcd(
+      dataset::to_svm_dataset(dataset::make_vehicle_window_set(802, 250, 500),
+                              veh_params),
+      {.C = 0.01});
+
+  core::MultiClassDetector detector;
+  detector.add_class("pedestrian", ped_params, ped_model, -0.1f);
+  detector.add_class("vehicle", veh_params, veh_model, 0.1f);
+
+  // Scene: one pedestrian (truth from the generator) plus one hand-placed
+  // vehicle at a known location/size.
+  util::Rng rng(77);
+  dataset::SceneOptions sopts;
+  sopts.width = 640;
+  sopts.height = 480;
+  sopts.pedestrian_distances_m = {16.5};
+  dataset::Scene scene = dataset::render_scene(rng, sopts);
+  const double veh_cx = 480;
+  const double veh_ground = 400;
+  const double veh_w = 110;  // ~ 64x64 window at scale ~2
+  dataset::draw_vehicle_into(scene.image, rng, veh_cx, veh_ground, veh_w, 0.85f);
+
+  core::MulticlassOptions opts;
+  opts.scales = {1.0, 1.26, 1.59, 2.0};
+  const auto detections = detector.detect(scene.image, opts);
+
+  std::printf("\n%zu detections:\n", detections.size());
+  imgproc::RgbImage canvas = imgproc::to_rgb(imgproc::to_u8(scene.image));
+  bool saw_ped = false;
+  bool saw_veh = false;
+  for (const auto& d : detections) {
+    std::printf("  %-10s (%4d, %4d) %3dx%3d  score %+.2f  scale %.2f\n",
+                d.class_name.c_str(), d.box.x, d.box.y, d.box.width,
+                d.box.height, static_cast<double>(d.box.score), d.box.scale);
+    const imgproc::Rgb color = d.class_index == 0 ? imgproc::Rgb{0, 255, 0}
+                                                  : imgproc::Rgb{80, 160, 255};
+    imgproc::draw_rect(canvas, d.box.x, d.box.y, d.box.width, d.box.height,
+                       color, 2);
+    imgproc::draw_text(canvas, d.box.x + 3, d.box.y + 3,
+                       d.class_name.substr(0, 3), color);
+    if (d.class_index == 0) saw_ped = true;
+    // Vehicle counts only if it lands near the planted one.
+    if (d.class_index == 1 && std::abs(d.box.x + d.box.width / 2 - veh_cx) < 40) {
+      saw_veh = true;
+    }
+  }
+  const std::string out = cli.get_string("out");
+  if (!imgproc::write_ppm(canvas, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nannotated frame written to %s (green=pedestrian, blue=vehicle)\n",
+              out.c_str());
+  std::printf("pedestrian found: %s   vehicle found: %s\n",
+              saw_ped ? "yes" : "NO", saw_veh ? "yes" : "NO");
+  return saw_ped && saw_veh ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+#include "src/core/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/logging.hpp"
+
+namespace pdet::core {
+namespace {
+
+dataset::Scene person_free_scene(util::Rng& rng, const BootstrapOptions& o) {
+  dataset::SceneOptions opts;
+  opts.width = o.scene_width;
+  opts.height = o.scene_height;
+  opts.pedestrian_distances_m = {};  // nobody in frame: every hit is false
+  return dataset::render_scene(rng, opts);
+}
+
+/// Crop a detection's region (clamped to the frame) and bring it to the
+/// model's window size, reproducing the content the classifier fired on.
+imgproc::ImageF crop_window(const imgproc::ImageF& frame,
+                            const detect::Detection& d,
+                            const hog::HogParams& params) {
+  const int x0 = std::clamp(d.x, 0, std::max(frame.width() - d.width, 0));
+  const int y0 = std::clamp(d.y, 0, std::max(frame.height() - d.height, 0));
+  const int w = std::min(d.width, frame.width());
+  const int h = std::min(d.height, frame.height());
+  const imgproc::ImageF crop = frame.crop(x0, y0, w, h);
+  return imgproc::resize(crop, params.window_width, params.window_height,
+                         imgproc::Interp::kBilinear);
+}
+
+double false_positives_per_frame(const PedestrianDetector& detector,
+                                 const BootstrapOptions& o,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  int fp = 0;
+  const int frames = 6;
+  for (int i = 0; i < frames; ++i) {
+    const dataset::Scene scene = person_free_scene(rng, o);
+    fp += static_cast<int>(detector.detect(scene.image).detections.size());
+  }
+  return static_cast<double>(fp) / frames;
+}
+
+}  // namespace
+
+BootstrapReport bootstrap_hard_negatives(PedestrianDetector& detector,
+                                         const dataset::WindowSet& training_windows,
+                                         const BootstrapOptions& options) {
+  PDET_REQUIRE(detector.has_model());
+  BootstrapReport report;
+  report.initial_false_positive_rate =
+      false_positives_per_frame(detector, options, options.scene_seed + 7777);
+
+  // Mine: exhaustive multi-scale scan of person-free scenes at a low
+  // threshold; every response is a hard negative candidate.
+  DetectorConfig mining_config = detector.config();
+  mining_config.multiscale.scales = options.mining_scales;
+  mining_config.multiscale.scan.threshold = options.mining_threshold;
+  mining_config.multiscale.run_nms = false;
+
+  struct Candidate {
+    imgproc::ImageF window;
+    float score;
+  };
+  std::vector<Candidate> candidates;
+  util::Rng rng(options.scene_seed);
+  for (int i = 0; i < options.negative_scenes; ++i) {
+    const dataset::Scene scene = person_free_scene(rng, options);
+    const detect::MultiscaleResult result = detect::detect_multiscale(
+        scene.image, mining_config.hog, detector.model(),
+        mining_config.multiscale);
+    ++report.windows_scanned_frames;
+    for (const auto& d : result.raw) {
+      candidates.push_back(
+          {crop_window(scene.image, d, mining_config.hog), d.score});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  if (static_cast<int>(candidates.size()) > options.max_hard_negatives) {
+    candidates.resize(static_cast<std::size_t>(options.max_hard_negatives));
+  }
+  report.hard_negatives_mined = static_cast<int>(candidates.size());
+  util::log_info("bootstrap: mined %d hard negatives from %d scenes",
+                 report.hard_negatives_mined, options.negative_scenes);
+
+  // Retrain on the union.
+  dataset::WindowSet augmented = training_windows;
+  for (auto& c : candidates) {
+    augmented.windows.push_back(std::move(c.window));
+    augmented.labels.push_back(-1);
+  }
+  report.retrain = detector.train(augmented);
+
+  report.final_false_positive_rate =
+      false_positives_per_frame(detector, options, options.scene_seed + 7777);
+  return report;
+}
+
+}  // namespace pdet::core

@@ -1,0 +1,57 @@
+#include "src/core/das.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::core::das {
+namespace {
+
+double kmh_to_mps(double kmh) { return kmh / 3.6; }
+
+}  // namespace
+
+double reaction_distance_m(double speed_kmh, const StoppingParams& p) {
+  PDET_REQUIRE(speed_kmh >= 0.0 && p.reaction_time_s >= 0.0);
+  return kmh_to_mps(speed_kmh) * p.reaction_time_s;
+}
+
+double braking_distance_m(double speed_kmh, const StoppingParams& p) {
+  PDET_REQUIRE(speed_kmh >= 0.0 && p.deceleration_mps2 > 0.0);
+  const double v = kmh_to_mps(speed_kmh);
+  return v * v / (2.0 * p.deceleration_mps2);
+}
+
+double total_stopping_distance_m(double speed_kmh, const StoppingParams& p) {
+  return reaction_distance_m(speed_kmh, p) + braking_distance_m(speed_kmh, p);
+}
+
+double required_scale(const dataset::SceneCamera& camera, double distance_m,
+                      int window_height, double person_window_frac) {
+  PDET_REQUIRE(distance_m > 0.0);
+  PDET_REQUIRE(window_height > 0 && person_window_frac > 0.0);
+  const double person_px = camera.person_px(distance_m);
+  const double window_px = person_px / person_window_frac;
+  return window_px / window_height;
+}
+
+CoverageBand coverage_band(const dataset::SceneCamera& camera,
+                           const std::vector<double>& scales,
+                           int window_height) {
+  PDET_REQUIRE(!scales.empty());
+  const double smin = *std::min_element(scales.begin(), scales.end());
+  const double smax = *std::max_element(scales.begin(), scales.end());
+  // At scale s the detector matches pedestrians whose window is s*128 px
+  // tall, tolerating ~0.8..1.0 window fill; solve person_px(d) = fill.
+  auto distance_for_window_px = [&](double window_px, double fill) {
+    const double person_px = window_px * fill;
+    return camera.focal_px * camera.person_height_m / person_px;
+  };
+  CoverageBand band;
+  band.far_m = distance_for_window_px(smin * window_height, 0.8);
+  band.near_m = distance_for_window_px(smax * window_height, 1.0);
+  return band;
+}
+
+}  // namespace pdet::core::das

@@ -1,0 +1,48 @@
+// Driver-assistance-system timing/geometry analysis (paper Section 1).
+//
+// The paper motivates the 60 fps / multi-scale requirements from stopping
+// physics: with a nominal perception-brake reaction time (PRT) of 1.5 s and
+// 6.5 m/s^2 deceleration, a car at 50 km/h needs 35.68 m to stop and one at
+// 70 km/h needs 58.23 m, so the detector must cover roughly 20-60 m — which
+// maps, through the camera model, to pedestrians of very different pixel
+// heights, i.e. to the detection scales the hardware must support.
+#pragma once
+
+#include <vector>
+
+#include "src/dataset/scene.hpp"
+
+namespace pdet::core::das {
+
+struct StoppingParams {
+  double reaction_time_s = 1.5;     ///< nominal PRT [Green 2000]
+  double deceleration_mps2 = 6.5;   ///< paper's assumed braking decel
+};
+
+/// Distance covered while the driver reacts (v * PRT).
+double reaction_distance_m(double speed_kmh, const StoppingParams& p = {});
+
+/// Distance covered while braking from speed to rest (v^2 / 2a).
+double braking_distance_m(double speed_kmh, const StoppingParams& p = {});
+
+/// reaction + braking.
+double total_stopping_distance_m(double speed_kmh, const StoppingParams& p = {});
+
+/// Scale factor (relative to the 64x128 base window) at which a pedestrian
+/// at `distance_m` appears, under `camera`. Scale 1.0 means the person fills
+/// the base window exactly (window height = person_px / 0.8 per the INRIA
+/// crop convention); nearer pedestrians need larger scales.
+double required_scale(const dataset::SceneCamera& camera, double distance_m,
+                      int window_height = 128, double person_window_frac = 0.8);
+
+/// Farthest and nearest distance a detector with scales [1, s_max] covers,
+/// assuming detection works from 0.8x to 1.0x window fill per scale level.
+struct CoverageBand {
+  double near_m = 0.0;
+  double far_m = 0.0;
+};
+CoverageBand coverage_band(const dataset::SceneCamera& camera,
+                           const std::vector<double>& scales,
+                           int window_height = 128);
+
+}  // namespace pdet::core::das

@@ -1,0 +1,94 @@
+#include "src/core/model_pyramid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/detect/scanner.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/logging.hpp"
+
+namespace pdet::core {
+namespace {
+
+int round_to_cells(double pixels, int cell_size) {
+  return std::max(
+      cell_size,
+      static_cast<int>(std::lround(pixels / cell_size)) * cell_size);
+}
+
+}  // namespace
+
+ModelPyramidDetector::ModelPyramidDetector(ModelPyramidConfig config)
+    : config_(std::move(config)) {
+  config_.base.validate();
+  PDET_REQUIRE(!config_.scales.empty());
+}
+
+const hog::HogParams& ModelPyramidDetector::model_params(std::size_t i) const {
+  PDET_REQUIRE(i < models_.size());
+  return models_[i].params;
+}
+
+void ModelPyramidDetector::train(const dataset::WindowSet& base_windows) {
+  PDET_REQUIRE(base_windows.positives() > 0 && base_windows.negatives() > 0);
+  models_.clear();
+  for (const double s : config_.scales) {
+    PDET_REQUIRE(s >= 1.0);
+    ScaledModel sm;
+    sm.scale = s;
+    sm.params = config_.base;
+    sm.params.window_width =
+        round_to_cells(config_.base.window_width * s, config_.base.cell_size);
+    sm.params.window_height =
+        round_to_cells(config_.base.window_height * s, config_.base.cell_size);
+    sm.params.validate();
+
+    // Up-sample the training windows to this model's geometry — the offline
+    // resampling that replaces all run-time pyramids.
+    dataset::WindowSet scaled;
+    scaled.labels = base_windows.labels;
+    scaled.windows.reserve(base_windows.count());
+    for (const auto& w : base_windows.windows) {
+      scaled.windows.push_back(
+          imgproc::resize(w, sm.params.window_width, sm.params.window_height,
+                          imgproc::Interp::kBicubic));
+    }
+    const svm::Dataset data = dataset::to_svm_dataset(scaled, sm.params);
+    sm.model = svm::train_dcd(data, config_.training);
+    util::log_info("model pyramid: trained %dx%d model (scale %.2f, dim %zu)",
+                   sm.params.window_width, sm.params.window_height, s,
+                   sm.model.dimension());
+    models_.push_back(std::move(sm));
+  }
+}
+
+detect::MultiscaleResult ModelPyramidDetector::detect(
+    const imgproc::ImageF& frame) const {
+  PDET_REQUIRE(trained());
+  // ONE extraction + normalization; every model scans the same grid.
+  const hog::CellGrid cells = hog::compute_cell_grid(frame, config_.base);
+  const hog::BlockGrid blocks = hog::normalize_cells(cells, config_.base);
+
+  detect::MultiscaleResult result;
+  for (const ScaledModel& sm : models_) {
+    if (blocks.blocks_x() < sm.params.blocks_per_window_x() ||
+        blocks.blocks_y() < sm.params.blocks_per_window_y()) {
+      continue;
+    }
+    ++result.levels;
+    detect::ScanOptions scan;
+    scan.threshold = config_.threshold;
+    const auto hits = detect::scan_level(blocks, sm.params, sm.model, scan);
+    result.windows_evaluated += detect::scan_window_count(blocks, sm.params);
+    for (detect::Detection d : hits) {
+      // Already in native pixels: the window itself is scale-sized.
+      d.scale = sm.scale;
+      result.raw.push_back(d);
+    }
+  }
+  result.detections = detect::nms(result.raw, config_.nms_iou);
+  return result;
+}
+
+}  // namespace pdet::core

@@ -1,0 +1,87 @@
+#include "src/core/multiclass.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/detect/nms.hpp"
+#include "src/detect/scanner.hpp"
+#include "src/hog/feature_scale.hpp"
+#include "src/util/assert.hpp"
+
+namespace pdet::core {
+
+void MultiClassDetector::add_class(std::string name,
+                                   const hog::HogParams& params,
+                                   svm::LinearModel model, float threshold) {
+  params.validate();
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(params.descriptor_size()));
+  if (!classes_.empty()) {
+    const hog::HogParams& ref = classes_.front().params;
+    PDET_REQUIRE(params.cell_size == ref.cell_size);
+    PDET_REQUIRE(params.bins == ref.bins);
+    PDET_REQUIRE(params.norm == ref.norm);
+    PDET_REQUIRE(params.layout == ref.layout);
+    PDET_REQUIRE(params.gradient_op == ref.gradient_op);
+    PDET_REQUIRE(params.spatial_interp == ref.spatial_interp);
+    PDET_REQUIRE(params.orientation_interp == ref.orientation_interp);
+  }
+  classes_.push_back({std::move(name), params, std::move(model), threshold});
+}
+
+const std::string& MultiClassDetector::class_name(std::size_t i) const {
+  PDET_REQUIRE(i < classes_.size());
+  return classes_[i].name;
+}
+
+std::vector<ClassDetection> MultiClassDetector::detect(
+    const imgproc::ImageF& frame, const MulticlassOptions& options) const {
+  PDET_REQUIRE(!classes_.empty());
+  // One feature pyramid for everyone — the paper's shared-NHOGMem economy.
+  // Pyramid levels are kept as long as the *smallest* class window fits
+  // (vehicles at 64x64 scan levels already too small for 64x128 people).
+  hog::HogParams shared = classes_.front().params;
+  for (const ObjectClass& cls : classes_) {
+    shared.window_width = std::min(shared.window_width, cls.params.window_width);
+    shared.window_height =
+        std::min(shared.window_height, cls.params.window_height);
+  }
+  hog::FeaturePyramidOptions fopt;
+  fopt.scales = options.scales;
+  fopt.interp = options.feature_interp;
+  const auto levels = hog::build_feature_pyramid(frame, shared, fopt);
+
+  std::vector<ClassDetection> out;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const ObjectClass& cls = classes_[c];
+    std::vector<detect::Detection> raw;
+    for (const auto& level : levels) {
+      if (level.blocks.blocks_x() < cls.params.blocks_per_window_x() ||
+          level.blocks.blocks_y() < cls.params.blocks_per_window_y()) {
+        continue;
+      }
+      detect::ScanOptions scan;
+      scan.threshold = cls.threshold;
+      const auto hits =
+          detect::scan_level(level.blocks, cls.params, cls.model, scan);
+      for (detect::Detection d : hits) {
+        d.x = static_cast<int>(std::lround(d.x * level.scale));
+        d.y = static_cast<int>(std::lround(d.y * level.scale));
+        d.width = static_cast<int>(std::lround(d.width * level.scale));
+        d.height = static_cast<int>(std::lround(d.height * level.scale));
+        d.scale = level.scale;
+        raw.push_back(d);
+      }
+    }
+    for (const auto& d : detect::nms(std::move(raw), options.nms_iou)) {
+      ClassDetection cd;
+      cd.class_index = static_cast<int>(c);
+      cd.class_name = cls.name;
+      cd.box = d;
+      out.push_back(std::move(cd));
+    }
+  }
+  return out;
+}
+
+}  // namespace pdet::core

@@ -1,0 +1,62 @@
+#include "src/core/pedestrian_detector.hpp"
+
+#include "src/hog/descriptor.hpp"
+#include "src/svm/model_io.hpp"
+#include "src/util/assert.hpp"
+
+namespace pdet::core {
+
+PedestrianDetector::PedestrianDetector(DetectorConfig config)
+    : config_(std::move(config)) {
+  config_.hog.validate();
+}
+
+svm::TrainReport PedestrianDetector::train(const dataset::WindowSet& windows) {
+  PDET_REQUIRE(windows.count() > 0);
+  PDET_REQUIRE(windows.positives() > 0 && windows.negatives() > 0);
+  const svm::Dataset data = dataset::to_svm_dataset(windows, config_.hog);
+  svm::TrainReport report;
+  model_ = svm::train_dcd(data, config_.training, &report);
+  return report;
+}
+
+void PedestrianDetector::set_model(svm::LinearModel model) {
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(config_.hog.descriptor_size()));
+  model_ = std::move(model);
+}
+
+const svm::LinearModel& PedestrianDetector::model() const {
+  PDET_REQUIRE(model_.has_value());
+  return *model_;
+}
+
+bool PedestrianDetector::load_model(const std::string& path) {
+  svm::LinearModel m;
+  if (!svm::load_model(path, m)) return false;
+  if (m.dimension() != static_cast<std::size_t>(config_.hog.descriptor_size())) {
+    return false;
+  }
+  model_ = std::move(m);
+  return true;
+}
+
+bool PedestrianDetector::save_model(const std::string& path) const {
+  PDET_REQUIRE(model_.has_value());
+  return svm::save_model(*model_, path);
+}
+
+detect::MultiscaleResult PedestrianDetector::detect(
+    const imgproc::ImageF& frame) const {
+  PDET_REQUIRE(model_.has_value());
+  return detect::detect_multiscale(frame, config_.hog, *model_,
+                                   config_.multiscale);
+}
+
+float PedestrianDetector::score_window(const imgproc::ImageF& window) const {
+  PDET_REQUIRE(model_.has_value());
+  const auto desc = hog::compute_window_descriptor(window, config_.hog);
+  return model_->decision(desc);
+}
+
+}  // namespace pdet::core

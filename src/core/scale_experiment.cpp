@@ -1,0 +1,107 @@
+#include "src/core/scale_experiment.hpp"
+
+#include "src/hog/descriptor.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/logging.hpp"
+
+namespace pdet::core {
+namespace {
+
+MethodResult evaluate_scores(std::vector<float> scores,
+                             std::span<const std::int8_t> labels) {
+  MethodResult r;
+  const std::span<const float> s(scores);
+  const std::span<const signed char> l(
+      reinterpret_cast<const signed char*>(labels.data()), labels.size());
+  const eval::Confusion c = eval::confusion_at(s, l, 0.0f);
+  r.accuracy = c.accuracy();
+  r.true_pos = c.true_pos;
+  r.true_neg = c.true_neg;
+  r.roc = eval::roc_curve(s, l);
+  r.scores = std::move(scores);
+  return r;
+}
+
+}  // namespace
+
+float score_image_method(const imgproc::ImageF& scaled_window,
+                         const hog::HogParams& params,
+                         const svm::LinearModel& model,
+                         imgproc::Interp interp) {
+  const imgproc::ImageF resized = imgproc::resize(
+      scaled_window, params.window_width, params.window_height, interp);
+  const auto desc = hog::compute_window_descriptor(resized, params);
+  return model.decision(desc);
+}
+
+float score_feature_method(const imgproc::ImageF& scaled_window,
+                           const hog::HogParams& params,
+                           const svm::LinearModel& model,
+                           hog::FeatureInterp interp) {
+  // Extract features at the window's native (scaled) resolution, then bring
+  // the cell grid down to the model's 8x16 grid — the paper's Figure 3b.
+  const hog::CellGrid cells = hog::compute_cell_grid(scaled_window, params);
+  const hog::CellGrid scaled = hog::scale_cell_grid(
+      cells, params.cells_per_window_x(), params.cells_per_window_y(), interp);
+  const hog::BlockGrid blocks = hog::normalize_cells(scaled, params);
+  const auto desc = hog::extract_window(blocks, params, 0, 0);
+  return model.decision(desc);
+}
+
+ScaleExperimentResult run_scale_experiment(const ScaleExperimentConfig& config) {
+  config.hog.validate();
+  ScaleExperimentResult result;
+
+  // 1. Train at base scale.
+  const dataset::WindowSet train_set = dataset::make_window_set(
+      config.train_seed, config.train_pos, config.train_neg);
+  const svm::Dataset train_data = dataset::to_svm_dataset(train_set, config.hog);
+  result.model = svm::train_dcd(train_data, config.training,
+                                &result.train_report);
+  util::log_info("scale experiment: trained on %zu windows, objective %.4f",
+                 train_data.count(), result.train_report.objective);
+
+  // 2. Base-scale test set.
+  const dataset::WindowSet test_set = dataset::make_window_set(
+      config.test_seed, config.test_pos, config.test_neg);
+  result.test_labels.assign(test_set.labels.begin(), test_set.labels.end());
+
+  {
+    std::vector<float> scores;
+    scores.reserve(test_set.count());
+    for (const auto& w : test_set.windows) {
+      const auto desc = hog::compute_window_descriptor(w, config.hog);
+      scores.push_back(result.model.decision(desc));
+    }
+    result.base = evaluate_scores(std::move(scores), result.test_labels);
+    util::log_info("scale 1.0: accuracy %.4f", result.base.accuracy);
+  }
+
+  // 3. Scaled test sets, both methods.
+  for (const double s : config.scales) {
+    PDET_REQUIRE(s > 1.0);
+    const dataset::WindowSet scaled =
+        dataset::upsample_window_set(test_set, s, config.upsample_interp);
+    ScaleRow row;
+    row.scale = s;
+
+    std::vector<float> image_scores;
+    std::vector<float> feature_scores;
+    image_scores.reserve(scaled.count());
+    feature_scores.reserve(scaled.count());
+    for (const auto& w : scaled.windows) {
+      image_scores.push_back(score_image_method(
+          w, config.hog, result.model, config.image_method_interp));
+      feature_scores.push_back(score_feature_method(
+          w, config.hog, result.model, config.feature_method_interp));
+    }
+    row.image = evaluate_scores(std::move(image_scores), result.test_labels);
+    row.feature = evaluate_scores(std::move(feature_scores), result.test_labels);
+    util::log_info("scale %.1f: image %.4f / feature %.4f", s,
+                   row.image.accuracy, row.feature.accuracy);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace pdet::core

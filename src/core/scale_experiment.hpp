@@ -1,0 +1,76 @@
+// The paper's Section-4 verification experiment (Figure 3, Table 1, Figure 4).
+//
+// Protocol:
+//  1. Train a linear SVM on base-scale (64x128) windows.
+//  2. Up-sample the test windows by scale s in {1.1 .. 1.5 ...} to emulate
+//     larger pedestrians.
+//  3. Classify each scaled window two ways:
+//       (a) conventional  — resize the *image* back to 64x128, extract HOG;
+//       (b) proposed      — extract HOG at the scaled size, down-sample the
+//                           *features* to the 8x16-cell model grid.
+//  4. Compare accuracy / TP / TN (Table 1) and ROC+AUC+EER (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dataset/builder.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/hog/feature_scale.hpp"
+#include "src/svm/train_dcd.hpp"
+
+namespace pdet::core {
+
+struct ScaleExperimentConfig {
+  hog::HogParams hog;
+  svm::DcdOptions training;
+  std::uint64_t train_seed = 101;
+  std::uint64_t test_seed = 202;
+  int train_pos = 600;
+  int train_neg = 1200;
+  int test_pos = 1126;   ///< paper's INRIA test counts
+  int test_neg = 4530;
+  std::vector<double> scales{1.1, 1.2, 1.3, 1.4, 1.5};  ///< Table 1 sweep
+  imgproc::Interp upsample_interp = imgproc::Interp::kBicubic;
+  imgproc::Interp image_method_interp = imgproc::Interp::kBicubic;
+  hog::FeatureInterp feature_method_interp = hog::FeatureInterp::kBilinear;
+};
+
+/// One detector configuration's result on one test set.
+struct MethodResult {
+  double accuracy = 0.0;
+  int true_pos = 0;
+  int true_neg = 0;
+  eval::RocCurve roc;
+  std::vector<float> scores;
+};
+
+struct ScaleRow {
+  double scale = 1.0;
+  MethodResult image;   ///< conventional (Figure 3a)
+  MethodResult feature; ///< proposed (Figure 3b)
+};
+
+struct ScaleExperimentResult {
+  MethodResult base;            ///< scale 1.0 (methods coincide)
+  std::vector<ScaleRow> rows;   ///< per requested scale
+  svm::LinearModel model;
+  svm::TrainReport train_report;
+  std::vector<std::int8_t> test_labels;
+};
+
+/// Score a single scaled window with the conventional method (a).
+float score_image_method(const imgproc::ImageF& scaled_window,
+                         const hog::HogParams& params,
+                         const svm::LinearModel& model,
+                         imgproc::Interp interp);
+
+/// Score a single scaled window with the proposed method (b).
+float score_feature_method(const imgproc::ImageF& scaled_window,
+                           const hog::HogParams& params,
+                           const svm::LinearModel& model,
+                           hog::FeatureInterp interp);
+
+ScaleExperimentResult run_scale_experiment(const ScaleExperimentConfig& config);
+
+}  // namespace pdet::core

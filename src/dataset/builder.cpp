@@ -1,0 +1,105 @@
+#include "src/dataset/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/hog/descriptor.hpp"
+
+namespace pdet::dataset {
+
+std::size_t WindowSet::positives() const {
+  std::size_t n = 0;
+  for (const auto l : labels) {
+    if (l > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t WindowSet::negatives() const { return count() - positives(); }
+
+WindowSet make_window_set(std::uint64_t seed, int n_pos, int n_neg,
+                          const RenderOptions& opts) {
+  PDET_REQUIRE(n_pos >= 0 && n_neg >= 0);
+  WindowSet set;
+  set.windows.reserve(static_cast<std::size_t>(n_pos + n_neg));
+  set.labels.reserve(static_cast<std::size_t>(n_pos + n_neg));
+  util::Rng rng(seed);
+  // Interleave so truncated prefixes of the set stay roughly balanced.
+  int made_pos = 0;
+  int made_neg = 0;
+  while (made_pos < n_pos || made_neg < n_neg) {
+    const bool want_pos =
+        made_neg >= n_neg ||
+        (made_pos < n_pos &&
+         static_cast<double>(made_pos) * n_neg <= static_cast<double>(made_neg) * n_pos);
+    if (want_pos) {
+      set.windows.push_back(render_pedestrian(rng, opts));
+      set.labels.push_back(1);
+      ++made_pos;
+    } else {
+      set.windows.push_back(render_negative(rng, opts));
+      set.labels.push_back(-1);
+      ++made_neg;
+    }
+  }
+  return set;
+}
+
+WindowSet make_vehicle_window_set(std::uint64_t seed, int n_pos, int n_neg,
+                                  RenderOptions opts) {
+  PDET_REQUIRE(n_pos >= 0 && n_neg >= 0);
+  // Default to the square vehicle window unless the caller overrode dims.
+  if (opts.width == 64 && opts.height == 128) opts.height = 64;
+  WindowSet set;
+  set.windows.reserve(static_cast<std::size_t>(n_pos + n_neg));
+  set.labels.reserve(static_cast<std::size_t>(n_pos + n_neg));
+  util::Rng rng(seed);
+  int made_pos = 0;
+  int made_neg = 0;
+  while (made_pos < n_pos || made_neg < n_neg) {
+    const bool want_pos =
+        made_neg >= n_neg ||
+        (made_pos < n_pos &&
+         static_cast<double>(made_pos) * n_neg <= static_cast<double>(made_neg) * n_pos);
+    if (want_pos) {
+      set.windows.push_back(render_vehicle(rng, opts));
+      set.labels.push_back(1);
+      ++made_pos;
+    } else {
+      set.windows.push_back(render_negative(rng, opts));
+      set.labels.push_back(-1);
+      ++made_neg;
+    }
+  }
+  return set;
+}
+
+WindowSet upsample_window_set(const WindowSet& base, double scale,
+                              imgproc::Interp interp, int round_to) {
+  PDET_REQUIRE(scale >= 1.0);
+  PDET_REQUIRE(round_to >= 1);
+  WindowSet out;
+  out.labels = base.labels;
+  out.windows.reserve(base.windows.size());
+  auto round_dim = [&](int dim) {
+    const double target = dim * scale;
+    const int rounded = static_cast<int>(std::lround(target / round_to)) * round_to;
+    return std::max(rounded, dim);  // never shrink below the original
+  };
+  for (const auto& w : base.windows) {
+    out.windows.push_back(imgproc::resize(w, round_dim(w.width()),
+                                          round_dim(w.height()), interp));
+  }
+  return out;
+}
+
+svm::Dataset to_svm_dataset(const WindowSet& set, const hog::HogParams& params) {
+  svm::Dataset data;
+  for (std::size_t i = 0; i < set.count(); ++i) {
+    const auto desc = hog::compute_window_descriptor(set.windows[i], params);
+    data.add(desc, set.labels[i]);
+  }
+  return data;
+}
+
+}  // namespace pdet::dataset

@@ -1,0 +1,160 @@
+#include "src/dataset/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dataset/shapes.hpp"
+#include "src/dataset/synth.hpp"
+
+namespace pdet::dataset {
+
+Scene render_scene(util::Rng& rng, const SceneOptions& options) {
+  PDET_REQUIRE(options.width >= 64 && options.height >= 128);
+  Scene scene;
+  imgproc::ImageF& img = scene.image;
+  img = imgproc::ImageF(options.width, options.height);
+
+  const int w = options.width;
+  const int h = options.height;
+  const int horizon = h / 2;
+
+  // Sky: bright, slightly graded.
+  const auto sky = static_cast<float>(rng.uniform(0.7, 0.9));
+  for (int y = 0; y < horizon; ++y) {
+    const float v =
+        sky - 0.1f * (1.0f - static_cast<float>(y) / static_cast<float>(horizon));
+    std::fill(img.row(y), img.row(y) + w, v);
+  }
+  // Road/ground: darker, brightening toward the viewer.
+  const auto ground = static_cast<float>(rng.uniform(0.35, 0.5));
+  for (int y = horizon; y < h; ++y) {
+    const float t = static_cast<float>(y - horizon) / static_cast<float>(h - horizon);
+    std::fill(img.row(y), img.row(y) + w, ground + 0.08f * t);
+  }
+
+  // Buildings: textured rectangles on the horizon.
+  const int buildings =
+      std::max(1, static_cast<int>(std::lround(rng.uniform_int(3, 6) *
+                                               options.clutter_density)));
+  for (int i = 0; i < buildings; ++i) {
+    const int bw = rng.uniform_int(w / 12, w / 4);
+    const int bh = rng.uniform_int(h / 8, horizon - 4);
+    const int bx = rng.uniform_int(-bw / 2, w - bw / 2);
+    const int by = horizon - bh;
+    imgproc::ImageF m(w, h, 0.0f);
+    mask_quad(m, {Point{static_cast<double>(bx), static_cast<double>(by)},
+                  Point{static_cast<double>(bx + bw), static_cast<double>(by)},
+                  Point{static_cast<double>(bx + bw), static_cast<double>(horizon)},
+                  Point{static_cast<double>(bx), static_cast<double>(horizon)}});
+    blend(img, m, std::clamp(static_cast<float>(rng.uniform(0.3, 0.65)), 0.0f, 1.0f));
+    // Window rows.
+    const auto win_lum = static_cast<float>(rng.uniform(0.15, 0.3));
+    for (int wy = by + 6; wy < horizon - 6; wy += 14) {
+      for (int wx = bx + 5; wx + 6 < bx + bw; wx += 12) {
+        if (wx < 0 || wx + 6 >= w) continue;
+        imgproc::ImageF wm(w, h, 0.0f);
+        mask_quad(wm, {Point{static_cast<double>(wx), static_cast<double>(wy)},
+                       Point{static_cast<double>(wx + 6), static_cast<double>(wy)},
+                       Point{static_cast<double>(wx + 6), static_cast<double>(wy + 8)},
+                       Point{static_cast<double>(wx), static_cast<double>(wy + 8)}});
+        blend(img, wm, win_lum);
+      }
+    }
+  }
+
+  // Street furniture: poles and a lane marking.
+  const int poles = std::max(
+      0, static_cast<int>(std::lround(rng.uniform_int(1, 4) * options.clutter_density)));
+  for (int i = 0; i < poles; ++i) {
+    const double d = rng.uniform(15.0, 70.0);
+    const double ph = options.camera.person_px(d) * rng.uniform(1.4, 2.4);
+    const double py = options.camera.feet_row(h, d);
+    const double px = rng.uniform(0.05 * w, 0.95 * w);
+    imgproc::ImageF m(w, h, 0.0f);
+    mask_capsule(m, {px, py - ph}, {px, py}, std::max(1.5, ph * 0.02));
+    blend(img, m, static_cast<float>(rng.uniform(0.1, 0.3)));
+  }
+  {
+    imgproc::ImageF m(w, h, 0.0f);
+    const double vx = w * rng.uniform(0.3, 0.7);
+    mask_quad(m, {Point{vx - 2, static_cast<double>(horizon)},
+                  Point{vx + 2, static_cast<double>(horizon)},
+                  Point{vx + w * 0.08, static_cast<double>(h)},
+                  Point{vx - w * 0.08, static_cast<double>(h)}});
+    blend(img, m, 0.8f);
+  }
+
+  // Pedestrians at the requested distances (far first so near ones occlude).
+  std::vector<double> distances = options.pedestrian_distances_m;
+  std::sort(distances.begin(), distances.end(), std::greater<>());
+  for (const double d : distances) {
+    PDET_REQUIRE(d > 1.0);
+    const double hp = options.camera.person_px(d);
+    const double fy = options.camera.feet_row(h, d);
+    const double margin = hp * 0.4;
+    const double fx = rng.uniform(margin, w - margin);
+    const float lum = rng.chance(0.5)
+                          ? static_cast<float>(rng.uniform(0.05, 0.25))
+                          : static_cast<float>(rng.uniform(0.7, 0.95));
+    draw_pedestrian_into(img, rng, fx, fy, hp, lum);
+
+    GroundTruthBox box;
+    // INRIA-protocol box: person height is ~0.8 of the 128px window, so the
+    // tight body box is padded to the window aspect the detector scans.
+    const double win_h = hp / 0.8;
+    const double win_w = win_h / 2.0;
+    box.x = static_cast<int>(std::lround(fx - win_w / 2));
+    box.y = static_cast<int>(std::lround(fy - (win_h + hp) / 2));
+    box.width = static_cast<int>(std::lround(win_w));
+    box.height = static_cast<int>(std::lround(win_h));
+    box.distance_m = d;
+    scene.truth.push_back(box);
+  }
+
+  add_noise(img, rng, rng.uniform(0.01, 0.03));
+  return scene;
+}
+
+std::vector<Scene> render_approach_sequence(std::uint64_t seed,
+                                            const ApproachOptions& options) {
+  PDET_REQUIRE(options.start_distance_m > options.min_distance_m);
+  PDET_REQUIRE(options.closing_speed_mps > 0.0 && options.fps > 0.0);
+  PDET_REQUIRE(options.frames >= 1);
+  PDET_REQUIRE(options.lateral_frac > 0.0 && options.lateral_frac < 1.0);
+
+  std::vector<Scene> sequence;
+  const double step_m = options.closing_speed_mps / options.fps;
+  const float person_lum = util::Rng(seed).chance(0.5) ? 0.12f : 0.85f;
+  for (int f = 0; f < options.frames; ++f) {
+    const double distance = options.start_distance_m - f * step_m;
+    if (distance < options.min_distance_m) break;
+
+    // Static world: identical seed per frame renders the same background.
+    util::Rng frame_rng(seed);
+    SceneOptions opts = options.scene;
+    opts.pedestrian_distances_m = {};  // drawn manually below
+    Scene scene = render_scene(frame_rng, opts);
+
+    // Walking pose advances with the frame index.
+    util::Rng pose_rng(seed ^ (0x9e37ULL + static_cast<std::uint64_t>(f) * 0x85ebca6bULL));
+    const double hp = opts.camera.person_px(distance);
+    const double fy = opts.camera.feet_row(opts.height, distance);
+    const double fx = opts.width * options.lateral_frac;
+    draw_pedestrian_into(scene.image, pose_rng, fx, fy, hp, person_lum);
+    add_noise(scene.image, pose_rng, 0.015);
+
+    GroundTruthBox box;
+    const double win_h = hp / 0.8;
+    const double win_w = win_h / 2.0;
+    box.x = static_cast<int>(std::lround(fx - win_w / 2));
+    box.y = static_cast<int>(std::lround(fy - (win_h + hp) / 2));
+    box.width = static_cast<int>(std::lround(win_w));
+    box.height = static_cast<int>(std::lround(win_h));
+    box.distance_m = distance;
+    scene.truth.push_back(box);
+    sequence.push_back(std::move(scene));
+  }
+  return sequence;
+}
+
+}  // namespace pdet::dataset

@@ -1,0 +1,76 @@
+// Full-frame street-scene synthesis with ground-truth pedestrian boxes.
+//
+// Used by the end-to-end detection examples and the throughput benches: the
+// paper's accelerator targets HDTV (1920x1080) frames containing pedestrians
+// at multiple distances, i.e. multiple scales. The scene generator places
+// people on a perspective ground plane so that apparent height follows
+// h_px = focal_px * 1.7m / distance, the geometry the DAS analysis in the
+// paper's introduction (20-60 m detection band) is about.
+#pragma once
+
+#include <vector>
+
+#include "src/imgproc/image.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::dataset {
+
+struct GroundTruthBox {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  double distance_m = 0.0;  ///< simulated distance from the camera
+};
+
+struct SceneCamera {
+  double focal_px = 1000.0;   ///< pinhole focal length in pixels
+  double camera_height_m = 1.4;
+  double person_height_m = 1.7;
+
+  /// Apparent pedestrian height in pixels at `distance_m`.
+  double person_px(double distance_m) const {
+    return focal_px * person_height_m / distance_m;
+  }
+  /// Image row of the feet of a person standing at `distance_m` (horizon at
+  /// frame middle).
+  double feet_row(int frame_height, double distance_m) const {
+    return frame_height / 2.0 + focal_px * camera_height_m / distance_m;
+  }
+};
+
+struct SceneOptions {
+  int width = 960;
+  int height = 540;
+  SceneCamera camera;
+  std::vector<double> pedestrian_distances_m{25.0, 45.0};
+  double clutter_density = 1.0;  ///< multiplier on background object count
+};
+
+struct Scene {
+  imgproc::ImageF image;
+  std::vector<GroundTruthBox> truth;
+};
+
+/// Render a street scene with one pedestrian per requested distance.
+Scene render_scene(util::Rng& rng, const SceneOptions& options);
+
+/// A pedestrian-approach video: the vehicle closes on a pedestrian at
+/// `closing_speed_mps`, so the person's apparent size grows frame by frame.
+/// The static background is rendered once (same seed) per frame; the walking
+/// pose advances with the frame index. Distances below `min_distance_m` end
+/// the sequence early.
+struct ApproachOptions {
+  SceneOptions scene;            ///< pedestrian_distances_m is ignored
+  double start_distance_m = 40.0;
+  double closing_speed_mps = 15.0;  ///< ~54 km/h closing speed
+  double fps = 60.0;
+  int frames = 60;
+  double min_distance_m = 4.0;
+  double lateral_frac = 0.5;     ///< pedestrian x position, fraction of width
+};
+
+std::vector<Scene> render_approach_sequence(std::uint64_t seed,
+                                            const ApproachOptions& options);
+
+}  // namespace pdet::dataset

@@ -1,0 +1,163 @@
+#include "src/dataset/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pdet::dataset {
+namespace {
+
+void mask_accumulate(imgproc::ImageF& mask, int x, int y, float coverage) {
+  if (!mask.contains(x, y)) return;
+  float& m = mask.at(x, y);
+  m = std::max(m, std::clamp(coverage, 0.0f, 1.0f));
+}
+
+}  // namespace
+
+void mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
+                  double ry) {
+  if (rx <= 0.0 || ry <= 0.0) return;
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - rx - 1)));
+  const int x1 = std::min(mask.width() - 1, static_cast<int>(std::ceil(cx + rx + 1)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - ry - 1)));
+  const int y1 = std::min(mask.height() - 1, static_cast<int>(std::ceil(cy + ry + 1)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = (x + 0.5 - cx) / rx;
+      const double dy = (y + 0.5 - cy) / ry;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      // ~1px-wide soft edge in normalized units.
+      const double soft = 1.0 / std::max(rx, ry);
+      const double cov = std::clamp((1.0 - r) / soft + 0.5, 0.0, 1.0);
+      if (cov > 0.0) mask_accumulate(mask, x, y, static_cast<float>(cov));
+    }
+  }
+}
+
+void mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts) {
+  double minx = pts[0][0];
+  double maxx = pts[0][0];
+  double miny = pts[0][1];
+  double maxy = pts[0][1];
+  for (const auto& p : pts) {
+    minx = std::min(minx, p[0]);
+    maxx = std::max(maxx, p[0]);
+    miny = std::min(miny, p[1]);
+    maxy = std::max(maxy, p[1]);
+  }
+  const int x0 = std::max(0, static_cast<int>(std::floor(minx)) - 1);
+  const int x1 = std::min(mask.width() - 1, static_cast<int>(std::ceil(maxx)) + 1);
+  const int y0 = std::max(0, static_cast<int>(std::floor(miny)) - 1);
+  const int y1 = std::min(mask.height() - 1, static_cast<int>(std::ceil(maxy)) + 1);
+
+  // Signed distance to the quad boundary via half-plane distances (valid for
+  // convex, counter-clockwise or clockwise consistent input).
+  auto edge_dist = [&](const Point& a, const Point& b, double px, double py) {
+    const double ex = b[0] - a[0];
+    const double ey = b[1] - a[1];
+    const double len = std::sqrt(ex * ex + ey * ey);
+    if (len == 0.0) return 0.0;
+    return ((px - a[0]) * ey - (py - a[1]) * ex) / len;
+  };
+  // Determine orientation from the polygon area sign.
+  double area2 = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const auto& a = pts[static_cast<std::size_t>(i)];
+    const auto& b = pts[static_cast<std::size_t>((i + 1) % 4)];
+    area2 += a[0] * b[1] - b[0] * a[1];
+  }
+  const double sign = area2 >= 0.0 ? -1.0 : 1.0;
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double px = x + 0.5;
+      const double py = y + 0.5;
+      double inside = 1e9;
+      for (int i = 0; i < 4; ++i) {
+        const auto& a = pts[static_cast<std::size_t>(i)];
+        const auto& b = pts[static_cast<std::size_t>((i + 1) % 4)];
+        inside = std::min(inside, sign * edge_dist(a, b, px, py));
+      }
+      const double cov = std::clamp(inside + 0.5, 0.0, 1.0);
+      if (cov > 0.0) mask_accumulate(mask, x, y, static_cast<float>(cov));
+    }
+  }
+}
+
+void mask_capsule(imgproc::ImageF& mask, Point a, Point b, double thickness) {
+  const double dx = b[0] - a[0];
+  const double dy = b[1] - a[1];
+  const double len = std::sqrt(dx * dx + dy * dy);
+  if (len < 1e-9) {
+    mask_ellipse(mask, a[0], a[1], thickness / 2, thickness / 2);
+    return;
+  }
+  const double nx = -dy / len * thickness / 2;
+  const double ny = dx / len * thickness / 2;
+  mask_quad(mask, {Point{a[0] + nx, a[1] + ny}, Point{b[0] + nx, b[1] + ny},
+                   Point{b[0] - nx, b[1] - ny}, Point{a[0] - nx, a[1] - ny}});
+}
+
+void box_blur(imgproc::ImageF& img, int radius, int passes) {
+  PDET_REQUIRE(radius >= 0 && passes >= 1);
+  if (radius == 0) return;
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<float> tmp(static_cast<std::size_t>(std::max(w, h)));
+  const float inv = 1.0f / static_cast<float>(2 * radius + 1);
+  for (int pass = 0; pass < passes; ++pass) {
+    // Horizontal.
+    for (int y = 0; y < h; ++y) {
+      float* r = img.row(y);
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += r[std::clamp(k, 0, w - 1)];
+      }
+      for (int x = 0; x < w; ++x) {
+        tmp[static_cast<std::size_t>(x)] = acc * inv;
+        acc += r[std::clamp(x + radius + 1, 0, w - 1)] -
+               r[std::clamp(x - radius, 0, w - 1)];
+      }
+      std::copy(tmp.begin(), tmp.begin() + w, r);
+    }
+    // Vertical.
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += img.at(x, std::clamp(k, 0, h - 1));
+      }
+      for (int y = 0; y < h; ++y) {
+        tmp[static_cast<std::size_t>(y)] = acc * inv;
+        acc += img.at(x, std::clamp(y + radius + 1, 0, h - 1)) -
+               img.at(x, std::clamp(y - radius, 0, h - 1));
+      }
+      for (int y = 0; y < h; ++y) img.at(x, y) = tmp[static_cast<std::size_t>(y)];
+    }
+  }
+}
+
+void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask, float value) {
+  PDET_REQUIRE(dst.width() == mask.width() && dst.height() == mask.height());
+  auto d = dst.pixels();
+  const auto m = mask.pixels();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const float a = std::clamp(m[i], 0.0f, 1.0f);
+    d[i] = d[i] * (1.0f - a) + value * a;
+  }
+}
+
+void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask,
+           const imgproc::ImageF& value) {
+  PDET_REQUIRE(dst.width() == mask.width() && dst.height() == mask.height());
+  PDET_REQUIRE(dst.width() == value.width() && dst.height() == value.height());
+  auto d = dst.pixels();
+  const auto m = mask.pixels();
+  const auto v = value.pixels();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const float a = std::clamp(m[i], 0.0f, 1.0f);
+    d[i] = d[i] * (1.0f - a) + v[i] * a;
+  }
+}
+
+}  // namespace pdet::dataset

@@ -1,0 +1,37 @@
+// Soft-edged rasterization primitives for the synthetic dataset renderer.
+//
+// Shapes accumulate into a float coverage mask which is then alpha-blended
+// over a background; a small blur on the mask gives the anti-aliased,
+// slightly out-of-focus edges of real photographic silhouettes, which is
+// what gives HOG realistic (not razor-sharp) gradient distributions.
+#pragma once
+
+#include <array>
+
+#include "src/imgproc/image.hpp"
+
+namespace pdet::dataset {
+
+using Point = std::array<double, 2>;
+
+/// max-accumulate an axis-aligned ellipse into `mask` (values toward 1).
+void mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
+                  double ry);
+
+/// max-accumulate a convex quadrilateral (points in order).
+void mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts);
+
+/// Convenience: thick line segment as a quad.
+void mask_capsule(imgproc::ImageF& mask, Point a, Point b, double thickness);
+
+/// Separable box blur, `passes` >= 1 (3 passes ~ Gaussian).
+void box_blur(imgproc::ImageF& img, int radius, int passes);
+
+/// dst = dst * (1 - mask) + value * mask, with mask clamped to [0, 1].
+void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask, float value);
+
+/// Blend with per-pixel value image instead of a constant.
+void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask,
+           const imgproc::ImageF& value);
+
+}  // namespace pdet::dataset

@@ -1,0 +1,315 @@
+#include "src/dataset/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dataset/shapes.hpp"
+
+namespace pdet::dataset {
+namespace {
+
+/// Pose parameters for one rendered person.
+struct Pose {
+  double height_px;      ///< crown to heel
+  double cx;             ///< horizontal body-center, pixels
+  double feet_y;         ///< heel line, pixels
+  double lean;           ///< torso lean, radians
+  double phase;          ///< walking phase in [0, 2pi): controls limb swing
+  double bulk;           ///< body width multiplier
+};
+
+/// Draw the articulated silhouette into `mask` (coverage toward 1).
+void draw_body_mask(imgproc::ImageF& mask, const Pose& p) {
+  const double H = p.height_px;
+  // Canonical human proportions (head ~1/7.5 of height, legs ~1/2).
+  const double head_r = H * 0.066;
+  const double neck_y = p.feet_y - H + 2.2 * head_r;
+  const double head_cy = p.feet_y - H + head_r * 1.05;
+  const double shoulder_y = neck_y + H * 0.02;
+  const double hip_y = p.feet_y - H * 0.47;
+  const double shoulder_w = H * 0.155 * p.bulk;
+  const double hip_w = H * 0.115 * p.bulk;
+  const double lean_dx = std::sin(p.lean) * (hip_y - shoulder_y);
+
+  const double hip_cx = p.cx;
+  const double shoulder_cx = p.cx + lean_dx;
+  const double head_cx = shoulder_cx + std::sin(p.lean) * 2.0 * head_r;
+
+  // Head + neck.
+  mask_ellipse(mask, head_cx, head_cy, head_r, head_r * 1.12);
+  mask_capsule(mask, {head_cx, head_cy + head_r}, {shoulder_cx, shoulder_y + 2},
+               head_r * 0.9);
+
+  // Torso as a tapering quad.
+  mask_quad(mask, {Point{shoulder_cx - shoulder_w, shoulder_y},
+                   Point{shoulder_cx + shoulder_w, shoulder_y},
+                   Point{hip_cx + hip_w, hip_y},
+                   Point{hip_cx - hip_w, hip_y}});
+
+  // Legs: thigh + shin segments, swinging in opposition with `phase`.
+  const double leg_len = p.feet_y - hip_y;
+  const double thigh = leg_len * 0.52;
+  const double leg_th = H * 0.052 * p.bulk;
+  const double swing = 0.35;  // max thigh swing, radians
+  for (const double side : {-1.0, 1.0}) {
+    const double a_thigh = swing * std::sin(p.phase + (side < 0 ? 0.0 : 3.14159));
+    const double hx = hip_cx + side * hip_w * 0.55;
+    const double kx = hx + std::sin(a_thigh) * thigh;
+    const double ky = hip_y + std::cos(a_thigh) * thigh;
+    // Shin counter-bends slightly when the thigh is forward.
+    const double a_shin = a_thigh * 0.5;
+    const double fx = kx + std::sin(a_shin) * (leg_len - thigh);
+    const double fy = ky + std::cos(a_shin) * (leg_len - thigh);
+    mask_capsule(mask, {hx, hip_y}, {kx, ky}, leg_th);
+    mask_capsule(mask, {kx, ky}, {fx, fy}, leg_th * 0.85);
+    // Foot.
+    mask_capsule(mask, {fx, fy}, {fx + side * leg_th * 0.8, fy}, leg_th * 0.7);
+  }
+
+  // Arms: swing opposite to the same-side leg.
+  const double arm_len = H * 0.36;
+  const double upper = arm_len * 0.5;
+  const double arm_th = H * 0.038 * p.bulk;
+  for (const double side : {-1.0, 1.0}) {
+    const double a_arm =
+        0.5 * swing * std::sin(p.phase + (side < 0 ? 3.14159 : 0.0));
+    const double sx = shoulder_cx + side * shoulder_w * 0.92;
+    const double ex = sx + std::sin(a_arm) * upper + side * arm_th * 0.3;
+    const double ey = shoulder_y + std::cos(a_arm) * upper;
+    const double wx = ex + std::sin(a_arm * 1.4) * (arm_len - upper);
+    const double wy = ey + std::cos(a_arm * 1.4) * (arm_len - upper);
+    mask_capsule(mask, {sx, shoulder_y + arm_th}, {ex, ey}, arm_th);
+    mask_capsule(mask, {ex, ey}, {wx, wy}, arm_th * 0.85);
+  }
+}
+
+}  // namespace
+
+void add_noise(imgproc::ImageF& img, util::Rng& rng, double sigma) {
+  if (sigma <= 0.0) return;
+  for (float& p : img.pixels()) {
+    p = std::clamp(p + static_cast<float>(rng.normal(0.0, sigma)), 0.0f, 1.0f);
+  }
+}
+
+void fill_background(imgproc::ImageF& img, util::Rng& rng, float base_level) {
+  const int w = img.width();
+  const int h = img.height();
+  const auto grad = static_cast<float>(rng.uniform(-0.12, 0.12));
+  for (int y = 0; y < h; ++y) {
+    const float level =
+        base_level + grad * (static_cast<float>(y) / static_cast<float>(h) - 0.5f);
+    float* r = img.row(y);
+    std::fill(r, r + w, level);
+  }
+  // Soft blobs: out-of-focus background structure.
+  const int blobs = rng.uniform_int(2, 5);
+  for (int i = 0; i < blobs; ++i) {
+    imgproc::ImageF m(w, h, 0.0f);
+    mask_ellipse(m, rng.uniform(0, w), rng.uniform(0, h),
+                 rng.uniform(w * 0.15, w * 0.6), rng.uniform(h * 0.1, h * 0.4));
+    box_blur(m, std::max(1, w / 12), 2);
+    blend(img, m,
+          std::clamp(base_level + static_cast<float>(rng.uniform(-0.15, 0.15)),
+                     0.0f, 1.0f));
+  }
+}
+
+void apply_fog(imgproc::ImageF& img, double density, float veil) {
+  PDET_REQUIRE(density >= 0.0 && density <= 1.0);
+  const auto a = static_cast<float>(density);
+  for (float& p : img.pixels()) {
+    p = std::clamp(p * (1.0f - a) + veil * a, 0.0f, 1.0f);
+  }
+}
+
+void draw_pedestrian_into(imgproc::ImageF& canvas, util::Rng& rng,
+                          double feet_x, double feet_y, double height_px,
+                          float person_luminance) {
+  Pose pose;
+  pose.height_px = height_px;
+  pose.cx = feet_x;
+  pose.feet_y = feet_y;
+  pose.lean = rng.uniform(-0.06, 0.06);
+  pose.phase = rng.uniform(0.0, 6.283185);
+  pose.bulk = rng.uniform(0.85, 1.2);
+
+  imgproc::ImageF mask(canvas.width(), canvas.height(), 0.0f);
+  draw_body_mask(mask, pose);
+  box_blur(mask, 1, 1);  // soften silhouette edges
+
+  // Clothing texture: torso and legs differ slightly in luminance.
+  imgproc::ImageF lum(canvas.width(), canvas.height(), person_luminance);
+  const auto legs_delta = static_cast<float>(rng.uniform(-0.08, 0.08));
+  const int hip_row = static_cast<int>(feet_y - height_px * 0.47);
+  for (int y = std::max(0, hip_row); y < canvas.height(); ++y) {
+    float* r = lum.row(y);
+    for (int x = 0; x < canvas.width(); ++x) {
+      r[x] = std::clamp(r[x] + legs_delta, 0.0f, 1.0f);
+    }
+  }
+  blend(canvas, mask, lum);
+}
+
+imgproc::ImageF render_pedestrian(util::Rng& rng, const RenderOptions& opts) {
+  PDET_REQUIRE(opts.width >= 16 && opts.height >= 32);
+  imgproc::ImageF img(opts.width, opts.height);
+  const auto base = static_cast<float>(rng.uniform(0.25, 0.75));
+  fill_background(img, rng, base);
+
+  const double frac = rng.uniform(opts.min_person_frac, opts.max_person_frac);
+  const double height_px = opts.height * frac;
+  const double feet_y = (opts.height + height_px) / 2.0 + rng.uniform(-2.0, 2.0);
+  const double feet_x = opts.width / 2.0 + rng.uniform(-3.0, 3.0);
+
+  const double contrast = rng.uniform(opts.min_contrast, opts.max_contrast);
+  const bool darker = rng.chance(0.5);
+  const float person = std::clamp(
+      base + static_cast<float>(darker ? -contrast : contrast), 0.02f, 0.98f);
+
+  draw_pedestrian_into(img, rng, feet_x, feet_y, height_px, person);
+
+  if (opts.occlusion_frac > 0.0) {
+    // Occluder: a textured box (wall / car roofline) covering the bottom
+    // `occlusion_frac` of the person.
+    const double top = feet_y - height_px * opts.occlusion_frac;
+    imgproc::ImageF m(opts.width, opts.height, 0.0f);
+    mask_quad(m, {Point{-2.0, top}, Point{opts.width + 2.0, top},
+                  Point{opts.width + 2.0, opts.height + 2.0},
+                  Point{-2.0, opts.height + 2.0}});
+    const float occluder = std::clamp(
+        base + static_cast<float>(rng.uniform(-0.2, 0.2)), 0.05f, 0.95f);
+    blend(img, m, occluder);
+  }
+
+  add_noise(img, rng, rng.uniform(opts.noise_sigma_min, opts.noise_sigma_max));
+  return img;
+}
+
+void draw_vehicle_into(imgproc::ImageF& canvas, util::Rng& rng,
+                       double center_x, double ground_y, double width_px,
+                       float body_luminance) {
+  const double W = width_px;
+  const double body_h = W * rng.uniform(0.62, 0.72);
+  const double wheel_r = W * 0.085;
+  const double body_bottom = ground_y - wheel_r * 0.9;
+  const double body_top = body_bottom - body_h;
+  const double half = W / 2.0;
+
+  imgproc::ImageF mask(canvas.width(), canvas.height(), 0.0f);
+  // Body: slightly tapered box (rear/front aspect).
+  const double taper = W * rng.uniform(0.02, 0.06);
+  mask_quad(mask, {Point{center_x - half + taper, body_top},
+                   Point{center_x + half - taper, body_top},
+                   Point{center_x + half, body_bottom},
+                   Point{center_x - half, body_bottom}});
+  // Roof hump.
+  mask_quad(mask, {Point{center_x - half * 0.62, body_top - W * 0.18},
+                   Point{center_x + half * 0.62, body_top - W * 0.18},
+                   Point{center_x + half * 0.72, body_top + 1},
+                   Point{center_x - half * 0.72, body_top + 1}});
+  box_blur(mask, 1, 1);
+
+  imgproc::ImageF lum(canvas.width(), canvas.height(), body_luminance);
+  blend(canvas, mask, lum);
+
+  // Rear window band (contrasting).
+  {
+    imgproc::ImageF wm(canvas.width(), canvas.height(), 0.0f);
+    mask_quad(wm, {Point{center_x - half * 0.55, body_top - W * 0.14},
+                   Point{center_x + half * 0.55, body_top - W * 0.14},
+                   Point{center_x + half * 0.6, body_top + W * 0.02},
+                   Point{center_x - half * 0.6, body_top + W * 0.02}});
+    const float glass = std::clamp(body_luminance +
+                                       (body_luminance > 0.5f ? -0.35f : 0.35f),
+                                   0.02f, 0.98f);
+    blend(canvas, wm, glass);
+  }
+  // Wheels: dark ellipses at the corners.
+  for (const double side : {-1.0, 1.0}) {
+    imgproc::ImageF wm(canvas.width(), canvas.height(), 0.0f);
+    mask_ellipse(wm, center_x + side * half * 0.72, ground_y - wheel_r,
+                 wheel_r, wheel_r);
+    blend(canvas, wm, 0.06f);
+  }
+  // Bumper line.
+  {
+    imgproc::ImageF bm(canvas.width(), canvas.height(), 0.0f);
+    mask_capsule(bm, {center_x - half * 0.9, body_bottom - W * 0.08},
+                 {center_x + half * 0.9, body_bottom - W * 0.08}, W * 0.04);
+    const float bumper = std::clamp(body_luminance - 0.15f, 0.02f, 0.98f);
+    blend(canvas, bm, bumper);
+  }
+}
+
+imgproc::ImageF render_vehicle(util::Rng& rng, const RenderOptions& opts) {
+  PDET_REQUIRE(opts.width >= 32 && opts.height >= 32);
+  imgproc::ImageF img(opts.width, opts.height);
+  const auto base = static_cast<float>(rng.uniform(0.3, 0.7));
+  fill_background(img, rng, base);
+
+  const double width_px =
+      opts.width * rng.uniform(opts.min_person_frac, opts.max_person_frac);
+  const double cx = opts.width / 2.0 + rng.uniform(-2.0, 2.0);
+  const double ground = opts.height * rng.uniform(0.88, 0.97);
+  const double contrast = rng.uniform(opts.min_contrast, opts.max_contrast);
+  const float body = std::clamp(
+      base + static_cast<float>(rng.chance(0.5) ? -contrast : contrast), 0.02f,
+      0.98f);
+  draw_vehicle_into(img, rng, cx, ground, width_px, body);
+  add_noise(img, rng, rng.uniform(opts.noise_sigma_min, opts.noise_sigma_max));
+  return img;
+}
+
+imgproc::ImageF render_negative(util::Rng& rng, const RenderOptions& opts) {
+  PDET_REQUIRE(opts.width >= 16 && opts.height >= 32);
+  imgproc::ImageF img(opts.width, opts.height);
+  const auto base = static_cast<float>(rng.uniform(0.2, 0.8));
+  fill_background(img, rng, base);
+
+  // Structured clutter. Pole/trunk-like vertical strips are included on
+  // purpose: they are the classic hard negatives for pedestrian HOG.
+  const int shapes = rng.uniform_int(3, 8);
+  for (int i = 0; i < shapes; ++i) {
+    imgproc::ImageF m(opts.width, opts.height, 0.0f);
+    const float lum = std::clamp(
+        base + static_cast<float>(rng.uniform(-0.45, 0.45)), 0.02f, 0.98f);
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // vertical pole
+        const double x = rng.uniform(4, opts.width - 4);
+        const double th = rng.uniform(2.0, 9.0);
+        mask_capsule(m, {x, rng.uniform(-10.0, 10.0)},
+                     {x + rng.uniform(-4.0, 4.0), opts.height + rng.uniform(-10.0, 10.0)},
+                     th);
+        break;
+      }
+      case 1: {  // box / window / sign
+        const double cx = rng.uniform(0, opts.width);
+        const double cy = rng.uniform(0, opts.height);
+        const double w2 = rng.uniform(4.0, opts.width * 0.5);
+        const double h2 = rng.uniform(4.0, opts.height * 0.35);
+        mask_quad(m, {Point{cx - w2, cy - h2}, Point{cx + w2, cy - h2},
+                      Point{cx + w2, cy + h2}, Point{cx - w2, cy + h2}});
+        break;
+      }
+      case 2: {  // blob / foliage
+        mask_ellipse(m, rng.uniform(0, opts.width), rng.uniform(0, opts.height),
+                     rng.uniform(3.0, opts.width * 0.4),
+                     rng.uniform(3.0, opts.height * 0.25));
+        break;
+      }
+      default: {  // diagonal edge / railing
+        mask_capsule(m, {rng.uniform(0, opts.width), rng.uniform(0, opts.height)},
+                     {rng.uniform(0, opts.width), rng.uniform(0, opts.height)},
+                     rng.uniform(1.5, 6.0));
+        break;
+      }
+    }
+    if (rng.chance(0.4)) box_blur(m, 1, 1);
+    blend(img, m, lum);
+  }
+  add_noise(img, rng, rng.uniform(opts.noise_sigma_min, opts.noise_sigma_max));
+  return img;
+}
+
+}  // namespace pdet::dataset

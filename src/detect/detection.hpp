@@ -1,0 +1,27 @@
+// Detection records and box geometry.
+#pragma once
+
+#include <vector>
+
+namespace pdet::detect {
+
+/// One detector response, in original-image pixel coordinates.
+struct Detection {
+  int x = 0;       ///< top-left
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  float score = 0.0f;  ///< SVM decision value
+  double scale = 1.0;  ///< pyramid level that produced it
+
+  int x2() const { return x + width; }
+  int y2() const { return y + height; }
+  long long area() const {
+    return static_cast<long long>(width) * static_cast<long long>(height);
+  }
+};
+
+/// Intersection-over-union of two boxes; 0 when either is empty.
+double iou(const Detection& a, const Detection& b);
+
+}  // namespace pdet::detect

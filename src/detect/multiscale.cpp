@@ -1,0 +1,57 @@
+#include "src/detect/multiscale.hpp"
+
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::detect {
+
+MultiscaleResult detect_multiscale(const imgproc::ImageF& image,
+                                   const hog::HogParams& params,
+                                   const svm::LinearModel& model,
+                                   const MultiscaleOptions& options) {
+  params.validate();
+  std::vector<hog::PyramidLevel> levels;
+  if (options.strategy == PyramidStrategy::kFeature) {
+    hog::FeaturePyramidOptions fopt;
+    fopt.scales = options.scales;
+    fopt.interp = options.feature_interp;
+    levels = hog::build_feature_pyramid(image, params, fopt);
+  } else if (options.strategy == PyramidStrategy::kImage) {
+    hog::ImagePyramidOptions iopt;
+    iopt.scales = options.scales;
+    iopt.interp = options.image_interp;
+    levels = hog::build_image_pyramid(image, params, iopt);
+  } else {
+    hog::HybridPyramidOptions hopt;
+    hopt.scales = options.scales;
+    hopt.interp = options.feature_interp;
+    hopt.image_interp = options.image_interp;
+    levels = hog::build_hybrid_pyramid(image, params, hopt);
+  }
+
+  MultiscaleResult result;
+  result.levels = static_cast<int>(levels.size());
+  for (const auto& level : levels) {
+    const auto hits = scan_level(level.blocks, params, model, options.scan);
+    result.windows_evaluated +=
+        scan_window_count(level.blocks, params, options.scan.cell_stride);
+    for (Detection d : hits) {
+      // Map level coordinates back to the original frame. For the feature
+      // pyramid the level's pixel metric is cells * cell_size of the scaled
+      // grid, which corresponds to `scale`-times-larger regions of the
+      // original image — identical arithmetic to the image pyramid.
+      d.x = static_cast<int>(std::lround(d.x * level.scale));
+      d.y = static_cast<int>(std::lround(d.y * level.scale));
+      d.width = static_cast<int>(std::lround(d.width * level.scale));
+      d.height = static_cast<int>(std::lround(d.height * level.scale));
+      d.scale = level.scale;
+      result.raw.push_back(d);
+    }
+  }
+  result.detections =
+      options.run_nms ? nms(result.raw, options.nms_iou) : result.raw;
+  return result;
+}
+
+}  // namespace pdet::detect

@@ -1,0 +1,42 @@
+#include "src/detect/nms.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::detect {
+
+double iou(const Detection& a, const Detection& b) {
+  const int ix0 = std::max(a.x, b.x);
+  const int iy0 = std::max(a.y, b.y);
+  const int ix1 = std::min(a.x2(), b.x2());
+  const int iy1 = std::min(a.y2(), b.y2());
+  if (ix1 <= ix0 || iy1 <= iy0) return 0.0;
+  const long long inter =
+      static_cast<long long>(ix1 - ix0) * static_cast<long long>(iy1 - iy0);
+  const long long uni = a.area() + b.area() - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           double iou_threshold) {
+  PDET_REQUIRE(iou_threshold >= 0.0 && iou_threshold <= 1.0);
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.score > b.score;
+            });
+  std::vector<Detection> kept;
+  for (const Detection& d : detections) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (iou(d, k) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace pdet::detect

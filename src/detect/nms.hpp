@@ -1,0 +1,18 @@
+// Greedy non-maximum suppression.
+//
+// Sliding-window detectors fire in clusters around each true object; NMS
+// keeps the highest-scoring box of each cluster. (The paper's hardware
+// streams raw window scores off-chip and leaves grouping to the host; this
+// is that host-side step.)
+#pragma once
+
+#include "src/detect/detection.hpp"
+
+namespace pdet::detect {
+
+/// Keep detections greedily by descending score, dropping any box whose IoU
+/// with an already-kept box exceeds `iou_threshold`.
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           double iou_threshold = 0.45);
+
+}  // namespace pdet::detect

@@ -1,0 +1,69 @@
+#include "src/detect/scanner.hpp"
+
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::detect {
+
+std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
+                                  const hog::HogParams& params,
+                                  const svm::LinearModel& model,
+                                  const ScanOptions& options) {
+  params.validate();
+  PDET_REQUIRE(options.cell_stride >= 1);
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(params.descriptor_size()));
+
+  std::vector<Detection> out;
+  const int nx = hog::window_positions_x(blocks, params);
+  const int ny = hog::window_positions_y(blocks, params);
+  std::vector<float> desc(static_cast<std::size_t>(params.descriptor_size()));
+  for (int cy = 0; cy < ny; cy += options.cell_stride) {
+    for (int cx = 0; cx < nx; cx += options.cell_stride) {
+      hog::extract_window(blocks, params, cx, cy, desc);
+      const float score = model.decision(desc);
+      if (score > options.threshold) {
+        Detection d;
+        d.x = cx * params.cell_size;
+        d.y = cy * params.cell_size;
+        d.width = params.window_width;
+        d.height = params.window_height;
+        d.score = score;
+        out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+imgproc::ImageF score_map(const hog::BlockGrid& blocks,
+                          const hog::HogParams& params,
+                          const svm::LinearModel& model) {
+  params.validate();
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(params.descriptor_size()));
+  const int nx = hog::window_positions_x(blocks, params);
+  const int ny = hog::window_positions_y(blocks, params);
+  imgproc::ImageF map(std::max(nx, 0), std::max(ny, 0));
+  std::vector<float> desc(static_cast<std::size_t>(params.descriptor_size()));
+  for (int cy = 0; cy < ny; ++cy) {
+    for (int cx = 0; cx < nx; ++cx) {
+      hog::extract_window(blocks, params, cx, cy, desc);
+      map.at(cx, cy) = model.decision(desc);
+    }
+  }
+  return map;
+}
+
+long long scan_window_count(const hog::BlockGrid& blocks,
+                            const hog::HogParams& params, int cell_stride) {
+  PDET_REQUIRE(cell_stride >= 1);
+  const int nx = hog::window_positions_x(blocks, params);
+  const int ny = hog::window_positions_y(blocks, params);
+  const long long sx = (nx + cell_stride - 1) / cell_stride;
+  const long long sy = (ny + cell_stride - 1) / cell_stride;
+  return sx * sy;
+}
+
+}  // namespace pdet::detect

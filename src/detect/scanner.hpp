@@ -1,0 +1,41 @@
+// Sliding-window scan of one pyramid level.
+//
+// "Sliding each window by one cell either in vertical or horizontal
+// direction results in a new detection window" (paper Figure 2): the scan
+// stride is one cell (8 px at native scale), exactly what the hardware's
+// 36-cycle window cadence implements.
+#pragma once
+
+#include "src/detect/detection.hpp"
+#include "src/imgproc/image.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/svm/linear_svm.hpp"
+
+namespace pdet::detect {
+
+struct ScanOptions {
+  float threshold = 0.0f;  ///< keep windows with score > threshold
+  int cell_stride = 1;     ///< window step in cells (1 = paper's stride)
+};
+
+/// Scan every window position of `blocks` with `model`. Detections are
+/// reported in the *level's* pixel coordinates; the caller rescales to the
+/// original frame (multiscale.cpp does this).
+std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
+                                  const hog::HogParams& params,
+                                  const svm::LinearModel& model,
+                                  const ScanOptions& options);
+
+/// Dense per-anchor score map of one level: pixel (cx, cy) of the returned
+/// image is the SVM score of the window anchored at cell (cx, cy). Used for
+/// visualising the detector's response surface.
+imgproc::ImageF score_map(const hog::BlockGrid& blocks,
+                          const hog::HogParams& params,
+                          const svm::LinearModel& model);
+
+/// Count of windows a scan of this level evaluates (for the complexity
+/// accounting in the pipeline-speedup bench).
+long long scan_window_count(const hog::BlockGrid& blocks,
+                            const hog::HogParams& params, int cell_stride = 1);
+
+}  // namespace pdet::detect

@@ -1,0 +1,101 @@
+#include "src/detect/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::detect {
+
+Tracker::Tracker(TrackerOptions options) : options_(options) {
+  PDET_REQUIRE(options.match_iou > 0.0 && options.match_iou <= 1.0);
+  PDET_REQUIRE(options.max_misses >= 0);
+  PDET_REQUIRE(options.position_alpha > 0.0 && options.position_alpha <= 1.0);
+}
+
+const std::vector<Track>& Tracker::update(
+    const std::vector<Detection>& detections) {
+  // Greedy association: repeatedly take the globally best (track, detection)
+  // IoU pair above the threshold.
+  std::vector<bool> det_used(detections.size(), false);
+  std::vector<bool> trk_used(tracks_.size(), false);
+  while (true) {
+    double best_iou = options_.match_iou;
+    int best_t = -1;
+    int best_d = -1;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (trk_used[t]) continue;
+      for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (det_used[d]) continue;
+        const double v = iou(tracks_[t].box, detections[d]);
+        if (v >= best_iou) {
+          best_iou = v;
+          best_t = static_cast<int>(t);
+          best_d = static_cast<int>(d);
+        }
+      }
+    }
+    if (best_t < 0) break;
+    trk_used[static_cast<std::size_t>(best_t)] = true;
+    det_used[static_cast<std::size_t>(best_d)] = true;
+
+    Track& track = tracks_[static_cast<std::size_t>(best_t)];
+    const Detection& det = detections[static_cast<std::size_t>(best_d)];
+    const double a = options_.position_alpha;
+    const int old_height = track.box.height;
+    track.box.x = static_cast<int>(std::lround(a * det.x + (1 - a) * track.box.x));
+    track.box.y = static_cast<int>(std::lround(a * det.y + (1 - a) * track.box.y));
+    track.box.width =
+        static_cast<int>(std::lround(a * det.width + (1 - a) * track.box.width));
+    track.box.height = static_cast<int>(
+        std::lround(a * det.height + (1 - a) * track.box.height));
+    track.box.score = det.score;
+    track.box.scale = det.scale;
+    track.last_score = det.score;
+    ++track.hits;
+    track.misses_in_a_row = 0;
+    if (old_height > 0) {
+      const double growth =
+          static_cast<double>(track.box.height - old_height) / old_height;
+      track.height_growth_per_frame =
+          options_.growth_alpha * growth +
+          (1 - options_.growth_alpha) * track.height_growth_per_frame;
+    }
+  }
+
+  // Unmatched tracks coast; drop after max_misses.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    ++tracks_[t].age;
+    if (!trk_used[t]) ++tracks_[t].misses_in_a_row;
+  }
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [&](const Track& track) {
+                                 return track.misses_in_a_row > options_.max_misses;
+                               }),
+                tracks_.end());
+
+  // Unmatched detections found new tracks.
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (det_used[d]) continue;
+    Track track;
+    track.id = next_id_++;
+    track.box = detections[d];
+    track.hits = 1;
+    track.last_score = detections[d].score;
+    tracks_.push_back(track);
+  }
+  return tracks_;
+}
+
+std::optional<double> Tracker::frames_to_height(const Track& track,
+                                                int limit_height) {
+  PDET_REQUIRE(limit_height > 0);
+  if (track.height_growth_per_frame <= 1e-6) return std::nullopt;
+  if (track.box.height <= 0) return std::nullopt;
+  if (track.box.height >= limit_height) return 0.0;
+  // height * (1+g)^n = limit  =>  n = log(limit/height) / log(1+g).
+  return std::log(static_cast<double>(limit_height) / track.box.height) /
+         std::log1p(track.height_growth_per_frame);
+}
+
+}  // namespace pdet::detect

@@ -1,0 +1,62 @@
+// Frame-to-frame pedestrian tracking.
+//
+// The accelerator emits per-frame detections at 60 fps; a DAS consumes
+// *tracks* — persistent object identities whose size growth encodes closing
+// speed (and thus time-to-collision, the quantity the paper's Section-1
+// stopping analysis needs). This is a deliberately simple greedy-IoU tracker
+// in the spirit of what rides on top of such detectors: associate by IoU,
+// smooth with an exponential filter, coast briefly through missed frames.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/detect/detection.hpp"
+
+namespace pdet::detect {
+
+struct Track {
+  int id = 0;
+  Detection box;            ///< smoothed current estimate
+  int age = 0;              ///< frames since creation
+  int hits = 0;             ///< frames with an associated detection
+  int misses_in_a_row = 0;
+  float last_score = 0.0f;
+  /// Smoothed growth rate of box height per frame (fraction, e.g. 0.01 =
+  /// +1%/frame). Positive growth = approaching.
+  double height_growth_per_frame = 0.0;
+
+  bool confirmed(int min_hits) const { return hits >= min_hits; }
+};
+
+struct TrackerOptions {
+  double match_iou = 0.3;     ///< minimum IoU to associate
+  int max_misses = 3;         ///< coast this many frames, then drop
+  int min_hits = 2;           ///< frames before a track is "confirmed"
+  double position_alpha = 0.6;  ///< EMA weight of the new detection
+  double growth_alpha = 0.3;    ///< EMA weight of the new growth sample
+};
+
+class Tracker {
+ public:
+  explicit Tracker(TrackerOptions options = {});
+
+  /// Advance one frame: associate detections, update/create/drop tracks.
+  /// Returns the live tracks after the update.
+  const std::vector<Track>& update(const std::vector<Detection>& detections);
+
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Estimated frames until the track's box height reaches `limit_height`
+  /// px, from the current height and smoothed growth; nullopt if receding or
+  /// static. With frame period T this is time-to-collision-ish.
+  static std::optional<double> frames_to_height(const Track& track,
+                                                int limit_height);
+
+ private:
+  TrackerOptions options_;
+  std::vector<Track> tracks_;
+  int next_id_ = 1;
+};
+
+}  // namespace pdet::detect

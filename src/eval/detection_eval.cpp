@@ -1,0 +1,157 @@
+#include "src/eval/detection_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::eval {
+namespace {
+
+detect::Detection to_box(const GroundTruth& t) {
+  detect::Detection d;
+  d.x = t.x;
+  d.y = t.y;
+  d.width = t.width;
+  d.height = t.height;
+  return d;
+}
+
+}  // namespace
+
+FrameMatch match_frame(std::span<const detect::Detection> detections,
+                       std::span<const GroundTruth> truth, float threshold,
+                       double min_iou) {
+  PDET_REQUIRE(min_iou > 0.0 && min_iou <= 1.0);
+  std::vector<const detect::Detection*> active;
+  for (const auto& d : detections) {
+    if (d.score > threshold) active.push_back(&d);
+  }
+  std::sort(active.begin(), active.end(),
+            [](const detect::Detection* a, const detect::Detection* b) {
+              return a->score > b->score;
+            });
+
+  std::vector<bool> claimed(truth.size(), false);
+  FrameMatch result;
+  for (const detect::Detection* d : active) {
+    int best = -1;
+    double best_iou = min_iou;
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (claimed[t]) continue;
+      const double v = detect::iou(*d, to_box(truth[t]));
+      if (v >= best_iou) {
+        best_iou = v;
+        best = static_cast<int>(t);
+      }
+    }
+    if (best >= 0) {
+      claimed[static_cast<std::size_t>(best)] = true;
+      ++result.true_positives;
+    } else {
+      ++result.false_positives;
+    }
+  }
+  result.missed = static_cast<int>(truth.size()) - result.true_positives;
+  return result;
+}
+
+std::vector<MissRatePoint> miss_rate_curve(
+    std::span<const std::vector<detect::Detection>> per_frame_detections,
+    std::span<const std::vector<GroundTruth>> per_frame_truth,
+    double min_iou) {
+  PDET_REQUIRE(per_frame_detections.size() == per_frame_truth.size());
+  PDET_REQUIRE(!per_frame_detections.empty());
+
+  // Candidate thresholds: every distinct score, descending, plus +inf.
+  std::vector<float> thresholds;
+  for (const auto& dets : per_frame_detections) {
+    for (const auto& d : dets) thresholds.push_back(d.score);
+  }
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::size_t total_truth = 0;
+  for (const auto& t : per_frame_truth) total_truth += t.size();
+  PDET_REQUIRE(total_truth > 0);
+
+  std::vector<MissRatePoint> curve;
+  const auto frames = static_cast<double>(per_frame_detections.size());
+  auto evaluate = [&](float threshold) {
+    int tp = 0;
+    int fp = 0;
+    for (std::size_t f = 0; f < per_frame_detections.size(); ++f) {
+      const FrameMatch m = match_frame(per_frame_detections[f],
+                                       per_frame_truth[f], threshold, min_iou);
+      tp += m.true_positives;
+      fp += m.false_positives;
+    }
+    MissRatePoint p;
+    p.fppi = fp / frames;
+    p.miss_rate = 1.0 - static_cast<double>(tp) / static_cast<double>(total_truth);
+    p.threshold = threshold;
+    curve.push_back(p);
+  };
+  for (const float t : thresholds) {
+    // Evaluate just below each distinct score so that score is included.
+    evaluate(std::nextafter(t, -std::numeric_limits<float>::infinity()));
+  }
+  if (curve.empty()) {
+    evaluate(0.0f);
+  }
+  return curve;
+}
+
+double log_average_miss_rate(std::span<const MissRatePoint> curve) {
+  PDET_REQUIRE(!curve.empty());
+  // Sample at 9 points log-spaced over [1e-2, 1e0].
+  double log_sum = 0.0;
+  int samples = 0;
+  for (int k = 0; k < 9; ++k) {
+    const double fppi = std::pow(10.0, -2.0 + 2.0 * k / 8.0);
+    // Find the curve's miss rate at this FPPI (curve fppi is nondecreasing
+    // as threshold drops; points may be unsorted — scan for bracketing).
+    double mr;
+    // Lowest achievable fppi:
+    const auto [lo_it, hi_it] = std::minmax_element(
+        curve.begin(), curve.end(),
+        [](const MissRatePoint& a, const MissRatePoint& b) {
+          return a.fppi < b.fppi;
+        });
+    if (fppi <= lo_it->fppi) {
+      mr = lo_it->miss_rate;
+    } else if (fppi >= hi_it->fppi) {
+      // Beyond the sweep: the best (lowest) miss rate observed.
+      mr = hi_it->miss_rate;
+      for (const auto& p : curve) mr = std::min(mr, p.miss_rate);
+    } else {
+      // Interpolate between the tightest bracketing points in log-FPPI.
+      const MissRatePoint* below = &*lo_it;
+      const MissRatePoint* above = &*hi_it;
+      for (const auto& p : curve) {
+        if (p.fppi <= fppi && p.fppi >= below->fppi) below = &p;
+        if (p.fppi >= fppi && p.fppi <= above->fppi) above = &p;
+      }
+      if (above->fppi == below->fppi) {
+        mr = std::min(above->miss_rate, below->miss_rate);
+      } else {
+        // Clamp FPPI inside the logs: a curve point at exactly 0 FPPI (no
+        // false positives at the strictest threshold) is common.
+        const double lo_f = std::max(below->fppi, 1e-6);
+        const double hi_f = std::max(above->fppi, 1e-6);
+        const double t = hi_f == lo_f ? 0.0
+                                      : (std::log(fppi) - std::log(lo_f)) /
+                                            (std::log(hi_f) - std::log(lo_f));
+        mr = below->miss_rate + t * (above->miss_rate - below->miss_rate);
+      }
+    }
+    // Guard the log at zero miss rate (clamp like the reference tooling).
+    log_sum += std::log(std::max(mr, 1e-4));
+    ++samples;
+  }
+  return std::exp(log_sum / samples);
+}
+
+}  // namespace pdet::eval

@@ -1,0 +1,59 @@
+// Detection-level evaluation (full frames, not window classification).
+//
+// Window accuracy (Table 1) is only half the story for a DAS: what matters
+// operationally is detection performance on whole frames. This module
+// implements the standard protocol of the pedestrian-detection literature
+// the paper builds on (Dollar et al. [6]): greedy IoU >= 0.5 matching of
+// detections to ground truth per frame, miss rate vs false positives per
+// image (FPPI) swept over the detector threshold, and the log-average miss
+// rate summary statistic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/detect/detection.hpp"
+
+namespace pdet::eval {
+
+struct GroundTruth {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+};
+
+/// Matching result for one frame at one threshold.
+struct FrameMatch {
+  int true_positives = 0;
+  int false_positives = 0;
+  int missed = 0;
+};
+
+/// Greedy matching: detections in descending score order claim the unmatched
+/// ground-truth box with highest IoU (if >= min_iou). Detections with score
+/// <= threshold are ignored.
+FrameMatch match_frame(std::span<const detect::Detection> detections,
+                       std::span<const GroundTruth> truth, float threshold,
+                       double min_iou = 0.5);
+
+struct MissRatePoint {
+  double fppi = 0.0;       ///< false positives per image
+  double miss_rate = 0.0;  ///< fraction of ground truth missed
+  float threshold = 0.0f;
+};
+
+/// Sweep the operating threshold over all detection scores across frames and
+/// return the (FPPI, miss-rate) curve, high threshold first.
+std::vector<MissRatePoint> miss_rate_curve(
+    std::span<const std::vector<detect::Detection>> per_frame_detections,
+    std::span<const std::vector<GroundTruth>> per_frame_truth,
+    double min_iou = 0.5);
+
+/// Log-average miss rate: geometric mean of the miss rate sampled at nine
+/// FPPI values evenly log-spaced in [1e-2, 1e0] (Dollar et al.'s summary
+/// statistic). Curve points are linearly interpolated in log-FPPI; values
+/// beyond the curve's ends clamp to the nearest point.
+double log_average_miss_rate(std::span<const MissRatePoint> curve);
+
+}  // namespace pdet::eval

@@ -1,0 +1,217 @@
+#include "src/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
+
+namespace pdet::eval {
+
+double Confusion::accuracy() const {
+  const int t = total();
+  return t > 0 ? static_cast<double>(true_pos + true_neg) / t : 0.0;
+}
+
+double Confusion::true_positive_rate() const {
+  const int p = true_pos + false_neg;
+  return p > 0 ? static_cast<double>(true_pos) / p : 0.0;
+}
+
+double Confusion::false_positive_rate() const {
+  const int n = true_neg + false_pos;
+  return n > 0 ? static_cast<double>(false_pos) / n : 0.0;
+}
+
+double Confusion::precision() const {
+  const int pp = true_pos + false_pos;
+  return pp > 0 ? static_cast<double>(true_pos) / pp : 0.0;
+}
+
+Confusion confusion_at(std::span<const float> scores,
+                       std::span<const signed char> labels, float threshold) {
+  PDET_REQUIRE(scores.size() == labels.size());
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > threshold;
+    const bool actual = labels[i] > 0;
+    if (predicted && actual) ++c.true_pos;
+    else if (predicted && !actual) ++c.false_pos;
+    else if (!predicted && actual) ++c.false_neg;
+    else ++c.true_neg;
+  }
+  return c;
+}
+
+RocCurve roc_curve(std::span<const float> scores,
+                   std::span<const signed char> labels) {
+  PDET_REQUIRE(scores.size() == labels.size());
+  PDET_REQUIRE(!scores.empty());
+  const std::size_t n = scores.size();
+  std::size_t npos = 0;
+  for (const auto l : labels) {
+    if (l > 0) ++npos;
+  }
+  const std::size_t nneg = n - npos;
+  PDET_REQUIRE(npos > 0 && nneg > 0);
+
+  // Sort by descending score; sweep the threshold down through every value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  RocCurve roc;
+  roc.points.push_back({0.0, 0.0, static_cast<double>(scores[order[0]]) + 1.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  double auc = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    // Consume ties together so the curve is threshold-consistent.
+    const float s = scores[order[i]];
+    while (i < n && scores[order[i]] == s) {
+      if (labels[order[i]] > 0) ++tp;
+      else ++fp;
+      ++i;
+    }
+    const double fpr = static_cast<double>(fp) / static_cast<double>(nneg);
+    const double tpr = static_cast<double>(tp) / static_cast<double>(npos);
+    auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+    roc.points.push_back({fpr, tpr, static_cast<double>(s)});
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  roc.auc = auc;
+
+  // EER: the point where FPR == FNR == 1 - TPR; interpolate between the
+  // bracketing sweep points.
+  double eer = 1.0;
+  double eer_thr = 0.0;
+  for (std::size_t k = 1; k < roc.points.size(); ++k) {
+    const auto& a = roc.points[k - 1];
+    const auto& b = roc.points[k];
+    const double da = a.fpr - (1.0 - a.tpr);
+    const double db = b.fpr - (1.0 - b.tpr);
+    if (da <= 0.0 && db >= 0.0) {
+      const double t = (db - da) != 0.0 ? -da / (db - da) : 0.0;
+      const double fpr = a.fpr + t * (b.fpr - a.fpr);
+      eer = fpr;
+      eer_thr = a.threshold + t * (b.threshold - a.threshold);
+      break;
+    }
+  }
+  if (eer == 1.0) {
+    // Fell through (degenerate curve): take the point minimizing |FPR-FNR|.
+    double best = 2.0;
+    for (const auto& p : roc.points) {
+      const double diff = std::fabs(p.fpr - (1.0 - p.tpr));
+      if (diff < best) {
+        best = diff;
+        eer = (p.fpr + (1.0 - p.tpr)) / 2.0;
+        eer_thr = p.threshold;
+      }
+    }
+  }
+  roc.eer = eer;
+  roc.eer_threshold = eer_thr;
+  return roc;
+}
+
+PrCurve pr_curve(std::span<const float> scores,
+                 std::span<const signed char> labels) {
+  PDET_REQUIRE(scores.size() == labels.size());
+  PDET_REQUIRE(!scores.empty());
+  const std::size_t n = scores.size();
+  std::size_t npos = 0;
+  for (const auto l : labels) {
+    if (l > 0) ++npos;
+  }
+  PDET_REQUIRE(npos > 0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  PrCurve out;
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const float s = scores[order[i]];
+    while (i < n && scores[order[i]] == s) {
+      if (labels[order[i]] > 0) ++tp;
+      else ++fp;
+      ++i;
+    }
+    PrPoint p;
+    p.recall = static_cast<double>(tp) / static_cast<double>(npos);
+    p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    p.threshold = static_cast<double>(s);
+    out.points.push_back(p);
+  }
+
+  // AP via the interpolated-precision envelope: for each sweep point use the
+  // best precision at that recall or higher, integrating over recall steps.
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  double max_future_precision = 0.0;
+  std::vector<double> envelope(out.points.size());
+  for (std::size_t k = out.points.size(); k-- > 0;) {
+    max_future_precision = std::max(max_future_precision, out.points[k].precision);
+    envelope[k] = max_future_precision;
+  }
+  for (std::size_t k = 0; k < out.points.size(); ++k) {
+    ap += (out.points[k].recall - prev_recall) * envelope[k];
+    prev_recall = out.points[k].recall;
+  }
+  out.average_precision = ap;
+  return out;
+}
+
+std::string roc_ascii_plot(const RocCurve& roc, int width, int height) {
+  PDET_REQUIRE(width >= 10 && height >= 5);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto plot = [&](double fpr, double tpr, char ch) {
+    const int x = std::clamp(static_cast<int>(std::lround(fpr * (width - 1))), 0,
+                             width - 1);
+    const int y = std::clamp(
+        static_cast<int>(std::lround((1.0 - tpr) * (height - 1))), 0, height - 1);
+    grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = ch;
+  };
+  // Chance diagonal first so the curve overdraws it.
+  for (int k = 0; k < std::min(width, height) * 2; ++k) {
+    const double t = static_cast<double>(k) / (std::min(width, height) * 2 - 1);
+    plot(t, t, '.');
+  }
+  // Dense interpolation along curve segments.
+  for (std::size_t k = 1; k < roc.points.size(); ++k) {
+    const auto& a = roc.points[k - 1];
+    const auto& b = roc.points[k];
+    for (int s = 0; s <= 8; ++s) {
+      const double t = s / 8.0;
+      plot(a.fpr + t * (b.fpr - a.fpr), a.tpr + t * (b.tpr - a.tpr), '*');
+    }
+  }
+  std::string out;
+  out += util::format("TPR 1.0 +%s\n", std::string(static_cast<std::size_t>(width), '-').c_str());
+  for (int y = 0; y < height; ++y) {
+    out += util::format("        |%s\n", grid[static_cast<std::size_t>(y)].c_str());
+  }
+  out += util::format("    0.0 +%s\n", std::string(static_cast<std::size_t>(width), '-').c_str());
+  out += util::format("        0.0%sFPR 1.0\n",
+                      std::string(static_cast<std::size_t>(width) - 10, ' ').c_str());
+  out += util::format("        AUC = %.4f   EER = %.4f (thr %.3f)\n", roc.auc,
+                      roc.eer, roc.eer_threshold);
+  return out;
+}
+
+}  // namespace pdet::eval

@@ -1,0 +1,68 @@
+// Classifier evaluation metrics for the paper's accuracy study.
+//
+// Table 1 reports accuracy plus true-positive/true-negative counts at the
+// default threshold; Figure 4 reports ROC curves with AUC (area under the
+// curve) and EER (equal error rate, where false-positive rate equals
+// false-negative rate). All are computed here from raw decision scores.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdet::eval {
+
+struct Confusion {
+  int true_pos = 0;
+  int true_neg = 0;
+  int false_pos = 0;
+  int false_neg = 0;
+
+  int total() const { return true_pos + true_neg + false_pos + false_neg; }
+  double accuracy() const;
+  double true_positive_rate() const;   ///< recall / sensitivity
+  double false_positive_rate() const;
+  double precision() const;
+};
+
+/// Confusion at a fixed decision threshold (score > threshold => positive).
+Confusion confusion_at(std::span<const float> scores,
+                       std::span<const signed char> labels, float threshold);
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< swept from +inf threshold to -inf
+  double auc = 0.0;              ///< trapezoidal area under the curve
+  double eer = 0.0;              ///< error rate where FPR == FNR
+  double eer_threshold = 0.0;
+};
+
+/// Full ROC sweep over all distinct score thresholds.
+RocCurve roc_curve(std::span<const float> scores,
+                   std::span<const signed char> labels);
+
+/// Render an ROC curve as an ASCII plot (for bench/example console output).
+std::string roc_ascii_plot(const RocCurve& roc, int width = 61, int height = 21);
+
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+struct PrCurve {
+  std::vector<PrPoint> points;        ///< swept from high to low threshold
+  double average_precision = 0.0;     ///< AP: precision integrated over recall
+};
+
+/// Precision-recall sweep over all distinct thresholds, with AP computed by
+/// the standard step-wise integration (precision envelope over recall).
+PrCurve pr_curve(std::span<const float> scores,
+                 std::span<const signed char> labels);
+
+}  // namespace pdet::eval

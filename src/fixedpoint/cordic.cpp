@@ -1,0 +1,82 @@
+#include "src/fixedpoint/cordic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::fixedpoint {
+namespace {
+
+// Internal fixed-point scaling for the x/y datapath and the angle
+// accumulator. 2^20 keeps twelve iterations of >> within precision while
+// the widest intermediate still fits comfortably in int64.
+constexpr int kDataFrac = 20;
+constexpr int kAngleFrac = 24;
+constexpr double kPi = std::numbers::pi;
+
+std::int64_t to_fx(double v, int frac) {
+  return static_cast<std::int64_t>(std::llround(v * static_cast<double>(std::int64_t{1} << frac)));
+}
+
+double from_fx(std::int64_t v, int frac) {
+  return static_cast<double>(v) / static_cast<double>(std::int64_t{1} << frac);
+}
+
+}  // namespace
+
+Cordic::Cordic(int iterations) : iterations_(iterations) {
+  PDET_REQUIRE(iterations >= 1 && iterations <= 30);
+  double gain = 1.0;
+  for (int i = 0; i < iterations_; ++i) {
+    gain *= std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+  }
+  inv_gain_ = 1.0 / gain;
+}
+
+double Cordic::angle_error_bound() const {
+  // Residual rotation after n iterations is bounded by the last micro-angle.
+  return std::atan(std::ldexp(1.0, -(iterations_ - 1)));
+}
+
+CordicResult Cordic::vectoring(double fx, double fy) const {
+  if (fx == 0.0 && fy == 0.0) return {0.0, 0.0};
+
+  // Unsigned orientation: theta and theta+pi are the same bin, so reflecting
+  // the vector through the origin moves it into the x >= 0 half-plane for
+  // free (the hardware does this with two sign flips).
+  double px = fx;
+  double py = fy;
+  if (px < 0.0) {
+    px = -px;
+    py = -py;
+  }
+
+  std::int64_t x = to_fx(px, kDataFrac);
+  std::int64_t y = to_fx(py, kDataFrac);
+  std::int64_t z = 0;  // accumulated angle, Q(kAngleFrac)
+
+  for (int i = 0; i < iterations_; ++i) {
+    const std::int64_t atan_i = to_fx(std::atan(std::ldexp(1.0, -i)), kAngleFrac);
+    const std::int64_t xs = x >> i;
+    const std::int64_t ys = y >> i;
+    if (y >= 0) {
+      x += ys;
+      y -= xs;
+      z += atan_i;
+    } else {
+      x -= ys;
+      y += xs;
+      z -= atan_i;
+    }
+  }
+
+  double angle = from_fx(z, kAngleFrac);  // in (-pi/2, pi/2]
+  if (angle < 0.0) angle += kPi;          // fold to unsigned [0, pi)
+  if (angle >= kPi) angle -= kPi;
+
+  const double magnitude = from_fx(x, kDataFrac) * inv_gain_;
+  return {magnitude, angle};
+}
+
+}  // namespace pdet::fixedpoint

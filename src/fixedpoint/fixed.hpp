@@ -1,0 +1,119 @@
+// Parametric signed fixed-point type Q<IntBits>.<FracBits>.
+//
+// The hardware model (src/hwsim) computes in fixed point exactly as the
+// paper's RTL does: gradients and histogram scores in narrow Q formats,
+// normalization and SVM accumulation in wider ones. Fixed<I, F> stores the
+// value in a 64-bit raw integer (value = raw / 2^F) and saturates on
+// overflow, matching common DSP-slice semantics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::fixedpoint {
+
+template <int IntBits, int FracBits>
+class Fixed {
+  static_assert(IntBits >= 1, "need at least a sign bit");
+  static_assert(FracBits >= 0);
+  static_assert(IntBits + FracBits <= 48,
+                "raw values kept well inside int64 so products cannot wrap");
+
+ public:
+  static constexpr int kIntBits = IntBits;
+  static constexpr int kFracBits = FracBits;
+  static constexpr std::int64_t kOne = std::int64_t{1} << FracBits;
+  // Total width counts the sign bit inside IntBits (Q-format convention:
+  // Q4.12 spans [-8, 8) with 1/4096 resolution... here IntBits includes sign).
+  static constexpr std::int64_t kMaxRaw =
+      (std::int64_t{1} << (IntBits + FracBits - 1)) - 1;
+  static constexpr std::int64_t kMinRaw =
+      -(std::int64_t{1} << (IntBits + FracBits - 1));
+
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = saturate(raw);
+    return f;
+  }
+
+  static constexpr Fixed from_double(double v) {
+    // Round-to-nearest, like an RTL quantizer with rounding enabled.
+    const double scaled = v * static_cast<double>(kOne);
+    const std::int64_t raw =
+        static_cast<std::int64_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+    return from_raw(raw);
+  }
+
+  static constexpr Fixed from_int(std::int64_t v) { return from_raw(v << FracBits); }
+
+  constexpr std::int64_t raw() const { return raw_; }
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+  /// Truncate toward negative infinity (arithmetic shift), as hardware does.
+  constexpr std::int64_t to_int() const { return raw_ >> FracBits; }
+
+  static constexpr Fixed max_value() { return from_raw(kMaxRaw); }
+  static constexpr Fixed min_value() { return from_raw(kMinRaw); }
+  static constexpr double resolution() { return 1.0 / static_cast<double>(kOne); }
+
+  constexpr Fixed operator+(Fixed o) const { return from_raw(raw_ + o.raw_); }
+  constexpr Fixed operator-(Fixed o) const { return from_raw(raw_ - o.raw_); }
+  constexpr Fixed operator-() const { return from_raw(-raw_); }
+
+  /// Full-precision product (128-bit intermediate, like a DSP slice's wide
+  /// accumulator) then round-shift back to F fractional bits.
+  constexpr Fixed operator*(Fixed o) const {
+    const __int128 prod = static_cast<__int128>(raw_) * o.raw_;
+    __int128 rounded = prod;
+    if constexpr (FracBits > 0) {
+      // Add half then floor-shift: correct round-to-nearest for both signs
+      // (the arithmetic shift floors, so subtracting half for negatives
+      // would double-round downward).
+      const __int128 half = __int128{1} << (FracBits - 1);
+      rounded = (prod + half) >> FracBits;
+    }
+    if (rounded > kMaxRaw) return from_raw(kMaxRaw);
+    if (rounded < kMinRaw) return from_raw(kMinRaw);
+    return from_raw(static_cast<std::int64_t>(rounded));
+  }
+
+  constexpr Fixed operator/(Fixed o) const {
+    PDET_REQUIRE(o.raw_ != 0);
+    const __int128 num = static_cast<__int128>(raw_) << FracBits;
+    const __int128 q = num / o.raw_;
+    if (q > kMaxRaw) return from_raw(kMaxRaw);
+    if (q < kMinRaw) return from_raw(kMinRaw);
+    return from_raw(static_cast<std::int64_t>(q));
+  }
+
+  /// Arithmetic shifts — the primitive the shift-and-add scalers are built on.
+  constexpr Fixed operator>>(int n) const { return from_raw(raw_ >> n); }
+  constexpr Fixed operator<<(int n) const { return from_raw(raw_ << n); }
+
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+ private:
+  static constexpr std::int64_t saturate(std::int64_t raw) {
+    if (raw > kMaxRaw) return kMaxRaw;
+    if (raw < kMinRaw) return kMinRaw;
+    return raw;
+  }
+
+  std::int64_t raw_ = 0;
+};
+
+// Formats used by the hardware model (chosen to mirror typical HOG RTL):
+using PixelFx = Fixed<10, 0>;    ///< 9-bit unsigned pixel + sign headroom
+using GradFx = Fixed<11, 4>;     ///< centered-difference gradient
+using MagFx = Fixed<12, 6>;      ///< gradient magnitude
+using AngleFx = Fixed<4, 12>;    ///< angle in radians, [0, pi)
+using HistFx = Fixed<16, 8>;     ///< cell-histogram accumulator
+using NormFx = Fixed<4, 14>;     ///< normalized block feature, magnitude <= 1
+using AccFx = Fixed<20, 14>;     ///< SVM dot-product accumulator
+
+}  // namespace pdet::fixedpoint

@@ -1,0 +1,71 @@
+#include "src/fixedpoint/shiftadd.hpp"
+
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::fixedpoint {
+
+std::vector<CsdTerm> csd_encode(std::int64_t magnitude) {
+  PDET_REQUIRE(magnitude >= 0);
+  std::vector<CsdTerm> terms;
+  // Classic CSD recoding: scan LSB to MSB; a run of ones ...0111 becomes
+  // +2^(k+3) - 2^k, halving the expected number of non-zero digits.
+  std::int64_t v = magnitude;
+  int shift = 0;
+  while (v != 0) {
+    if (v & 1) {
+      // Look at the two low bits to decide digit: if v mod 4 == 3, emit -1
+      // and carry; else emit +1.
+      if ((v & 3) == 3) {
+        terms.push_back({shift, -1});
+        v += 1;  // carry
+      } else {
+        terms.push_back({shift, +1});
+        v -= 1;
+      }
+    }
+    v >>= 1;
+    ++shift;
+  }
+  return terms;
+}
+
+ShiftAddConstant::ShiftAddConstant(double coefficient, int frac_bits)
+    : frac_bits_(frac_bits) {
+  PDET_REQUIRE(coefficient >= 0.0 && coefficient < 4.0);
+  PDET_REQUIRE(frac_bits >= 1 && frac_bits <= 30);
+  const auto raw = static_cast<std::int64_t>(
+      std::llround(coefficient * static_cast<double>(std::int64_t{1} << frac_bits)));
+  terms_ = csd_encode(raw);
+}
+
+std::int64_t ShiftAddConstant::apply_scaled(std::int64_t value) const {
+  std::int64_t acc = 0;
+  for (const auto& t : terms_) {
+    const std::int64_t term = value << t.shift;
+    acc += t.sign > 0 ? term : -term;
+  }
+  return acc;
+}
+
+std::int64_t ShiftAddConstant::apply(std::int64_t value) const {
+  const std::int64_t scaled = apply_scaled(value);
+  // Add half then floor-shift: round-to-nearest for both signs.
+  const std::int64_t half = std::int64_t{1} << (frac_bits_ - 1);
+  return (scaled + half) >> frac_bits_;
+}
+
+double ShiftAddConstant::quantized() const {
+  double v = 0.0;
+  for (const auto& t : terms_) {
+    v += static_cast<double>(t.sign) * std::ldexp(1.0, t.shift);
+  }
+  return v / static_cast<double>(std::int64_t{1} << frac_bits_);
+}
+
+int ShiftAddConstant::adder_count() const {
+  return static_cast<int>(terms_.size());
+}
+
+}  // namespace pdet::fixedpoint

@@ -1,0 +1,57 @@
+// Multiplierless constant multiplication.
+//
+// The paper implements its feature down-scaling modules "by shift-and-add
+// instead of multiplier to keep resource utilization as low as possible"
+// (Section 5). This module reproduces that: a constant coefficient in [0, 2)
+// is encoded in canonical signed digit (CSD) form — a minimal set of
+// +/- power-of-two terms — and applied to integers with shifts and adds only.
+// The resource model charges one adder per non-zero CSD digit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdet::fixedpoint {
+
+struct CsdTerm {
+  int shift;      ///< power of two (value contribution: sign * 2^-shift... see below)
+  int sign;       ///< +1 or -1
+};
+
+/// CSD encoding of `coefficient` quantized to `frac_bits` fractional bits.
+/// Terms contribute sign * 2^(shift), with shift counted relative to the
+/// binary point (shift may be negative => right shifts of the operand).
+class ShiftAddConstant {
+ public:
+  ShiftAddConstant() = default;
+
+  /// coefficient in [0, 4); quantized to 2^-frac_bits.
+  ShiftAddConstant(double coefficient, int frac_bits);
+
+  /// Multiply `value` (an integer-valued sample) by the constant, returning
+  /// floor of the exact product of value with the quantized coefficient
+  /// scaled by 2^frac_bits... concretely: result = value * quantized_raw,
+  /// evaluated as shifts and adds, still carrying frac_bits fractional bits.
+  std::int64_t apply_scaled(std::int64_t value) const;
+
+  /// Convenience: apply and shift back down (round-to-nearest).
+  std::int64_t apply(std::int64_t value) const;
+
+  /// Exact value of the quantized coefficient.
+  double quantized() const;
+
+  int adder_count() const;
+  const std::vector<CsdTerm>& terms() const { return terms_; }
+  int frac_bits() const { return frac_bits_; }
+
+ private:
+  std::vector<CsdTerm> terms_;  // shifts relative to scaled (integer) domain
+  int frac_bits_ = 0;
+};
+
+/// CSD-encode a non-negative integer. Returned digits use `shift` as the bit
+/// index (contribution sign * 2^shift). Guaranteed no two adjacent non-zero
+/// digits (canonical property).
+std::vector<CsdTerm> csd_encode(std::int64_t magnitude);
+
+}  // namespace pdet::fixedpoint

@@ -1,0 +1,166 @@
+#include "src/hog/block_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdet::hog {
+
+BlockGrid::BlockGrid(int blocks_x, int blocks_y, int feature_len,
+                     DescriptorLayout layout)
+    : blocks_x_(blocks_x),
+      blocks_y_(blocks_y),
+      feature_len_(feature_len),
+      layout_(layout),
+      data_(static_cast<std::size_t>(blocks_x) *
+                static_cast<std::size_t>(blocks_y) *
+                static_cast<std::size_t>(feature_len),
+            0.0f) {
+  PDET_REQUIRE(blocks_x >= 0 && blocks_y >= 0 && feature_len >= 1);
+}
+
+std::span<float> BlockGrid::block(int bx, int by) {
+  PDET_ASSERT(bx >= 0 && bx < blocks_x_ && by >= 0 && by < blocks_y_);
+  const std::size_t offset =
+      (static_cast<std::size_t>(by) * static_cast<std::size_t>(blocks_x_) +
+       static_cast<std::size_t>(bx)) *
+      static_cast<std::size_t>(feature_len_);
+  return std::span<float>(data_).subspan(offset,
+                                         static_cast<std::size_t>(feature_len_));
+}
+
+std::span<const float> BlockGrid::block(int bx, int by) const {
+  PDET_ASSERT(bx >= 0 && bx < blocks_x_ && by >= 0 && by < blocks_y_);
+  const std::size_t offset =
+      (static_cast<std::size_t>(by) * static_cast<std::size_t>(blocks_x_) +
+       static_cast<std::size_t>(bx)) *
+      static_cast<std::size_t>(feature_len_);
+  return std::span<const float>(data_).subspan(
+      offset, static_cast<std::size_t>(feature_len_));
+}
+
+void normalize_block(std::span<float> v, const HogParams& params) {
+  const float eps = params.normalize_epsilon;
+  switch (params.norm) {
+    case BlockNorm::kL2:
+    case BlockNorm::kL2Hys: {
+      float sq = 0.0f;
+      for (const float x : v) sq += x * x;
+      float inv = 1.0f / std::sqrt(sq + eps * eps);
+      for (float& x : v) x *= inv;
+      if (params.norm == BlockNorm::kL2Hys) {
+        sq = 0.0f;
+        for (float& x : v) {
+          x = std::min(x, params.l2hys_clip);
+          sq += x * x;
+        }
+        inv = 1.0f / std::sqrt(sq + eps * eps);
+        for (float& x : v) x *= inv;
+      }
+      break;
+    }
+    case BlockNorm::kL1: {
+      float s = 0.0f;
+      for (const float x : v) s += std::fabs(x);
+      const float inv = 1.0f / (s + eps);
+      for (float& x : v) x *= inv;
+      break;
+    }
+    case BlockNorm::kL1Sqrt: {
+      float s = 0.0f;
+      for (const float x : v) s += std::fabs(x);
+      const float inv = 1.0f / (s + eps);
+      for (float& x : v) x = std::sqrt(std::max(x * inv, 0.0f));
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// Gather the 2x2 block with top-left cell (bx, by) into `out` (4 x bins).
+void gather_block(const CellGrid& cells, int bx, int by, std::span<float> out) {
+  const int bins = cells.bins();
+  int k = 0;
+  for (int dy = 0; dy < 2; ++dy) {
+    for (int dx = 0; dx < 2; ++dx) {
+      const auto h = cells.hist(bx + dx, by + dy);
+      std::copy(h.begin(), h.end(), out.begin() + k);
+      k += bins;
+    }
+  }
+}
+
+BlockGrid normalize_dalal(const CellGrid& cells, const HogParams& params) {
+  const int bx_count = cells.cells_x() - 1;
+  const int by_count = cells.cells_y() - 1;
+  BlockGrid out(std::max(bx_count, 0), std::max(by_count, 0),
+                params.block_feature_len(), DescriptorLayout::kDalalBlocks);
+  for (int by = 0; by < by_count; ++by) {
+    for (int bx = 0; bx < bx_count; ++bx) {
+      auto blk = out.block(bx, by);
+      gather_block(cells, bx, by, blk);
+      normalize_block(blk, params);
+    }
+  }
+  return out;
+}
+
+BlockGrid normalize_cell_groups(const CellGrid& cells, const HogParams& params) {
+  const int cx_count = cells.cells_x();
+  const int cy_count = cells.cells_y();
+  const int bins = cells.bins();
+  BlockGrid out(cx_count, cy_count, params.block_feature_len(),
+                DescriptorLayout::kCellGroups);
+
+  // Norm of the block whose top-left cell is (bx, by); border blocks are
+  // clamped to the nearest valid block so edge cells still get 4 groups
+  // (the streaming hardware does the same by replicating its line buffers).
+  std::vector<float> scratch(static_cast<std::size_t>(4 * bins));
+  auto block_normed_cell = [&](int bx, int by, int cell_cx, int cell_cy,
+                               std::span<float> dst) {
+    bx = std::clamp(bx, 0, std::max(cx_count - 2, 0));
+    by = std::clamp(by, 0, std::max(cy_count - 2, 0));
+    std::span<float> s(scratch);
+    gather_block(cells, bx, by, s);
+    // Position of the requested cell inside the gathered block.
+    const int dx = std::clamp(cell_cx - bx, 0, 1);
+    const int dy = std::clamp(cell_cy - by, 0, 1);
+    normalize_block(s, params);
+    const auto offset = static_cast<std::size_t>((dy * 2 + dx) * bins);
+    std::copy(s.begin() + static_cast<std::ptrdiff_t>(offset),
+              s.begin() + static_cast<std::ptrdiff_t>(offset) + bins,
+              dst.begin());
+  };
+
+  for (int cy = 0; cy < cy_count; ++cy) {
+    for (int cx = 0; cx < cx_count; ++cx) {
+      auto feat = out.block(cx, cy);
+      // Group order matches the paper / [10]: LU, RU, LB, RB — the cell's
+      // role within the containing block.
+      block_normed_cell(cx, cy, cx, cy, feat.subspan(0, static_cast<std::size_t>(bins)));
+      block_normed_cell(cx - 1, cy, cx, cy,
+                        feat.subspan(static_cast<std::size_t>(bins),
+                                     static_cast<std::size_t>(bins)));
+      block_normed_cell(cx, cy - 1, cx, cy,
+                        feat.subspan(static_cast<std::size_t>(2 * bins),
+                                     static_cast<std::size_t>(bins)));
+      block_normed_cell(cx - 1, cy - 1, cx, cy,
+                        feat.subspan(static_cast<std::size_t>(3 * bins),
+                                     static_cast<std::size_t>(bins)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockGrid normalize_cells(const CellGrid& cells, const HogParams& params) {
+  params.validate();
+  PDET_REQUIRE(cells.bins() == params.bins);
+  if (params.layout == DescriptorLayout::kDalalBlocks) {
+    return normalize_dalal(cells, params);
+  }
+  return normalize_cell_groups(cells, params);
+}
+
+}  // namespace pdet::hog

@@ -1,0 +1,119 @@
+#include "src/hog/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/imgproc/convolve.hpp"
+#include "src/imgproc/gradient.hpp"
+
+namespace pdet::hog {
+
+CellGrid::CellGrid(int cells_x, int cells_y, int bins)
+    : cells_x_(cells_x),
+      cells_y_(cells_y),
+      bins_(bins),
+      data_(static_cast<std::size_t>(cells_x) * static_cast<std::size_t>(cells_y) *
+                static_cast<std::size_t>(bins),
+            0.0f) {
+  PDET_REQUIRE(cells_x >= 0 && cells_y >= 0 && bins >= 1);
+}
+
+std::span<float> CellGrid::hist(int cx, int cy) {
+  PDET_ASSERT(cx >= 0 && cx < cells_x_ && cy >= 0 && cy < cells_y_);
+  const std::size_t offset =
+      (static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+       static_cast<std::size_t>(cx)) *
+      static_cast<std::size_t>(bins_);
+  return std::span<float>(data_).subspan(offset, static_cast<std::size_t>(bins_));
+}
+
+std::span<const float> CellGrid::hist(int cx, int cy) const {
+  PDET_ASSERT(cx >= 0 && cx < cells_x_ && cy >= 0 && cy < cells_y_);
+  const std::size_t offset =
+      (static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+       static_cast<std::size_t>(cx)) *
+      static_cast<std::size_t>(bins_);
+  return std::span<const float>(data_).subspan(offset,
+                                               static_cast<std::size_t>(bins_));
+}
+
+CellGrid compute_cell_grid(const imgproc::ImageF& image,
+                           const HogParams& params) {
+  params.validate();
+  PDET_REQUIRE(!image.empty());
+
+  const int cell = params.cell_size;
+  const int cells_x = image.width() / cell;
+  const int cells_y = image.height() / cell;
+  CellGrid grid(cells_x, cells_y, params.bins);
+  if (cells_x == 0 || cells_y == 0) return grid;
+
+  const imgproc::GradientField g = imgproc::compute_gradients(
+      params.presmooth_sigma > 0.0f
+          ? imgproc::gaussian_blur(image, params.presmooth_sigma)
+          : image,
+      params.gradient_op);
+  constexpr float kPi = std::numbers::pi_v<float>;
+  const float bin_width = kPi / static_cast<float>(params.bins);
+  const float inv_bin_width = 1.0f / bin_width;
+  const float inv_cell = 1.0f / static_cast<float>(cell);
+
+  const int width = cells_x * cell;   // trailing partial cells dropped
+  const int height = cells_y * cell;
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float mag = g.magnitude.at(x, y);
+      if (mag == 0.0f) continue;
+      const float angle = g.angle.at(x, y);
+
+      // Orientation vote: split between the two bins whose centers bracket
+      // the angle (bin center i sits at (i + 0.5) * bin_width).
+      int bin0;
+      int bin1;
+      float w1;
+      if (params.orientation_interp) {
+        const float pos = angle * inv_bin_width - 0.5f;
+        const float floor_pos = std::floor(pos);
+        bin0 = static_cast<int>(floor_pos);
+        w1 = pos - floor_pos;
+        bin1 = bin0 + 1;
+        // Unsigned orientation wraps: bin -1 == bins-1, bin `bins` == 0.
+        if (bin0 < 0) bin0 += params.bins;
+        if (bin1 >= params.bins) bin1 -= params.bins;
+      } else {
+        bin0 = std::min(static_cast<int>(angle * inv_bin_width), params.bins - 1);
+        bin1 = bin0;
+        w1 = 0.0f;
+      }
+
+      auto vote_cell = [&](int cx, int cy, float weight) {
+        if (cx < 0 || cx >= cells_x || cy < 0 || cy >= cells_y) return;
+        auto h = grid.hist(cx, cy);
+        h[static_cast<std::size_t>(bin0)] += weight * mag * (1.0f - w1);
+        if (w1 > 0.0f) h[static_cast<std::size_t>(bin1)] += weight * mag * w1;
+      };
+
+      if (params.spatial_interp) {
+        // Bilinear spatial vote across the four cells whose centers are
+        // nearest to the pixel.
+        const float fx = (static_cast<float>(x) + 0.5f) * inv_cell - 0.5f;
+        const float fy = (static_cast<float>(y) + 0.5f) * inv_cell - 0.5f;
+        const int cx0 = static_cast<int>(std::floor(fx));
+        const int cy0 = static_cast<int>(std::floor(fy));
+        const float wx1 = fx - static_cast<float>(cx0);
+        const float wy1 = fy - static_cast<float>(cy0);
+        vote_cell(cx0, cy0, (1.0f - wx1) * (1.0f - wy1));
+        vote_cell(cx0 + 1, cy0, wx1 * (1.0f - wy1));
+        vote_cell(cx0, cy0 + 1, (1.0f - wx1) * wy1);
+        vote_cell(cx0 + 1, cy0 + 1, wx1 * wy1);
+      } else {
+        vote_cell(x / cell, y / cell, 1.0f);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace pdet::hog

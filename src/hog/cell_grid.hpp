@@ -1,0 +1,49 @@
+// Per-cell orientation histograms (the raw HOG stage, paper Section 3.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/hog/params.hpp"
+#include "src/imgproc/image.hpp"
+
+namespace pdet::hog {
+
+/// Dense grid of per-cell orientation histograms. The grid is the
+/// scale-carrying object in pdet: image pyramids produce one CellGrid per
+/// level by re-extraction, the paper's feature pyramid produces them by
+/// down-sampling (see feature_scale.hpp).
+class CellGrid {
+ public:
+  CellGrid() = default;
+  CellGrid(int cells_x, int cells_y, int bins);
+
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+  int bins() const { return bins_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> hist(int cx, int cy);
+  std::span<const float> hist(int cx, int cy) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+ private:
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  int bins_ = 0;
+  std::vector<float> data_;
+};
+
+/// Extract cell histograms from a grayscale float image.
+///
+/// The image is processed in full; dimensions need not be cell-aligned (the
+/// trailing partial cells are dropped, as the streaming hardware does).
+/// Voting follows params: magnitude-weighted, bilinear in orientation
+/// between the two nearest bins, and (optionally) bilinear in space across
+/// the four nearest cell centers.
+CellGrid compute_cell_grid(const imgproc::ImageF& image,
+                           const HogParams& params);
+
+}  // namespace pdet::hog

@@ -1,0 +1,65 @@
+#include "src/hog/descriptor.hpp"
+
+#include <algorithm>
+
+namespace pdet::hog {
+
+int window_positions_x(const BlockGrid& blocks, const HogParams& params) {
+  return std::max(0, blocks.blocks_x() - params.blocks_per_window_x() + 1);
+}
+
+int window_positions_y(const BlockGrid& blocks, const HogParams& params) {
+  return std::max(0, blocks.blocks_y() - params.blocks_per_window_y() + 1);
+}
+
+void extract_window(const BlockGrid& blocks, const HogParams& params,
+                    int cell_x, int cell_y, std::span<float> out) {
+  params.validate();
+  PDET_REQUIRE(blocks.layout() == params.layout);
+  PDET_REQUIRE(out.size() == static_cast<std::size_t>(params.descriptor_size()));
+  const int bw = params.blocks_per_window_x();
+  const int bh = params.blocks_per_window_y();
+  // In both layouts block (i, j) of the window lives at grid position
+  // (cell_x + i, cell_y + j): Dalal blocks are indexed by their top-left
+  // cell, and cell-group "blocks" by the cell itself.
+  PDET_REQUIRE(cell_x >= 0 && cell_y >= 0);
+  PDET_REQUIRE(cell_x + bw <= blocks.blocks_x());
+  PDET_REQUIRE(cell_y + bh <= blocks.blocks_y());
+
+  const auto flen = static_cast<std::size_t>(blocks.feature_len());
+  std::size_t k = 0;
+  for (int j = 0; j < bh; ++j) {
+    for (int i = 0; i < bw; ++i) {
+      const auto b = blocks.block(cell_x + i, cell_y + j);
+      std::copy(b.begin(), b.end(), out.begin() + static_cast<std::ptrdiff_t>(k));
+      k += flen;
+    }
+  }
+}
+
+std::vector<float> extract_window(const BlockGrid& blocks,
+                                  const HogParams& params, int cell_x,
+                                  int cell_y) {
+  std::vector<float> out(static_cast<std::size_t>(params.descriptor_size()));
+  extract_window(blocks, params, cell_x, cell_y, out);
+  return out;
+}
+
+std::vector<float> compute_window_descriptor(const imgproc::ImageF& window,
+                                             const HogParams& params) {
+  params.validate();
+  PDET_REQUIRE(window.width() >= params.window_width);
+  PDET_REQUIRE(window.height() >= params.window_height);
+  imgproc::ImageF cropped = window;
+  if (window.width() != params.window_width ||
+      window.height() != params.window_height) {
+    const int x0 = (window.width() - params.window_width) / 2;
+    const int y0 = (window.height() - params.window_height) / 2;
+    cropped = window.crop(x0, y0, params.window_width, params.window_height);
+  }
+  const CellGrid cells = compute_cell_grid(cropped, params);
+  const BlockGrid blocks = normalize_cells(cells, params);
+  return extract_window(blocks, params, 0, 0);
+}
+
+}  // namespace pdet::hog

@@ -1,0 +1,34 @@
+// Detection-window descriptors assembled from a normalized block grid.
+#pragma once
+
+#include <vector>
+
+#include "src/hog/block_grid.hpp"
+#include "src/imgproc/image.hpp"
+
+namespace pdet::hog {
+
+/// Number of valid window anchor positions (in cells) along x/y for a block
+/// grid; 0 if the grid is smaller than the window.
+int window_positions_x(const BlockGrid& blocks, const HogParams& params);
+int window_positions_y(const BlockGrid& blocks, const HogParams& params);
+
+/// Extract the descriptor of the window anchored at cell (cell_x, cell_y)
+/// (top-left). The anchor must be a valid position. Output has
+/// params.descriptor_size() elements, ordered block-row-major with each
+/// block's features contiguous — the layout the SVM weight vector is trained
+/// against (and the order the hardware's MACBARs consume).
+void extract_window(const BlockGrid& blocks, const HogParams& params,
+                    int cell_x, int cell_y, std::span<float> out);
+
+std::vector<float> extract_window(const BlockGrid& blocks,
+                                  const HogParams& params, int cell_x,
+                                  int cell_y);
+
+/// Convenience: full chain image -> descriptor for an image that is exactly
+/// one detection window (e.g. dataset windows). The image must be at least
+/// window-sized; it is center-cropped if larger.
+std::vector<float> compute_window_descriptor(const imgproc::ImageF& window,
+                                             const HogParams& params);
+
+}  // namespace pdet::hog

@@ -1,0 +1,80 @@
+// HOG configuration shared by the software chain and the hardware model.
+//
+// Defaults reproduce the paper's setup (which follows Dalal & Triggs):
+// 8x8-pixel cells, 9 unsigned orientation bins over [0, pi), 2x2-cell
+// blocks, 64x128-pixel detection window (8x16 cells), L2-Hys normalization.
+#pragma once
+
+#include "src/imgproc/gradient.hpp"
+#include "src/util/assert.hpp"
+
+namespace pdet::hog {
+
+enum class BlockNorm {
+  kL2,      ///< v / sqrt(||v||_2^2 + eps^2)
+  kL2Hys,   ///< L2, clip at 0.2, renormalize (Dalal's best performer)
+  kL1,      ///< v / (||v||_1 + eps)
+  kL1Sqrt,  ///< sqrt of L1-normalized
+};
+
+/// Layout of the normalized descriptor.
+enum class DescriptorLayout {
+  /// Dalal & Triggs: overlapping 2x2-cell blocks at 1-cell stride;
+  /// a 64x128 window has 7x15 blocks x 36 = 3780 features.
+  kDalalBlocks,
+  /// The paper's hardware layout ([10] and Section 5): each cell carries its
+  /// 9-bin histogram normalized w.r.t. each of the four blocks containing it
+  /// (as the block's LU / RU / LB / RB member), 36 values per cell; a window
+  /// is 8x16 cells x 36 = 4608 features. Information-equivalent to
+  /// kDalalBlocks on interior cells but streaming-friendly: it is what the
+  /// 16-bank NHOGMem stores.
+  kCellGroups,
+};
+
+struct HogParams {
+  int cell_size = 8;        ///< pixels per cell side
+  int bins = 9;             ///< orientation bins over [0, pi)
+  int window_width = 64;    ///< detection window, pixels
+  int window_height = 128;
+  BlockNorm norm = BlockNorm::kL2Hys;
+  DescriptorLayout layout = DescriptorLayout::kCellGroups;
+  imgproc::GradientOp gradient_op = imgproc::GradientOp::kCentered;
+  bool spatial_interp = true;      ///< bilinear vote into 4 nearest cells
+  bool orientation_interp = true;  ///< bilinear vote into 2 nearest bins
+  float normalize_epsilon = 1e-3f;
+  float l2hys_clip = 0.2f;
+  /// Gaussian pre-smoothing sigma before gradients; 0 = none. Dalal & Triggs
+  /// found 0 best ("no smoothing"); kept for the ablation that shows why.
+  float presmooth_sigma = 0.0f;
+
+  int cells_per_window_x() const { return window_width / cell_size; }
+  int cells_per_window_y() const { return window_height / cell_size; }
+
+  /// Features per "block" (36 in both layouts: 4 cells x 9 bins, or
+  /// 4 normalizations x 9 bins).
+  int block_feature_len() const { return 4 * bins; }
+
+  int blocks_per_window_x() const {
+    return layout == DescriptorLayout::kDalalBlocks ? cells_per_window_x() - 1
+                                                    : cells_per_window_x();
+  }
+  int blocks_per_window_y() const {
+    return layout == DescriptorLayout::kDalalBlocks ? cells_per_window_y() - 1
+                                                    : cells_per_window_y();
+  }
+
+  int descriptor_size() const {
+    return blocks_per_window_x() * blocks_per_window_y() * block_feature_len();
+  }
+
+  void validate() const {
+    PDET_REQUIRE(cell_size >= 2);
+    PDET_REQUIRE(bins >= 2);
+    PDET_REQUIRE(window_width % cell_size == 0);
+    PDET_REQUIRE(window_height % cell_size == 0);
+    PDET_REQUIRE(cells_per_window_x() >= 2 && cells_per_window_y() >= 2);
+    PDET_REQUIRE(normalize_epsilon > 0.0f);
+  }
+};
+
+}  // namespace pdet::hog

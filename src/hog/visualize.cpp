@@ -1,0 +1,71 @@
+#include "src/hog/visualize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::hog {
+namespace {
+
+/// Additively draw an anti-aliased segment of given brightness.
+void draw_segment(imgproc::ImageF& img, double x0, double y0, double x1,
+                  double y1, float value) {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len = std::hypot(dx, dy);
+  const int steps = std::max(2, static_cast<int>(std::ceil(len * 2)));
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const int x = static_cast<int>(std::lround(x0 + t * dx));
+    const int y = static_cast<int>(std::lround(y0 + t * dy));
+    if (img.contains(x, y)) {
+      img.at(x, y) = std::min(1.0f, img.at(x, y) + value);
+    }
+  }
+}
+
+}  // namespace
+
+imgproc::ImageF render_hog_glyphs(const CellGrid& cells,
+                                  const GlyphOptions& options) {
+  PDET_REQUIRE(options.cell_pixels >= 4);
+  PDET_REQUIRE(options.gamma > 0.0f);
+  PDET_REQUIRE(!cells.empty());
+
+  const int cp = options.cell_pixels;
+  imgproc::ImageF img(cells.cells_x() * cp, cells.cells_y() * cp, 0.0f);
+
+  // Global max for normalization, so glyph brightness is comparable across
+  // the frame.
+  float max_bin = 0.0f;
+  for (const float v : cells.data()) max_bin = std::max(max_bin, v);
+  if (max_bin <= 0.0f) return img;
+
+  constexpr double kPi = std::numbers::pi;
+  const double bin_width = kPi / cells.bins();
+  const double radius = cp / 2.0 - 1.0;
+
+  for (int cy = 0; cy < cells.cells_y(); ++cy) {
+    for (int cx = 0; cx < cells.cells_x(); ++cx) {
+      const auto hist = cells.hist(cx, cy);
+      const double ccx = cx * cp + cp / 2.0;
+      const double ccy = cy * cp + cp / 2.0;
+      for (int b = 0; b < cells.bins(); ++b) {
+        const float weight = hist[static_cast<std::size_t>(b)] / max_bin;
+        if (weight <= 0.0f) continue;
+        const float bright = std::pow(weight, options.gamma);
+        // Edge direction = gradient direction + 90 degrees.
+        const double theta = (b + 0.5) * bin_width + kPi / 2.0;
+        const double ex = std::cos(theta) * radius;
+        const double ey = std::sin(theta) * radius;
+        draw_segment(img, ccx - ex, ccy - ey, ccx + ex, ccy + ey,
+                     bright * 0.5f);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace pdet::hog

@@ -1,0 +1,25 @@
+// HOG glyph rendering — the classic "oriented-sticks" visualization.
+//
+// Each cell is drawn as a star of line segments: one per orientation bin,
+// rotated to the *edge* direction (perpendicular to the gradient), with
+// brightness proportional to the bin's weight. Used by the examples to show
+// what the descriptor — and hence the paper's feature scaling — actually
+// operates on.
+#pragma once
+
+#include "src/hog/cell_grid.hpp"
+#include "src/imgproc/image.hpp"
+
+namespace pdet::hog {
+
+struct GlyphOptions {
+  int cell_pixels = 16;    ///< rendered size of one cell
+  float gamma = 0.5f;      ///< compresses the dynamic range of bin weights
+};
+
+/// Render the cell grid as a glyph image of size
+/// (cells_x * cell_pixels) x (cells_y * cell_pixels), values in [0, 1].
+imgproc::ImageF render_hog_glyphs(const CellGrid& cells,
+                                  const GlyphOptions& options = {});
+
+}  // namespace pdet::hog

@@ -1,0 +1,108 @@
+#include "src/hwsim/accelerator.hpp"
+
+#include <cmath>
+
+#include "src/detect/nms.hpp"
+#include "src/util/assert.hpp"
+
+namespace pdet::hwsim {
+
+Accelerator::Accelerator(const AcceleratorConfig& config,
+                         const svm::LinearModel& model)
+    : config_(config),
+      pipeline_(config.hog, config.fixed),
+      qmodel_(QuantizedModel::quantize(model, config.fixed)) {
+  PDET_REQUIRE(!config_.scales.empty());
+  PDET_REQUIRE(config_.scales.front() == 1.0 &&
+               "first scale must be the native level");
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(config.hog.descriptor_size()));
+}
+
+std::vector<detect::Detection> Accelerator::detect(
+    const imgproc::ImageU8& frame) const {
+  const hog::HogParams& hp = config_.hog;
+  // Extract once at native resolution — the paper's point.
+  const IntCellGrid base = pipeline_.compute_cells(frame);
+
+  std::vector<detect::Detection> raw;
+  for (const double scale : config_.scales) {
+    IntCellGrid level;
+    if (scale == 1.0) {
+      level = base;
+    } else {
+      const int ox = std::max(
+          1, static_cast<int>(std::lround(base.cells_x / scale)));
+      const int oy = std::max(
+          1, static_cast<int>(std::lround(base.cells_y / scale)));
+      level = pipeline_.downscale_cells(base, ox, oy);
+    }
+    if (level.cells_x < hp.cells_per_window_x() ||
+        level.cells_y < hp.cells_per_window_y()) {
+      continue;
+    }
+    const IntBlockGrid blocks = pipeline_.normalize(level);
+    const int nx = level.cells_x - hp.cells_per_window_x() + 1;
+    const int ny = level.cells_y - hp.cells_per_window_y() + 1;
+    for (int cy = 0; cy < ny; ++cy) {
+      for (int cx = 0; cx < nx; ++cx) {
+        const double score = pipeline_.classify_window(blocks, qmodel_, cx, cy);
+        if (score > config_.threshold) {
+          detect::Detection d;
+          d.x = static_cast<int>(std::lround(cx * hp.cell_size * scale));
+          d.y = static_cast<int>(std::lround(cy * hp.cell_size * scale));
+          d.width = static_cast<int>(std::lround(hp.window_width * scale));
+          d.height = static_cast<int>(std::lround(hp.window_height * scale));
+          d.score = static_cast<float>(score);
+          d.scale = scale;
+          raw.push_back(d);
+        }
+      }
+    }
+  }
+  return raw;
+}
+
+FrameResult Accelerator::process_frame(const imgproc::ImageU8& frame) const {
+  FrameResult result;
+  result.raw = detect(frame);
+  result.detections = detect::nms(result.raw);
+
+  PipelineConfig pc;
+  // The streaming pipeline processes whole cells; truncate like the datapath.
+  pc.frame_width =
+      (frame.width() / config_.hog.cell_size) * config_.hog.cell_size;
+  pc.frame_height =
+      (frame.height() / config_.hog.cell_size) * config_.hog.cell_size;
+  pc.cell_size = config_.hog.cell_size;
+  pc.nhogmem_rows = config_.nhogmem_rows;
+  pc.clock_hz = config_.clock_hz;
+  for (std::size_t i = 1; i < config_.scales.size(); ++i) {
+    pc.extra_scales.push_back(config_.scales[i]);
+  }
+  AcceleratorPipeline pipeline(pc);
+  result.timing = pipeline.run_frame();
+  return result;
+}
+
+ResourceModel Accelerator::resources(int frame_width, int frame_height) const {
+  AcceleratorResourceConfig rc;
+  rc.frame_width = frame_width;
+  rc.frame_height = frame_height;
+  rc.cell_size = config_.hog.cell_size;
+  rc.nhogmem_rows = config_.nhogmem_rows;
+  rc.num_scales = static_cast<int>(config_.scales.size());
+  rc.bins = config_.hog.bins;
+  return ResourceModel(rc);
+}
+
+TimingModel Accelerator::timing(int frame_width, int frame_height) const {
+  TimingConfig tc;
+  tc.frame_width = frame_width;
+  tc.frame_height = frame_height;
+  tc.cell_size = config_.hog.cell_size;
+  tc.clock_hz = config_.clock_hz;
+  return TimingModel(tc);
+}
+
+}  // namespace pdet::hwsim

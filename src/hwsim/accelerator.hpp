@@ -1,0 +1,62 @@
+// Top-level accelerator model: functional fixed-point detection plus
+// cycle-level timing and resource reporting for a frame.
+//
+// This is the object the examples and benches instantiate: it answers both
+// "what does the hardware detect in this frame" (via the fixed-point
+// datapath, including multi-scale classification through the shift-and-add
+// scalers) and "how long does the frame take / what does the design cost"
+// (via the cycle-level pipeline and the resource model).
+#pragma once
+
+#include <vector>
+
+#include "src/detect/detection.hpp"
+#include "src/hwsim/fixed_pipeline.hpp"
+#include "src/hwsim/pipeline.hpp"
+#include "src/hwsim/resources.hpp"
+#include "src/hwsim/timing.hpp"
+
+namespace pdet::hwsim {
+
+struct AcceleratorConfig {
+  hog::HogParams hog;                  ///< layout must be kCellGroups
+  FixedPointConfig fixed;
+  std::vector<double> scales{1.0, 2.0};  ///< paper hardware: two scales
+  int nhogmem_rows = 18;
+  double clock_hz = 125e6;
+  float threshold = 0.0f;              ///< detection operating point
+};
+
+struct FrameResult {
+  std::vector<detect::Detection> detections;  ///< post-NMS, frame coordinates
+  std::vector<detect::Detection> raw;
+  PipelineStats timing;
+};
+
+class Accelerator {
+ public:
+  Accelerator(const AcceleratorConfig& config, const svm::LinearModel& model);
+
+  /// Process one 8-bit frame: fixed-point multi-scale detection plus the
+  /// cycle-level timing run for the frame's dimensions.
+  FrameResult process_frame(const imgproc::ImageU8& frame) const;
+
+  /// Functional detection only (no timing simulation) — cheaper for tests.
+  std::vector<detect::Detection> detect(const imgproc::ImageU8& frame) const;
+
+  /// Resource report for this configuration.
+  ResourceModel resources(int frame_width, int frame_height) const;
+
+  /// Closed-form timing for this configuration.
+  TimingModel timing(int frame_width, int frame_height) const;
+
+  const AcceleratorConfig& config() const { return config_; }
+  const QuantizedModel& quantized_model() const { return qmodel_; }
+
+ private:
+  AcceleratorConfig config_;
+  FixedHogPipeline pipeline_;
+  QuantizedModel qmodel_;
+};
+
+}  // namespace pdet::hwsim

@@ -1,0 +1,369 @@
+#include "src/hwsim/pipeline.hpp"
+
+#include "src/sim/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace pdet::hwsim {
+
+// ---------------------------------------------------------------- PixelFeeder
+
+PixelFeeder::PixelFeeder(const PipelineConfig& config, sim::Fifo<int>& out)
+    : Module("pixel_feeder"),
+      out_(out),
+      total_(static_cast<std::uint64_t>(config.frame_width) *
+             static_cast<std::uint64_t>(config.frame_height) *
+             static_cast<std::uint64_t>(config.frames)) {}
+
+void PixelFeeder::eval() {
+  if (sent_ < total_ && out_.can_push()) {
+    out_.push(0);
+    ++sent_;
+  }
+}
+
+// --------------------------------------------------------------- GradientUnit
+
+GradientUnit::GradientUnit(const PipelineConfig& config, sim::Fifo<int>& in,
+                           sim::Fifo<int>& out)
+    : Module("gradient_unit"),
+      in_(in),
+      out_(out),
+      // Centered differences need the pixel below: one full line buffer plus
+      // the next pixel, plus a couple of pipeline registers.
+      prime_(static_cast<std::uint64_t>(config.frame_width) + 2),
+      total_(static_cast<std::uint64_t>(config.frame_width) *
+             static_cast<std::uint64_t>(config.frame_height) *
+             static_cast<std::uint64_t>(config.frames)) {}
+
+void GradientUnit::eval() {
+  bool active = false;
+  if (consumed_ < total_ && in_.can_pop()) {
+    in_.pop();
+    ++consumed_;
+    active = true;
+  }
+  if (produced_ < total_ && out_.can_push()) {
+    // Output lags input by the priming depth; once the frame has fully
+    // arrived the line buffers drain at one token per cycle (border rows are
+    // replicated from buffered lines, no new input needed).
+    const std::uint64_t ready =
+        consumed_ == total_
+            ? total_
+            : (consumed_ > prime_ ? consumed_ - prime_ : 0);
+    if (produced_ < ready) {
+      out_.push(0);
+      ++produced_;
+      active = true;
+    }
+  }
+  if (active) ++busy_;
+}
+
+// ----------------------------------------------------------- CellHistogrammer
+
+CellHistogrammer::CellHistogrammer(const PipelineConfig& config,
+                                   sim::Fifo<int>& in, sim::Fifo<int>& row_out)
+    : Module("cell_histogrammer"),
+      in_(in),
+      row_out_(row_out),
+      pixels_per_cell_row_(static_cast<std::uint64_t>(config.frame_width) *
+                           static_cast<std::uint64_t>(config.cell_size)),
+      total_rows_(config.cell_rows() * config.frames) {}
+
+void CellHistogrammer::eval() {
+  if (!in_.can_pop()) return;
+  const bool completes_row =
+      (consumed_ + 1) % pixels_per_cell_row_ == 0 && rows_emitted_ < total_rows_;
+  // Stall on the band's last pixel if the row-event FIFO is full.
+  if (completes_row && !row_out_.can_push()) return;
+  in_.pop();
+  ++consumed_;
+  ++busy_;
+  if (completes_row) {
+    row_out_.push(rows_emitted_);
+    ++rows_emitted_;
+  }
+}
+
+// -------------------------------------------------------------------- NhogMem
+
+NhogMem::NhogMem(std::string name, int capacity_rows)
+    : name_(std::move(name)), capacity_(capacity_rows) {
+  PDET_REQUIRE(capacity_rows >= 1);
+}
+
+void NhogMem::write_row(int row) {
+  PDET_REQUIRE(occupancy() < capacity_ &&
+               "NHOGMem ring overflow: writer overran the classifier");
+  PDET_REQUIRE(!has_row(row));
+  present_.push_back(row);
+  std::sort(present_.begin(), present_.end());
+  max_occupancy_ = std::max(max_occupancy_, occupancy());
+  ++rows_written_;
+}
+
+bool NhogMem::has_row(int row) const {
+  return std::binary_search(present_.begin(), present_.end(), row);
+}
+
+void NhogMem::evict_below(int row) {
+  present_.erase(
+      std::remove_if(present_.begin(), present_.end(),
+                     [row](int r) { return r < row; }),
+      present_.end());
+}
+
+// ------------------------------------------------------------ BlockNormalizer
+
+BlockNormalizer::BlockNormalizer(const PipelineConfig& config,
+                                 sim::Fifo<int>& cell_rows_in, NhogMem& mem)
+    : Module("block_normalizer"),
+      in_(cell_rows_in),
+      mem_(mem),
+      cols_(config.cell_cols()),
+      total_rows_(config.cell_rows() * config.frames),
+      rows_per_frame_(config.cell_rows()) {}
+
+void BlockNormalizer::eval() {
+  if (in_.can_pop()) highest_cell_row_ = std::max(highest_cell_row_, in_.pop());
+
+  if (busy_countdown_ > 0) {
+    ++busy_;
+    if (--busy_countdown_ == 0) {
+      mem_.write_row(pending_row_);
+      ++rows_emitted_;
+      pending_row_ = -1;
+    }
+    return;
+  }
+
+  if (rows_emitted_ >= total_rows_) return;
+  const int next = rows_emitted_;
+  // Row `next` carries cell-group norms referencing cell rows next-1..next+1
+  // *within its own frame*; a frame's bottom row clamps to itself rather
+  // than peeking into the next frame.
+  const bool frame_bottom = next % rows_per_frame_ == rows_per_frame_ - 1;
+  const bool inputs_ready = frame_bottom ? highest_cell_row_ >= next
+                                         : highest_cell_row_ >= next + 1;
+  if (!inputs_ready) return;
+  if (mem_.occupancy() >= mem_.capacity()) return;  // back-pressure
+  pending_row_ = next;
+  // Four normalizations per cell, pipelined two cycles per cell.
+  busy_countdown_ = 2 * cols_;
+  ++busy_;
+}
+
+// ---------------------------------------------------------- FeatureScalerUnit
+
+FeatureScalerUnit::FeatureScalerUnit(const PipelineConfig& config, double scale,
+                                     NhogMem& src, NhogMem& dst)
+    : Module("feature_scaler"),
+      src_(src),
+      dst_(dst),
+      scale_(scale) {
+  PDET_REQUIRE(scale > 1.0);
+  scaled_cols_ = std::max(
+      8, static_cast<int>(std::lround(config.cell_cols() / scale)));
+  scaled_rows_per_frame_ = std::max(
+      16, static_cast<int>(std::lround(config.cell_rows() / scale)));
+  scaled_rows_total_ = scaled_rows_per_frame_ * config.frames;
+  src_rows_per_frame_ = config.cell_rows();
+  frames_ = config.frames;
+}
+
+void FeatureScalerUnit::eval() {
+  if (busy_countdown_ > 0) {
+    ++busy_;
+    if (--busy_countdown_ == 0) {
+      dst_.write_row(pending_row_);
+      ++rows_emitted_;
+      pending_row_ = -1;
+    }
+    return;
+  }
+  if (rows_emitted_ >= scaled_rows_total_) return;
+  const int next = rows_emitted_;
+  // Bilinear taps: the highest source row this scaled row reads, within the
+  // scaled row's own frame.
+  const int frame = next / scaled_rows_per_frame_;
+  const int local = next % scaled_rows_per_frame_;
+  const double f = (local + 0.5) * scale_ - 0.5;
+  const int hi_tap = std::min(static_cast<int>(std::floor(f)) + 1,
+                              src_rows_per_frame_ - 1);
+  const int hi_tap_global = frame * src_rows_per_frame_ + std::max(hi_tap, 0);
+  if (!src_.has_row(hi_tap_global)) return;
+  if (dst_.occupancy() >= dst_.capacity()) return;
+  pending_row_ = next;
+  busy_countdown_ = 2 * scaled_cols_;
+  ++busy_;
+}
+
+// ---------------------------------------------------------- SvmClassifierUnit
+
+SvmClassifierUnit::SvmClassifierUnit(std::string name, int rows_per_frame,
+                                     int grid_cols, NhogMem& mem, int frames)
+    : Module(std::move(name)),
+      mem_(mem),
+      rows_per_frame_(rows_per_frame),
+      grid_rows_(rows_per_frame * frames),
+      grid_cols_(grid_cols) {
+  PDET_REQUIRE(rows_per_frame >= 16 && grid_cols >= 8 && frames >= 1);
+}
+
+void SvmClassifierUnit::eval() {
+  ++cycle_;
+  if (done()) return;
+  if (sweep_countdown_ > 0) {
+    ++busy_;
+    if (--sweep_countdown_ == 0) {
+      const int row = swept_rows_;
+      const int local = row % rows_per_frame_;
+      if (local >= 15) {
+        windows_ += static_cast<std::uint64_t>(grid_cols_ - 8 + 1);
+      }
+      // Rows below the next pass's window top are dead. Windows never span
+      // frames, so a frame boundary releases everything before it.
+      const int next_row = row + 1;
+      const int next_local = next_row % rows_per_frame_;
+      mem_.evict_below(next_row - std::min(next_local, 15));
+      if (local == rows_per_frame_ - 1) frame_done_cycles_.push_back(cycle_);
+      ++swept_rows_;
+      if (done()) done_cycle_ = cycle_;
+    }
+    return;
+  }
+  // Idle: start the pass for the next grid row once it has landed in memory.
+  if (mem_.has_row(swept_rows_)) {
+    sweep_countdown_ = 288 + 36 * static_cast<std::uint64_t>(grid_cols_ - 1);
+  } else {
+    ++stalls_;
+  }
+}
+
+// -------------------------------------------------------- AcceleratorPipeline
+
+AcceleratorPipeline::AcceleratorPipeline(const PipelineConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+std::uint64_t AcceleratorPipeline::classifier_standalone_cycles(int grid_rows,
+                                                                int grid_cols) {
+  return static_cast<std::uint64_t>(grid_rows) *
+         (288 + 36 * static_cast<std::uint64_t>(grid_cols - 1));
+}
+
+PipelineStats AcceleratorPipeline::run_frame(sim::VcdWriter* vcd) {
+  sim::Simulator simulator(config_.clock_hz);
+
+  sim::Fifo<int> px_fifo(2);
+  sim::Fifo<int> grad_fifo(2);
+  sim::Fifo<int> cellrow_fifo(4);
+  simulator.add_commit_hook([&] { px_fifo.commit(); });
+  simulator.add_commit_hook([&] { grad_fifo.commit(); });
+  simulator.add_commit_hook([&] { cellrow_fifo.commit(); });
+
+  PixelFeeder feeder(config_, px_fifo);
+  GradientUnit gradient(config_, px_fifo, grad_fifo);
+  CellHistogrammer histogrammer(config_, grad_fifo, cellrow_fifo);
+  NhogMem nhog("nhogmem_s0", config_.nhogmem_rows);
+  BlockNormalizer normalizer(config_, cellrow_fifo, nhog);
+  SvmClassifierUnit classifier0("svm_classifier_s0", config_.cell_rows(),
+                                config_.cell_cols(), nhog, config_.frames);
+
+  std::vector<std::unique_ptr<NhogMem>> scaled_mems;
+  std::vector<std::unique_ptr<FeatureScalerUnit>> scalers;
+  std::vector<std::unique_ptr<SvmClassifierUnit>> scaled_classifiers;
+  for (std::size_t s = 0; s < config_.extra_scales.size(); ++s) {
+    scaled_mems.push_back(std::make_unique<NhogMem>(
+        "nhogmem_s" + std::to_string(s + 1), config_.nhogmem_rows));
+    scalers.push_back(std::make_unique<FeatureScalerUnit>(
+        config_, config_.extra_scales[s], nhog, *scaled_mems.back()));
+    scaled_classifiers.push_back(std::make_unique<SvmClassifierUnit>(
+        "svm_classifier_s" + std::to_string(s + 1),
+        scalers.back()->scaled_rows_per_frame(), scalers.back()->scaled_cols(),
+        *scaled_mems.back(), config_.frames));
+  }
+
+  simulator.add(feeder);
+  simulator.add(gradient);
+  simulator.add(histogrammer);
+  simulator.add(normalizer);
+  for (auto& sc : scalers) simulator.add(*sc);
+  simulator.add(classifier0);
+  for (auto& cl : scaled_classifiers) simulator.add(*cl);
+
+  if (vcd != nullptr) {
+    vcd->add_signal("px_fifo_size", 3, [&] { return px_fifo.size(); });
+    vcd->add_signal("grad_fifo_size", 3, [&] { return grad_fifo.size(); });
+    vcd->add_signal("cellrow_fifo_size", 3, [&] { return cellrow_fifo.size(); });
+    vcd->add_signal("nhog_occupancy", 6,
+                    [&] { return static_cast<std::uint64_t>(nhog.occupancy()); });
+    vcd->add_signal("rows_normalized", 16, [&] {
+      return static_cast<std::uint64_t>(normalizer.rows_emitted());
+    });
+    vcd->add_signal("rows_swept", 16, [&] {
+      return static_cast<std::uint64_t>(classifier0.swept_rows());
+    });
+    vcd->add_signal("windows_done", 32,
+                    [&] { return classifier0.windows_classified(); });
+    simulator.set_vcd(vcd);
+  }
+
+  auto all_done = [&] {
+    if (!classifier0.done()) return false;
+    for (const auto& cl : scaled_classifiers) {
+      if (!cl->done()) return false;
+    }
+    return true;
+  };
+  const std::uint64_t budget =
+      4 * static_cast<std::uint64_t>(config_.frame_width) *
+          static_cast<std::uint64_t>(config_.frame_height) *
+          static_cast<std::uint64_t>(config_.frames) +
+      1'000'000;
+  const bool finished = simulator.run_until(all_done, budget);
+  PDET_REQUIRE(finished && "pipeline deadlock: frame did not complete");
+
+  PipelineStats stats;
+  stats.total_cycles = simulator.cycle();
+  stats.classifier_cycles_s0 =
+      classifier0.busy_cycles() + classifier0.stall_cycles();
+  stats.windows_s0 = classifier0.windows_classified();
+  for (const auto& cl : scaled_classifiers) {
+    stats.windows_extra.push_back(cl->windows_classified());
+  }
+  stats.nhog_max_occupancy = nhog.max_occupancy();
+  stats.nhog_capacity = nhog.capacity();
+  stats.frame_done_cycles = classifier0.frame_done_cycles();
+  if (stats.frame_done_cycles.size() >= 2) {
+    // Median inter-frame period over the streamed frames.
+    std::vector<std::uint64_t> periods;
+    for (std::size_t i = 1; i < stats.frame_done_cycles.size(); ++i) {
+      periods.push_back(stats.frame_done_cycles[i] -
+                        stats.frame_done_cycles[i - 1]);
+    }
+    std::sort(periods.begin(), periods.end());
+    stats.sustained_period_cycles = periods[periods.size() / 2];
+  }
+  const auto total = static_cast<double>(stats.total_cycles);
+  stats.utilization_gradient =
+      total > 0 ? static_cast<double>(gradient.busy_cycles()) / total : 0.0;
+  stats.utilization_classifier =
+      total > 0 ? static_cast<double>(classifier0.busy_cycles()) / total : 0.0;
+  stats.frame_ms = 1e3 * total / config_.clock_hz;
+  stats.fps = stats.frame_ms > 0 ? 1e3 / stats.frame_ms : 0.0;
+  return stats;
+}
+
+bool trace_frame_to_vcd(const PipelineConfig& config, const std::string& path) {
+  sim::VcdWriter vcd;
+  AcceleratorPipeline pipeline(config);
+  pipeline.run_frame(&vcd);
+  return vcd.write(path);
+}
+
+}  // namespace pdet::hwsim

@@ -1,0 +1,271 @@
+// Cycle-level model of the accelerator pipeline (paper Figures 5-8).
+//
+// Each RTL block of the paper is a sim::Module exchanging tokens through
+// registered FIFOs on the shared 125 MHz clock:
+//
+//   PixelFeeder --1px/cyc--> GradientUnit --1px/cyc--> CellHistogrammer
+//        --cell-row--> BlockNormalizer --norm-row--> NhogMem (16 banks,
+//        18-row ring) <--column reads-- SvmClassifierUnit (8 MACBARs)
+//   NhogMem --rows--> FeatureScalerUnit --scaled rows--> NhogMem#2
+//        <--column reads-- SvmClassifierUnit#2            (per extra scale)
+//
+// Tokens carry indices, not feature values: *what* the datapath computes is
+// modeled (bit-accurately) by fixed_pipeline.hpp; this layer models *when*:
+// priming latencies, the 288-cycle MACBAR fill, the 36-cycle column cadence,
+// back-pressure, and NHOGMem occupancy. The classifier is row-locked to the
+// extractor exactly as in the paper: one horizontal MACBAR pass per produced
+// cell row (135 passes for 1080p — giving the paper's 1,200,420 cycles),
+// with window results emitted once 16 rows are in flight.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/fifo.hpp"
+#include "src/sim/module.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/assert.hpp"
+
+namespace pdet::hwsim {
+
+struct PipelineConfig {
+  int frame_width = 1920;
+  int frame_height = 1080;
+  int cell_size = 8;
+  int nhogmem_rows = 18;              ///< ring depth (paper: 18)
+  std::vector<double> extra_scales;   ///< e.g. {2.0} for the paper's 2nd scale
+  double clock_hz = 125e6;
+  /// Frames streamed back to back. With frames > 1 the run measures
+  /// *sustained* throughput: the pipeline never drains between frames, so
+  /// the inter-frame completion period exposes the bottleneck-stage rate
+  /// (the paper's 60 fps figure), not single-frame latency.
+  int frames = 1;
+
+  int cell_cols() const { return frame_width / cell_size; }
+  int cell_rows() const { return frame_height / cell_size; }
+  void validate() const {
+    PDET_REQUIRE(cell_size >= 2);
+    PDET_REQUIRE(frame_width % cell_size == 0);
+    PDET_REQUIRE(frame_height % cell_size == 0);
+    PDET_REQUIRE(cell_cols() >= 8 && cell_rows() >= 16);
+    PDET_REQUIRE(nhogmem_rows >= 17);  // 16 in-flight + 1 landing
+    PDET_REQUIRE(frames >= 1);
+  }
+};
+
+/// Streams one pixel token per cycle (the camera/AXI front end).
+class PixelFeeder : public sim::Module {
+ public:
+  PixelFeeder(const PipelineConfig& config, sim::Fifo<int>& out);
+  void eval() override;
+  bool done() const { return sent_ == total_; }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  sim::Fifo<int>& out_;
+  std::uint64_t total_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Line-buffered gradient stage: consumes 1 px/cycle; produces 1 gradient
+/// token per cycle after priming one full image row + 2 pixels (centered
+/// differences need the next row / next pixel).
+class GradientUnit : public sim::Module {
+ public:
+  GradientUnit(const PipelineConfig& config, sim::Fifo<int>& in,
+               sim::Fifo<int>& out);
+  void eval() override;
+  std::uint64_t busy_cycles() const { return busy_; }
+
+ private:
+  sim::Fifo<int>& in_;
+  sim::Fifo<int>& out_;
+  std::uint64_t prime_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t produced_ = 0;
+  std::uint64_t total_;
+  std::uint64_t busy_ = 0;
+};
+
+/// Accumulates 8x8 cells; emits a cell-row-complete token each time the last
+/// pixel of an 8-row band has been histogrammed.
+class CellHistogrammer : public sim::Module {
+ public:
+  CellHistogrammer(const PipelineConfig& config, sim::Fifo<int>& in,
+                   sim::Fifo<int>& row_out);
+  void eval() override;
+  int rows_emitted() const { return rows_emitted_; }
+  std::uint64_t busy_cycles() const { return busy_; }
+
+ private:
+  sim::Fifo<int>& in_;
+  sim::Fifo<int>& row_out_;
+  std::uint64_t pixels_per_cell_row_;
+  std::uint64_t consumed_ = 0;
+  int rows_emitted_ = 0;
+  int total_rows_;
+  std::uint64_t busy_ = 0;
+};
+
+/// 16-bank, ring-buffered normalized-feature memory. Not a clocked module:
+/// a passive shared structure with occupancy tracking and eviction, as the
+/// real NHOGMem is a passive BRAM array between the pipelines.
+class NhogMem {
+ public:
+  NhogMem(std::string name, int capacity_rows);
+
+  const std::string& name() const { return name_; }
+  void write_row(int row);
+  bool has_row(int row) const;
+  /// Release all rows strictly below `row` (the classifier has advanced).
+  void evict_below(int row);
+
+  int occupancy() const { return static_cast<int>(present_.size()); }
+  int max_occupancy() const { return max_occupancy_; }
+  int capacity() const { return capacity_; }
+  int rows_written() const { return rows_written_; }
+
+ private:
+  std::string name_;
+  int capacity_;
+  std::vector<int> present_;  // sorted row indices
+  int max_occupancy_ = 0;
+  int rows_written_ = 0;
+};
+
+/// Block normalizer: normalized row r needs cell rows r-1, r, r+1 (its cells'
+/// four block memberships). Occupies `cycles_per_cell` * cols cycles per row,
+/// then writes the row to NHOGMem.
+class BlockNormalizer : public sim::Module {
+ public:
+  BlockNormalizer(const PipelineConfig& config, sim::Fifo<int>& cell_rows_in,
+                  NhogMem& mem);
+  void eval() override;
+  int rows_emitted() const { return rows_emitted_; }
+  bool done() const { return rows_emitted_ == total_rows_; }
+  std::uint64_t busy_cycles() const { return busy_; }
+
+ private:
+  sim::Fifo<int>& in_;
+  NhogMem& mem_;
+  int cols_;
+  int total_rows_;       ///< across all streamed frames
+  int rows_per_frame_;
+  int highest_cell_row_ = -1;
+  int rows_emitted_ = 0;
+  int busy_countdown_ = 0;
+  int pending_row_ = -1;
+  std::uint64_t busy_ = 0;
+};
+
+/// Shift-and-add feature scaler: produces scaled grid rows once enough
+/// source rows are resident; writes a second NhogMem for its classifier.
+class FeatureScalerUnit : public sim::Module {
+ public:
+  FeatureScalerUnit(const PipelineConfig& config, double scale,
+                    NhogMem& src, NhogMem& dst);
+  void eval() override;
+  int scaled_rows() const { return scaled_rows_total_; }
+  int scaled_rows_per_frame() const { return scaled_rows_per_frame_; }
+  int scaled_cols() const { return scaled_cols_; }
+  int rows_emitted() const { return rows_emitted_; }
+  bool done() const { return rows_emitted_ == scaled_rows_total_; }
+  std::uint64_t busy_cycles() const { return busy_; }
+
+ private:
+  NhogMem& src_;
+  NhogMem& dst_;
+  double scale_;
+  int scaled_cols_;
+  int scaled_rows_per_frame_;
+  int scaled_rows_total_;
+  int src_rows_per_frame_ = 0;
+  int frames_ = 1;
+  int rows_emitted_ = 0;
+  int busy_countdown_ = 0;
+  int pending_row_ = -1;
+  std::uint64_t busy_ = 0;
+};
+
+/// The MACBAR-array classifier. One horizontal pass per grid row:
+/// 288-cycle MACBAR fill + 36 cycles per remaining block column. Passes for
+/// row r >= 15 complete the windows anchored at row r - 15.
+class SvmClassifierUnit : public sim::Module {
+ public:
+  /// `rows_per_frame`/`grid_cols` describe the grid this instance scans
+  /// (native or scaled); `mem` must receive those rows. With frames > 1 the
+  /// unit sweeps the concatenated row stream, emitting windows only for
+  /// passes whose within-frame row index completes a window.
+  SvmClassifierUnit(std::string name, int rows_per_frame, int grid_cols,
+                    NhogMem& mem, int frames = 1);
+  void eval() override;
+
+  bool done() const { return swept_rows_ == grid_rows_; }
+  std::uint64_t windows_classified() const { return windows_; }
+  std::uint64_t busy_cycles() const { return busy_; }
+  std::uint64_t stall_cycles() const { return stalls_; }
+  std::uint64_t done_cycle() const { return done_cycle_; }
+  int swept_rows() const { return swept_rows_; }
+  /// Cycle at which each frame's last pass finished (size == frames).
+  const std::vector<std::uint64_t>& frame_done_cycles() const {
+    return frame_done_cycles_;
+  }
+
+ private:
+  NhogMem& mem_;
+  int rows_per_frame_;
+  int grid_rows_;   ///< rows_per_frame * frames
+  int grid_cols_;
+  int swept_rows_ = 0;
+  std::vector<std::uint64_t> frame_done_cycles_;
+  std::uint64_t sweep_countdown_ = 0;
+  std::uint64_t busy_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t done_cycle_ = 0;
+};
+
+/// Aggregate: builds the full pipeline, runs a frame, reports statistics.
+struct PipelineStats {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t classifier_cycles_s0 = 0;  ///< busy+stall span of native scale
+  std::uint64_t windows_s0 = 0;
+  std::vector<std::uint64_t> windows_extra;  ///< per extra scale
+  int nhog_max_occupancy = 0;
+  int nhog_capacity = 0;
+  /// Per-frame completion cycles of the native-scale classifier; with
+  /// frames > 1 successive differences give the sustained frame period.
+  std::vector<std::uint64_t> frame_done_cycles;
+  std::uint64_t sustained_period_cycles = 0;  ///< 0 when frames == 1
+  double utilization_gradient = 0.0;
+  double utilization_classifier = 0.0;
+  double frame_ms = 0.0;
+  double fps = 0.0;
+};
+
+class AcceleratorPipeline {
+ public:
+  explicit AcceleratorPipeline(const PipelineConfig& config);
+
+  /// Run one frame (or config.frames back-to-back frames) to completion;
+  /// returns cycle-level statistics. If `vcd` is non-null, occupancy and
+  /// activity signals are traced every cycle (keep the frame small).
+  PipelineStats run_frame(sim::VcdWriter* vcd = nullptr);
+
+  /// Run the classifier alone with all rows pre-resident (the paper's
+  /// standalone 1,200,420-cycle accounting).
+  static std::uint64_t classifier_standalone_cycles(int grid_rows,
+                                                    int grid_cols);
+
+ private:
+  PipelineConfig config_;
+};
+
+/// Convenience: run one (small) frame with waveform probes and write the
+/// trace to `path` in VCD format. Returns false on I/O failure.
+bool trace_frame_to_vcd(const PipelineConfig& config, const std::string& path);
+
+}  // namespace pdet::hwsim

@@ -1,0 +1,120 @@
+#include "src/hwsim/resources.hpp"
+
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace pdet::hwsim {
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  lut += o.lut;
+  ff += o.ff;
+  lutram += o.lutram;
+  bram += o.bram;
+  dsp += o.dsp;
+  bufg += o.bufg;
+  return *this;
+}
+
+ResourceVector ResourceVector::operator*(double k) const {
+  return {lut * k, ff * k, lutram * k, bram * k, dsp * k, bufg * k};
+}
+
+ResourceVector ResourceModel::paper_table2() {
+  return {26051, 40190, 383, 98.5, 18, 1};
+}
+
+ResourceModel::ResourceModel(const AcceleratorResourceConfig& config)
+    : config_(config) {
+  PDET_REQUIRE(config.num_scales >= 1);
+  PDET_REQUIRE(config.nhogmem_rows >= 2);
+  PDET_REQUIRE(config.frame_width >= config.cell_size * 8);
+  PDET_REQUIRE(config.frame_height >= config.cell_size * 16);
+
+  // Scaling ratios relative to the calibration point (the paper's config:
+  // 1920-wide frame, 18-row buffer, two scales). Logic costs are treated as
+  // width-independent (datapaths are per-pixel, not per-column); memory
+  // costs scale with buffered bits.
+  const double cols = static_cast<double>(config.frame_width) / config.cell_size;
+  const double col_ratio = cols / 240.0;
+  const double row_ratio = static_cast<double>(config.nhogmem_rows) / 18.0;
+  const double bit_ratio =
+      static_cast<double>(config.feature_bits * config.bins) / (9.0 * 9.0);
+  // Line buffers in the gradient/histogram front end hold full pixel rows.
+  const double line_ratio = static_cast<double>(config.frame_width) / 1920.0;
+
+  // Calibrated per-module costs at the calibration point. The split follows
+  // the architecture: the two SVM classifiers dominate logic (128 LUT-based
+  // MACs each), NHOGMem dominates BRAM, the normalizer owns the only
+  // arithmetic that wants DSP slices (squares for the L2 norm), and the
+  // frame controller carries the clocking (1 BUFG) and frame I/O buffering.
+  auto add = [&](const std::string& name, ResourceVector v) {
+    breakdown_.push_back({name, v});
+  };
+
+  add("gradient_unit (line buffers + CORDIC)",
+      {2051, 3390, 63 * line_ratio, 6.0 * line_ratio, 0, 0});
+  add("cell_histogrammer", {1700, 2600, 32, 2.0 * line_ratio, 0, 0});
+  add("block_normalizer", {3100, 4800, 48, 2.5 * col_ratio, 2, 0});
+  add("nhog_mem (16 banks x 18 rows)",
+      {900, 1200, 80, 36.0 * col_ratio * row_ratio * bit_ratio, 0, 0});
+
+  const int extra_scales = config.num_scales - 1;
+  for (int s = 0; s < extra_scales; ++s) {
+    // Each additional scale level: one shift-and-add scaler and one scaled
+    // feature memory (half the columns of the previous level for the paper's
+    // factor-2 second scale).
+    const double level_cols = col_ratio / std::pow(2.0, s + 1);
+    add(util::format("feature_scaler_s%d (shift-and-add)", s + 1),
+        {1400, 2200, 20, 2.0, 0, 0});
+    add(util::format("nhog_mem_scaled_s%d", s + 1),
+        {500, 700, 40, 36.0 * level_cols * row_ratio * bit_ratio, 0, 0});
+  }
+  for (int s = 0; s < config.num_scales; ++s) {
+    add(util::format("svm_classifier_s%d (8 MACBAR x 16 MAC)", s),
+        {7200, 11500, 40, 8.0, 8, 0});
+  }
+  add("frame_controller + I/O", {2000, 2300, 20, 16.0 * line_ratio, 0, 1});
+}
+
+ResourceVector ResourceModel::total() const {
+  ResourceVector t;
+  for (const auto& m : breakdown_) t += m.cost;
+  return t;
+}
+
+ResourceVector ResourceModel::utilization(const DeviceCapacity& device) const {
+  const ResourceVector t = total();
+  return {100.0 * t.lut / device.lut,     100.0 * t.ff / device.ff,
+          100.0 * t.lutram / device.lutram, 100.0 * t.bram / device.bram,
+          100.0 * t.dsp / device.dsp,     100.0 * t.bufg / device.bufg};
+}
+
+bool ResourceModel::fits(const DeviceCapacity& device) const {
+  const ResourceVector t = total();
+  return t.lut <= device.lut && t.ff <= device.ff &&
+         t.lutram <= device.lutram && t.bram <= device.bram &&
+         t.dsp <= device.dsp && t.bufg <= device.bufg;
+}
+
+std::string ResourceModel::to_table(const DeviceCapacity& device) const {
+  util::Table table({"module", "LUT", "FF", "LUTRAM", "BRAM", "DSP48", "BUFG"});
+  auto row = [&](const std::string& name, const ResourceVector& v) {
+    table.add_row({name, util::to_fixed(v.lut, 0), util::to_fixed(v.ff, 0),
+                   util::to_fixed(v.lutram, 0), util::to_fixed(v.bram, 1),
+                   util::to_fixed(v.dsp, 0), util::to_fixed(v.bufg, 0)});
+  };
+  for (const auto& m : breakdown_) row(m.module, m.cost);
+  row("TOTAL", total());
+  const ResourceVector u = utilization(device);
+  table.add_row({"utilization % of " + device.name, util::to_fixed(u.lut, 2),
+                 util::to_fixed(u.ff, 2), util::to_fixed(u.lutram, 2),
+                 util::to_fixed(u.bram, 2), util::to_fixed(u.dsp, 2),
+                 util::to_fixed(u.bufg, 2)});
+  row("paper Table 2", paper_table2());
+  return table.to_string();
+}
+
+}  // namespace pdet::hwsim

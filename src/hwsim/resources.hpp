@@ -1,0 +1,83 @@
+// FPGA resource model for the accelerator (paper Table 2).
+//
+// The paper reports post-synthesis utilization on a Zynq ZC7020 for the
+// two-scale configuration: 26051 LUT, 40190 FF, 383 LUTRAM, 98.5 BRAM,
+// 18 DSP48, 1 BUFG. We cannot synthesize RTL here, so this model carries a
+// per-module cost table calibrated so that the paper's default configuration
+// (HDTV input, 18-row NHOGMem, two scales) sums exactly to Table 2, and
+// scales the memory- and instance-dependent entries with configuration:
+//  - NHOGMem BRAM grows linearly with buffered rows and frame width;
+//  - one classifier + one scaled feature memory + one scaler per extra scale.
+// This lets the resource bench answer "what would N scales / a deeper buffer
+// cost", the design-space question Section 5 raises ("by employing a larger
+// device ... the design could be easily extended to cover several scales").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdet::hwsim {
+
+struct ResourceVector {
+  double lut = 0;
+  double ff = 0;
+  double lutram = 0;
+  double bram = 0;  ///< BRAM36 equivalents (halves occur: RAMB18)
+  double dsp = 0;
+  double bufg = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector operator*(double k) const;
+};
+
+/// Zynq XC7Z020 capacities (Xilinx DS190).
+struct DeviceCapacity {
+  std::string name = "xc7z020";
+  double lut = 53200;
+  double ff = 106400;
+  double lutram = 17400;
+  double bram = 140;
+  double dsp = 220;
+  double bufg = 32;
+};
+
+struct ModuleCost {
+  std::string module;
+  ResourceVector cost;
+};
+
+struct AcceleratorResourceConfig {
+  int frame_width = 1920;
+  int frame_height = 1080;
+  int cell_size = 8;
+  int nhogmem_rows = 18;   ///< paper reduced 135 -> 18
+  int num_scales = 2;      ///< classifier instances (>= 1)
+  int feature_bits = 9;    ///< stored normalized-feature width
+  int bins = 9;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(const AcceleratorResourceConfig& config = {});
+
+  const std::vector<ModuleCost>& breakdown() const { return breakdown_; }
+  ResourceVector total() const;
+
+  /// Utilization percentages against `device`.
+  ResourceVector utilization(const DeviceCapacity& device = {}) const;
+
+  /// Paper Table 2 reference totals, for comparison output.
+  static ResourceVector paper_table2();
+
+  /// Render the breakdown + totals + utilization as a console table.
+  std::string to_table(const DeviceCapacity& device = {}) const;
+
+  /// True if the configuration fits the device.
+  bool fits(const DeviceCapacity& device = {}) const;
+
+ private:
+  AcceleratorResourceConfig config_;
+  std::vector<ModuleCost> breakdown_;
+};
+
+}  // namespace pdet::hwsim

@@ -1,0 +1,668 @@
+#include "src/hwsim/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::hwsim {
+
+// ----------------------------------------------------------- PixelSource ---
+
+StreamPixelSource::StreamPixelSource(const imgproc::ImageU8& frame,
+                                     sim::Fifo<std::uint8_t>& out)
+    : Module("stream_pixel_source"),
+      frame_(frame),
+      out_(out),
+      total_(frame.pixel_count()) {}
+
+void StreamPixelSource::eval() {
+  if (index_ < total_ && out_.can_push()) {
+    out_.push(frame_.pixels()[index_]);
+    ++index_;
+  }
+}
+
+// ---------------------------------------------------------- GradientUnit ---
+
+StreamGradientUnit::StreamGradientUnit(const hog::HogParams& params,
+                                       const FixedPointConfig& fp, int width,
+                                       int height, sim::Fifo<std::uint8_t>& in,
+                                       sim::Fifo<GradientVote>& out)
+    : Module("stream_gradient_unit"),
+      params_(params),
+      cordic_(fp.cordic_iterations),
+      fp_(fp),
+      width_(width),
+      height_(height),
+      in_(in),
+      out_(out),
+      total_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
+  for (auto& line : lines_) line.assign(static_cast<std::size_t>(width), 0);
+}
+
+std::uint8_t StreamGradientUnit::pixel_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return lines_[static_cast<std::size_t>(y % 3)][static_cast<std::size_t>(x)];
+}
+
+void StreamGradientUnit::emit_for(int x, int y, sim::Fifo<GradientVote>& out) {
+  const int dx = static_cast<int>(pixel_clamped(x + 1, y)) -
+                 static_cast<int>(pixel_clamped(x - 1, y));
+  const int dy = static_cast<int>(pixel_clamped(x, y + 1)) -
+                 static_cast<int>(pixel_clamped(x, y - 1));
+  GradientVote vote;
+  vote.x = x;
+  vote.y = y;
+  if (dx != 0 || dy != 0) {
+    const auto cr = cordic_.vectoring(dx, dy);
+    vote.mag_q =
+        std::llround(cr.magnitude * std::ldexp(1.0, fp_.hist_frac_bits));
+    const double bin_width = std::numbers::pi / params_.bins;
+    if (params_.orientation_interp) {
+      const double pos = cr.angle / bin_width - 0.5;
+      const double fl = std::floor(pos);
+      int bin0 = static_cast<int>(fl);
+      vote.w1_q8 = std::llround((pos - fl) * 256.0);
+      int bin1 = bin0 + 1;
+      if (bin0 < 0) bin0 += params_.bins;
+      if (bin1 >= params_.bins) bin1 -= params_.bins;
+      vote.bin0 = static_cast<std::int16_t>(bin0);
+      vote.bin1 = static_cast<std::int16_t>(bin1);
+    } else {
+      vote.bin0 = static_cast<std::int16_t>(std::min(
+          static_cast<int>(cr.angle / bin_width), params_.bins - 1));
+      vote.bin1 = vote.bin0;
+      vote.w1_q8 = 0;
+    }
+  }
+  out.push(vote);
+}
+
+void StreamGradientUnit::eval() {
+  // Consume one pixel per cycle, but never let the writer overrun the
+  // three-line window before the lagging emit pointer has used it.
+  if (received_ < total_ && in_.can_pop() &&
+      received_ < emitted_ + 2 * static_cast<std::size_t>(width_)) {
+    const std::uint8_t px = in_.pop();
+    const auto x = static_cast<int>(received_ % static_cast<std::size_t>(width_));
+    const auto y = static_cast<int>(received_ / static_cast<std::size_t>(width_));
+    lines_[static_cast<std::size_t>(y % 3)][static_cast<std::size_t>(x)] = px;
+    ++received_;
+  }
+  if (emitted_ < total_ && out_.can_push()) {
+    const auto ex = static_cast<int>(emitted_ % static_cast<std::size_t>(width_));
+    const auto ey = static_cast<int>(emitted_ / static_cast<std::size_t>(width_));
+    // (ex, ey) needs pixel (ex, ey+1), which arrives after (ex+1, ey).
+    const std::size_t needed =
+        ey + 1 < height_
+            ? static_cast<std::size_t>(ey + 1) * static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(ex) + 1
+            : total_;
+    if (received_ >= needed) {
+      emit_for(ex, ey, out_);
+      ++emitted_;
+    }
+  }
+}
+
+// ------------------------------------------------------- CellAccumulator ---
+
+StreamCellAccumulator::StreamCellAccumulator(const hog::HogParams& params,
+                                             int width, int height,
+                                             sim::Fifo<GradientVote>& in,
+                                             sim::Fifo<CellRowData>& out)
+    : Module("stream_cell_accumulator"),
+      params_(params),
+      width_(width),
+      height_(height),
+      cells_x_(width / params.cell_size),
+      cells_y_(height / params.cell_size),
+      in_(in),
+      out_(out),
+      votes_total_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
+  for (auto& b : banks_) {
+    b.assign(static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(params.bins), 0);
+  }
+}
+
+std::vector<std::int64_t>& StreamCellAccumulator::bank(int cell_row) {
+  return banks_[static_cast<std::size_t>(cell_row % 3)];
+}
+
+void StreamCellAccumulator::finalize_row(int cell_row) {
+  CellRowData data;
+  data.row = cell_row;
+  data.hist = bank(cell_row);
+  std::fill(bank(cell_row).begin(), bank(cell_row).end(), 0);
+  out_.push(std::move(data));
+  ++emitted_rows_;
+}
+
+void StreamCellAccumulator::eval() {
+  if (!in_.can_pop()) {
+    // Input exhausted: flush any rows still pending at frame end.
+    if (votes_seen_ == votes_total_ && emitted_rows_ < cells_y_ &&
+        out_.can_push()) {
+      finalize_row(emitted_rows_);
+    }
+    return;
+  }
+
+  // A vote from image row y may finalize cell row c = (y - 4) / 8 - 1... in
+  // terms of the spill analysis: cell row c receives its last vote from
+  // image row 8c + 11 (bilinear) or 8c + 7 (no interpolation), so when the
+  // incoming vote's row passes that bound, row c is final.
+  const GradientVote& head = in_.front();
+  const int spill = params_.spatial_interp ? 11 : 7;
+  if (emitted_rows_ < cells_y_ &&
+      head.y > emitted_rows_ * params_.cell_size + spill) {
+    if (!out_.can_push()) return;  // stall until the row event drains
+    finalize_row(emitted_rows_);
+    return;  // one action per cycle, like the RTL's shared write port
+  }
+
+  const GradientVote vote = in_.pop();
+  ++votes_seen_;
+  if (vote.mag_q == 0) return;
+  const int cell = params_.cell_size;
+  if (vote.x >= cells_x_ * cell || vote.y >= cells_y_ * cell) return;
+
+  const std::int64_t one_q8 = 256;
+  auto deposit = [&](int cx, int cy, std::int64_t wsp_q8) {
+    if (cx < 0 || cx >= cells_x_ || cy < 0 || cy >= cells_y_) return;
+    if (wsp_q8 == 0) return;
+    PDET_ASSERT(cy >= emitted_rows_);  // never write a finalized row
+    auto& b = bank(cy);
+    const auto base_idx =
+        static_cast<std::size_t>(cx) * static_cast<std::size_t>(params_.bins);
+    const std::int64_t base = vote.mag_q * wsp_q8;
+    b[base_idx + static_cast<std::size_t>(vote.bin0)] +=
+        (base * (one_q8 - vote.w1_q8)) >> 16;
+    if (vote.w1_q8 > 0) {
+      b[base_idx + static_cast<std::size_t>(vote.bin1)] +=
+          (base * vote.w1_q8) >> 16;
+    }
+  };
+
+  if (params_.spatial_interp) {
+    const double fx = (vote.x + 0.5) / cell - 0.5;
+    const double fy = (vote.y + 0.5) / cell - 0.5;
+    const int cx0 = static_cast<int>(std::floor(fx));
+    const int cy0 = static_cast<int>(std::floor(fy));
+    const std::int64_t wx1 = std::llround((fx - cx0) * 256.0);
+    const std::int64_t wy1 = std::llround((fy - cy0) * 256.0);
+    deposit(cx0, cy0, ((one_q8 - wx1) * (one_q8 - wy1)) >> 8);
+    deposit(cx0 + 1, cy0, (wx1 * (one_q8 - wy1)) >> 8);
+    deposit(cx0, cy0 + 1, ((one_q8 - wx1) * wy1) >> 8);
+    deposit(cx0 + 1, cy0 + 1, (wx1 * wy1) >> 8);
+  } else {
+    deposit(vote.x / cell, vote.y / cell, one_q8);
+  }
+}
+
+// ------------------------------------------------------------ DataNhogMem --
+
+DataNhogMem::DataNhogMem(int capacity_rows, int cells_x, int bins)
+    : capacity_(capacity_rows), cells_x_(cells_x), feature_len_(4 * bins) {
+  PDET_REQUIRE(capacity_rows >= 1 && cells_x >= 1);
+}
+
+void DataNhogMem::write_row(NormRowData row) {
+  PDET_REQUIRE(occupancy() < capacity_ && "DataNhogMem ring overflow");
+  PDET_REQUIRE(!has_row(row.row));
+  PDET_REQUIRE(row.features.size() ==
+               static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(feature_len_));
+  rows_.push_back(std::move(row));
+  std::sort(rows_.begin(), rows_.end(),
+            [](const NormRowData& a, const NormRowData& b) { return a.row < b.row; });
+  max_occupancy_ = std::max(max_occupancy_, occupancy());
+}
+
+bool DataNhogMem::has_row(int row) const {
+  return std::any_of(rows_.begin(), rows_.end(),
+                     [row](const NormRowData& r) { return r.row == row; });
+}
+
+void DataNhogMem::evict_below(int row) {
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [row](const NormRowData& r) { return r.row < row; }),
+              rows_.end());
+}
+
+std::span<const std::int32_t> DataNhogMem::read_cell(int row, int cx) {
+  PDET_REQUIRE(cx >= 0 && cx < cells_x_);
+  for (const auto& r : rows_) {
+    if (r.row == row) {
+      ++reads_[row % kBanks];
+      return std::span<const std::int32_t>(r.features)
+          .subspan(static_cast<std::size_t>(cx) * static_cast<std::size_t>(feature_len_),
+                   static_cast<std::size_t>(feature_len_));
+    }
+  }
+  PDET_REQUIRE(false && "read of absent NHOGMem row");
+  return {};
+}
+
+std::uint64_t DataNhogMem::bank_reads(int bank) const {
+  PDET_REQUIRE(bank >= 0 && bank < kBanks);
+  return reads_[bank];
+}
+
+// -------------------------------------------------------- StreamNormalizer -
+
+StreamNormalizer::StreamNormalizer(const FixedHogPipeline& pipeline,
+                                   int cells_x, int cells_y,
+                                   sim::Fifo<CellRowData>& in, DataNhogMem& mem)
+    : Module("stream_normalizer"),
+      pipeline_(pipeline),
+      cells_x_(cells_x),
+      cells_y_(cells_y),
+      in_(in),
+      mem_(mem) {}
+
+void StreamNormalizer::produce(int row) {
+  // Build the <=3-row slice around `row`. Because the slice's edges coincide
+  // with either the true frame edges or rows whose blocks `row` never
+  // references, normalizing the slice and taking `row`'s line is bit-equal
+  // to normalizing the full grid (test_hwsim_streaming verifies).
+  const int lo = std::max(row - 1, 0);
+  const int hi = std::min(row + 1, cells_y_ - 1);
+  IntCellGrid slice;
+  slice.cells_x = cells_x_;
+  slice.cells_y = hi - lo + 1;
+  slice.bins = pipeline_.params().bins;
+  slice.data.clear();
+  for (int r = lo; r <= hi; ++r) {
+    bool found = false;
+    for (const auto& w : window_) {
+      if (w.row == r) {
+        slice.data.insert(slice.data.end(), w.hist.begin(), w.hist.end());
+        found = true;
+        break;
+      }
+    }
+    PDET_REQUIRE(found && "normalizer lost a buffered cell row");
+  }
+  const IntBlockGrid normalized = pipeline_.normalize(slice);
+  NormRowData out;
+  out.row = row;
+  const auto line = normalized.features(0, row - lo);
+  const auto stride = static_cast<std::size_t>(cells_x_) *
+                      static_cast<std::size_t>(normalized.feature_len);
+  out.features.assign(
+      line.data(), line.data() + stride);  // features(0, r) starts row r
+  pending_ = std::move(out);
+}
+
+void StreamNormalizer::eval() {
+  if (in_.can_pop()) {
+    CellRowData row = in_.pop();
+    highest_row_ = std::max(highest_row_, row.row);
+    window_.push_back(std::move(row));
+    while (window_.size() > 3) window_.pop_front();
+  }
+
+  if (busy_countdown_ > 0) {
+    if (--busy_countdown_ == 0) {
+      mem_.write_row(std::move(*pending_));
+      pending_.reset();
+      ++emitted_;
+    }
+    return;
+  }
+  if (emitted_ >= cells_y_) return;
+  const int next = emitted_;
+  const bool ready = next == cells_y_ - 1 ? highest_row_ >= cells_y_ - 1
+                                          : highest_row_ >= next + 1;
+  if (!ready) return;
+  if (mem_.occupancy() >= mem_.capacity()) return;
+  produce(next);
+  busy_countdown_ = 2 * cells_x_;
+}
+
+// ----------------------------------------------------------- StreamFanout --
+
+StreamFanout::StreamFanout(sim::Fifo<CellRowData>& in,
+                           std::vector<sim::Fifo<CellRowData>*> outs)
+    : Module("stream_fanout"), in_(in), outs_(std::move(outs)) {
+  PDET_REQUIRE(!outs_.empty());
+}
+
+void StreamFanout::eval() {
+  if (!in_.can_pop()) return;
+  for (sim::Fifo<CellRowData>* out : outs_) {
+    if (!out->can_push()) return;  // back-pressure from any consumer stalls
+  }
+  const CellRowData row = in_.pop();
+  for (sim::Fifo<CellRowData>* out : outs_) out->push(row);
+}
+
+// ------------------------------------------------------- StreamCellScaler --
+
+std::vector<StreamCellScaler::Tap> StreamCellScaler::make_taps(int out_n,
+                                                               int src_n,
+                                                               int frac_bits) {
+  // Identical tap construction to FixedHogPipeline::downscale_cells.
+  std::vector<Tap> taps;
+  taps.reserve(static_cast<std::size_t>(out_n));
+  const double ratio = static_cast<double>(src_n) / out_n;
+  for (int o = 0; o < out_n; ++o) {
+    const double f = (o + 0.5) * ratio - 0.5;
+    const double fl = std::floor(f);
+    int i0 = static_cast<int>(fl);
+    double w = f - fl;
+    int i1 = i0 + 1;
+    if (i0 < 0) {
+      i0 = 0;
+      i1 = 0;
+      w = 0.0;
+    }
+    if (i1 >= src_n) {
+      i1 = src_n - 1;
+      if (i0 >= src_n) i0 = src_n - 1;
+    }
+    taps.push_back({i0, i1, fixedpoint::ShiftAddConstant(1.0 - w, frac_bits),
+                    fixedpoint::ShiftAddConstant(w, frac_bits)});
+  }
+  return taps;
+}
+
+StreamCellScaler::StreamCellScaler(const FixedHogPipeline& pipeline,
+                                   int src_cells_x, int src_cells_y,
+                                   int out_cells_x, int out_cells_y,
+                                   sim::Fifo<CellRowData>& in,
+                                   sim::Fifo<CellRowData>& out)
+    : Module("stream_cell_scaler"),
+      bins_(pipeline.params().bins),
+      frac_bits_(pipeline.config().scale_frac_bits),
+      src_cells_x_(src_cells_x),
+      src_cells_y_(src_cells_y),
+      out_cells_x_(out_cells_x),
+      out_cells_y_(out_cells_y),
+      xtaps_(make_taps(out_cells_x, src_cells_x, frac_bits_)),
+      ytaps_(make_taps(out_cells_y, src_cells_y, frac_bits_)),
+      in_(in),
+      out_(out) {
+  PDET_REQUIRE(out_cells_x >= 1 && out_cells_x <= src_cells_x);
+  PDET_REQUIRE(out_cells_y >= 1 && out_cells_y <= src_cells_y);
+}
+
+std::vector<std::int64_t> StreamCellScaler::horizontal_pass(
+    const CellRowData& row) const {
+  std::vector<std::int64_t> mid(
+      static_cast<std::size_t>(out_cells_x_) * static_cast<std::size_t>(bins_));
+  const std::int64_t half = std::int64_t{1} << (frac_bits_ - 1);
+  const auto src = std::span<const std::int64_t>(row.hist);
+  for (int ox = 0; ox < out_cells_x_; ++ox) {
+    const Tap& t = xtaps_[static_cast<std::size_t>(ox)];
+    const auto h0 = src.subspan(
+        static_cast<std::size_t>(t.i0) * static_cast<std::size_t>(bins_),
+        static_cast<std::size_t>(bins_));
+    const auto h1 = src.subspan(
+        static_cast<std::size_t>(t.i1) * static_cast<std::size_t>(bins_),
+        static_cast<std::size_t>(bins_));
+    for (int b = 0; b < bins_; ++b) {
+      const std::int64_t acc =
+          t.w0.apply_scaled(h0[static_cast<std::size_t>(b)]) +
+          t.w1.apply_scaled(h1[static_cast<std::size_t>(b)]);
+      mid[static_cast<std::size_t>(ox) * static_cast<std::size_t>(bins_) +
+          static_cast<std::size_t>(b)] = (acc + half) >> frac_bits_;
+    }
+  }
+  return mid;
+}
+
+void StreamCellScaler::eval() {
+  if (in_.can_pop()) {
+    CellRowData row = in_.pop();
+    highest_src_row_ = std::max(highest_src_row_, row.row);
+    mid_rows_.emplace_back(row.row, horizontal_pass(row));
+    // Prune mid rows no pending output row can still read.
+    if (emitted_ < out_cells_y_) {
+      const int min_needed = ytaps_[static_cast<std::size_t>(emitted_)].i0;
+      while (!mid_rows_.empty() && mid_rows_.front().first < min_needed) {
+        mid_rows_.pop_front();
+      }
+    }
+  }
+
+  if (busy_countdown_ > 0) {
+    if (--busy_countdown_ == 0) {
+      if (!out_.can_push()) {
+        busy_countdown_ = 1;  // hold the result until the FIFO drains
+        return;
+      }
+      out_.push(std::move(*pending_));
+      pending_.reset();
+      ++emitted_;
+    }
+    return;
+  }
+  if (emitted_ >= out_cells_y_) return;
+  const Tap& ty = ytaps_[static_cast<std::size_t>(emitted_)];
+  if (highest_src_row_ < ty.i1) return;
+
+  const std::vector<std::int64_t>* mid0 = nullptr;
+  const std::vector<std::int64_t>* mid1 = nullptr;
+  for (const auto& [idx, mid] : mid_rows_) {
+    if (idx == ty.i0) mid0 = &mid;
+    if (idx == ty.i1) mid1 = &mid;
+  }
+  PDET_REQUIRE(mid0 != nullptr && mid1 != nullptr &&
+               "scaler pruned a mid row it still needed");
+  CellRowData out_row;
+  out_row.row = emitted_;
+  out_row.hist.resize(static_cast<std::size_t>(out_cells_x_) *
+                      static_cast<std::size_t>(bins_));
+  const std::int64_t half = std::int64_t{1} << (frac_bits_ - 1);
+  for (std::size_t k = 0; k < out_row.hist.size(); ++k) {
+    const std::int64_t acc =
+        ty.w0.apply_scaled((*mid0)[k]) + ty.w1.apply_scaled((*mid1)[k]);
+    out_row.hist[k] = (acc + half) >> frac_bits_;
+  }
+  pending_ = std::move(out_row);
+  busy_countdown_ = 2 * out_cells_x_;
+}
+
+// -------------------------------------------------------- StreamClassifier -
+
+StreamClassifier::StreamClassifier(const hog::HogParams& params,
+                                   const QuantizedModel& model, int grid_rows,
+                                   int grid_cols, DataNhogMem& mem)
+    : Module("stream_classifier"),
+      params_(params),
+      model_(model),
+      grid_rows_(grid_rows),
+      grid_cols_(grid_cols),
+      mem_(mem) {
+  PDET_REQUIRE(grid_rows >= 16 && grid_cols >= 8);
+}
+
+void StreamClassifier::run_pass(int row) {
+  if (row < 15) return;
+  const int anchor_row = row - 15;
+  const int bw = params_.cells_per_window_x();
+  const int bh = params_.cells_per_window_y();
+  std::vector<std::int32_t> desc;
+  desc.reserve(static_cast<std::size_t>(params_.descriptor_size()));
+  for (int cx = 0; cx + bw <= grid_cols_; ++cx) {
+    desc.clear();
+    for (int j = 0; j < bh; ++j) {
+      for (int i = 0; i < bw; ++i) {
+        const auto f = mem_.read_cell(anchor_row + j, cx + i);
+        desc.insert(desc.end(), f.begin(), f.end());
+      }
+    }
+    scores_.push_back({cx, anchor_row, model_.decision(desc)});
+  }
+  mem_.evict_below(row + 1 - 15);
+}
+
+void StreamClassifier::eval() {
+  if (done()) return;
+  if (sweep_countdown_ > 0) {
+    ++busy_;
+    if (--sweep_countdown_ == 0) {
+      run_pass(swept_rows_);
+      ++swept_rows_;
+    }
+    return;
+  }
+  if (mem_.has_row(swept_rows_)) {
+    sweep_countdown_ = 288 + 36 * static_cast<std::uint64_t>(grid_cols_ - 1);
+  }
+}
+
+// ------------------------------------------------------------- end-to-end --
+
+StreamingResult run_streaming_frame(const imgproc::ImageU8& frame,
+                                    const hog::HogParams& params,
+                                    const FixedPointConfig& fp,
+                                    const svm::LinearModel& model,
+                                    int nhogmem_rows) {
+  params.validate();
+  PDET_REQUIRE(!frame.empty());
+  const int width = frame.width();
+  const int height = frame.height();
+  const int cells_x = width / params.cell_size;
+  const int cells_y = height / params.cell_size;
+  PDET_REQUIRE(cells_x >= params.cells_per_window_x());
+  PDET_REQUIRE(cells_y >= params.cells_per_window_y());
+
+  const FixedHogPipeline pipeline(params, fp);
+  const QuantizedModel qmodel = QuantizedModel::quantize(model, fp);
+
+  sim::Simulator simulator;
+  sim::Fifo<std::uint8_t> px_fifo(2);
+  sim::Fifo<GradientVote> grad_fifo(2);
+  sim::Fifo<CellRowData> row_fifo(4);
+  simulator.add_commit_hook([&] { px_fifo.commit(); });
+  simulator.add_commit_hook([&] { grad_fifo.commit(); });
+  simulator.add_commit_hook([&] { row_fifo.commit(); });
+
+  StreamPixelSource source(frame, px_fifo);
+  StreamGradientUnit gradient(params, fp, width, height, px_fifo, grad_fifo);
+  StreamCellAccumulator accumulator(params, width, height, grad_fifo, row_fifo);
+  DataNhogMem mem(nhogmem_rows, cells_x, params.bins);
+  StreamNormalizer normalizer(pipeline, cells_x, cells_y, row_fifo, mem);
+  StreamClassifier classifier(params, qmodel, cells_y, cells_x, mem);
+
+  simulator.add(source);
+  simulator.add(gradient);
+  simulator.add(accumulator);
+  simulator.add(normalizer);
+  simulator.add(classifier);
+
+  const std::uint64_t budget =
+      6 * static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height) +
+      1'000'000;
+  const bool finished =
+      simulator.run_until([&] { return classifier.done(); }, budget);
+  PDET_REQUIRE(finished && "streaming pipeline did not complete");
+
+  StreamingResult result;
+  result.scores = classifier.scores();
+  result.cycles = simulator.cycle();
+  result.nhog_max_occupancy = mem.max_occupancy();
+  std::uint64_t mn = ~std::uint64_t{0};
+  std::uint64_t mx = 0;
+  for (int b = 0; b < DataNhogMem::kBanks; ++b) {
+    mn = std::min(mn, mem.bank_reads(b));
+    mx = std::max(mx, mem.bank_reads(b));
+  }
+  result.min_bank_reads = mn;
+  result.max_bank_reads = mx;
+  return result;
+}
+
+TwoScaleStreamingResult run_streaming_frame_two_scale(
+    const imgproc::ImageU8& frame, const hog::HogParams& params,
+    const FixedPointConfig& fp, const svm::LinearModel& model, double scale,
+    int nhogmem_rows) {
+  params.validate();
+  PDET_REQUIRE(scale > 1.0);
+  const int width = frame.width();
+  const int height = frame.height();
+  const int cells_x = width / params.cell_size;
+  const int cells_y = height / params.cell_size;
+  const int out_x = std::max(params.cells_per_window_x(),
+                             static_cast<int>(std::lround(cells_x / scale)));
+  const int out_y = std::max(params.cells_per_window_y(),
+                             static_cast<int>(std::lround(cells_y / scale)));
+  PDET_REQUIRE(cells_x >= params.cells_per_window_x());
+  PDET_REQUIRE(cells_y >= params.cells_per_window_y());
+
+  const FixedHogPipeline pipeline(params, fp);
+  const QuantizedModel qmodel = QuantizedModel::quantize(model, fp);
+
+  sim::Simulator simulator;
+  sim::Fifo<std::uint8_t> px_fifo(2);
+  sim::Fifo<GradientVote> grad_fifo(2);
+  sim::Fifo<CellRowData> row_fifo(4);
+  sim::Fifo<CellRowData> row_native(4);
+  sim::Fifo<CellRowData> row_to_scaler(4);
+  sim::Fifo<CellRowData> row_scaled(4);
+  for (auto* f : {&row_fifo, &row_native, &row_to_scaler, &row_scaled}) {
+    simulator.add_commit_hook([f] { f->commit(); });
+  }
+  simulator.add_commit_hook([&] { px_fifo.commit(); });
+  simulator.add_commit_hook([&] { grad_fifo.commit(); });
+
+  StreamPixelSource source(frame, px_fifo);
+  StreamGradientUnit gradient(params, fp, width, height, px_fifo, grad_fifo);
+  StreamCellAccumulator accumulator(params, width, height, grad_fifo, row_fifo);
+  StreamFanout fanout(row_fifo, {&row_native, &row_to_scaler});
+
+  DataNhogMem mem0(nhogmem_rows, cells_x, params.bins);
+  StreamNormalizer normalizer0(pipeline, cells_x, cells_y, row_native, mem0);
+  StreamClassifier classifier0(params, qmodel, cells_y, cells_x, mem0);
+
+  StreamCellScaler scaler(pipeline, cells_x, cells_y, out_x, out_y,
+                          row_to_scaler, row_scaled);
+  DataNhogMem mem1(nhogmem_rows, out_x, params.bins);
+  StreamNormalizer normalizer1(pipeline, out_x, out_y, row_scaled, mem1);
+  StreamClassifier classifier1(params, qmodel, out_y, out_x, mem1);
+
+  simulator.add(source);
+  simulator.add(gradient);
+  simulator.add(accumulator);
+  simulator.add(fanout);
+  simulator.add(normalizer0);
+  simulator.add(scaler);
+  simulator.add(normalizer1);
+  simulator.add(classifier0);
+  simulator.add(classifier1);
+
+  const std::uint64_t budget =
+      8 * static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height) +
+      2'000'000;
+  const bool finished = simulator.run_until(
+      [&] { return classifier0.done() && classifier1.done(); }, budget);
+  PDET_REQUIRE(finished && "two-scale streaming pipeline did not complete");
+
+  TwoScaleStreamingResult result;
+  result.scale = scale;
+  auto collect = [&](StreamClassifier& cl, DataNhogMem& mem) {
+    StreamingResult r;
+    r.scores = cl.scores();
+    r.cycles = simulator.cycle();
+    r.nhog_max_occupancy = mem.max_occupancy();
+    std::uint64_t mn = ~std::uint64_t{0};
+    std::uint64_t mx = 0;
+    for (int b = 0; b < DataNhogMem::kBanks; ++b) {
+      mn = std::min(mn, mem.bank_reads(b));
+      mx = std::max(mx, mem.bank_reads(b));
+    }
+    r.min_bank_reads = mn;
+    r.max_bank_reads = mx;
+    return r;
+  };
+  result.native = collect(classifier0, mem0);
+  result.scaled = collect(classifier1, mem1);
+  return result;
+}
+
+}  // namespace pdet::hwsim

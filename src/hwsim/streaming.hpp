@@ -1,0 +1,306 @@
+// Data-carrying streaming model of the HOG extractor + classifier.
+//
+// pipeline.hpp models *when* (tokens, cadences); fixed_pipeline.hpp models
+// *what* (arithmetic, whole-frame at once). This layer closes the loop: the
+// same fixed-point arithmetic evaluated *as the hardware streams it* —
+// pixel by pixel through line buffers, cell accumulators with the
+// overlapped-band spill the bilinear spatial vote causes, a 3-row
+// normalizer, a 16-bank NHOGMem holding real feature values, and a
+// classifier that gathers window columns bank-by-bank. Its window scores are
+// bit-identical to FixedHogPipeline's (the test suite asserts this), which
+// demonstrates that the paper's streaming memory organisation loses nothing
+// relative to the batch computation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/fixedpoint/shiftadd.hpp"
+
+#include "src/hwsim/fixed_pipeline.hpp"
+#include "src/sim/fifo.hpp"
+#include "src/sim/module.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace pdet::hwsim {
+
+/// One finished row of cell histograms (bins per cell, Q.hist fixed point).
+struct CellRowData {
+  int row = 0;
+  std::vector<std::int64_t> hist;  ///< cells_x * bins
+};
+
+/// One finished row of normalized cell-group features (Q.norm).
+struct NormRowData {
+  int row = 0;
+  std::vector<std::int32_t> features;  ///< cells_x * 36
+};
+
+/// Streams a frame's pixels in raster order, one per cycle.
+class StreamPixelSource : public sim::Module {
+ public:
+  StreamPixelSource(const imgproc::ImageU8& frame,
+                    sim::Fifo<std::uint8_t>& out);
+  void eval() override;
+  bool done() const { return index_ == total_; }
+
+ private:
+  const imgproc::ImageU8& frame_;
+  sim::Fifo<std::uint8_t>& out_;
+  std::size_t index_ = 0;
+  std::size_t total_;
+};
+
+/// Line-buffered gradient + CORDIC + orientation binning. Consumes one pixel
+/// per cycle; once a full row plus one pixel is buffered it emits one
+/// gradient vote record per cycle (centered differences with border
+/// replication, identical arithmetic to FixedHogPipeline::compute_cells).
+struct GradientVote {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int16_t bin0 = 0;
+  std::int16_t bin1 = 0;
+  std::int64_t mag_q = 0;    ///< CORDIC magnitude, Q.hist
+  std::int64_t w1_q8 = 0;    ///< orientation weight of bin1, Q8
+};
+
+class StreamGradientUnit : public sim::Module {
+ public:
+  StreamGradientUnit(const hog::HogParams& params, const FixedPointConfig& fp,
+                     int width, int height, sim::Fifo<std::uint8_t>& in,
+                     sim::Fifo<GradientVote>& out);
+  void eval() override;
+  bool done() const { return emitted_ == total_; }
+
+ private:
+  void emit_for(int x, int y, sim::Fifo<GradientVote>& out);
+  std::uint8_t pixel_clamped(int x, int y) const;
+
+  hog::HogParams params_;
+  fixedpoint::Cordic cordic_;
+  FixedPointConfig fp_;
+  int width_;
+  int height_;
+  sim::Fifo<std::uint8_t>& in_;
+  sim::Fifo<GradientVote>& out_;
+  // Three-line window: rows y-1, y, y+1 relative to the emit row.
+  std::vector<std::uint8_t> lines_[3];
+  std::size_t received_ = 0;
+  std::size_t emitted_ = 0;
+  std::size_t total_;
+};
+
+/// Accumulates gradient votes into cell histograms. Owns three cell-row
+/// accumulator banks (prev/cur/next): the bilinear spatial vote of a pixel
+/// in image rows [8c, 8c+4) still touches cell row c-1, so row c-1 is only
+/// final once row 8c+4 begins — the overlap that forces line-buffered
+/// accumulators in the RTL.
+class StreamCellAccumulator : public sim::Module {
+ public:
+  StreamCellAccumulator(const hog::HogParams& params, int width, int height,
+                        sim::Fifo<GradientVote>& in,
+                        sim::Fifo<CellRowData>& out);
+  void eval() override;
+  bool done() const { return emitted_rows_ == cells_y_; }
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+
+ private:
+  std::vector<std::int64_t>& bank(int cell_row);
+  void finalize_row(int cell_row);
+
+  hog::HogParams params_;
+  int width_;
+  int height_;
+  int cells_x_;
+  int cells_y_;
+  sim::Fifo<GradientVote>& in_;
+  sim::Fifo<CellRowData>& out_;
+  // Ring of 3 accumulator banks indexed by cell_row % 3.
+  std::vector<std::int64_t> banks_[3];
+  int emitted_rows_ = 0;
+  std::size_t votes_seen_ = 0;
+  std::size_t votes_total_;
+};
+
+/// 16-bank normalized-feature memory holding real data. Rows live in an
+/// 18-slot ring; bank(cy) = cy mod 16, so the 16 cells of a window column
+/// always come from 16 distinct banks — the conflict-free read pattern the
+/// paper's classifier depends on. Read/write accesses are counted per bank.
+class DataNhogMem {
+ public:
+  DataNhogMem(int capacity_rows, int cells_x, int bins);
+
+  void write_row(NormRowData row);
+  bool has_row(int row) const;
+  void evict_below(int row);
+
+  /// Read one cell's 36-vector; counts one access on the row's bank.
+  std::span<const std::int32_t> read_cell(int row, int cx);
+
+  int occupancy() const { return static_cast<int>(rows_.size()); }
+  int max_occupancy() const { return max_occupancy_; }
+  int capacity() const { return capacity_; }
+  std::uint64_t bank_reads(int bank) const;
+  static constexpr int kBanks = 16;
+
+ private:
+  int capacity_;
+  int cells_x_;
+  int feature_len_;
+  std::vector<NormRowData> rows_;  // sorted by row
+  int max_occupancy_ = 0;
+  std::uint64_t reads_[kBanks] = {};
+};
+
+/// Normalizes finished cell rows (needs rows r-1, r, r+1; borders clamp) and
+/// writes them to the data memory. Reuses FixedHogPipeline's normalization
+/// arithmetic on a 3-row slice so the streamed values are bit-identical to
+/// the batch path. Busy 2 cycles per cell like the token model.
+class StreamNormalizer : public sim::Module {
+ public:
+  StreamNormalizer(const FixedHogPipeline& pipeline, int cells_x, int cells_y,
+                   sim::Fifo<CellRowData>& in, DataNhogMem& mem);
+  void eval() override;
+  bool done() const { return emitted_ == cells_y_; }
+
+ private:
+  void produce(int row);
+
+  const FixedHogPipeline& pipeline_;
+  int cells_x_;
+  int cells_y_;
+  sim::Fifo<CellRowData>& in_;
+  DataNhogMem& mem_;
+  std::deque<CellRowData> window_;  // last <= 3 cell rows
+  int highest_row_ = -1;
+  int emitted_ = 0;
+  int busy_countdown_ = 0;
+  std::optional<NormRowData> pending_;
+};
+
+/// One-to-N fan-out of finished cell rows: the native normalizer and the
+/// first down-scaling module both consume the extractor's output (paper
+/// Figure 5/6 tee point).
+class StreamFanout : public sim::Module {
+ public:
+  StreamFanout(sim::Fifo<CellRowData>& in,
+               std::vector<sim::Fifo<CellRowData>*> outs);
+  void eval() override;
+
+ private:
+  sim::Fifo<CellRowData>& in_;
+  std::vector<sim::Fifo<CellRowData>*> outs_;
+};
+
+/// Streaming shift-and-add cell-histogram down-scaler (paper Figure 6): the
+/// separable bilinear resampler of FixedHogPipeline::downscale_cells run as
+/// a clocked row pipeline. Consumes source cell rows, applies the horizontal
+/// CSD taps immediately, buffers the two mid rows each output row needs, and
+/// emits scaled cell rows — bit-identical to the batch scaler. Occupies
+/// 2 cycles per output cell per row, like the other row engines.
+class StreamCellScaler : public sim::Module {
+ public:
+  StreamCellScaler(const FixedHogPipeline& pipeline, int src_cells_x,
+                   int src_cells_y, int out_cells_x, int out_cells_y,
+                   sim::Fifo<CellRowData>& in, sim::Fifo<CellRowData>& out);
+  void eval() override;
+  bool done() const { return emitted_ == out_cells_y_; }
+  int out_cells_x() const { return out_cells_x_; }
+  int out_cells_y() const { return out_cells_y_; }
+
+ private:
+  struct Tap {
+    int i0;
+    int i1;
+    fixedpoint::ShiftAddConstant w0;
+    fixedpoint::ShiftAddConstant w1;
+  };
+  static std::vector<Tap> make_taps(int out_n, int src_n, int frac_bits);
+  std::vector<std::int64_t> horizontal_pass(const CellRowData& row) const;
+
+  int bins_;
+  int frac_bits_;
+  int src_cells_x_;
+  int src_cells_y_;
+  int out_cells_x_;
+  int out_cells_y_;
+  std::vector<Tap> xtaps_;
+  std::vector<Tap> ytaps_;
+  sim::Fifo<CellRowData>& in_;
+  sim::Fifo<CellRowData>& out_;
+  /// Mid (horizontally-scaled) rows still needed by pending output rows.
+  std::deque<std::pair<int, std::vector<std::int64_t>>> mid_rows_;
+  int highest_src_row_ = -1;
+  int emitted_ = 0;
+  int busy_countdown_ = 0;
+  std::optional<CellRowData> pending_;
+};
+
+/// Row-locked MACBAR classifier over real data: one pass per grid row at the
+/// paper cadence (288-cycle fill + 36 per column); passes with >= 16 rows
+/// resident emit true window scores via the quantized model.
+struct WindowScore {
+  int cell_x = 0;
+  int cell_y = 0;
+  double score = 0.0;
+};
+
+class StreamClassifier : public sim::Module {
+ public:
+  StreamClassifier(const hog::HogParams& params, const QuantizedModel& model,
+                   int grid_rows, int grid_cols, DataNhogMem& mem);
+  void eval() override;
+  bool done() const { return swept_rows_ == grid_rows_; }
+  const std::vector<WindowScore>& scores() const { return scores_; }
+  std::uint64_t busy_cycles() const { return busy_; }
+
+ private:
+  void run_pass(int row);
+
+  hog::HogParams params_;
+  const QuantizedModel& model_;
+  int grid_rows_;
+  int grid_cols_;
+  DataNhogMem& mem_;
+  int swept_rows_ = 0;
+  std::uint64_t sweep_countdown_ = 0;
+  std::uint64_t busy_ = 0;
+  std::vector<WindowScore> scores_;
+};
+
+/// End-to-end streaming run: returns every window score plus cycle count and
+/// memory statistics.
+struct StreamingResult {
+  std::vector<WindowScore> scores;
+  std::uint64_t cycles = 0;
+  int nhog_max_occupancy = 0;
+  std::uint64_t max_bank_reads = 0;
+  std::uint64_t min_bank_reads = 0;
+};
+
+StreamingResult run_streaming_frame(const imgproc::ImageU8& frame,
+                                    const hog::HogParams& params,
+                                    const FixedPointConfig& fp,
+                                    const svm::LinearModel& model,
+                                    int nhogmem_rows = 18);
+
+/// Two-scale streaming run (paper Figure 6): the extractor's cell rows tee
+/// into the native chain and into a streaming down-scaler feeding a second
+/// normalizer + memory + classifier. Both levels' scores are bit-identical
+/// to the batch fixed-point paths (native, and downscale_cells + normalize).
+struct TwoScaleStreamingResult {
+  StreamingResult native;
+  StreamingResult scaled;
+  double scale = 1.0;
+};
+
+TwoScaleStreamingResult run_streaming_frame_two_scale(
+    const imgproc::ImageU8& frame, const hog::HogParams& params,
+    const FixedPointConfig& fp, const svm::LinearModel& model,
+    double scale = 2.0, int nhogmem_rows = 18);
+
+}  // namespace pdet::hwsim

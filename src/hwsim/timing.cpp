@@ -1,0 +1,71 @@
+#include "src/hwsim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::hwsim {
+
+TimingModel::TimingModel(const TimingConfig& config) : config_(config) {
+  PDET_REQUIRE(config.cell_size >= 2);
+  PDET_REQUIRE(config.frame_width % config.cell_size == 0);
+  PDET_REQUIRE(config.frame_height % config.cell_size == 0);
+  PDET_REQUIRE(config.clock_hz > 0);
+}
+
+std::uint64_t TimingModel::sweep_cycles(int cols) {
+  PDET_REQUIRE(cols >= 1);
+  return static_cast<std::uint64_t>(TimingConstants::kFillCycles) +
+         static_cast<std::uint64_t>(cols - 1) * TimingConstants::kColumnCycles;
+}
+
+std::uint64_t TimingModel::classifier_frame_cycles() const {
+  return static_cast<std::uint64_t>(config_.cell_rows()) *
+         sweep_cycles(config_.cell_cols());
+}
+
+std::uint64_t TimingModel::classifier_frame_cycles_at_scale(double scale) const {
+  PDET_REQUIRE(scale >= 1.0);
+  const int rows = std::max(
+      1, static_cast<int>(std::lround(config_.cell_rows() / scale)));
+  const int cols = std::max(
+      1, static_cast<int>(std::lround(config_.cell_cols() / scale)));
+  return static_cast<std::uint64_t>(rows) * sweep_cycles(cols);
+}
+
+std::uint64_t TimingModel::extractor_frame_cycles() const {
+  return static_cast<std::uint64_t>(config_.frame_width) *
+         static_cast<std::uint64_t>(config_.frame_height);
+}
+
+std::uint64_t TimingModel::frame_latency_cycles() const {
+  // Stages are pipelined (Figure 5): the classifier chases the extractor
+  // through NHOGMem, so frame latency is the slower stage plus the final
+  // sweep that can only start once the last cell row lands.
+  return std::max(extractor_frame_cycles(),
+                  classifier_frame_cycles()) +
+         sweep_cycles(config_.cell_cols());
+}
+
+double TimingModel::classifier_frame_ms() const {
+  return 1e3 * static_cast<double>(classifier_frame_cycles()) / config_.clock_hz;
+}
+
+double TimingModel::frame_latency_ms() const {
+  return 1e3 * static_cast<double>(frame_latency_cycles()) / config_.clock_hz;
+}
+
+double TimingModel::max_fps() const {
+  // Throughput is set by the bottleneck stage (frames stream back to back);
+  // the +1-sweep latency term affects delay, not rate.
+  const std::uint64_t bottleneck =
+      std::max(extractor_frame_cycles(), classifier_frame_cycles());
+  return config_.clock_hz / static_cast<double>(bottleneck);
+}
+
+bool TimingModel::meets_fps(double target_fps) const {
+  return max_fps() >= target_fps;
+}
+
+}  // namespace pdet::hwsim

@@ -1,0 +1,57 @@
+#include "src/imgproc/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdet::imgproc {
+
+ImageF to_float(const ImageU8& src) {
+  ImageF out(src.width(), src.height());
+  const auto in = src.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    dst[i] = static_cast<float>(in[i]) * (1.0f / 255.0f);
+  }
+  return out;
+}
+
+ImageU8 to_u8(const ImageF& src) {
+  ImageU8 out(src.width(), src.height());
+  const auto in = src.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float clamped = std::clamp(in[i], 0.0f, 1.0f);
+    dst[i] = static_cast<std::uint8_t>(std::lround(clamped * 255.0f));
+  }
+  return out;
+}
+
+ImageF gamma_correct(const ImageF& src, float gamma) {
+  PDET_REQUIRE(gamma > 0.0f);
+  ImageF out(src.width(), src.height());
+  const auto in = src.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    dst[i] = std::pow(std::max(in[i], 0.0f), gamma);
+  }
+  return out;
+}
+
+ImageF normalize_range(const ImageF& src) {
+  if (src.empty()) return src;
+  const auto in = src.pixels();
+  const auto [lo_it, hi_it] = std::minmax_element(in.begin(), in.end());
+  const float lo = *lo_it;
+  const float hi = *hi_it;
+  ImageF out(src.width(), src.height());
+  auto dst = out.pixels();
+  if (hi <= lo) {
+    std::fill(dst.begin(), dst.end(), 0.0f);
+    return out;
+  }
+  const float inv = 1.0f / (hi - lo);
+  for (std::size_t i = 0; i < in.size(); ++i) dst[i] = (in[i] - lo) * inv;
+  return out;
+}
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,22 @@
+// Pixel-format and tonal conversions at the library boundary.
+#pragma once
+
+#include "src/imgproc/image.hpp"
+
+namespace pdet::imgproc {
+
+/// uint8 [0,255] -> float [0,1].
+ImageF to_float(const ImageU8& src);
+
+/// float -> uint8 with clamping to [0,1] then rounding to [0,255].
+ImageU8 to_u8(const ImageF& src);
+
+/// Gamma compression on a float image (values clamped to >= 0 first).
+/// Dalal & Triggs report sqrt gamma (gamma = 0.5) as the best of the simple
+/// normalisations for HOG.
+ImageF gamma_correct(const ImageF& src, float gamma);
+
+/// Linear remap so that min->0 and max->1 (no-op for constant images).
+ImageF normalize_range(const ImageF& src);
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,60 @@
+#include "src/imgproc/convolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdet::imgproc {
+
+Kernel1D gaussian_kernel(double sigma) {
+  PDET_REQUIRE(sigma > 0.0);
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  Kernel1D k(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(static_cast<double>(i) * i) / (2.0 * sigma * sigma));
+    k[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : k) v = static_cast<float>(v / sum);
+  return k;
+}
+
+ImageF separable_convolve(const ImageF& src, const Kernel1D& kx,
+                          const Kernel1D& ky) {
+  PDET_REQUIRE(!src.empty());
+  PDET_REQUIRE(kx.size() % 2 == 1 && ky.size() % 2 == 1);
+  const int w = src.width();
+  const int h = src.height();
+  const int rx = static_cast<int>(kx.size()) / 2;
+  const int ry = static_cast<int>(ky.size()) / 2;
+
+  ImageF mid(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -rx; i <= rx; ++i) {
+        acc += kx[static_cast<std::size_t>(i + rx)] * src.at_clamped(x + i, y);
+      }
+      mid.at(x, y) = acc;
+    }
+  }
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -ry; i <= ry; ++i) {
+        acc += ky[static_cast<std::size_t>(i + ry)] * mid.at_clamped(x, y + i);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+ImageF gaussian_blur(const ImageF& src, double sigma) {
+  if (sigma <= 0.0) return src;
+  const Kernel1D k = gaussian_kernel(sigma);
+  return separable_convolve(src, k, k);
+}
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,29 @@
+// Separable convolution and Gaussian smoothing.
+//
+// Dalal & Triggs explicitly evaluated Gaussian pre-smoothing before gradient
+// computation (and found sigma = 0, i.e. none, best for HOG — an ablation
+// the bench suite reproduces); the kernels also serve the dataset's
+// photometric augmentations.
+#pragma once
+
+#include <vector>
+
+#include "src/imgproc/image.hpp"
+
+namespace pdet::imgproc {
+
+/// 1-D convolution kernel (odd length), center at size()/2.
+using Kernel1D = std::vector<float>;
+
+/// Normalized Gaussian taps; radius = ceil(3 sigma), length 2r+1.
+Kernel1D gaussian_kernel(double sigma);
+
+/// Separable convolution with border replication: horizontal pass with
+/// `kx`, vertical with `ky`. Kernels must have odd length.
+ImageF separable_convolve(const ImageF& src, const Kernel1D& kx,
+                          const Kernel1D& ky);
+
+/// Gaussian blur; sigma <= 0 returns the input unchanged.
+ImageF gaussian_blur(const ImageF& src, double sigma);
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,141 @@
+#include "src/imgproc/draw.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+namespace pdet::imgproc {
+namespace {
+
+void put(RgbImage& canvas, int x, int y, Rgb color) {
+  if (x >= 0 && x < canvas.width() && y >= 0 && y < canvas.height()) {
+    canvas.set(x, y, color);
+  }
+}
+
+// 3x5 glyphs, row-major bits (LSB = leftmost column).
+struct Glyph {
+  char ch;
+  std::uint8_t rows[5];
+};
+
+constexpr Glyph kFont[] = {
+    {'0', {0b111, 0b101, 0b101, 0b101, 0b111}},
+    {'1', {0b010, 0b110, 0b010, 0b010, 0b111}},
+    {'2', {0b111, 0b001, 0b111, 0b100, 0b111}},
+    {'3', {0b111, 0b001, 0b111, 0b001, 0b111}},
+    {'4', {0b101, 0b101, 0b111, 0b001, 0b001}},
+    {'5', {0b111, 0b100, 0b111, 0b001, 0b111}},
+    {'6', {0b111, 0b100, 0b111, 0b101, 0b111}},
+    {'7', {0b111, 0b001, 0b010, 0b010, 0b010}},
+    {'8', {0b111, 0b101, 0b111, 0b101, 0b111}},
+    {'9', {0b111, 0b101, 0b111, 0b001, 0b111}},
+    {'A', {0b010, 0b101, 0b111, 0b101, 0b101}},
+    {'B', {0b110, 0b101, 0b110, 0b101, 0b110}},
+    {'C', {0b011, 0b100, 0b100, 0b100, 0b011}},
+    {'D', {0b110, 0b101, 0b101, 0b101, 0b110}},
+    {'E', {0b111, 0b100, 0b110, 0b100, 0b111}},
+    {'F', {0b111, 0b100, 0b110, 0b100, 0b100}},
+    {'G', {0b011, 0b100, 0b101, 0b101, 0b011}},
+    {'H', {0b101, 0b101, 0b111, 0b101, 0b101}},
+    {'I', {0b111, 0b010, 0b010, 0b010, 0b111}},
+    {'J', {0b001, 0b001, 0b001, 0b101, 0b010}},
+    {'K', {0b101, 0b110, 0b100, 0b110, 0b101}},
+    {'L', {0b100, 0b100, 0b100, 0b100, 0b111}},
+    {'M', {0b101, 0b111, 0b111, 0b101, 0b101}},
+    {'N', {0b101, 0b111, 0b111, 0b111, 0b101}},
+    {'O', {0b010, 0b101, 0b101, 0b101, 0b010}},
+    {'P', {0b110, 0b101, 0b110, 0b100, 0b100}},
+    {'Q', {0b010, 0b101, 0b101, 0b110, 0b011}},
+    {'R', {0b110, 0b101, 0b110, 0b110, 0b101}},
+    {'S', {0b011, 0b100, 0b010, 0b001, 0b110}},
+    {'T', {0b111, 0b010, 0b010, 0b010, 0b010}},
+    {'U', {0b101, 0b101, 0b101, 0b101, 0b111}},
+    {'V', {0b101, 0b101, 0b101, 0b101, 0b010}},
+    {'W', {0b101, 0b101, 0b111, 0b111, 0b101}},
+    {'X', {0b101, 0b101, 0b010, 0b101, 0b101}},
+    {'Y', {0b101, 0b101, 0b010, 0b010, 0b010}},
+    {'Z', {0b111, 0b001, 0b010, 0b100, 0b111}},
+    {'.', {0b000, 0b000, 0b000, 0b000, 0b010}},
+    {'-', {0b000, 0b000, 0b111, 0b000, 0b000}},
+    {':', {0b000, 0b010, 0b000, 0b010, 0b000}},
+    {'%', {0b101, 0b001, 0b010, 0b100, 0b101}},
+    {' ', {0b000, 0b000, 0b000, 0b000, 0b000}},
+};
+
+const Glyph* find_glyph(char ch) {
+  const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  for (const auto& g : kFont) {
+    if (g.ch == upper) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void draw_rect(RgbImage& canvas, int x, int y, int w, int h, Rgb color,
+               int thickness) {
+  PDET_REQUIRE(thickness >= 1);
+  for (int t = 0; t < thickness; ++t) {
+    const int x0 = x + t;
+    const int y0 = y + t;
+    const int x1 = x + w - 1 - t;
+    const int y1 = y + h - 1 - t;
+    if (x1 < x0 || y1 < y0) break;
+    for (int xi = x0; xi <= x1; ++xi) {
+      put(canvas, xi, y0, color);
+      put(canvas, xi, y1, color);
+    }
+    for (int yi = y0; yi <= y1; ++yi) {
+      put(canvas, x0, yi, color);
+      put(canvas, x1, yi, color);
+    }
+  }
+}
+
+void draw_line(RgbImage& canvas, int x0, int y0, int x1, int y1, Rgb color) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    put(canvas, x0, y0, color);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void draw_text(RgbImage& canvas, int x, int y, const std::string& text,
+               Rgb color, int scale) {
+  PDET_REQUIRE(scale >= 1);
+  int cx = x;
+  for (const char ch : text) {
+    const Glyph* g = find_glyph(ch);
+    if (g != nullptr) {
+      for (int ry = 0; ry < 5; ++ry) {
+        for (int rx = 0; rx < 3; ++rx) {
+          if ((g->rows[ry] >> (2 - rx)) & 1u) {
+            for (int sy2 = 0; sy2 < scale; ++sy2) {
+              for (int sx2 = 0; sx2 < scale; ++sx2) {
+                put(canvas, cx + rx * scale + sx2, y + ry * scale + sy2, color);
+              }
+            }
+          }
+        }
+      }
+    }
+    cx += 4 * scale;
+  }
+}
+
+}  // namespace pdet::imgproc

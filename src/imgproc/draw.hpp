@@ -1,0 +1,20 @@
+// Annotation primitives for visualising detections in example programs.
+#pragma once
+
+#include "src/imgproc/image_io.hpp"
+
+namespace pdet::imgproc {
+
+/// Axis-aligned rectangle outline (clipped to the canvas).
+void draw_rect(RgbImage& canvas, int x, int y, int w, int h, Rgb color,
+               int thickness = 1);
+
+/// Bresenham line (clipped to the canvas).
+void draw_line(RgbImage& canvas, int x0, int y0, int x1, int y1, Rgb color);
+
+/// 3x5 bitmap-font text, uppercase A-Z, digits, and a few symbols; good
+/// enough for labelling detection scores on output frames.
+void draw_text(RgbImage& canvas, int x, int y, const std::string& text,
+               Rgb color, int scale = 1);
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,59 @@
+#include "src/imgproc/gradient.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pdet::imgproc {
+
+float fold_unsigned(float angle_radians) {
+  constexpr float kPi = std::numbers::pi_v<float>;
+  float a = std::fmod(angle_radians, kPi);
+  if (a < 0.0f) a += kPi;
+  // fmod can return exactly pi for inputs like -1e-8 after the correction.
+  if (a >= kPi) a -= kPi;
+  return a;
+}
+
+GradientField compute_gradients(const ImageF& src, GradientOp op) {
+  PDET_REQUIRE(!src.empty());
+  const int w = src.width();
+  const int h = src.height();
+  GradientField g{ImageF(w, h), ImageF(w, h), ImageF(w, h), ImageF(w, h)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float dx = 0.0f;
+      float dy = 0.0f;
+      switch (op) {
+        case GradientOp::kCentered:
+          dx = src.at_clamped(x + 1, y) - src.at_clamped(x - 1, y);
+          dy = src.at_clamped(x, y + 1) - src.at_clamped(x, y - 1);
+          break;
+        case GradientOp::kOneSided:
+          dx = src.at_clamped(x + 1, y) - src.at_clamped(x, y);
+          dy = src.at_clamped(x, y + 1) - src.at_clamped(x, y);
+          break;
+        case GradientOp::kSobel:
+        case GradientOp::kPrewitt: {
+          // Center-row weight 2 for Sobel, 1 for Prewitt; normalized by the
+          // kernel weight sum so magnitudes stay comparable to kCentered.
+          const float c = op == GradientOp::kSobel ? 2.0f : 1.0f;
+          const float inv = 1.0f / (2.0f + c);
+          dx = inv * ((src.at_clamped(x + 1, y - 1) - src.at_clamped(x - 1, y - 1)) +
+                      c * (src.at_clamped(x + 1, y) - src.at_clamped(x - 1, y)) +
+                      (src.at_clamped(x + 1, y + 1) - src.at_clamped(x - 1, y + 1)));
+          dy = inv * ((src.at_clamped(x - 1, y + 1) - src.at_clamped(x - 1, y - 1)) +
+                      c * (src.at_clamped(x, y + 1) - src.at_clamped(x, y - 1)) +
+                      (src.at_clamped(x + 1, y + 1) - src.at_clamped(x + 1, y - 1)));
+          break;
+        }
+      }
+      g.fx.at(x, y) = dx;
+      g.fy.at(x, y) = dy;
+      g.magnitude.at(x, y) = std::sqrt(dx * dx + dy * dy);
+      g.angle.at(x, y) = fold_unsigned(std::atan2(dy, dx));
+    }
+  }
+  return g;
+}
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,108 @@
+// Value-semantic single-channel image container.
+//
+// pdet operates exclusively on grayscale imagery (the HOG chain of the paper
+// takes luminance input); RGB is converted at the I/O boundary. Image<T> is a
+// dense row-major buffer with checked accessors in debug builds and an
+// unchecked row pointer for hot loops.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::imgproc {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(int width, int height, T fill_value = T{})
+      : width_(width),
+        height_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill_value) {
+    PDET_REQUIRE(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t pixel_count() const { return data_.size(); }
+
+  T& at(int x, int y) {
+    PDET_ASSERT(contains(x, y));
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  const T& at(int x, int y) const {
+    PDET_ASSERT(contains(x, y));
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+
+  /// Clamped read: out-of-range coordinates are replicated from the border.
+  T at_clamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return at(x, y);
+  }
+
+  bool contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  T* row(int y) {
+    PDET_ASSERT(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+  }
+  const T* row(int y) const {
+    PDET_ASSERT(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+  }
+
+  std::span<T> pixels() { return data_; }
+  std::span<const T> pixels() const { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Copy-out a rectangular region; the rectangle must lie inside the image.
+  Image crop(int x0, int y0, int w, int h) const {
+    PDET_REQUIRE(w >= 0 && h >= 0);
+    PDET_REQUIRE(x0 >= 0 && y0 >= 0 && x0 + w <= width_ && y0 + h <= height_);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y) {
+      const T* src = row(y0 + y) + x0;
+      std::copy(src, src + w, out.row(y));
+    }
+    return out;
+  }
+
+  /// Paste `src` with its top-left corner at (x0, y0); the source must fit.
+  void paste(const Image& src, int x0, int y0) {
+    PDET_REQUIRE(x0 >= 0 && y0 >= 0 && x0 + src.width() <= width_ &&
+                 y0 + src.height() <= height_);
+    for (int y = 0; y < src.height(); ++y) {
+      const T* s = src.row(y);
+      std::copy(s, s + src.width(), row(y0 + y) + x0);
+    }
+  }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ && a.data_ == b.data_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF = Image<float>;
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,121 @@
+#include "src/imgproc/image_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace pdet::imgproc {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Read the next whitespace-delimited token, skipping '#' comment lines
+/// (the Netpbm header grammar). Returns false at EOF.
+bool next_token(std::FILE* f, std::string& token) {
+  token.clear();
+  int c = 0;
+  // Skip whitespace and comments.
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '#') {
+      while ((c = std::fgetc(f)) != EOF && c != '\n') {
+      }
+      continue;
+    }
+    if (!std::isspace(c)) break;
+  }
+  if (c == EOF) return false;
+  do {
+    token.push_back(static_cast<char>(c));
+  } while ((c = std::fgetc(f)) != EOF && !std::isspace(c));
+  return true;
+}
+
+bool parse_header_int(std::FILE* f, int& out, int lo, int hi) {
+  std::string tok;
+  if (!next_token(f, tok)) return false;
+  try {
+    const int v = std::stoi(tok);
+    if (v < lo || v > hi) return false;
+    out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+RgbImage to_rgb(const ImageU8& gray) {
+  RgbImage out(gray.width(), gray.height());
+  out.r = gray;
+  out.g = gray;
+  out.b = gray;
+  return out;
+}
+
+bool write_pgm(const ImageU8& img, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  std::fprintf(f.get(), "P5\n%d %d\n255\n", img.width(), img.height());
+  const auto px = img.pixels();
+  return std::fwrite(px.data(), 1, px.size(), f.get()) == px.size();
+}
+
+bool read_pgm(const std::string& path, ImageU8& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::string magic;
+  if (!next_token(f.get(), magic)) return false;
+  const bool binary = magic == "P5";
+  if (!binary && magic != "P2") return false;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  // 1<<15 bounds header dims defensively; pdet never handles gigapixel input.
+  if (!parse_header_int(f.get(), width, 1, 1 << 15)) return false;
+  if (!parse_header_int(f.get(), height, 1, 1 << 15)) return false;
+  if (!parse_header_int(f.get(), maxval, 1, 255)) return false;
+  ImageU8 img(width, height);
+  if (binary) {
+    // Exactly one whitespace byte separates maxval from raster data; it was
+    // already consumed by next_token inside parse_header_int.
+    const auto px = img.pixels();
+    if (std::fread(px.data(), 1, px.size(), f.get()) != px.size()) return false;
+  } else {
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        int v = 0;
+        if (!parse_header_int(f.get(), v, 0, maxval)) return false;
+        img.at(x, y) = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+  if (maxval != 255) {
+    for (auto& p : img.pixels()) {
+      p = static_cast<std::uint8_t>(static_cast<int>(p) * 255 / maxval);
+    }
+  }
+  out = std::move(img);
+  return true;
+}
+
+bool write_ppm(const RgbImage& img, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  std::fprintf(f.get(), "P6\n%d %d\n255\n", img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const std::uint8_t rgb[3] = {img.r.at(x, y), img.g.at(x, y),
+                                   img.b.at(x, y)};
+      if (std::fwrite(rgb, 1, 3, f.get()) != 3) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pdet::imgproc

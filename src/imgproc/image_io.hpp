@@ -1,0 +1,52 @@
+// Netpbm (PGM/PPM) image I/O.
+//
+// PGM/PPM are the only formats pdet reads or writes: they need no external
+// dependency, every image tool can open them, and the examples use them to
+// dump annotated detection results. Color PPM output exists purely for
+// visualisation; the processing chain is grayscale.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "src/imgproc/image.hpp"
+
+namespace pdet::imgproc {
+
+/// 8-bit RGB triple used only by the PPM visualisation writer.
+using Rgb = std::array<std::uint8_t, 3>;
+
+/// 3-channel visualisation canvas (planar RGB held as three gray images).
+struct RgbImage {
+  ImageU8 r, g, b;
+
+  RgbImage() = default;
+  RgbImage(int width, int height, Rgb fill = {0, 0, 0})
+      : r(width, height, fill[0]),
+        g(width, height, fill[1]),
+        b(width, height, fill[2]) {}
+
+  int width() const { return r.width(); }
+  int height() const { return r.height(); }
+
+  void set(int x, int y, Rgb c) {
+    r.at(x, y) = c[0];
+    g.at(x, y) = c[1];
+    b.at(x, y) = c[2];
+  }
+};
+
+/// Expand grayscale to RGB for annotation overlays.
+RgbImage to_rgb(const ImageU8& gray);
+
+/// Write binary PGM (P5). Returns false on I/O failure.
+bool write_pgm(const ImageU8& img, const std::string& path);
+
+/// Read binary (P5) or ASCII (P2) PGM, maxval <= 255.
+/// Returns false (leaving `out` untouched) on parse or I/O failure.
+bool read_pgm(const std::string& path, ImageU8& out);
+
+/// Write binary PPM (P6).
+bool write_ppm(const RgbImage& img, const std::string& path);
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,162 @@
+#include "src/imgproc/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/imgproc/convert.hpp"
+
+namespace pdet::imgproc {
+namespace {
+
+/// Cubic convolution kernel with a = -0.5 (Keys / Catmull-Rom).
+float cubic_weight(float t) {
+  constexpr float a = -0.5f;
+  t = std::fabs(t);
+  if (t <= 1.0f) return (a + 2.0f) * t * t * t - (a + 3.0f) * t * t + 1.0f;
+  if (t < 2.0f) return a * t * t * t - 5.0f * a * t * t + 8.0f * a * t - 4.0f * a;
+  return 0.0f;
+}
+
+/// Map destination pixel center to source coordinates (align-centers
+/// convention, the same mapping MATLAB imresize and OpenCV INTER_LINEAR use).
+inline float src_coord(int dst, double inv_scale) {
+  return static_cast<float>((static_cast<double>(dst) + 0.5) * inv_scale - 0.5);
+}
+
+ImageF resize_nearest(const ImageF& src, int ow, int oh) {
+  ImageF out(ow, oh);
+  const double ix = static_cast<double>(src.width()) / ow;
+  const double iy = static_cast<double>(src.height()) / oh;
+  for (int y = 0; y < oh; ++y) {
+    const int sy = std::clamp(static_cast<int>(std::floor((y + 0.5) * iy)), 0,
+                              src.height() - 1);
+    for (int x = 0; x < ow; ++x) {
+      const int sx = std::clamp(static_cast<int>(std::floor((x + 0.5) * ix)), 0,
+                                src.width() - 1);
+      out.at(x, y) = src.at(sx, sy);
+    }
+  }
+  return out;
+}
+
+ImageF resize_bilinear(const ImageF& src, int ow, int oh) {
+  ImageF out(ow, oh);
+  const double ix = static_cast<double>(src.width()) / ow;
+  const double iy = static_cast<double>(src.height()) / oh;
+  for (int y = 0; y < oh; ++y) {
+    const float fy = src_coord(y, iy);
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - static_cast<float>(y0);
+    for (int x = 0; x < ow; ++x) {
+      const float fx = src_coord(x, ix);
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - static_cast<float>(x0);
+      const float v00 = src.at_clamped(x0, y0);
+      const float v10 = src.at_clamped(x0 + 1, y0);
+      const float v01 = src.at_clamped(x0, y0 + 1);
+      const float v11 = src.at_clamped(x0 + 1, y0 + 1);
+      out.at(x, y) = (1.0f - wy) * ((1.0f - wx) * v00 + wx * v10) +
+                     wy * ((1.0f - wx) * v01 + wx * v11);
+    }
+  }
+  return out;
+}
+
+ImageF resize_bicubic(const ImageF& src, int ow, int oh) {
+  ImageF out(ow, oh);
+  const double ix = static_cast<double>(src.width()) / ow;
+  const double iy = static_cast<double>(src.height()) / oh;
+  for (int y = 0; y < oh; ++y) {
+    const float fy = src_coord(y, iy);
+    const int y0 = static_cast<int>(std::floor(fy));
+    float wys[4];
+    for (int k = 0; k < 4; ++k) {
+      wys[k] = cubic_weight(fy - static_cast<float>(y0 - 1 + k));
+    }
+    for (int x = 0; x < ow; ++x) {
+      const float fx = src_coord(x, ix);
+      const int x0 = static_cast<int>(std::floor(fx));
+      float acc = 0.0f;
+      float wsum = 0.0f;
+      for (int ky = 0; ky < 4; ++ky) {
+        const float wy = wys[ky];
+        if (wy == 0.0f) continue;
+        for (int kx = 0; kx < 4; ++kx) {
+          const float wx = cubic_weight(fx - static_cast<float>(x0 - 1 + kx));
+          if (wx == 0.0f) continue;
+          const float w = wx * wy;
+          acc += w * src.at_clamped(x0 - 1 + kx, y0 - 1 + ky);
+          wsum += w;
+        }
+      }
+      out.at(x, y) = wsum != 0.0f ? acc / wsum : 0.0f;
+    }
+  }
+  return out;
+}
+
+ImageF resize_area(const ImageF& src, int ow, int oh) {
+  ImageF out(ow, oh);
+  const double ix = static_cast<double>(src.width()) / ow;
+  const double iy = static_cast<double>(src.height()) / oh;
+  for (int y = 0; y < oh; ++y) {
+    const double sy0 = y * iy;
+    const double sy1 = (y + 1) * iy;
+    for (int x = 0; x < ow; ++x) {
+      const double sx0 = x * ix;
+      const double sx1 = (x + 1) * ix;
+      double acc = 0.0;
+      double area = 0.0;
+      for (int sy = static_cast<int>(std::floor(sy0));
+           sy < static_cast<int>(std::ceil(sy1)); ++sy) {
+        const double hy =
+            std::min(sy1, static_cast<double>(sy) + 1.0) - std::max(sy0, static_cast<double>(sy));
+        if (hy <= 0) continue;
+        for (int sx = static_cast<int>(std::floor(sx0));
+             sx < static_cast<int>(std::ceil(sx1)); ++sx) {
+          const double wx =
+              std::min(sx1, static_cast<double>(sx) + 1.0) - std::max(sx0, static_cast<double>(sx));
+          if (wx <= 0) continue;
+          acc += wx * hy * src.at_clamped(sx, sy);
+          area += wx * hy;
+        }
+      }
+      out.at(x, y) = area > 0 ? static_cast<float>(acc / area) : 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageF resize(const ImageF& src, int out_width, int out_height, Interp interp) {
+  PDET_REQUIRE(!src.empty());
+  PDET_REQUIRE(out_width >= 1 && out_height >= 1);
+  if (out_width == src.width() && out_height == src.height()) return src;
+  switch (interp) {
+    case Interp::kNearest: return resize_nearest(src, out_width, out_height);
+    case Interp::kBilinear: return resize_bilinear(src, out_width, out_height);
+    case Interp::kBicubic: return resize_bicubic(src, out_width, out_height);
+    case Interp::kArea: return resize_area(src, out_width, out_height);
+  }
+  PDET_REQUIRE(false && "unreachable");
+  return {};
+}
+
+ImageU8 resize(const ImageU8& src, int out_width, int out_height,
+               Interp interp) {
+  return to_u8(resize(to_float(src), out_width, out_height, interp));
+}
+
+ImageF resize_scale(const ImageF& src, double scale, Interp interp) {
+  PDET_REQUIRE(scale > 0.0);
+  const int ow = std::max(1, static_cast<int>(std::lround(src.width() * scale)));
+  const int oh = std::max(1, static_cast<int>(std::lround(src.height() * scale)));
+  return resize(src, ow, oh, interp);
+}
+
+ImageU8 resize_scale(const ImageU8& src, double scale, Interp interp) {
+  return to_u8(resize_scale(to_float(src), scale, interp));
+}
+
+}  // namespace pdet::imgproc

@@ -1,0 +1,29 @@
+// Image resampling kernels.
+//
+// The conventional detector (the paper's baseline, Figure 3a) builds an
+// *image* pyramid with these kernels; the up-sampled INRIA-protocol test sets
+// (Section 4 of the paper) are generated with bicubic interpolation, matching
+// MATLAB's imresize default that the authors used.
+#pragma once
+
+#include "src/imgproc/image.hpp"
+
+namespace pdet::imgproc {
+
+enum class Interp {
+  kNearest,
+  kBilinear,
+  kBicubic,  // Catmull-Rom-style cubic, a = -0.5 (MATLAB imresize default)
+  kArea,     // box average; best for strong down-scaling
+};
+
+/// Resample `src` to `out_width` x `out_height`.
+ImageF resize(const ImageF& src, int out_width, int out_height, Interp interp);
+ImageU8 resize(const ImageU8& src, int out_width, int out_height, Interp interp);
+
+/// Scale by a factor (>1 enlarges). Output dims are rounded to nearest pixel
+/// and clamped to at least 1.
+ImageF resize_scale(const ImageF& src, double scale, Interp interp);
+ImageU8 resize_scale(const ImageU8& src, double scale, Interp interp);
+
+}  // namespace pdet::imgproc

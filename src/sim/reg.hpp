@@ -1,0 +1,38 @@
+// Registered state element for the two-phase simulation kernel.
+#pragma once
+
+#include <utility>
+
+namespace pdet::sim {
+
+/// A D-flip-flop bank: reads return the value latched at the previous clock
+/// edge; write() stages the next value, visible only after commit().
+template <typename T>
+class Reg {
+ public:
+  Reg() = default;
+  explicit Reg(T reset_value)
+      : current_(reset_value), next_(std::move(reset_value)) {}
+
+  const T& get() const { return current_; }
+  const T& operator*() const { return current_; }
+
+  void write(T value) {
+    next_ = std::move(value);
+    dirty_ = true;
+  }
+
+  void commit() {
+    if (dirty_) {
+      current_ = next_;
+      dirty_ = false;
+    }
+  }
+
+ private:
+  T current_{};
+  T next_{};
+  bool dirty_ = false;
+};
+
+}  // namespace pdet::sim

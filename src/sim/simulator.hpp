@@ -1,0 +1,57 @@
+// Cycle-driven simulator for the two-phase module protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/module.hpp"
+
+namespace pdet::sim {
+
+class VcdWriter;
+
+class Simulator {
+ public:
+  /// `clock_hz` is used only for reporting cycle counts as wall time; the
+  /// paper's design runs at 125 MHz.
+  explicit Simulator(double clock_hz = 125e6);
+
+  /// Register a module. The simulator does not own it; the caller keeps the
+  /// modules alive for the simulator's lifetime (they typically live side by
+  /// side in an accelerator aggregate).
+  void add(Module& module);
+
+  /// Attach a FIFO/register commit hook that runs at every clock edge (used
+  /// for channels that are not owned by any single module).
+  void add_commit_hook(std::function<void()> hook);
+
+  /// Advance one cycle: eval() all modules, then commit() hooks and modules.
+  void step();
+
+  /// Advance n cycles.
+  void run(std::uint64_t n);
+
+  /// Advance until `done()` is true or `max_cycles` elapse; returns true if
+  /// the predicate fired.
+  bool run_until(const std::function<bool()>& done, std::uint64_t max_cycles);
+
+  std::uint64_t cycle() const { return cycle_; }
+  double clock_hz() const { return clock_hz_; }
+  double elapsed_seconds() const {
+    return static_cast<double>(cycle_) / clock_hz_;
+  }
+
+  /// Optional VCD tracing; sampled after every commit.
+  void set_vcd(VcdWriter* vcd) { vcd_ = vcd; }
+
+ private:
+  double clock_hz_;
+  std::uint64_t cycle_ = 0;
+  std::vector<Module*> modules_;
+  std::vector<std::function<void()>> commit_hooks_;
+  VcdWriter* vcd_ = nullptr;
+};
+
+}  // namespace pdet::sim

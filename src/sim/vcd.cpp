@@ -1,0 +1,90 @@
+#include "src/sim/vcd.hpp"
+
+#include <cstdio>
+
+#include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
+
+namespace pdet::sim {
+namespace {
+
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string make_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::string to_binary(std::uint64_t value, int width) {
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i) {
+    if ((value >> i) & 1u) s[static_cast<std::size_t>(width - 1 - i)] = '1';
+  }
+  return s;
+}
+
+}  // namespace
+
+void VcdWriter::add_signal(const std::string& name, int width,
+                           std::function<std::uint64_t()> probe) {
+  PDET_REQUIRE(!sampled_);
+  PDET_REQUIRE(width >= 1 && width <= 64);
+  Signal s;
+  s.name = name;
+  s.width = width;
+  s.probe = std::move(probe);
+  s.id = make_id(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::sample(std::uint64_t cycle) {
+  sampled_ = true;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    Signal& s = signals_[i];
+    const std::uint64_t v = s.probe();
+    if (!s.has_value || v != s.last_value) {
+      changes_.push_back({cycle, i, v});
+      s.last_value = v;
+      s.has_value = true;
+    }
+  }
+}
+
+std::string VcdWriter::render() const {
+  std::string out;
+  out += "$timescale 1ns $end\n$scope module pdet $end\n";
+  for (const auto& s : signals_) {
+    out += util::format("$var wire %d %s %s $end\n", s.width, s.id.c_str(),
+                        s.name.c_str());
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+  std::uint64_t current_time = ~std::uint64_t{0};
+  for (const auto& c : changes_) {
+    if (c.cycle != current_time) {
+      out += util::format("#%llu\n", static_cast<unsigned long long>(c.cycle));
+      current_time = c.cycle;
+    }
+    const Signal& s = signals_[c.signal];
+    if (s.width == 1) {
+      out += util::format("%u%s\n", static_cast<unsigned>(c.value & 1u),
+                          s.id.c_str());
+    } else {
+      out += "b" + to_binary(c.value, s.width) + " " + s.id + "\n";
+    }
+  }
+  return out;
+}
+
+bool VcdWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = render();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace pdet::sim

@@ -1,0 +1,50 @@
+// Value-change-dump tracing for the simulation kernel.
+//
+// Emits a minimal VCD file (viewable in GTKWave) from integer-valued signal
+// probes. Intended for debugging the accelerator model's pipelines, not for
+// performance measurement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pdet::sim {
+
+class VcdWriter {
+ public:
+  /// Signals must all be added before the first sample() call.
+  void add_signal(const std::string& name, int width,
+                  std::function<std::uint64_t()> probe);
+
+  /// Sample all probes at time `cycle`, recording changes only.
+  void sample(std::uint64_t cycle);
+
+  /// Render the accumulated trace as VCD text.
+  std::string render() const;
+
+  /// Write to file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string name;
+    int width;
+    std::function<std::uint64_t()> probe;
+    std::string id;
+    std::uint64_t last_value = 0;
+    bool has_value = false;
+  };
+  struct Change {
+    std::uint64_t cycle;
+    std::size_t signal;
+    std::uint64_t value;
+  };
+
+  bool sampled_ = false;
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace pdet::sim

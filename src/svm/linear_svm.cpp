@@ -1,0 +1,58 @@
+#include "src/svm/linear_svm.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::svm {
+
+float LinearModel::decision(std::span<const float> x) const {
+  PDET_REQUIRE(x.size() == weights.size());
+  // Accumulate in double: descriptors have thousands of terms and float
+  // accumulation would make scores order-dependent across refactors.
+  double acc = bias;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(weights[i]) * static_cast<double>(x[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+std::span<const float> Dataset::row(std::size_t i) const {
+  PDET_ASSERT(i < count());
+  return std::span<const float>(features).subspan(i * dimension, dimension);
+}
+
+void Dataset::add(std::span<const float> x, int label) {
+  PDET_REQUIRE(label == 1 || label == -1);
+  if (count() == 0 && dimension == 0) dimension = x.size();
+  PDET_REQUIRE(x.size() == dimension);
+  features.insert(features.end(), x.begin(), x.end());
+  labels.push_back(static_cast<int8_t>(label));
+}
+
+double svm_objective(const LinearModel& model, const Dataset& data, double C) {
+  PDET_REQUIRE(model.dimension() == data.dimension);
+  double reg = 0.0;
+  for (const float w : model.weights) {
+    reg += static_cast<double>(w) * static_cast<double>(w);
+  }
+  double hinge = 0.0;
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    const double margin =
+        static_cast<double>(data.labels[i]) * model.decision(data.row(i));
+    hinge += std::max(0.0, 1.0 - margin);
+  }
+  return 0.5 * reg + C * hinge;
+}
+
+double training_accuracy(const LinearModel& model, const Dataset& data) {
+  if (data.count() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    const bool positive = model.decision(data.row(i)) > 0.0f;
+    if (positive == (data.labels[i] > 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.count());
+}
+
+}  // namespace pdet::svm

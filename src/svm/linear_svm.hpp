@@ -1,0 +1,51 @@
+// Dense linear SVM model (paper Section 3.2).
+//
+// Classification evaluates y(x) = w . x + b (paper Eq. 4) and thresholds the
+// sign (Eq. 5-6). The model for pedestrians is trained offline — in the
+// paper with LibLinear, here with the trainers in train_dcd.hpp /
+// train_pegasos.hpp which solve the same objective (Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdet::svm {
+
+struct LinearModel {
+  std::vector<float> weights;
+  float bias = 0.0f;
+
+  std::size_t dimension() const { return weights.size(); }
+
+  /// Decision value y(x) = w . x + b.
+  float decision(std::span<const float> x) const;
+
+  /// Sign classification with an adjustable operating threshold (the paper's
+  /// "trade-off between false positives and false negatives ... handled by
+  /// varying the threshold in the classifier").
+  bool predict(std::span<const float> x, float threshold = 0.0f) const {
+    return decision(x) > threshold;
+  }
+};
+
+/// A labelled training/evaluation set: row-major dense features.
+struct Dataset {
+  std::size_t dimension = 0;
+  std::vector<float> features;  ///< size = count * dimension
+  std::vector<int8_t> labels;   ///< +1 / -1
+
+  std::size_t count() const { return labels.size(); }
+  std::span<const float> row(std::size_t i) const;
+  void add(std::span<const float> x, int label);
+};
+
+/// Hinge-loss objective E(w) of paper Eq. 3 with lambda = 1 / (n C):
+/// 0.5||w||^2 + C * sum max(0, 1 - y_i (w.x_i + b)); reported un-scaled so
+/// trainers can be compared.
+double svm_objective(const LinearModel& model, const Dataset& data, double C);
+
+/// Fraction of correctly classified examples at threshold 0.
+double training_accuracy(const LinearModel& model, const Dataset& data);
+
+}  // namespace pdet::svm

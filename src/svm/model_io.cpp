@@ -1,0 +1,88 @@
+#include "src/svm/model_io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/util/strings.hpp"
+
+namespace pdet::svm {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+std::string model_to_string(const LinearModel& model) {
+  std::string out = "pdet-svm 1\n";
+  out += util::format("dim %zu\n", model.dimension());
+  out += util::format("bias %.9g\n", static_cast<double>(model.bias));
+  out += "w";
+  for (const float w : model.weights) {
+    out += util::format(" %.9g", static_cast<double>(w));
+  }
+  out += "\n";
+  return out;
+}
+
+bool model_from_string(const std::string& text, LinearModel& out) {
+  const auto lines = util::split(text, '\n');
+  if (lines.size() < 4) return false;
+  if (util::trim(lines[0]) != "pdet-svm 1") return false;
+
+  const auto dim_fields = util::split(util::trim(lines[1]), ' ');
+  int dim = 0;
+  if (dim_fields.size() != 2 || dim_fields[0] != "dim" ||
+      !util::parse_int(dim_fields[1], dim) || dim < 0) {
+    return false;
+  }
+
+  const auto bias_fields = util::split(util::trim(lines[2]), ' ');
+  double bias = 0.0;
+  if (bias_fields.size() != 2 || bias_fields[0] != "bias" ||
+      !util::parse_double(bias_fields[1], bias)) {
+    return false;
+  }
+
+  const auto w_fields = util::split(util::trim(lines[3]), ' ');
+  if (w_fields.empty() || w_fields[0] != "w" ||
+      w_fields.size() != static_cast<std::size_t>(dim) + 1) {
+    return false;
+  }
+  LinearModel model;
+  model.bias = static_cast<float>(bias);
+  model.weights.resize(static_cast<std::size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    double v = 0.0;
+    if (!util::parse_double(w_fields[static_cast<std::size_t>(i) + 1], v)) {
+      return false;
+    }
+    model.weights[static_cast<std::size_t>(i)] = static_cast<float>(v);
+  }
+  out = std::move(model);
+  return true;
+}
+
+bool save_model(const LinearModel& model, const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  const std::string text = model_to_string(model);
+  return std::fwrite(text.data(), 1, text.size(), f.get()) == text.size();
+}
+
+bool load_model(const std::string& path, LinearModel& out) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    text.append(buf, got);
+  }
+  return model_from_string(text, out);
+}
+
+}  // namespace pdet::svm

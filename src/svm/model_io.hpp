@@ -1,0 +1,24 @@
+// Text serialization for trained models.
+//
+// The format is a deliberately simple line-oriented text file (comparable to
+// LIBLINEAR's model files) so a trained pedestrian model can be inspected,
+// versioned, and loaded by the examples without retraining.
+#pragma once
+
+#include <string>
+
+#include "src/svm/linear_svm.hpp"
+
+namespace pdet::svm {
+
+/// Render a model as text:  "pdet-svm 1\ndim <n>\nbias <b>\nw <w0> <w1> ...".
+std::string model_to_string(const LinearModel& model);
+
+/// Parse a model back; returns false (leaving `out` untouched) on malformed
+/// input.
+bool model_from_string(const std::string& text, LinearModel& out);
+
+bool save_model(const LinearModel& model, const std::string& path);
+bool load_model(const std::string& path, LinearModel& out);
+
+}  // namespace pdet::svm

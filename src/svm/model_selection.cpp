@@ -1,0 +1,75 @@
+#include "src/svm/model_selection.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::svm {
+
+CvReport cross_validate(const Dataset& data, const std::vector<double>& Cs,
+                        int folds, const DcdOptions& base_options,
+                        std::uint64_t shuffle_seed) {
+  PDET_REQUIRE(!Cs.empty());
+  PDET_REQUIRE(folds >= 2);
+  PDET_REQUIRE(data.count() >= static_cast<std::size_t>(2 * folds));
+
+  // Stratified fold assignment: shuffle positives and negatives separately,
+  // then deal them round-robin so every fold keeps the class ratio.
+  std::vector<std::size_t> pos;
+  std::vector<std::size_t> neg;
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    (data.labels[i] > 0 ? pos : neg).push_back(i);
+  }
+  PDET_REQUIRE(pos.size() >= static_cast<std::size_t>(folds));
+  PDET_REQUIRE(neg.size() >= static_cast<std::size_t>(folds));
+  util::Rng rng(shuffle_seed);
+  util::shuffle(pos, rng);
+  util::shuffle(neg, rng);
+  std::vector<int> fold_of(data.count());
+  for (std::size_t k = 0; k < pos.size(); ++k) {
+    fold_of[pos[k]] = static_cast<int>(k % static_cast<std::size_t>(folds));
+  }
+  for (std::size_t k = 0; k < neg.size(); ++k) {
+    fold_of[neg[k]] = static_cast<int>(k % static_cast<std::size_t>(folds));
+  }
+
+  CvReport report;
+  for (const double C : Cs) {
+    PDET_REQUIRE(C > 0.0);
+    double accuracy_sum = 0.0;
+    double min_fold = 1.0;
+    for (int f = 0; f < folds; ++f) {
+      Dataset train;
+      Dataset test;
+      for (std::size_t i = 0; i < data.count(); ++i) {
+        (fold_of[i] == f ? test : train).add(data.row(i), data.labels[i]);
+      }
+      DcdOptions opts = base_options;
+      opts.C = C;
+      const LinearModel model = train_dcd(train, opts);
+      const double acc = training_accuracy(model, test);
+      accuracy_sum += acc;
+      min_fold = std::min(min_fold, acc);
+    }
+    CvResult r;
+    r.C = C;
+    r.mean_accuracy = accuracy_sum / folds;
+    r.min_fold_accuracy = min_fold;
+    report.per_candidate.push_back(r);
+  }
+
+  // Best mean accuracy; ties broken toward the smaller C (more margin).
+  const auto best = std::max_element(
+      report.per_candidate.begin(), report.per_candidate.end(),
+      [](const CvResult& a, const CvResult& b) {
+        if (a.mean_accuracy != b.mean_accuracy) {
+          return a.mean_accuracy < b.mean_accuracy;
+        }
+        return a.C > b.C;  // equal accuracy: the smaller C is "greater"
+      });
+  report.best_C = best->C;
+  return report;
+}
+
+}  // namespace pdet::svm

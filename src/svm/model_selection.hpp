@@ -1,0 +1,33 @@
+// k-fold cross-validation for the SVM cost parameter.
+//
+// The paper trains with LibLinear's defaults; a production detector needs a
+// principled C. This utility evaluates candidate costs by stratified k-fold
+// cross-validation with the DCD trainer and returns the accuracy per
+// candidate plus the selected (best mean accuracy, ties toward stronger
+// regularization) value.
+#pragma once
+
+#include <vector>
+
+#include "src/svm/train_dcd.hpp"
+
+namespace pdet::svm {
+
+struct CvResult {
+  double C = 0.0;
+  double mean_accuracy = 0.0;
+  double min_fold_accuracy = 0.0;
+};
+
+struct CvReport {
+  std::vector<CvResult> per_candidate;
+  double best_C = 0.0;
+};
+
+/// Stratified k-fold CV: folds preserve the class ratio; each candidate C is
+/// trained on k-1 folds and scored on the held-out fold.
+CvReport cross_validate(const Dataset& data, const std::vector<double>& Cs,
+                        int folds, const DcdOptions& base_options = {},
+                        std::uint64_t shuffle_seed = 17);
+
+}  // namespace pdet::svm

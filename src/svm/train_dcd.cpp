@@ -1,0 +1,101 @@
+#include "src/svm/train_dcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::svm {
+
+LinearModel train_dcd(const Dataset& data, const DcdOptions& options,
+                      TrainReport* report) {
+  PDET_REQUIRE(data.count() > 0);
+  PDET_REQUIRE(options.C > 0.0);
+  PDET_REQUIRE(options.max_epochs >= 1);
+  const std::size_t n = data.count();
+  const std::size_t dim = data.dimension;
+  const bool with_bias = options.bias_feature > 0.0;
+  const double B = options.bias_feature;
+
+  // w holds [weights | bias_weight]; the bias feature value is B, so
+  // b = w_bias * B.
+  std::vector<double> w(dim + (with_bias ? 1 : 0), 0.0);
+  std::vector<double> alpha(n, 0.0);
+
+  // Diagonal Q_ii = x_i . x_i (+ B^2 for the bias feature, + 1/2C for L2 loss).
+  const double diag_shift =
+      options.loss == HingeLoss::kL2 ? 1.0 / (2.0 * options.C) : 0.0;
+  const double upper =
+      options.loss == HingeLoss::kL2 ? std::numeric_limits<double>::infinity()
+                                     : options.C;
+  std::vector<double> qii(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = data.row(i);
+    double s = with_bias ? B * B : 0.0;
+    for (const float v : x) s += static_cast<double>(v) * v;
+    qii[i] = s + diag_shift;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::Rng rng(options.seed);
+
+  int epoch = 0;
+  double max_violation = std::numeric_limits<double>::infinity();
+  for (; epoch < options.max_epochs; ++epoch) {
+    util::shuffle(order, rng);
+    max_violation = 0.0;
+    for (const std::size_t i : order) {
+      if (qii[i] <= 0.0) continue;  // zero vector: alpha stays 0
+      const auto x = data.row(i);
+      const double y = data.labels[i];
+
+      double wx = with_bias ? w[dim] * B : 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        wx += w[d] * static_cast<double>(x[d]);
+      }
+      const double grad = y * wx - 1.0 + diag_shift * alpha[i];
+
+      // Projected gradient for the box constraint [0, upper].
+      double pg = grad;
+      if (alpha[i] <= 0.0) pg = std::min(grad, 0.0);
+      else if (alpha[i] >= upper) pg = std::max(grad, 0.0);
+      max_violation = std::max(max_violation, std::fabs(pg));
+      if (pg == 0.0) continue;
+
+      const double old_alpha = alpha[i];
+      alpha[i] = std::clamp(old_alpha - grad / qii[i], 0.0, upper);
+      const double delta = (alpha[i] - old_alpha) * y;
+      if (delta == 0.0) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        w[d] += delta * static_cast<double>(x[d]);
+      }
+      if (with_bias) w[dim] += delta * B;
+    }
+    if (max_violation < options.tolerance) {
+      ++epoch;
+      break;
+    }
+  }
+
+  LinearModel model;
+  model.weights.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    model.weights[d] = static_cast<float>(w[d]);
+  }
+  model.bias = with_bias ? static_cast<float>(w[dim] * B) : 0.0f;
+
+  if (report != nullptr) {
+    report->epochs = epoch;
+    report->final_violation = max_violation;
+    report->converged = max_violation < options.tolerance;
+    report->objective = svm_objective(model, data, options.C);
+  }
+  return model;
+}
+
+}  // namespace pdet::svm

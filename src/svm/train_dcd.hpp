@@ -1,0 +1,40 @@
+// Dual coordinate descent trainer for linear SVM.
+//
+// This is LIBLINEAR's solver (Hsieh et al., ICML 2008) — the tool the paper
+// used ("training a linear SVM with the extracted HOG features in LibLinear
+// [7]"). It solves the dual of paper Eq. 3 one alpha_i at a time; each
+// update is O(dimension). The bias b is learned by augmenting every example
+// with a constant feature (LIBLINEAR's -B option).
+#pragma once
+
+#include <cstdint>
+
+#include "src/svm/linear_svm.hpp"
+
+namespace pdet::svm {
+
+enum class HingeLoss {
+  kL1,  ///< standard hinge (alpha in [0, C])
+  kL2,  ///< squared hinge (alpha in [0, inf), diagonal shift 1/2C)
+};
+
+struct DcdOptions {
+  double C = 0.01;             ///< misclassification cost (LIBLINEAR default-ish for HOG)
+  HingeLoss loss = HingeLoss::kL1;
+  int max_epochs = 200;
+  double tolerance = 1e-3;     ///< stop when max projected gradient violation < tol
+  double bias_feature = 1.0;   ///< augmented constant; <= 0 disables bias learning
+  std::uint64_t seed = 1;      ///< permutation seed
+};
+
+struct TrainReport {
+  int epochs = 0;
+  double final_violation = 0.0;
+  bool converged = false;
+  double objective = 0.0;      ///< primal objective at the solution
+};
+
+LinearModel train_dcd(const Dataset& data, const DcdOptions& options,
+                      TrainReport* report = nullptr);
+
+}  // namespace pdet::svm

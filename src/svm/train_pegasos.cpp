@@ -1,0 +1,63 @@
+#include "src/svm/train_pegasos.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::svm {
+
+LinearModel train_pegasos(const Dataset& data, const PegasosOptions& options) {
+  PDET_REQUIRE(data.count() > 0);
+  PDET_REQUIRE(options.C > 0.0);
+  const std::size_t n = data.count();
+  const std::size_t dim = data.dimension;
+  const double lambda = 1.0 / (static_cast<double>(n) * options.C);
+
+  std::vector<double> w(dim, 0.0);
+  double b = 0.0;
+  util::Rng rng(options.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Warm-start offset: the textbook schedule eta_t = 1/(lambda t) takes a
+  // step of size 1/lambda = nC at t = 1, which catapults the unregularized
+  // bias. Offsetting t by 1/lambda caps the first step near 1 without
+  // changing the asymptotic rate.
+  const double t0 = 1.0 / lambda;
+  std::size_t t = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    util::shuffle(order, rng);
+    for (const std::size_t i : order) {
+      ++t;
+      const double eta = 1.0 / (lambda * (t0 + static_cast<double>(t)));
+      const auto x = data.row(i);
+      const double y = data.labels[i];
+      double wx = b;
+      for (std::size_t d = 0; d < dim; ++d) {
+        wx += w[d] * static_cast<double>(x[d]);
+      }
+      const double scale = 1.0 - eta * lambda;
+      for (double& wd : w) wd *= scale;
+      if (y * wx < 1.0) {
+        const double step = eta * y;
+        for (std::size_t d = 0; d < dim; ++d) {
+          w[d] += step * static_cast<double>(x[d]);
+        }
+        b += step;  // bias not regularized
+      }
+    }
+  }
+
+  LinearModel model;
+  model.weights.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    model.weights[d] = static_cast<float>(w[d]);
+  }
+  model.bias = static_cast<float>(b);
+  return model;
+}
+
+}  // namespace pdet::svm

@@ -1,0 +1,22 @@
+// Pegasos (primal stochastic sub-gradient) trainer.
+//
+// Kept as an independent second solver of paper Eq. 3: the unit tests train
+// the same data with both trainers and require the resulting hyperplanes to
+// agree, which guards against a silent bug in either.
+#pragma once
+
+#include <cstdint>
+
+#include "src/svm/linear_svm.hpp"
+
+namespace pdet::svm {
+
+struct PegasosOptions {
+  double C = 0.01;        ///< converted internally to lambda = 1 / (n C)
+  int epochs = 60;
+  std::uint64_t seed = 7;
+};
+
+LinearModel train_pegasos(const Dataset& data, const PegasosOptions& options);
+
+}  // namespace pdet::svm

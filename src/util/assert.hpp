@@ -1,0 +1,35 @@
+// Contract-checking macros used across the pdet libraries.
+//
+// PDET_ASSERT   — internal invariant; compiled out in NDEBUG builds.
+// PDET_REQUIRE  — precondition on a public API; always checked. A violated
+//                 requirement is a programming error, so it aborts with a
+//                 diagnostic rather than throwing (Core Guidelines I.6/E.12).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdet::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "pdet: %s failed: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace pdet::detail
+
+#define PDET_REQUIRE(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::pdet::detail::contract_failure("precondition", #expr,        \
+                                             __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define PDET_ASSERT(expr) static_cast<void>(0)
+#else
+#define PDET_ASSERT(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::pdet::detail::contract_failure("assertion", #expr, __FILE__, \
+                                             __LINE__))
+#endif

@@ -1,0 +1,153 @@
+#include "src/util/cli.hpp"
+
+#include <cstdio>
+
+#include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
+
+namespace pdet::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_int(const std::string& name, int default_value,
+                  const std::string& help) {
+  PDET_REQUIRE(find(name) == nullptr);
+  options_.push_back({name, Kind::kInt, help, format("%d", default_value)});
+}
+
+void Cli::add_double(const std::string& name, double default_value,
+                     const std::string& help) {
+  PDET_REQUIRE(find(name) == nullptr);
+  options_.push_back({name, Kind::kDouble, help, format("%g", default_value)});
+}
+
+void Cli::add_string(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  PDET_REQUIRE(find(name) == nullptr);
+  options_.push_back({name, Kind::kString, help, default_value});
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  PDET_REQUIRE(find(name) == nullptr);
+  options_.push_back({name, Kind::kFlag, help, "false"});
+}
+
+const Cli::Option* Cli::find(const std::string& name) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+Cli::Option* Cli::find(const std::string& name) {
+  return const_cast<Option*>(static_cast<const Cli*>(this)->find(name));
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                   arg.c_str());
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(),
+                   arg.c_str());
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    if (opt->kind == Kind::kFlag) {
+      opt->flag_set = true;
+      opt->value = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' needs a value\n",
+                     program_.c_str(), arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (opt->kind == Kind::kInt) {
+      int parsed = 0;
+      if (!parse_int(value, parsed)) {
+        std::fprintf(stderr, "%s: bad integer for '--%s': '%s'\n",
+                     program_.c_str(), arg.c_str(), value.c_str());
+        return false;
+      }
+    } else if (opt->kind == Kind::kDouble) {
+      double parsed = 0;
+      if (!parse_double(value, parsed)) {
+        std::fprintf(stderr, "%s: bad number for '--%s': '%s'\n",
+                     program_.c_str(), arg.c_str(), value.c_str());
+        return false;
+      }
+    }
+    opt->value = value;
+  }
+  return true;
+}
+
+int Cli::get_int(const std::string& name) const {
+  const Option* opt = find(name);
+  PDET_REQUIRE(opt != nullptr && opt->kind == Kind::kInt);
+  int v = 0;
+  PDET_REQUIRE(parse_int(opt->value, v));
+  return v;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const Option* opt = find(name);
+  PDET_REQUIRE(opt != nullptr && opt->kind == Kind::kDouble);
+  double v = 0;
+  PDET_REQUIRE(parse_double(opt->value, v));
+  return v;
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  const Option* opt = find(name);
+  PDET_REQUIRE(opt != nullptr && opt->kind == Kind::kString);
+  return opt->value;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const Option* opt = find(name);
+  PDET_REQUIRE(opt != nullptr && opt->kind == Kind::kFlag);
+  return opt->flag_set;
+}
+
+std::string Cli::usage() const {
+  std::string out = format("usage: %s [options]\n%s\n\noptions:\n",
+                           program_.c_str(), description_.c_str());
+  for (const auto& opt : options_) {
+    const char* kind = "";
+    switch (opt.kind) {
+      case Kind::kInt: kind = " <int>"; break;
+      case Kind::kDouble: kind = " <num>"; break;
+      case Kind::kString: kind = " <str>"; break;
+      case Kind::kFlag: kind = ""; break;
+    }
+    out += format("  --%s%s  %s (default: %s)\n", opt.name.c_str(), kind,
+                  opt.help.c_str(), opt.value.c_str());
+  }
+  return out;
+}
+
+}  // namespace pdet::util

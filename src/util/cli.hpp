@@ -1,0 +1,56 @@
+// Tiny declarative command-line parser for the examples and benches.
+//
+//   util::Cli cli("quickstart", "train and run the detector");
+//   cli.add_int("npos", 400, "positive training windows");
+//   cli.add_flag("verbose", "chatty output");
+//   if (!cli.parse(argc, argv)) return 1;   // prints usage on --help / error
+//   int npos = cli.get_int("npos");
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdet::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  void add_int(const std::string& name, int default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse `--name value` / `--name=value` / `--flag`. Returns false (after
+  /// printing usage) on unknown options, malformed values, or --help.
+  bool parse(int argc, const char* const* argv);
+
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+    bool flag_set = false;
+  };
+
+  const Option* find(const std::string& name) const;
+  Option* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace pdet::util

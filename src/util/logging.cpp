@@ -1,0 +1,55 @@
+#include "src/util/logging.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pdet::util {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[pdet:%s] ", to_string(level).c_str());
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+std::string to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define PDET_DEFINE_LOG_FN(name, level)      \
+  void name(const char* fmt, ...) {          \
+    std::va_list args;                       \
+    va_start(args, fmt);                     \
+    vlog(level, fmt, args);                  \
+    va_end(args);                            \
+  }
+
+PDET_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+PDET_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+PDET_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+PDET_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef PDET_DEFINE_LOG_FN
+
+}  // namespace pdet::util

@@ -1,0 +1,31 @@
+// Minimal leveled logger writing to stderr.
+//
+// The libraries themselves stay quiet below `warn`; examples and benches may
+// raise verbosity for progress reporting. Not thread-safe by design: pdet is
+// single-threaded end to end (the paper's parallelism lives in the modeled
+// hardware, not host threads).
+#pragma once
+
+#include <string>
+
+namespace pdet::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging entry points.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable level name ("debug", "info", ...).
+std::string to_string(LogLevel level);
+
+}  // namespace pdet::util

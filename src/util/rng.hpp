@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in pdet (dataset synthesis, negative-window
+// sampling, SVM trainers) draws from Rng so that tests, benches and the
+// reproduced experiments are bit-for-bit repeatable across runs and
+// platforms. The generator is SplitMix64: tiny state, passes BigCrush for
+// this use, and trivially splittable for independent substreams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    PDET_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    PDET_REQUIRE(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; cache discarded to
+  /// keep the stream position a pure function of call count).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Independent child stream (for parallel-safe substreams).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fisher–Yates shuffle of a random-access container.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1));
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace pdet::util

@@ -1,0 +1,42 @@
+// Descriptive statistics over samples — used by the eval library and the
+// bench harnesses for summarising sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pdet::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]. xs need not be sorted.
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Online accumulator (Welford) for streaming statistics.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pdet::util

@@ -1,0 +1,89 @@
+#include "src/util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdet::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string to_fixed(double value, int decimals) {
+  return format("%.*f", decimals, value);
+}
+
+bool parse_int(std::string_view s, int& out) {
+  const std::string tmp(trim(s));
+  if (tmp.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size()) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const std::string tmp(trim(s));
+  if (tmp.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size()) return false;
+  out = v;
+  return true;
+}
+
+std::string pad_left(std::string s, std::size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string pad_right(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace pdet::util

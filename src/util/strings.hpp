@@ -1,0 +1,34 @@
+// Small string helpers shared by CLI parsing, table rendering and model I/O.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdet::util {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed precision floating-point rendering ("3.142" for (pi, 3)).
+std::string to_fixed(double value, int decimals);
+
+/// Parse helpers returning false (leaving `out` untouched) on bad input.
+bool parse_int(std::string_view s, int& out);
+bool parse_double(std::string_view s, double& out);
+
+/// Left/right padding to a field width (spaces).
+std::string pad_left(std::string s, std::size_t width);
+std::string pad_right(std::string s, std::size_t width);
+
+}  // namespace pdet::util

@@ -1,0 +1,35 @@
+// Console table and CSV rendering for experiment output.
+//
+// The benches print paper-style tables (e.g. Table 1 of the DAC'17 paper) to
+// stdout and optionally dump the same rows as CSV for post-processing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with aligned columns and a separator under the header.
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (fields containing , or " get quoted).
+  std::string to_csv() const;
+
+  /// Write CSV to a file. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdet::util

@@ -1,0 +1,27 @@
+// Wall-clock timing for the software benches (the hardware numbers come from
+// the cycle-level model in src/hwsim, not from host timing).
+#pragma once
+
+#include <chrono>
+
+namespace pdet::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdet::util

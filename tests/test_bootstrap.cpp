@@ -1,0 +1,138 @@
+// Tests for hard-negative mining (src/core/bootstrap) and the approach-
+// sequence generator it is demonstrated with.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/bootstrap.hpp"
+#include "src/dataset/scene.hpp"
+#include "src/util/logging.hpp"
+
+namespace pdet::core {
+namespace {
+
+class BootstrapFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::set_log_level(util::LogLevel::kWarn);
+    train_ = new dataset::WindowSet(dataset::make_window_set(41, 120, 240));
+    detector_ = new PedestrianDetector();
+    detector_->train(*train_);
+    BootstrapOptions opts;
+    opts.negative_scenes = 3;
+    opts.scene_width = 384;
+    opts.scene_height = 320;
+    opts.max_hard_negatives = 200;
+    opts.mining_threshold = -0.5f;  // low bar so mining finds material
+    report_ = bootstrap_hard_negatives(*detector_, *train_, opts);
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete train_;
+    detector_ = nullptr;
+    train_ = nullptr;
+  }
+  static PedestrianDetector* detector_;
+  static dataset::WindowSet* train_;
+  static BootstrapReport report_;
+};
+
+PedestrianDetector* BootstrapFixture::detector_ = nullptr;
+dataset::WindowSet* BootstrapFixture::train_ = nullptr;
+BootstrapReport BootstrapFixture::report_;
+
+TEST_F(BootstrapFixture, MinesFromAllScenes) {
+  EXPECT_EQ(report_.windows_scanned_frames, 3);
+  EXPECT_GE(report_.hard_negatives_mined, 0);
+  EXPECT_LE(report_.hard_negatives_mined, 200);
+}
+
+TEST_F(BootstrapFixture, RetrainConverged) {
+  EXPECT_GT(report_.retrain.epochs, 0);
+  EXPECT_TRUE(detector_->has_model());
+}
+
+TEST_F(BootstrapFixture, FalsePositiveRateDoesNotWorsen) {
+  EXPECT_LE(report_.final_false_positive_rate,
+            report_.initial_false_positive_rate + 0.51);
+}
+
+TEST_F(BootstrapFixture, PositiveAccuracyPreserved) {
+  const dataset::WindowSet test = dataset::make_window_set(42, 40, 0);
+  int correct = 0;
+  for (const auto& w : test.windows) {
+    if (detector_->score_window(w) > 0) ++correct;
+  }
+  EXPECT_GE(correct, 34) << "bootstrapping destroyed positive recall";
+}
+
+TEST(ApproachSequence, FramesAndDistances) {
+  dataset::ApproachOptions opts;
+  opts.scene.width = 256;
+  opts.scene.height = 192;
+  opts.start_distance_m = 30.0;
+  opts.closing_speed_mps = 10.0;
+  opts.fps = 10.0;  // 1 m per frame
+  opts.frames = 10;
+  opts.min_distance_m = 25.0;
+  const auto seq = dataset::render_approach_sequence(9, opts);
+  // 30, 29, ..., 26, 25 inclusive => 6 frames (next would be 24 < min... 25
+  // >= min so kept; 30-9 = 21 < min stops earlier).
+  ASSERT_EQ(seq.size(), 6u);
+  for (std::size_t f = 0; f < seq.size(); ++f) {
+    ASSERT_EQ(seq[f].truth.size(), 1u);
+    EXPECT_NEAR(seq[f].truth[0].distance_m, 30.0 - static_cast<double>(f), 1e-9);
+  }
+}
+
+TEST(ApproachSequence, PersonGrowsMonotonically) {
+  dataset::ApproachOptions opts;
+  opts.scene.width = 256;
+  opts.scene.height = 192;
+  opts.scene.camera.focal_px = 600.0;
+  opts.start_distance_m = 20.0;
+  opts.closing_speed_mps = 20.0;
+  opts.fps = 10.0;
+  opts.frames = 6;
+  opts.min_distance_m = 6.0;
+  const auto seq = dataset::render_approach_sequence(10, opts);
+  ASSERT_GE(seq.size(), 3u);
+  for (std::size_t f = 1; f < seq.size(); ++f) {
+    EXPECT_GT(seq[f].truth[0].height, seq[f - 1].truth[0].height);
+  }
+}
+
+TEST(ApproachSequence, StaticBackgroundAcrossFrames) {
+  dataset::ApproachOptions opts;
+  opts.scene.width = 192;
+  opts.scene.height = 160;
+  opts.start_distance_m = 30.0;
+  opts.closing_speed_mps = 5.0;
+  opts.fps = 10.0;
+  opts.frames = 2;
+  opts.lateral_frac = 0.7;
+  const auto seq = dataset::render_approach_sequence(11, opts);
+  ASSERT_EQ(seq.size(), 2u);
+  // Far from the pedestrian (left edge) the frames differ only by noise.
+  double diff = 0.0;
+  for (int y = 0; y < 160; ++y) {
+    for (int x = 0; x < 30; ++x) {
+      diff += std::fabs(seq[0].image.at(x, y) - seq[1].image.at(x, y));
+    }
+  }
+  EXPECT_LT(diff / (160 * 30), 0.05);
+}
+
+TEST(ApproachSequence, DeterministicForSeed) {
+  dataset::ApproachOptions opts;
+  opts.scene.width = 128;
+  opts.scene.height = 128;
+  opts.frames = 2;
+  const auto a = dataset::render_approach_sequence(12, opts);
+  const auto b = dataset::render_approach_sequence(12, opts);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].image, b[0].image);
+}
+
+}  // namespace
+}  // namespace pdet::core

@@ -1,0 +1,248 @@
+// Tests for src/core: DAS analysis, detector facade, scale experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/core/das.hpp"
+#include "src/core/pedestrian_detector.hpp"
+#include "src/core/scale_experiment.hpp"
+#include "src/svm/model_io.hpp"
+#include "src/util/logging.hpp"
+
+namespace pdet::core {
+namespace {
+
+// ---------------------------------------------------------------- DAS ------
+
+TEST(Das, PaperBrakingDistances) {
+  // Paper Section 1: 6.5 m/s^2 -> 14.84 m at 50 km/h, 29.16 m at 70 km/h.
+  // Exact physics gives 14.838 / 29.084; the paper's figures carry ~0.1 m of
+  // rounding in their intermediate speed conversion.
+  EXPECT_NEAR(das::braking_distance_m(50.0), 14.84, 0.01);
+  EXPECT_NEAR(das::braking_distance_m(70.0), 29.16, 0.1);
+}
+
+TEST(Das, PaperTotalStoppingDistances) {
+  // With PRT = 1.5 s: paper reports 35.68 m and 58.23 m (same rounding note).
+  EXPECT_NEAR(das::total_stopping_distance_m(50.0), 35.68, 0.02);
+  EXPECT_NEAR(das::total_stopping_distance_m(70.0), 58.23, 0.1);
+}
+
+TEST(Das, ReactionDistanceLinearInSpeed) {
+  EXPECT_NEAR(das::reaction_distance_m(50.0), 50.0 / 3.6 * 1.5, 1e-9);
+  EXPECT_NEAR(das::reaction_distance_m(100.0),
+              2.0 * das::reaction_distance_m(50.0), 1e-9);
+}
+
+TEST(Das, ZeroSpeedStopsImmediately) {
+  EXPECT_DOUBLE_EQ(das::total_stopping_distance_m(0.0), 0.0);
+}
+
+TEST(Das, CustomParamsRespected) {
+  das::StoppingParams p;
+  p.reaction_time_s = 1.0;
+  p.deceleration_mps2 = 10.0;
+  const double v = 36.0;  // 10 m/s
+  EXPECT_NEAR(das::total_stopping_distance_m(v, p), 10.0 + 100.0 / 20.0, 1e-9);
+}
+
+TEST(Das, RequiredScaleDecreasesWithDistance) {
+  dataset::SceneCamera cam;
+  const double near = das::required_scale(cam, 15.0);
+  const double mid = das::required_scale(cam, 30.0);
+  const double far = das::required_scale(cam, 60.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  // Scale halves when distance doubles (pinhole model).
+  EXPECT_NEAR(near / mid, 2.0, 1e-9);
+}
+
+TEST(Das, PaperDetectionBandCoveredByTwoScales) {
+  // The paper's requirement: detect within ~20-60 m. With focal 1000 px the
+  // two-scale design (1.0 and 2.0) covers one octave of distances; verify
+  // the band the hardware covers contains meaningful DAS distances and the
+  // near end is closer than the far end.
+  dataset::SceneCamera cam;
+  const das::CoverageBand band = das::coverage_band(cam, {1.0, 2.0});
+  EXPECT_LT(band.near_m, band.far_m);
+  // far: scale 1 at 0.8 fill -> person 102.4 px -> 16.6 m;
+  EXPECT_NEAR(band.far_m, 1000.0 * 1.7 / (128.0 * 0.8), 1e-6);
+  EXPECT_NEAR(band.near_m, 1000.0 * 1.7 / 256.0, 1e-6);
+}
+
+TEST(Das, StoppingDistanceWithinPaperBand) {
+  // The 20-60 m requirement of Section 1 follows from the stopping math.
+  const double d50 = das::total_stopping_distance_m(50.0);
+  const double d70 = das::total_stopping_distance_m(70.0);
+  EXPECT_GT(d50, 20.0);
+  EXPECT_LT(d70, 60.0);
+}
+
+// ------------------------------------------------------ detector facade ----
+
+class DetectorFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    detector_ = new PedestrianDetector();
+    const dataset::WindowSet train = dataset::make_window_set(31, 150, 300);
+    report_ = detector_->train(train);
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+  }
+  static PedestrianDetector* detector_;
+  static svm::TrainReport report_;
+};
+
+PedestrianDetector* DetectorFixture::detector_ = nullptr;
+svm::TrainReport DetectorFixture::report_;
+
+TEST_F(DetectorFixture, TrainingConverges) {
+  EXPECT_TRUE(detector_->has_model());
+  EXPECT_GT(report_.epochs, 0);
+  EXPECT_EQ(detector_->model().dimension(), 4608u);
+}
+
+TEST_F(DetectorFixture, ScoresSeparateClasses) {
+  const dataset::WindowSet test = dataset::make_window_set(32, 30, 30);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.count(); ++i) {
+    const float s = detector_->score_window(test.windows[i]);
+    if ((s > 0) == (test.labels[i] > 0)) ++correct;
+  }
+  EXPECT_GE(correct, 54) << "facade accuracy below 90% on held-out windows";
+}
+
+TEST_F(DetectorFixture, DetectFindsPlantedPerson) {
+  util::Rng rng(33);
+  imgproc::ImageF frame(320, 320, 0.5f);
+  dataset::fill_background(frame, rng, 0.5f);
+  const imgproc::ImageF ped = dataset::render_pedestrian(rng);
+  frame.paste(ped, 128, 96);
+  const auto result = detector_->detect(frame);
+  bool found = false;
+  for (const auto& d : result.detections) {
+    if (std::abs(d.x - 128) <= 16 && std::abs(d.y - 96) <= 16 &&
+        d.scale == 1.0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DetectorFixture, ModelRoundtripThroughDisk) {
+  const std::string path = testing::TempDir() + "/pdet_detector_model.txt";
+  ASSERT_TRUE(detector_->save_model(path));
+  PedestrianDetector fresh;
+  ASSERT_TRUE(fresh.load_model(path));
+  const dataset::WindowSet test = dataset::make_window_set(34, 5, 5);
+  for (const auto& w : test.windows) {
+    EXPECT_FLOAT_EQ(fresh.score_window(w), detector_->score_window(w));
+  }
+}
+
+TEST(PedestrianDetector, LoadRejectsWrongDimension) {
+  const std::string path = testing::TempDir() + "/pdet_tiny_model.txt";
+  svm::LinearModel tiny;
+  tiny.weights = {1.0f, 2.0f};
+  ASSERT_TRUE(svm::save_model(tiny, path));
+  PedestrianDetector detector;
+  EXPECT_FALSE(detector.load_model(path));
+  EXPECT_FALSE(detector.has_model());
+}
+
+TEST(PedestrianDetector, DalalLayoutConfigWorksToo) {
+  DetectorConfig config;
+  config.hog.layout = hog::DescriptorLayout::kDalalBlocks;
+  PedestrianDetector detector(config);
+  const dataset::WindowSet train = dataset::make_window_set(35, 60, 120);
+  detector.train(train);
+  EXPECT_EQ(detector.model().dimension(), 3780u);
+  const dataset::WindowSet test = dataset::make_window_set(36, 10, 10);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.count(); ++i) {
+    if ((detector.score_window(test.windows[i]) > 0) ==
+        (test.labels[i] > 0)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 16);
+}
+
+// ---------------------------------------------------- scale experiment -----
+
+TEST(ScaleExperiment, ReproducesTableOneShape) {
+  util::set_log_level(util::LogLevel::kWarn);
+  ScaleExperimentConfig config;
+  config.train_pos = 150;
+  config.train_neg = 300;
+  config.test_pos = 80;
+  config.test_neg = 160;
+  config.scales = {1.2, 2.0};
+  const ScaleExperimentResult result = run_scale_experiment(config);
+
+  // Base-scale accuracy high (paper: 98.04% on INRIA; synthetic differs but
+  // must be clearly better than chance and near-perfect).
+  EXPECT_GT(result.base.accuracy, 0.9);
+  EXPECT_GT(result.base.roc.auc, 0.95);
+
+  ASSERT_EQ(result.rows.size(), 2u);
+  const ScaleRow& small = result.rows[0];
+  const ScaleRow& large = result.rows[1];
+
+  // At modest scale both methods stay close to base accuracy.
+  EXPECT_GT(small.feature.accuracy, result.base.accuracy - 0.06);
+  EXPECT_GT(small.image.accuracy, result.base.accuracy - 0.06);
+  // Paper's Table 1 shape: the feature method's penalty grows with scale.
+  EXPECT_GE(small.feature.accuracy + 1e-9, large.feature.accuracy - 0.02);
+
+  // Counts are consistent with accuracy.
+  for (const ScaleRow* row : {&small, &large}) {
+    const int correct = row->feature.true_pos + row->feature.true_neg;
+    EXPECT_NEAR(row->feature.accuracy,
+                static_cast<double>(correct) / (80 + 160), 1e-9);
+  }
+}
+
+TEST(ScaleExperiment, MethodsAgreeAtModestScales) {
+  util::set_log_level(util::LogLevel::kWarn);
+  ScaleExperimentConfig config;
+  config.train_pos = 120;
+  config.train_neg = 240;
+  config.test_pos = 60;
+  config.test_neg = 120;
+  config.scales = {1.1};
+  const ScaleExperimentResult result = run_scale_experiment(config);
+  const ScaleRow& row = result.rows[0];
+  // The paper's key claim: at s <= 1.5 the proposed method performs
+  // comparably to (within a couple points of) the conventional one.
+  EXPECT_NEAR(row.feature.accuracy, row.image.accuracy, 0.05);
+  EXPECT_GT(row.feature.roc.auc, 0.9);
+}
+
+TEST(ScaleExperiment, SingleWindowMethodsScoreCloseAtScaleOnePointOne) {
+  // Unit-level check of the two scoring paths on one window.
+  util::Rng rng(55);
+  const imgproc::ImageF ped = dataset::render_pedestrian(rng);
+  const imgproc::ImageF up =
+      imgproc::resize_scale(ped, 1.1, imgproc::Interp::kBicubic);
+
+  hog::HogParams params;
+  const dataset::WindowSet train = dataset::make_window_set(56, 100, 200);
+  const svm::Dataset data = dataset::to_svm_dataset(train, params);
+  const svm::LinearModel model = svm::train_dcd(data, {.C = 0.01});
+
+  const float si = score_image_method(up, params, model,
+                                      imgproc::Interp::kBicubic);
+  const float sf = score_feature_method(up, params, model,
+                                        hog::FeatureInterp::kBilinear);
+  // Both are approximations of the same native score; they must agree in
+  // sign for a comfortably positive example and be numerically close.
+  EXPECT_GT(si, -0.5f);
+  EXPECT_NEAR(si, sf, 1.0f);
+}
+
+}  // namespace
+}  // namespace pdet::core

@@ -1,0 +1,319 @@
+// Unit tests for src/dataset: shapes, synthesis, scenes, builder protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dataset/builder.hpp"
+#include "src/dataset/scene.hpp"
+#include "src/dataset/shapes.hpp"
+#include "src/dataset/synth.hpp"
+
+namespace pdet::dataset {
+namespace {
+
+TEST(Shapes, EllipseCoverage) {
+  imgproc::ImageF mask(20, 20, 0.0f);
+  mask_ellipse(mask, 10, 10, 5, 5);
+  EXPECT_GT(mask.at(10, 10), 0.99f);
+  EXPECT_LT(mask.at(1, 1), 0.01f);
+  EXPECT_GT(mask.at(13, 10), 0.5f);  // inside radius
+}
+
+TEST(Shapes, EllipseZeroRadiusNoop) {
+  imgproc::ImageF mask(8, 8, 0.0f);
+  mask_ellipse(mask, 4, 4, 0, 3);
+  for (const float v : mask.pixels()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Shapes, QuadFillsInterior) {
+  imgproc::ImageF mask(20, 20, 0.0f);
+  mask_quad(mask, {Point{5, 5}, Point{15, 5}, Point{15, 15}, Point{5, 15}});
+  EXPECT_GT(mask.at(10, 10), 0.99f);
+  EXPECT_LT(mask.at(2, 2), 0.01f);
+  EXPECT_LT(mask.at(18, 18), 0.01f);
+}
+
+TEST(Shapes, QuadOrientationIndependent) {
+  imgproc::ImageF cw(16, 16, 0.0f);
+  imgproc::ImageF ccw(16, 16, 0.0f);
+  mask_quad(cw, {Point{4, 4}, Point{12, 4}, Point{12, 12}, Point{4, 12}});
+  mask_quad(ccw, {Point{4, 12}, Point{12, 12}, Point{12, 4}, Point{4, 4}});
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_NEAR(cw.at(x, y), ccw.at(x, y), 1e-5f);
+    }
+  }
+}
+
+TEST(Shapes, CapsuleCoversSegment) {
+  imgproc::ImageF mask(20, 20, 0.0f);
+  mask_capsule(mask, {3, 10}, {17, 10}, 4.0);
+  EXPECT_GT(mask.at(10, 10), 0.9f);
+  EXPECT_LT(mask.at(10, 2), 0.01f);
+}
+
+TEST(Shapes, CapsuleDegeneratesToDot) {
+  imgproc::ImageF mask(10, 10, 0.0f);
+  mask_capsule(mask, {5, 5}, {5, 5}, 4.0);
+  EXPECT_GT(mask.at(5, 5), 0.5f);
+}
+
+TEST(Shapes, BoxBlurPreservesMean) {
+  imgproc::ImageF img(16, 16, 0.0f);
+  img.at(8, 8) = 1.0f;
+  double before = 0.0;
+  for (const float v : img.pixels()) before += v;
+  box_blur(img, 2, 3);
+  double after = 0.0;
+  for (const float v : img.pixels()) after += v;
+  EXPECT_NEAR(after, before, 0.02);
+  EXPECT_LT(img.at(8, 8), 0.5f);  // spread out
+}
+
+TEST(Shapes, BlendConstant) {
+  imgproc::ImageF dst(4, 4, 0.0f);
+  imgproc::ImageF mask(4, 4, 0.5f);
+  blend(dst, mask, 1.0f);
+  for (const float v : dst.pixels()) EXPECT_FLOAT_EQ(v, 0.5f);
+}
+
+TEST(Shapes, BlendPerPixelValue) {
+  imgproc::ImageF dst(2, 1, 0.0f);
+  imgproc::ImageF mask(2, 1, 1.0f);
+  imgproc::ImageF val(2, 1);
+  val.at(0, 0) = 0.25f;
+  val.at(1, 0) = 0.75f;
+  blend(dst, mask, val);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(dst.at(1, 0), 0.75f);
+}
+
+TEST(Synth, PedestrianDeterministic) {
+  util::Rng a(42);
+  util::Rng b(42);
+  const imgproc::ImageF pa = render_pedestrian(a);
+  const imgproc::ImageF pb = render_pedestrian(b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Synth, PedestrianDims) {
+  util::Rng rng(1);
+  const imgproc::ImageF p = render_pedestrian(rng);
+  EXPECT_EQ(p.width(), 64);
+  EXPECT_EQ(p.height(), 128);
+  for (const float v : p.pixels()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Synth, PedestrianHasCentralStructure) {
+  // The person occupies the window center: central columns must carry more
+  // luminance variance than the margins, on average over several draws.
+  util::Rng rng(7);
+  double central = 0.0;
+  double margin = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const imgproc::ImageF p = render_pedestrian(rng);
+    auto column_var = [&](int x) {
+      double m = 0.0;
+      for (int y = 0; y < 128; ++y) m += p.at(x, y);
+      m /= 128.0;
+      double v = 0.0;
+      for (int y = 0; y < 128; ++y) {
+        v += (p.at(x, y) - m) * (p.at(x, y) - m);
+      }
+      return v / 128.0;
+    };
+    central += column_var(31) + column_var(33);
+    margin += column_var(1) + column_var(62);
+  }
+  EXPECT_GT(central, margin);
+}
+
+TEST(Synth, NegativeDeterministic) {
+  util::Rng a(5);
+  util::Rng b(5);
+  EXPECT_EQ(render_negative(a), render_negative(b));
+}
+
+TEST(Synth, PositivesAndNegativesDiffer) {
+  util::Rng a(5);
+  util::Rng b(5);
+  EXPECT_FALSE(render_pedestrian(a) == render_negative(b));
+}
+
+TEST(Synth, OcclusionHidesLowerBody) {
+  // With 40% occlusion the bottom rows of the window become a flat occluder
+  // (plus noise): row variance there must drop versus the unoccluded render.
+  RenderOptions occluded;
+  occluded.occlusion_frac = 0.4;
+  occluded.noise_sigma_min = occluded.noise_sigma_max = 0.0;
+  RenderOptions clear = occluded;
+  clear.occlusion_frac = 0.0;
+  util::Rng a(77);
+  util::Rng b(77);
+  const imgproc::ImageF with = render_pedestrian(a, occluded);
+  const imgproc::ImageF without = render_pedestrian(b, clear);
+  auto row_var = [](const imgproc::ImageF& img, int y) {
+    double m = 0.0;
+    for (int x = 0; x < img.width(); ++x) m += img.at(x, y);
+    m /= img.width();
+    double v = 0.0;
+    for (int x = 0; x < img.width(); ++x) {
+      v += (img.at(x, y) - m) * (img.at(x, y) - m);
+    }
+    return v / img.width();
+  };
+  double var_with = 0.0;
+  double var_without = 0.0;
+  for (int y = 100; y < 120; ++y) {  // leg region
+    var_with += row_var(with, y);
+    var_without += row_var(without, y);
+  }
+  EXPECT_LT(var_with, var_without * 0.5);
+  // The upper body is identical (same RNG stream up to the occluder).
+  for (int y = 10; y < 40; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      EXPECT_FLOAT_EQ(with.at(x, y), without.at(x, y));
+    }
+  }
+}
+
+TEST(Synth, FogRaisesBrightnessAndCutsContrast) {
+  util::Rng rng(88);
+  imgproc::ImageF img = render_pedestrian(rng);
+  const imgproc::ImageF clear = img;
+  apply_fog(img, 0.6);
+  double mean_clear = 0.0;
+  double mean_fog = 0.0;
+  for (const float v : clear.pixels()) mean_clear += v;
+  for (const float v : img.pixels()) mean_fog += v;
+  mean_clear /= static_cast<double>(clear.pixel_count());
+  mean_fog /= static_cast<double>(img.pixel_count());
+  EXPECT_GT(mean_fog, mean_clear);  // veil brightens
+  // Contrast (range) shrinks by exactly (1 - density).
+  const auto mm_clear =
+      std::minmax_element(clear.pixels().begin(), clear.pixels().end());
+  const auto mm_fog = std::minmax_element(img.pixels().begin(), img.pixels().end());
+  EXPECT_NEAR(*mm_fog.second - *mm_fog.first,
+              (*mm_clear.second - *mm_clear.first) * 0.4, 1e-3);
+}
+
+TEST(Synth, FogZeroIsIdentityFogOneIsVeil) {
+  util::Rng rng(89);
+  imgproc::ImageF img = render_negative(rng);
+  const imgproc::ImageF orig = img;
+  apply_fog(img, 0.0);
+  EXPECT_EQ(img, orig);
+  apply_fog(img, 1.0, 0.7f);
+  for (const float v : img.pixels()) EXPECT_FLOAT_EQ(v, 0.7f);
+}
+
+TEST(Builder, WindowSetCountsAndBalance) {
+  const WindowSet set = make_window_set(1, 10, 30);
+  EXPECT_EQ(set.count(), 40u);
+  EXPECT_EQ(set.positives(), 10u);
+  EXPECT_EQ(set.negatives(), 30u);
+  // Interleaved: the first 8 windows contain both classes.
+  bool early_pos = false;
+  bool early_neg = false;
+  for (int i = 0; i < 8; ++i) {
+    (set.labels[static_cast<std::size_t>(i)] > 0 ? early_pos : early_neg) = true;
+  }
+  EXPECT_TRUE(early_pos);
+  EXPECT_TRUE(early_neg);
+}
+
+TEST(Builder, WindowSetDeterministic) {
+  const WindowSet a = make_window_set(9, 5, 5);
+  const WindowSet b = make_window_set(9, 5, 5);
+  ASSERT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    EXPECT_EQ(a.windows[i], b.windows[i]);
+    EXPECT_EQ(a.labels[i], b.labels[i]);
+  }
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  const WindowSet a = make_window_set(1, 3, 3);
+  const WindowSet b = make_window_set(2, 3, 3);
+  EXPECT_FALSE(a.windows[0] == b.windows[0]);
+}
+
+TEST(Builder, UpsamplePreservesLabelsAndScalesDims) {
+  const WindowSet base = make_window_set(3, 4, 4);
+  const WindowSet up = upsample_window_set(base, 1.5);
+  ASSERT_EQ(up.count(), base.count());
+  EXPECT_EQ(up.labels, base.labels);
+  EXPECT_EQ(up.windows[0].width(), 96);    // 64 * 1.5
+  EXPECT_EQ(up.windows[0].height(), 192);  // 128 * 1.5
+}
+
+TEST(Builder, UpsampleScaleOneIsIdentityDims) {
+  const WindowSet base = make_window_set(3, 2, 2);
+  const WindowSet up = upsample_window_set(base, 1.0);
+  EXPECT_EQ(up.windows[0].width(), 64);
+}
+
+TEST(Builder, ToSvmDatasetDimensions) {
+  const WindowSet set = make_window_set(4, 3, 3);
+  hog::HogParams params;
+  const svm::Dataset data = to_svm_dataset(set, params);
+  EXPECT_EQ(data.count(), 6u);
+  EXPECT_EQ(data.dimension, static_cast<std::size_t>(params.descriptor_size()));
+  EXPECT_EQ(data.labels[0], set.labels[0]);
+}
+
+TEST(Scene, CameraGeometry) {
+  SceneCamera cam;  // focal 1000 px, person 1.7 m
+  EXPECT_NEAR(cam.person_px(17.0), 100.0, 1e-9);
+  EXPECT_NEAR(cam.person_px(34.0), 50.0, 1e-9);
+  // Nearer people have feet lower in the frame.
+  EXPECT_GT(cam.feet_row(540, 10.0), cam.feet_row(540, 50.0));
+}
+
+TEST(Scene, TruthBoxesMatchRequestedDistances) {
+  util::Rng rng(3);
+  SceneOptions opts;
+  opts.pedestrian_distances_m = {20.0, 40.0};
+  const Scene scene = render_scene(rng, opts);
+  ASSERT_EQ(scene.truth.size(), 2u);
+  // Sorted far-to-near during rendering.
+  EXPECT_GT(scene.truth[1].height, scene.truth[0].height);
+  for (const auto& box : scene.truth) {
+    EXPECT_GT(box.width, 0);
+    EXPECT_GT(box.height, 0);
+    // INRIA convention: box height ~ person height / 0.8.
+    const double person_px = opts.camera.person_px(box.distance_m);
+    EXPECT_NEAR(box.height, person_px / 0.8, 3.0);
+  }
+}
+
+TEST(Scene, ImageDimsAndRange) {
+  util::Rng rng(4);
+  SceneOptions opts;
+  opts.width = 320;
+  opts.height = 240;
+  opts.pedestrian_distances_m = {12.0};
+  const Scene scene = render_scene(rng, opts);
+  EXPECT_EQ(scene.image.width(), 320);
+  EXPECT_EQ(scene.image.height(), 240);
+  for (const float v : scene.image.pixels()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Scene, Deterministic) {
+  util::Rng a(11);
+  util::Rng b(11);
+  SceneOptions opts;
+  opts.width = 256;
+  opts.height = 192;
+  EXPECT_EQ(render_scene(a, opts).image, render_scene(b, opts).image);
+}
+
+}  // namespace
+}  // namespace pdet::dataset

@@ -1,0 +1,136 @@
+// Unit tests for detection-level evaluation (src/eval/detection_eval).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/eval/detection_eval.hpp"
+
+namespace pdet::eval {
+namespace {
+
+detect::Detection det(int x, int y, int w, int h, float score) {
+  detect::Detection d;
+  d.x = x;
+  d.y = y;
+  d.width = w;
+  d.height = h;
+  d.score = score;
+  return d;
+}
+
+TEST(MatchFrame, PerfectMatch) {
+  const std::vector<detect::Detection> dets{det(10, 10, 64, 128, 1.0f)};
+  const std::vector<GroundTruth> truth{{10, 10, 64, 128}};
+  const FrameMatch m = match_frame(dets, truth, 0.0f);
+  EXPECT_EQ(m.true_positives, 1);
+  EXPECT_EQ(m.false_positives, 0);
+  EXPECT_EQ(m.missed, 0);
+}
+
+TEST(MatchFrame, LowIouIsFalsePositivePlusMiss) {
+  const std::vector<detect::Detection> dets{det(200, 200, 64, 128, 1.0f)};
+  const std::vector<GroundTruth> truth{{10, 10, 64, 128}};
+  const FrameMatch m = match_frame(dets, truth, 0.0f);
+  EXPECT_EQ(m.true_positives, 0);
+  EXPECT_EQ(m.false_positives, 1);
+  EXPECT_EQ(m.missed, 1);
+}
+
+TEST(MatchFrame, DuplicateDetectionsPenalized) {
+  // Two overlapping detections of one person: the higher-scoring claims the
+  // truth, the second becomes a false positive (standard protocol).
+  const std::vector<detect::Detection> dets{det(10, 10, 64, 128, 0.9f),
+                                            det(14, 10, 64, 128, 0.5f)};
+  const std::vector<GroundTruth> truth{{10, 10, 64, 128}};
+  const FrameMatch m = match_frame(dets, truth, 0.0f);
+  EXPECT_EQ(m.true_positives, 1);
+  EXPECT_EQ(m.false_positives, 1);
+}
+
+TEST(MatchFrame, HigherScoreClaimsFirst) {
+  // The low-score detection fits truth A better, but the high-score one
+  // overlaps both; greedy-by-score gives the high scorer its best box.
+  const std::vector<detect::Detection> dets{det(0, 0, 64, 128, 0.2f),
+                                            det(30, 0, 64, 128, 0.9f)};
+  const std::vector<GroundTruth> truth{{0, 0, 64, 128}, {40, 0, 64, 128}};
+  const FrameMatch m = match_frame(dets, truth, 0.0f, 0.3);
+  EXPECT_EQ(m.true_positives, 2);  // 0.9 takes (40..), 0.2 takes (0..)
+}
+
+TEST(MatchFrame, ThresholdFiltersDetections) {
+  const std::vector<detect::Detection> dets{det(10, 10, 64, 128, 0.4f)};
+  const std::vector<GroundTruth> truth{{10, 10, 64, 128}};
+  const FrameMatch strict = match_frame(dets, truth, 0.5f);
+  EXPECT_EQ(strict.true_positives, 0);
+  EXPECT_EQ(strict.missed, 1);
+}
+
+TEST(MatchFrame, EmptyTruthAllFalsePositives) {
+  const std::vector<detect::Detection> dets{det(0, 0, 10, 10, 1.0f),
+                                            det(50, 0, 10, 10, 0.5f)};
+  const FrameMatch m = match_frame(dets, {}, 0.0f);
+  EXPECT_EQ(m.false_positives, 2);
+  EXPECT_EQ(m.missed, 0);
+}
+
+TEST(MissRateCurve, PerfectDetectorReachesZeroMiss) {
+  std::vector<std::vector<detect::Detection>> dets{
+      {det(10, 10, 64, 128, 0.9f)}, {det(40, 40, 64, 128, 0.8f)}};
+  std::vector<std::vector<GroundTruth>> truth{{{10, 10, 64, 128}},
+                                              {{40, 40, 64, 128}}};
+  const auto curve = miss_rate_curve(dets, truth);
+  ASSERT_FALSE(curve.empty());
+  double best_mr = 1.0;
+  for (const auto& p : curve) {
+    best_mr = std::min(best_mr, p.miss_rate);
+    EXPECT_GE(p.fppi, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(best_mr, 0.0);
+  EXPECT_NEAR(log_average_miss_rate(curve), 1e-4, 1e-6);  // clamped floor
+}
+
+TEST(MissRateCurve, ScoreOrderingTradesOff) {
+  // One frame: a false positive outscored by the true positive. At high
+  // threshold only the TP fires (miss 0, fppi 0)... actually the FP has the
+  // *higher* score here, so the strictest operating point has fppi 1.
+  std::vector<std::vector<detect::Detection>> dets{
+      {det(300, 10, 64, 128, 0.9f), det(10, 10, 64, 128, 0.5f)}};
+  std::vector<std::vector<GroundTruth>> truth{{{10, 10, 64, 128}}};
+  const auto curve = miss_rate_curve(dets, truth);
+  ASSERT_GE(curve.size(), 2u);
+  // Threshold just below 0.9: FP fires, TP not yet -> miss 1, fppi 1.
+  EXPECT_DOUBLE_EQ(curve.front().miss_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().fppi, 1.0);
+  // Threshold below 0.5: both fire -> miss 0, fppi 1.
+  EXPECT_DOUBLE_EQ(curve.back().miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fppi, 1.0);
+}
+
+TEST(MissRateCurve, BlindDetectorMissesEverything) {
+  std::vector<std::vector<detect::Detection>> dets{{}, {}};
+  std::vector<std::vector<GroundTruth>> truth{{{10, 10, 64, 128}},
+                                              {{40, 40, 64, 128}}};
+  const auto curve = miss_rate_curve(dets, truth);
+  ASSERT_FALSE(curve.empty());
+  for (const auto& p : curve) {
+    EXPECT_DOUBLE_EQ(p.miss_rate, 1.0);
+  }
+  EXPECT_NEAR(log_average_miss_rate(curve), 1.0, 1e-9);
+}
+
+TEST(LogAverageMissRate, InterpolatesBetweenPoints) {
+  // Synthetic curve: miss 0.5 at fppi 0.01, miss 0.1 at fppi 1.0 — the
+  // log-average lies strictly between.
+  std::vector<MissRatePoint> curve{{0.01, 0.5, 1.0f}, {1.0, 0.1, 0.0f}};
+  const double lamr = log_average_miss_rate(curve);
+  EXPECT_GT(lamr, 0.1);
+  EXPECT_LT(lamr, 0.5);
+}
+
+TEST(LogAverageMissRate, FlatCurveReturnsThatValue) {
+  std::vector<MissRatePoint> curve{{0.005, 0.3, 1.0f}, {2.0, 0.3, 0.0f}};
+  EXPECT_NEAR(log_average_miss_rate(curve), 0.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace pdet::eval

@@ -1,0 +1,191 @@
+// Unit tests for src/eval: confusion, ROC, AUC, EER.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/eval/metrics.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::eval {
+namespace {
+
+TEST(Confusion, CountsAtThreshold) {
+  const std::array<float, 6> scores{2.0f, 1.0f, 0.5f, -0.5f, -1.0f, 0.1f};
+  const std::array<signed char, 6> labels{1, 1, -1, -1, 1, -1};
+  const Confusion c = confusion_at(scores, labels, 0.0f);
+  EXPECT_EQ(c.true_pos, 2);   // 2.0, 1.0
+  EXPECT_EQ(c.false_pos, 2);  // 0.5, 0.1
+  EXPECT_EQ(c.true_neg, 1);   // -0.5
+  EXPECT_EQ(c.false_neg, 1);  // -1.0
+  EXPECT_EQ(c.total(), 6);
+  EXPECT_NEAR(c.accuracy(), 3.0 / 6.0, 1e-12);
+}
+
+TEST(Confusion, RatesComputed) {
+  Confusion c;
+  c.true_pos = 8;
+  c.false_neg = 2;
+  c.true_neg = 6;
+  c.false_pos = 4;
+  EXPECT_NEAR(c.true_positive_rate(), 0.8, 1e-12);
+  EXPECT_NEAR(c.false_positive_rate(), 0.4, 1e-12);
+  EXPECT_NEAR(c.precision(), 8.0 / 12.0, 1e-12);
+}
+
+TEST(Confusion, EmptyIsZero) {
+  const Confusion c = confusion_at({}, {}, 0.0f);
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.true_positive_rate(), 0.0);
+}
+
+TEST(Confusion, ThresholdMovesTradeoff) {
+  const std::array<float, 4> scores{0.9f, 0.4f, -0.4f, -0.9f};
+  const std::array<signed char, 4> labels{1, -1, 1, -1};
+  const Confusion strict = confusion_at(scores, labels, 0.5f);
+  const Confusion loose = confusion_at(scores, labels, -0.95f);
+  EXPECT_EQ(strict.false_pos, 0);
+  EXPECT_EQ(loose.false_neg, 0);
+  EXPECT_GE(loose.false_pos, strict.false_pos);
+}
+
+TEST(Roc, PerfectSeparationAucOneEerZero) {
+  const std::array<float, 6> scores{3, 2, 1, -1, -2, -3};
+  const std::array<signed char, 6> labels{1, 1, 1, -1, -1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  EXPECT_NEAR(roc.auc, 1.0, 1e-12);
+  EXPECT_NEAR(roc.eer, 0.0, 1e-12);
+}
+
+TEST(Roc, InvertedScoresAucZero) {
+  const std::array<float, 4> scores{-2, -1, 1, 2};
+  const std::array<signed char, 4> labels{1, 1, -1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  EXPECT_NEAR(roc.auc, 0.0, 1e-12);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  util::Rng rng(13);
+  std::vector<float> scores;
+  std::vector<signed char> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform(-1, 1)));
+    labels.push_back(rng.chance(0.5) ? 1 : -1);
+  }
+  const RocCurve roc = roc_curve(scores, labels);
+  EXPECT_NEAR(roc.auc, 0.5, 0.03);
+  EXPECT_NEAR(roc.eer, 0.5, 0.03);
+}
+
+TEST(Roc, CurveEndpointsAnchored) {
+  const std::array<float, 4> scores{1, 0.5f, -0.5f, -1};
+  const std::array<signed char, 4> labels{1, -1, 1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  ASSERT_GE(roc.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(roc.points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(roc.points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(roc.points.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(roc.points.back().tpr, 1.0);
+}
+
+TEST(Roc, MonotoneNondecreasing) {
+  util::Rng rng(17);
+  std::vector<float> scores;
+  std::vector<signed char> labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool pos = rng.chance(0.4);
+    scores.push_back(static_cast<float>(rng.normal(pos ? 0.5 : -0.5, 1.0)));
+    labels.push_back(pos ? 1 : -1);
+  }
+  const RocCurve roc = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < roc.points.size(); ++i) {
+    EXPECT_GE(roc.points[i].fpr, roc.points[i - 1].fpr);
+    EXPECT_GE(roc.points[i].tpr, roc.points[i - 1].tpr);
+  }
+}
+
+TEST(Roc, TiedScoresGroupedConsistently) {
+  // All scores identical: curve jumps straight from (0,0) to (1,1), AUC 0.5.
+  const std::array<float, 4> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  const std::array<signed char, 4> labels{1, -1, 1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  EXPECT_EQ(roc.points.size(), 2u);
+  EXPECT_NEAR(roc.auc, 0.5, 1e-12);
+}
+
+TEST(Roc, EerInterpolatedBetweenPoints) {
+  // Construct scores where FPR=FNR crossing falls between sweep points:
+  // separable except one swapped pair.
+  const std::array<float, 8> scores{4, 3, 2, 0.6f, 0.5f, -2, -3, -4};
+  const std::array<signed char, 8> labels{1, 1, 1, -1, 1, -1, -1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  EXPECT_GT(roc.eer, 0.0);
+  EXPECT_LT(roc.eer, 0.5);
+}
+
+TEST(Roc, AucIsRankProbability) {
+  // AUC equals P(score_pos > score_neg) for random pos/neg pairs; verify on
+  // a small case by brute force.
+  const std::array<float, 7> scores{0.9f, 0.7f, 0.3f, 0.2f, 0.8f, 0.1f, -0.2f};
+  const std::array<signed char, 7> labels{1, 1, 1, 1, -1, -1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  int wins = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 1) continue;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != -1) continue;
+      ++total;
+      if (scores[i] > scores[j]) ++wins;
+      else if (scores[i] == scores[j]) wins += 0;  // counted as half below
+    }
+  }
+  EXPECT_NEAR(roc.auc, static_cast<double>(wins) / total, 1e-9);
+}
+
+TEST(Pr, PerfectSeparationApOne) {
+  const std::array<float, 6> scores{3, 2, 1, -1, -2, -3};
+  const std::array<signed char, 6> labels{1, 1, 1, -1, -1, -1};
+  const PrCurve pr = pr_curve(scores, labels);
+  EXPECT_NEAR(pr.average_precision, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pr.points.back().recall, 1.0);
+}
+
+TEST(Pr, PrecisionDropsWithFalsePositives) {
+  // Scores: TP, FP, TP => precision at full recall is 2/3.
+  const std::array<float, 3> scores{3, 2, 1};
+  const std::array<signed char, 3> labels{1, -1, 1};
+  const PrCurve pr = pr_curve(scores, labels);
+  ASSERT_EQ(pr.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(pr.points[0].precision, 1.0);
+  EXPECT_NEAR(pr.points[2].precision, 2.0 / 3.0, 1e-12);
+  // AP with envelope: recall 0.5 at precision 1.0, then 0.5 more at 2/3.
+  EXPECT_NEAR(pr.average_precision, 0.5 * 1.0 + 0.5 * (2.0 / 3.0), 1e-12);
+}
+
+TEST(Pr, RandomScoresApNearPositiveRate) {
+  util::Rng rng(31);
+  std::vector<float> scores;
+  std::vector<signed char> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform(-1, 1)));
+    labels.push_back(rng.chance(0.3) ? 1 : -1);
+  }
+  const PrCurve pr = pr_curve(scores, labels);
+  EXPECT_NEAR(pr.average_precision, 0.3, 0.05);
+}
+
+TEST(Roc, AsciiPlotContainsSummary) {
+  const std::array<float, 4> scores{1, 0.5f, -0.5f, -1};
+  const std::array<signed char, 4> labels{1, 1, -1, -1};
+  const RocCurve roc = roc_curve(scores, labels);
+  const std::string plot = roc_ascii_plot(roc);
+  EXPECT_NE(plot.find("AUC"), std::string::npos);
+  EXPECT_NE(plot.find("EER"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdet::eval

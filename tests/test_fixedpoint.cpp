@@ -1,0 +1,273 @@
+// Unit tests for src/fixedpoint: Q-format arithmetic, CORDIC, CSD shift-add.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/fixedpoint/cordic.hpp"
+#include "src/fixedpoint/fixed.hpp"
+#include "src/fixedpoint/shiftadd.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::fixedpoint {
+namespace {
+
+using F8 = Fixed<8, 8>;
+using F4 = Fixed<4, 12>;
+
+TEST(Fixed, FromDoubleRoundtrip) {
+  const F8 x = F8::from_double(3.25);
+  EXPECT_DOUBLE_EQ(x.to_double(), 3.25);
+  const F8 y = F8::from_double(-1.5);
+  EXPECT_DOUBLE_EQ(y.to_double(), -1.5);
+}
+
+TEST(Fixed, RoundsToNearest) {
+  // Resolution of Q8.8 is 1/256; 1/512 rounds up to one LSB.
+  const F8 x = F8::from_double(1.0 / 512.0);
+  EXPECT_EQ(x.raw(), 1);
+  const F8 y = F8::from_double(-1.0 / 512.0);
+  EXPECT_EQ(y.raw(), -1);
+}
+
+TEST(Fixed, AdditionAndSubtraction) {
+  const F8 a = F8::from_double(1.5);
+  const F8 b = F8::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.5);
+}
+
+TEST(Fixed, MultiplicationExactOnRepresentable) {
+  const F8 a = F8::from_double(1.5);
+  const F8 b = F8::from_double(-2.5);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.75);
+}
+
+TEST(Fixed, MultiplicationRounds) {
+  const F8 a = F8::from_double(1.0 / 256.0);  // 1 LSB
+  const F8 b = F8::from_double(0.5);
+  // Exact product is half an LSB; rounds away from zero to 1 LSB.
+  EXPECT_EQ((a * b).raw(), 1);
+}
+
+TEST(Fixed, Division) {
+  const F8 a = F8::from_double(3.0);
+  const F8 b = F8::from_double(2.0);
+  EXPECT_DOUBLE_EQ((a / b).to_double(), 1.5);
+}
+
+TEST(Fixed, SaturationOnOverflow) {
+  const F8 max = F8::max_value();
+  const F8 one = F8::from_int(1);
+  EXPECT_EQ((max + one).raw(), F8::kMaxRaw);
+  EXPECT_EQ((F8::min_value() - one).raw(), F8::kMinRaw);
+  EXPECT_EQ((max * max).raw(), F8::kMaxRaw);
+}
+
+TEST(Fixed, FromDoubleSaturates) {
+  EXPECT_EQ(F8::from_double(1e9).raw(), F8::kMaxRaw);
+  EXPECT_EQ(F8::from_double(-1e9).raw(), F8::kMinRaw);
+}
+
+TEST(Fixed, Shifts) {
+  const F8 x = F8::from_double(2.0);
+  EXPECT_DOUBLE_EQ((x << 2).to_double(), 8.0);
+  EXPECT_DOUBLE_EQ((x >> 1).to_double(), 1.0);
+}
+
+TEST(Fixed, ToIntTruncatesTowardNegInfinity) {
+  EXPECT_EQ(F8::from_double(2.75).to_int(), 2);
+  EXPECT_EQ(F8::from_double(-2.25).to_int(), -3);
+}
+
+TEST(Fixed, Comparisons) {
+  EXPECT_LT(F4::from_double(0.1), F4::from_double(0.2));
+  EXPECT_EQ(F4::from_double(0.5), F4::from_double(0.5));
+}
+
+TEST(Fixed, Resolution) {
+  EXPECT_DOUBLE_EQ(F8::resolution(), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(F4::resolution(), 1.0 / 4096.0);
+}
+
+TEST(Fixed, RandomizedArithmeticMatchesDoubleWithinResolution) {
+  // Property sweep: +, -, * against double arithmetic, error bounded by the
+  // format resolution (one LSB for +/-, ~1 LSB for rounded products).
+  pdet::util::Rng rng(99);
+  using F = Fixed<10, 12>;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-200.0, 200.0);
+    const double b = rng.uniform(-200.0, 200.0);
+    const F fa = F::from_double(a);
+    const F fb = F::from_double(b);
+    if (std::fabs(a + b) < 500.0) {
+      EXPECT_NEAR((fa + fb).to_double(), a + b, 2.5 * F::resolution());
+    }
+    if (std::fabs(a - b) < 500.0) {
+      EXPECT_NEAR((fa - fb).to_double(), a - b, 2.5 * F::resolution());
+    }
+    const double small_a = a / 100.0;
+    const double small_b = b / 100.0;
+    const F sa = F::from_double(small_a);
+    const F sb = F::from_double(small_b);
+    EXPECT_NEAR((sa * sb).to_double(), small_a * small_b,
+                (std::fabs(small_a) + std::fabs(small_b) + 2.0) * F::resolution());
+  }
+}
+
+TEST(Fixed, NegationIsInvolutionExceptAtMin) {
+  using F = Fixed<8, 8>;
+  for (double v = -100.0; v < 100.0; v += 3.7) {
+    const F x = F::from_double(v);
+    EXPECT_EQ((-(-x)).raw(), x.raw());
+  }
+}
+
+struct CordicCase {
+  double fx;
+  double fy;
+};
+
+class CordicTest : public testing::TestWithParam<CordicCase> {};
+
+TEST_P(CordicTest, MatchesLibm) {
+  const Cordic cordic(14);
+  const auto [fx, fy] = GetParam();
+  const CordicResult r = cordic.vectoring(fx, fy);
+  const double mag = std::hypot(fx, fy);
+  double angle = std::atan2(fy, fx);
+  constexpr double kPi = std::numbers::pi;
+  angle = std::fmod(angle, kPi);
+  if (angle < 0) angle += kPi;
+  if (angle >= kPi) angle -= kPi;
+  EXPECT_NEAR(r.magnitude, mag, std::max(1e-3, mag * 2e-3));
+  // Angle comparison must respect the wrap at pi (0 and pi are the same
+  // unsigned orientation).
+  const double diff = std::min(std::fabs(r.angle - angle),
+                               kPi - std::fabs(r.angle - angle));
+  EXPECT_LT(diff, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Directions, CordicTest,
+    testing::Values(CordicCase{1, 0}, CordicCase{0, 1}, CordicCase{-1, 0},
+                    CordicCase{0, -1}, CordicCase{1, 1}, CordicCase{-1, 1},
+                    CordicCase{1, -1}, CordicCase{-3, -4}, CordicCase{255, 1},
+                    CordicCase{1, 255}, CordicCase{-200, 130},
+                    CordicCase{0.01, 0.02}, CordicCase{100, 0.5}));
+
+TEST(Cordic, ZeroVector) {
+  const Cordic cordic;
+  const CordicResult r = cordic.vectoring(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.magnitude, 0.0);
+  EXPECT_DOUBLE_EQ(r.angle, 0.0);
+}
+
+TEST(Cordic, AngleErrorShrinksWithIterations) {
+  const Cordic coarse(6);
+  const Cordic fine(16);
+  EXPECT_GT(coarse.angle_error_bound(), fine.angle_error_bound());
+  // Measured error must respect the bound on a dense sweep.
+  constexpr double kPi = std::numbers::pi;
+  for (int k = 1; k < 60; ++k) {
+    const double theta = k * kPi / 60.0;
+    const auto r = fine.vectoring(std::cos(theta), std::sin(theta));
+    const double diff = std::min(std::fabs(r.angle - theta),
+                                 kPi - std::fabs(r.angle - theta));
+    EXPECT_LT(diff, fine.angle_error_bound() + 1e-4) << "theta=" << theta;
+  }
+}
+
+TEST(Cordic, UnsignedOrientationIdentifiesOppositeVectors) {
+  const Cordic cordic(12);
+  const auto a = cordic.vectoring(3.0, 2.0);
+  const auto b = cordic.vectoring(-3.0, -2.0);
+  EXPECT_NEAR(a.angle, b.angle, 1e-9);
+  EXPECT_NEAR(a.magnitude, b.magnitude, 1e-9);
+}
+
+TEST(Csd, EncodesZeroAsEmpty) {
+  EXPECT_TRUE(csd_encode(0).empty());
+}
+
+class CsdValueTest : public testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CsdValueTest, ReconstructsValue) {
+  const std::int64_t v = GetParam();
+  const auto terms = csd_encode(v);
+  std::int64_t sum = 0;
+  for (const auto& t : terms) {
+    sum += static_cast<std::int64_t>(t.sign) * (std::int64_t{1} << t.shift);
+  }
+  EXPECT_EQ(sum, v);
+}
+
+TEST_P(CsdValueTest, NoAdjacentNonzeroDigits) {
+  const auto terms = csd_encode(GetParam());
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_GE(terms[i].shift - terms[i - 1].shift, 2)
+        << "CSD canonical form violated";
+  }
+}
+
+TEST_P(CsdValueTest, AtMostCeilHalfBitsDigits) {
+  const std::int64_t v = GetParam();
+  const auto terms = csd_encode(v);
+  int bits = 0;
+  while ((v >> bits) != 0) ++bits;
+  EXPECT_LE(static_cast<int>(terms.size()), bits / 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, CsdValueTest,
+                         testing::Values<std::int64_t>(1, 2, 3, 7, 15, 23, 85,
+                                                       170, 255, 256, 257, 1023,
+                                                       12345, 65535, 1000000));
+
+TEST(ShiftAdd, ApplyMatchesMultiplication) {
+  for (const double coeff : {0.0, 0.25, 0.3, 0.5, 0.7, 0.99, 1.0, 1.5, 3.99}) {
+    const ShiftAddConstant c(coeff, 8);
+    for (const std::int64_t v : {0LL, 1LL, 7LL, 100LL, -100LL, 12345LL}) {
+      const std::int64_t raw =
+          static_cast<std::int64_t>(std::llround(coeff * 256.0));
+      EXPECT_EQ(c.apply_scaled(v), v * raw) << "coeff=" << coeff << " v=" << v;
+    }
+  }
+}
+
+TEST(ShiftAdd, QuantizedValueWithinHalfLsb) {
+  for (const double coeff : {0.1, 0.33, 0.66, 1.2, 2.7}) {
+    const ShiftAddConstant c(coeff, 10);
+    EXPECT_NEAR(c.quantized(), coeff, 0.5 / 1024.0 + 1e-12);
+  }
+}
+
+TEST(ShiftAdd, ApplyRoundsBackToValueDomain) {
+  const ShiftAddConstant half(0.5, 8);
+  EXPECT_EQ(half.apply(10), 5);
+  EXPECT_EQ(half.apply(-10), -5);
+  const ShiftAddConstant x1(1.0, 8);
+  EXPECT_EQ(x1.apply(123), 123);
+}
+
+TEST(ShiftAdd, AdderCountIsCsdDigitCount) {
+  const ShiftAddConstant c(0.75, 4);  // 12 = +16 -4 in CSD => 2 digits
+  EXPECT_EQ(c.adder_count(), 2);
+  const ShiftAddConstant one(1.0, 8);  // 256 = one digit
+  EXPECT_EQ(one.adder_count(), 1);
+}
+
+TEST(ShiftAdd, BilinearPairConservesSum) {
+  // A bilinear scaler uses (1-w, w) pairs; their CSD forms must sum to ~1 so
+  // constant feature fields stay constant through the hardware scaler.
+  for (double w = 0.0; w <= 1.0; w += 0.125) {
+    const ShiftAddConstant a(1.0 - w, 8);
+    const ShiftAddConstant b(w, 8);
+    const std::int64_t v = 1000;
+    EXPECT_NEAR(static_cast<double>(a.apply_scaled(v) + b.apply_scaled(v)),
+                1000.0 * 256.0, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdet::fixedpoint

@@ -1,0 +1,250 @@
+// Tests for the data-carrying streaming accelerator model: the streamed
+// computation must be bit-identical to the batch fixed-point pipeline, and
+// the memory organisation must behave as the paper claims (conflict-free
+// banks, 18-row ring sufficiency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/dataset/builder.hpp"
+#include "src/dataset/scene.hpp"
+#include "src/hwsim/streaming.hpp"
+#include "src/imgproc/convert.hpp"
+#include "src/svm/train_dcd.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::hwsim {
+namespace {
+
+imgproc::ImageU8 random_u8(int w, int h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  imgproc::ImageU8 img(w, h);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return img;
+}
+
+svm::LinearModel tiny_model(const hog::HogParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  svm::LinearModel model;
+  model.weights.resize(static_cast<std::size_t>(params.descriptor_size()));
+  for (auto& w : model.weights) w = static_cast<float>(rng.normal(0.0, 0.02));
+  model.bias = -0.05f;
+  return model;
+}
+
+class StreamingVsBatch : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(StreamingVsBatch, ScoresBitIdenticalToBatchPipeline) {
+  const auto [w, h] = GetParam();
+  const hog::HogParams params;
+  const FixedPointConfig fp;
+  const imgproc::ImageU8 frame = random_u8(w, h, 42 + static_cast<unsigned>(w));
+  const svm::LinearModel model = tiny_model(params, 7);
+
+  const StreamingResult streamed =
+      run_streaming_frame(frame, params, fp, model);
+
+  const FixedHogPipeline pipeline(params, fp);
+  const QuantizedModel qmodel = QuantizedModel::quantize(model, fp);
+  const IntBlockGrid blocks = pipeline.normalize(pipeline.compute_cells(frame));
+
+  const int nx = blocks.cells_x - params.cells_per_window_x() + 1;
+  const int ny = blocks.cells_y - params.cells_per_window_y() + 1;
+  ASSERT_EQ(streamed.scores.size(), static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+
+  std::map<std::pair<int, int>, double> streamed_at;
+  for (const auto& s : streamed.scores) {
+    streamed_at[{s.cell_x, s.cell_y}] = s.score;
+  }
+  for (int cy = 0; cy < ny; ++cy) {
+    for (int cx = 0; cx < nx; ++cx) {
+      const double batch = pipeline.classify_window(blocks, qmodel, cx, cy);
+      const auto it = streamed_at.find({cx, cy});
+      ASSERT_NE(it, streamed_at.end()) << cx << "," << cy;
+      EXPECT_EQ(it->second, batch)
+          << "streamed and batch scores differ at (" << cx << ", " << cy << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, StreamingVsBatch,
+                         testing::Values(std::pair{64, 128}, std::pair{96, 160},
+                                         std::pair{136, 136},
+                                         std::pair{168, 200}));
+
+TEST(Streaming, RealImageryBitIdentical) {
+  // Repeat the equivalence on structured (non-noise) content.
+  const hog::HogParams params;
+  const FixedPointConfig fp;
+  util::Rng rng(11);
+  dataset::SceneOptions opts;
+  opts.width = 192;
+  opts.height = 160;
+  opts.pedestrian_distances_m = {14.0};
+  const dataset::Scene scene = dataset::render_scene(rng, opts);
+  const imgproc::ImageU8 frame = imgproc::to_u8(scene.image);
+  const svm::LinearModel model = tiny_model(params, 13);
+
+  const StreamingResult streamed =
+      run_streaming_frame(frame, params, fp, model);
+  const FixedHogPipeline pipeline(params, fp);
+  const QuantizedModel qmodel = QuantizedModel::quantize(model, fp);
+  const IntBlockGrid blocks = pipeline.normalize(pipeline.compute_cells(frame));
+  for (const auto& s : streamed.scores) {
+    EXPECT_EQ(s.score,
+              pipeline.classify_window(blocks, qmodel, s.cell_x, s.cell_y));
+  }
+}
+
+TEST(Streaming, RingOccupancyWithinEighteenRows) {
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(160, 256, 3);
+  const svm::LinearModel model = tiny_model(params, 3);
+  const StreamingResult r = run_streaming_frame(frame, params, {}, model, 18);
+  EXPECT_LE(r.nhog_max_occupancy, 18);
+  EXPECT_GE(r.nhog_max_occupancy, 16);
+}
+
+TEST(Streaming, BankLoadIsBalanced) {
+  // bank(row) = row mod 16 and each pass reads 16 consecutive rows, so every
+  // bank must serve (nearly) the same number of reads — the conflict-free
+  // pattern that lets 16 MACs stream one window column per 36 cycles.
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(128, 256, 5);  // 16x32 cells
+  const svm::LinearModel model = tiny_model(params, 5);
+  const StreamingResult r = run_streaming_frame(frame, params, {}, model);
+  EXPECT_GT(r.min_bank_reads, 0u);
+  // Perfect balance for 32 rows (a multiple of 16): every bank identical.
+  EXPECT_EQ(r.min_bank_reads, r.max_bank_reads);
+}
+
+TEST(Streaming, CycleCountExtractionBound) {
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(128, 160, 9);
+  const svm::LinearModel model = tiny_model(params, 9);
+  const StreamingResult r = run_streaming_frame(frame, params, {}, model);
+  const std::uint64_t pixels = 128 * 160;
+  EXPECT_GE(r.cycles, pixels);
+  // Pixel stream + pipeline drain + the final row's normalizer/classifier.
+  EXPECT_LE(r.cycles, pixels + 6000u);
+}
+
+TEST(Streaming, ScoresOrderedRowMajorPerPass) {
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(96, 144, 21);
+  const svm::LinearModel model = tiny_model(params, 21);
+  const StreamingResult r = run_streaming_frame(frame, params, {}, model);
+  // Anchors must appear in pass order: row-major, exactly once each.
+  int k = 0;
+  const int nx = 96 / 8 - 8 + 1;
+  for (const auto& s : r.scores) {
+    EXPECT_EQ(s.cell_y, k / nx);
+    EXPECT_EQ(s.cell_x, k % nx);
+    ++k;
+  }
+}
+
+TEST(Streaming, MinimalRingStillExact) {
+  // 17-row ring (16 in flight + 1 landing) must still stream correctly.
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(96, 192, 33);
+  const svm::LinearModel model = tiny_model(params, 33);
+  const StreamingResult small = run_streaming_frame(frame, params, {}, model, 17);
+  const StreamingResult big = run_streaming_frame(frame, params, {}, model, 64);
+  ASSERT_EQ(small.scores.size(), big.scores.size());
+  for (std::size_t i = 0; i < small.scores.size(); ++i) {
+    EXPECT_EQ(small.scores[i].score, big.scores[i].score);
+  }
+  EXPECT_LE(small.nhog_max_occupancy, 17);
+}
+
+TEST(Streaming, NoSpatialInterpAlsoExact) {
+  // The spill logic differs without bilinear voting; verify that path too.
+  hog::HogParams params;
+  params.spatial_interp = false;
+  const FixedPointConfig fp;
+  const imgproc::ImageU8 frame = random_u8(96, 160, 44);
+  const svm::LinearModel model = tiny_model(params, 44);
+  const StreamingResult streamed = run_streaming_frame(frame, params, fp, model);
+  const FixedHogPipeline pipeline(params, fp);
+  const QuantizedModel qmodel = QuantizedModel::quantize(model, fp);
+  const IntBlockGrid blocks = pipeline.normalize(pipeline.compute_cells(frame));
+  ASSERT_FALSE(streamed.scores.empty());
+  for (const auto& s : streamed.scores) {
+    EXPECT_EQ(s.score,
+              pipeline.classify_window(blocks, qmodel, s.cell_x, s.cell_y));
+  }
+}
+
+class TwoScaleStreaming : public testing::TestWithParam<double> {};
+
+TEST_P(TwoScaleStreaming, BothLevelsBitIdenticalToBatch) {
+  const double scale = GetParam();
+  const hog::HogParams params;
+  const FixedPointConfig fp;
+  const imgproc::ImageU8 frame = random_u8(168, 256, 55);
+  const svm::LinearModel model = tiny_model(params, 55);
+
+  const TwoScaleStreamingResult streamed =
+      run_streaming_frame_two_scale(frame, params, fp, model, scale);
+
+  const FixedHogPipeline pipeline(params, fp);
+  const QuantizedModel qmodel = QuantizedModel::quantize(model, fp);
+  const IntCellGrid base = pipeline.compute_cells(frame);
+
+  // Native level.
+  const IntBlockGrid blocks0 = pipeline.normalize(base);
+  for (const auto& s : streamed.native.scores) {
+    ASSERT_EQ(s.score,
+              pipeline.classify_window(blocks0, qmodel, s.cell_x, s.cell_y));
+  }
+
+  // Scaled level: identical to batch downscale_cells + normalize.
+  const int out_x = std::max(params.cells_per_window_x(),
+                             static_cast<int>(std::lround(base.cells_x / scale)));
+  const int out_y = std::max(params.cells_per_window_y(),
+                             static_cast<int>(std::lround(base.cells_y / scale)));
+  const IntCellGrid down = pipeline.downscale_cells(base, out_x, out_y);
+  const IntBlockGrid blocks1 = pipeline.normalize(down);
+  const std::size_t expected =
+      static_cast<std::size_t>(out_x - params.cells_per_window_x() + 1) *
+      static_cast<std::size_t>(out_y - params.cells_per_window_y() + 1);
+  ASSERT_EQ(streamed.scaled.scores.size(), expected);
+  for (const auto& s : streamed.scaled.scores) {
+    ASSERT_EQ(s.score,
+              pipeline.classify_window(blocks1, qmodel, s.cell_x, s.cell_y))
+        << "scaled-level divergence at (" << s.cell_x << ", " << s.cell_y
+        << ") scale " << scale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TwoScaleStreaming,
+                         testing::Values(1.3, 1.5, 2.0));
+
+TEST(TwoScaleStreaming, BothRingsStayWithinCapacity) {
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(192, 320, 56);
+  const svm::LinearModel model = tiny_model(params, 56);
+  const auto r = run_streaming_frame_two_scale(frame, params, {}, model, 2.0);
+  EXPECT_LE(r.native.nhog_max_occupancy, 18);
+  EXPECT_LE(r.scaled.nhog_max_occupancy, 18);
+  EXPECT_GE(r.native.nhog_max_occupancy, 16);
+}
+
+TEST(TwoScaleStreaming, CycleCountStillExtractionBound) {
+  const hog::HogParams params;
+  const imgproc::ImageU8 frame = random_u8(128, 192, 57);
+  const svm::LinearModel model = tiny_model(params, 57);
+  const auto r = run_streaming_frame_two_scale(frame, params, {}, model, 2.0);
+  const std::uint64_t pixels = 128 * 192;
+  EXPECT_GE(r.native.cycles, pixels);
+  // The second scale adds latency only at the frame tail (its classifier is
+  // far faster than the extractor).
+  EXPECT_LE(r.native.cycles, pixels + 8000u);
+}
+
+}  // namespace
+}  // namespace pdet::hwsim

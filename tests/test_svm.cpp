@@ -1,0 +1,262 @@
+// Unit tests for src/svm: model, trainers (DCD vs Pegasos), serialization.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/svm/linear_svm.hpp"
+#include "src/svm/model_io.hpp"
+#include "src/svm/train_dcd.hpp"
+#include "src/svm/train_pegasos.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::svm {
+namespace {
+
+/// 2-D Gaussian blobs around +mu / -mu: linearly separable when far apart.
+Dataset make_blobs(std::size_t n_per_class, double separation,
+                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const std::array<float, 2> pos{
+        static_cast<float>(rng.normal(separation, 1.0)),
+        static_cast<float>(rng.normal(separation, 1.0))};
+    data.add(pos, 1);
+    const std::array<float, 2> neg{
+        static_cast<float>(rng.normal(-separation, 1.0)),
+        static_cast<float>(rng.normal(-separation, 1.0))};
+    data.add(neg, -1);
+  }
+  return data;
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  return dot / (std::sqrt(na * nb) + 1e-12);
+}
+
+TEST(LinearModel, DecisionComputesAffineForm) {
+  LinearModel m;
+  m.weights = {2.0f, -1.0f};
+  m.bias = 0.5f;
+  const std::array<float, 2> x{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(m.decision(x), 2.0f * 3.0f - 4.0f + 0.5f);
+}
+
+TEST(LinearModel, PredictThresholds) {
+  LinearModel m;
+  m.weights = {1.0f};
+  m.bias = 0.0f;
+  const std::array<float, 1> pos{0.5f};
+  const std::array<float, 1> neg{-0.5f};
+  EXPECT_TRUE(m.predict(pos));
+  EXPECT_FALSE(m.predict(neg));
+  EXPECT_FALSE(m.predict(pos, 1.0f));  // raised threshold
+}
+
+TEST(Dataset, AddAndRowAccess) {
+  Dataset d;
+  const std::array<float, 3> a{1, 2, 3};
+  const std::array<float, 3> b{4, 5, 6};
+  d.add(a, 1);
+  d.add(b, -1);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_EQ(d.dimension, 3u);
+  EXPECT_FLOAT_EQ(d.row(1)[2], 6.0f);
+  EXPECT_EQ(d.labels[1], -1);
+}
+
+TEST(TrainDcd, SeparablePerfectAccuracy) {
+  const Dataset data = make_blobs(100, 4.0, 1);
+  DcdOptions opts;
+  opts.C = 1.0;
+  TrainReport report;
+  const LinearModel m = train_dcd(data, opts, &report);
+  EXPECT_DOUBLE_EQ(training_accuracy(m, data), 1.0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.epochs, 0);
+}
+
+TEST(TrainDcd, LearnsBias) {
+  // Both blobs shifted to positive quadrant: separation needs a bias.
+  util::Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 150; ++i) {
+    const std::array<float, 1> hi{static_cast<float>(rng.normal(10.0, 0.5))};
+    const std::array<float, 1> lo{static_cast<float>(rng.normal(6.0, 0.5))};
+    data.add(hi, 1);
+    data.add(lo, -1);
+  }
+  const LinearModel m = train_dcd(data, {.C = 1.0});
+  EXPECT_GT(training_accuracy(m, data), 0.99);
+  EXPECT_LT(m.bias, 0.0f);  // must push the boundary away from the origin
+}
+
+TEST(TrainDcd, L2LossAlsoSeparates) {
+  const Dataset data = make_blobs(100, 4.0, 3);
+  DcdOptions opts;
+  opts.loss = HingeLoss::kL2;
+  opts.C = 1.0;
+  const LinearModel m = train_dcd(data, opts);
+  EXPECT_DOUBLE_EQ(training_accuracy(m, data), 1.0);
+}
+
+TEST(TrainDcd, ObjectiveNearOptimal) {
+  // The DCD solution's primal objective must beat simple reference planes.
+  const Dataset data = make_blobs(80, 2.0, 4);
+  DcdOptions opts;
+  opts.C = 0.1;
+  opts.max_epochs = 500;
+  opts.tolerance = 1e-5;
+  TrainReport report;
+  const LinearModel m = train_dcd(data, opts, &report);
+  LinearModel reference;
+  reference.weights = {0.5f, 0.5f};
+  reference.bias = 0.0f;
+  EXPECT_LT(report.objective, svm_objective(reference, data, opts.C) + 1e-6);
+}
+
+TEST(TrainDcd, AlphaBoxRespected_HardCaseStillFinite) {
+  // Overlapping blobs (not separable): L1 hinge caps alphas at C; training
+  // must still converge to a finite model with decent accuracy.
+  const Dataset data = make_blobs(200, 0.8, 5);
+  DcdOptions opts;
+  opts.C = 0.05;
+  const LinearModel m = train_dcd(data, opts);
+  for (const float w : m.weights) EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GT(training_accuracy(m, data), 0.75);
+}
+
+TEST(TrainDcd, DeterministicGivenSeed) {
+  const Dataset data = make_blobs(50, 2.0, 6);
+  const LinearModel a = train_dcd(data, {.C = 0.5, .seed = 9});
+  const LinearModel b = train_dcd(data, {.C = 0.5, .seed = 9});
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.bias, b.bias);
+}
+
+TEST(TrainDcd, ZeroFeatureVectorHandled) {
+  Dataset data = make_blobs(20, 3.0, 7);
+  const std::array<float, 2> zero{0.0f, 0.0f};
+  data.add(zero, 1);  // degenerate example: qii = bias^2 only
+  const LinearModel m = train_dcd(data, {.C = 1.0});
+  for (const float w : m.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(TrainPegasos, SeparableHighAccuracy) {
+  const Dataset data = make_blobs(100, 4.0, 8);
+  PegasosOptions opts;
+  opts.C = 1.0;
+  opts.epochs = 80;
+  const LinearModel m = train_pegasos(data, opts);
+  EXPECT_GT(training_accuracy(m, data), 0.99);
+}
+
+TEST(Trainers, AgreeOnHyperplaneDirection) {
+  // Two independent solvers of the same objective must find (nearly) the
+  // same direction — guards both implementations at once.
+  const Dataset data = make_blobs(150, 2.0, 9);
+  const LinearModel dcd = train_dcd(data, {.C = 0.1, .max_epochs = 400});
+  PegasosOptions popts;
+  popts.C = 0.1;
+  popts.epochs = 150;
+  const LinearModel peg = train_pegasos(data, popts);
+  EXPECT_GT(cosine(dcd.weights, peg.weights), 0.97);
+}
+
+TEST(Trainers, ObjectiveComparableAcrossSolvers) {
+  const Dataset data = make_blobs(100, 2.0, 10);
+  const double C = 0.1;
+  const LinearModel dcd = train_dcd(data, {.C = C, .max_epochs = 400});
+  PegasosOptions popts;
+  popts.C = C;
+  popts.epochs = 200;
+  const LinearModel peg = train_pegasos(data, popts);
+  const double obj_dcd = svm_objective(dcd, data, C);
+  const double obj_peg = svm_objective(peg, data, C);
+  // DCD is the exact(er) solver; Pegasos must land within 10%.
+  EXPECT_LE(obj_dcd, obj_peg * 1.02);
+  EXPECT_LE(obj_peg, obj_dcd * 1.10);
+}
+
+TEST(SvmObjective, HandComputedCase) {
+  LinearModel m;
+  m.weights = {1.0f, 0.0f};
+  m.bias = 0.0f;
+  Dataset data;
+  const std::array<float, 2> a{2.0f, 0.0f};   // margin 2, no loss
+  const std::array<float, 2> b{0.5f, 0.0f};   // margin 0.5, hinge 0.5
+  data.add(a, 1);
+  data.add(b, 1);
+  // 0.5 * ||w||^2 + C * (0 + 0.5) with C = 2 -> 0.5 + 1.0.
+  EXPECT_NEAR(svm_objective(m, data, 2.0), 1.5, 1e-9);
+}
+
+TEST(ModelIo, StringRoundtrip) {
+  LinearModel m;
+  m.weights = {0.125f, -2.5f, 3.0e-4f};
+  m.bias = -0.75f;
+  LinearModel back;
+  ASSERT_TRUE(model_from_string(model_to_string(m), back));
+  EXPECT_EQ(back.weights, m.weights);
+  EXPECT_FLOAT_EQ(back.bias, m.bias);
+}
+
+TEST(ModelIo, FileRoundtrip) {
+  LinearModel m;
+  m.weights.assign(100, 0.0f);
+  for (std::size_t i = 0; i < m.weights.size(); ++i) {
+    m.weights[i] = static_cast<float>(i) * 0.01f - 0.3f;
+  }
+  m.bias = 1.25f;
+  const std::string path = testing::TempDir() + "/pdet_model.txt";
+  ASSERT_TRUE(save_model(m, path));
+  LinearModel back;
+  ASSERT_TRUE(load_model(path, back));
+  EXPECT_EQ(back.weights, m.weights);
+}
+
+TEST(ModelIo, RejectsMalformed) {
+  LinearModel out;
+  out.bias = 42.0f;
+  EXPECT_FALSE(model_from_string("", out));
+  EXPECT_FALSE(model_from_string("pdet-svm 2\ndim 1\nbias 0\nw 1\n", out));
+  EXPECT_FALSE(model_from_string("pdet-svm 1\ndim 2\nbias 0\nw 1\n", out));
+  EXPECT_FALSE(model_from_string("pdet-svm 1\ndim x\nbias 0\nw 1\n", out));
+  EXPECT_FALSE(model_from_string("pdet-svm 1\ndim 1\nbias z\nw 1\n", out));
+  EXPECT_FLOAT_EQ(out.bias, 42.0f);  // untouched on every failure
+}
+
+TEST(ModelIo, RejectsMissingFile) {
+  LinearModel out;
+  EXPECT_FALSE(load_model("/nonexistent/m.txt", out));
+}
+
+TEST(TrainDcd, HigherCFitsTrainingDataHarder) {
+  const Dataset data = make_blobs(150, 1.0, 11);  // overlapping
+  const LinearModel loose = train_dcd(data, {.C = 1e-4, .max_epochs = 400});
+  const LinearModel tight = train_dcd(data, {.C = 10.0, .max_epochs = 400});
+  // Accuracy at high C is not strictly monotone on overlapping data (hinge
+  // loss != 0/1 loss); allow a small slack.
+  EXPECT_GE(training_accuracy(tight, data),
+            training_accuracy(loose, data) - 0.01);
+  // Higher C also means larger ||w|| (less regularization).
+  double nl = 0;
+  double nt = 0;
+  for (const float w : loose.weights) nl += static_cast<double>(w) * w;
+  for (const float w : tight.weights) nt += static_cast<double>(w) * w;
+  EXPECT_GT(nt, nl);
+}
+
+}  // namespace
+}  // namespace pdet::svm

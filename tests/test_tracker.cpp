@@ -1,0 +1,155 @@
+// Unit tests for the greedy-IoU tracker (src/detect/tracker).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/detect/tracker.hpp"
+
+namespace pdet::detect {
+namespace {
+
+Detection box(int x, int y, int w, int h, float score = 1.0f) {
+  Detection d;
+  d.x = x;
+  d.y = y;
+  d.width = w;
+  d.height = h;
+  d.score = score;
+  return d;
+}
+
+TEST(Tracker, CreatesTrackForNewDetection) {
+  Tracker tracker;
+  const auto& tracks = tracker.update({box(10, 10, 64, 128)});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].id, 1);
+  EXPECT_EQ(tracks[0].hits, 1);
+  EXPECT_FALSE(tracks[0].confirmed(2));
+}
+
+TEST(Tracker, AssociatesByIouAndConfirms) {
+  Tracker tracker;
+  tracker.update({box(10, 10, 64, 128)});
+  const auto& tracks = tracker.update({box(12, 11, 64, 128)});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].id, 1);
+  EXPECT_EQ(tracks[0].hits, 2);
+  EXPECT_TRUE(tracks[0].confirmed(2));
+}
+
+TEST(Tracker, DistantDetectionStartsSecondTrack) {
+  Tracker tracker;
+  tracker.update({box(10, 10, 64, 128)});
+  const auto& tracks = tracker.update({box(400, 10, 64, 128)});
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(Tracker, CoastsThroughMissesThenDrops) {
+  TrackerOptions opts;
+  opts.max_misses = 2;
+  Tracker tracker(opts);
+  tracker.update({box(10, 10, 64, 128)});
+  EXPECT_EQ(tracker.update({}).size(), 1u);  // miss 1: coast
+  EXPECT_EQ(tracker.update({}).size(), 1u);  // miss 2: coast
+  EXPECT_EQ(tracker.update({}).size(), 0u);  // miss 3 > max: dropped
+}
+
+TEST(Tracker, ReacquisitionResetsMissCounter) {
+  TrackerOptions opts;
+  opts.max_misses = 1;
+  Tracker tracker(opts);
+  tracker.update({box(10, 10, 64, 128)});
+  tracker.update({});
+  const auto& tracks = tracker.update({box(11, 10, 64, 128)});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].misses_in_a_row, 0);
+  EXPECT_EQ(tracks[0].id, 1);
+}
+
+TEST(Tracker, SmoothsPosition) {
+  TrackerOptions opts;
+  opts.position_alpha = 0.5;
+  Tracker tracker(opts);
+  tracker.update({box(0, 0, 64, 128)});
+  const auto& tracks = tracker.update({box(20, 0, 64, 128)});
+  // EMA with alpha 0.5: halfway between 0 and 20.
+  EXPECT_EQ(tracks[0].box.x, 10);
+}
+
+TEST(Tracker, GrowthTracksApproach) {
+  Tracker tracker;
+  tracker.update({box(100, 100, 64, 128)});
+  for (int h = 136; h <= 176; h += 8) {
+    tracker.update({box(100, 100, h / 2, h)});
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_GT(tracker.tracks()[0].height_growth_per_frame, 0.0);
+}
+
+TEST(Tracker, ShrinkingTargetHasNegativeGrowth) {
+  Tracker tracker;
+  tracker.update({box(100, 100, 80, 160)});
+  for (int h = 152; h >= 120; h -= 8) {
+    tracker.update({box(100, 100, h / 2, h)});
+  }
+  EXPECT_LT(tracker.tracks()[0].height_growth_per_frame, 0.0);
+}
+
+TEST(Tracker, GreedyPrefersBestIouPair) {
+  Tracker tracker;
+  tracker.update({box(0, 0, 64, 128), box(100, 0, 64, 128)});
+  // Detection straddling both tracks: must join the closer one; the far
+  // detection keeps the other track.
+  const auto& tracks = tracker.update({box(8, 0, 64, 128), box(96, 0, 64, 128)});
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_EQ(tracks[0].hits, 2);
+  EXPECT_EQ(tracks[1].hits, 2);
+}
+
+TEST(Tracker, FramesToHeightMath) {
+  Track track;
+  track.box = box(0, 0, 50, 100);
+  track.height_growth_per_frame = 0.1;
+  const auto frames = Tracker::frames_to_height(track, 200);
+  ASSERT_TRUE(frames.has_value());
+  // 100 * 1.1^n = 200 -> n = ln2 / ln1.1 ~ 7.27.
+  EXPECT_NEAR(*frames, std::log(2.0) / std::log(1.1), 1e-9);
+}
+
+TEST(Tracker, FramesToHeightEdgeCases) {
+  Track track;
+  track.box = box(0, 0, 50, 100);
+  track.height_growth_per_frame = 0.0;
+  EXPECT_FALSE(Tracker::frames_to_height(track, 200).has_value());
+  track.height_growth_per_frame = -0.1;
+  EXPECT_FALSE(Tracker::frames_to_height(track, 200).has_value());
+  track.height_growth_per_frame = 0.1;
+  track.box.height = 250;
+  EXPECT_DOUBLE_EQ(Tracker::frames_to_height(track, 200).value(), 0.0);
+}
+
+TEST(Tracker, IdsMonotonicallyIncrease) {
+  Tracker tracker;
+  tracker.update({box(0, 0, 10, 10)});
+  tracker.update({});
+  tracker.update({});
+  tracker.update({});
+  tracker.update({});  // first track dropped by now
+  const auto& tracks = tracker.update({box(500, 500, 10, 10)});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].id, 2);
+}
+
+TEST(Tracker, AgeAdvancesEveryFrame) {
+  // age counts frames *since creation*: 0 on the creating update, +1 each
+  // subsequent frame.
+  Tracker tracker;
+  tracker.update({box(0, 0, 64, 128)});
+  EXPECT_EQ(tracker.tracks()[0].age, 0);
+  tracker.update({box(0, 0, 64, 128)});
+  tracker.update({box(0, 0, 64, 128)});
+  EXPECT_EQ(tracker.tracks()[0].age, 2);
+}
+
+}  // namespace
+}  // namespace pdet::detect

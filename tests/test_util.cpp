@@ -1,0 +1,356 @@
+// Unit tests for src/util: RNG, strings, tables, CLI, statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace pdet::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversEndpoints) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(3, 6));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.contains(3));
+  EXPECT_TRUE(seen.contains(6));
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.03);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(13);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.06);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.06);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child stream should not replay the parent's output.
+  Rng parent2(23);
+  parent2.split();
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const auto original = v;
+  shuffle(v, rng);
+  EXPECT_NE(v, original);
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("pdet-svm", "pdet"));
+  EXPECT_FALSE(starts_with("pd", "pdet"));
+  EXPECT_TRUE(ends_with("model.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", "model.txt"));
+}
+
+TEST(Strings, FormatAndFixed) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(to_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(to_fixed(-0.5, 0), "-0");  // printf rounding of -0.5 to 0 decimals
+}
+
+TEST(Strings, ParseIntValid) {
+  int v = 0;
+  EXPECT_TRUE(parse_int(" 42 ", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-7", v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(Strings, ParseIntInvalid) {
+  int v = 99;
+  EXPECT_FALSE(parse_int("4x", v));
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("1.5", v));
+  EXPECT_EQ(v, 99);
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("2.5e-3", v));
+  EXPECT_DOUBLE_EQ(v, 2.5e-3);
+  EXPECT_FALSE(parse_double("abc", v));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundtrip) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  const std::string path = testing::TempDir() + "/pdet_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  (void)std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "k,v\nx,1\n");
+}
+
+TEST(Cli, ParsesTypedOptions) {
+  Cli cli("prog", "test");
+  cli.add_int("count", 5, "a count");
+  cli.add_double("ratio", 1.5, "a ratio");
+  cli.add_string("mode", "fast", "a mode");
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--count", "9", "--ratio=2.25", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+  EXPECT_EQ(cli.get_string("mode"), "fast");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsSurviveNoArgs) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 3, "n");
+  cli.add_flag("f", "f");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 3);
+  EXPECT_FALSE(cli.get_flag("f"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, RejectsBadInteger) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 0, "n");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 0, "n");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, UsageListsOptions) {
+  Cli cli("prog", "my tool");
+  cli.add_int("n", 4, "number of things");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("number of things"), std::string::npos);
+  EXPECT_NE(u.find("default: 4"), std::string::npos);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::array<double, 1> one{5.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::array<double, 3> xs{3, -1, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 5> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20);
+  EXPECT_DOUBLE_EQ(median(xs), 30);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::array<double, 4> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  const std::array<double, 4> up{2, 4, 6, 8};
+  const std::array<double, 4> down{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationConstantSideIsZero) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 3> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(correlation(xs, c), 0.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  Rng rng(9);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3, 7);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(acc.max(), max_of(xs));
+  EXPECT_EQ(acc.count(), xs.size());
+}
+
+TEST(Logging, LevelNamesAndThreshold) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_EQ(to_string(LogLevel::kError), "error");
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed and emitted calls must both be safe to make.
+  log_info("suppressed %d", 1);
+  log_error("emitted %s", "x");
+  set_log_level(saved);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdet::util
