@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   cli.add_flag("quick", "small test set for smoke runs");
   if (!cli.parse(argc, argv)) return 1;
 
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
   core::ScaleExperimentConfig config;
   config.train_pos = 400;
   config.train_neg = 800;

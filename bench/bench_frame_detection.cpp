@@ -13,8 +13,11 @@
 #include "src/dataset/scene.hpp"
 #include "src/eval/detection_eval.hpp"
 #include "src/hog/descriptor.hpp"
+#include "src/hwsim/timing.hpp"
+#include "src/obs/report.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/stats.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -84,8 +87,12 @@ int main(int argc, char** argv) {
   util::Cli cli("bench_frame_detection",
                 "miss rate vs FPPI, feature vs image pyramid");
   cli.add_int("frames", 24, "evaluation frames");
+  obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
+  obs::configure_from_cli(cli);
+  // Benches always aggregate metrics — the per-stage JSON below rides on them.
+  obs::set_metrics_enabled(true);
   util::Timer timer;
 
   core::PedestrianDetector detector;
@@ -133,21 +140,33 @@ int main(int argc, char** argv) {
     ropts.occlusion_frac = frac;
     const dataset::WindowSet test = dataset::make_window_set(909, 120, 0, ropts);
     int recalled = 0;
-    double score_sum = 0.0;
+    util::Accumulator scores;
     for (const auto& w : test.windows) {
       const auto desc =
           hog::compute_window_descriptor(w, detector.config().hog);
       const float s = detector.model().decision(desc);
       if (s > 0) ++recalled;
-      score_sum += s;
+      scores.add(s);
     }
-    occ_table.add_row({util::to_fixed(frac, 1),
-                       util::to_fixed(100.0 * recalled / 120.0, 1),
-                       util::to_fixed(score_sum / 120.0, 3)});
+    occ_table.add_row(
+        {util::to_fixed(frac, 1),
+         util::to_fixed(100.0 * recalled / static_cast<double>(scores.count()), 1),
+         util::to_fixed(scores.mean(), 3)});
   }
   std::fputs(occ_table.to_string().c_str(), stdout);
   std::printf("(lower-body occlusion degrades recall gracefully — legs carry\n"
               " much of the HOG signature, as Dalal & Triggs observed)\n");
   std::printf("elapsed: %.1f s\n", timer.seconds());
+
+  // Per-stage metrics JSON alongside the tables: what the detector actually
+  // did (windows, latency percentiles) plus the modeled accelerator cycles.
+  const hwsim::TimingModel timing(hwsim::timing_config_for_frame(512, 384));
+  hwsim::publish_timing_metrics(timing, ms.scales);
+  if (!obs::report_from_cli(cli)) return 1;
+  if (cli.get_string("metrics-out").empty()) {
+    const char* path = "bench_frame_detection_metrics.json";
+    if (!obs::write_file(path, obs::Registry::instance().to_json())) return 1;
+    std::printf("metrics JSON written to %s\n", path);
+  }
   return 0;
 }

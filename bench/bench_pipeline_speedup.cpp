@@ -17,6 +17,8 @@
 #include "src/dataset/scene.hpp"
 #include "src/dataset/synth.hpp"
 #include "src/hog/feature_scale.hpp"
+#include "src/hwsim/timing.hpp"
+#include "src/obs/report.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
@@ -69,8 +71,12 @@ int main(int argc, char** argv) {
   cli.add_int("width", 960, "frame width");
   cli.add_int("height", 540, "frame height");
   cli.add_int("repeats", 3, "timing repeats per config");
+  obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
+  obs::configure_from_cli(cli);
+  // Benches always aggregate metrics — the per-stage JSON below rides on them.
+  obs::set_metrics_enabled(true);
 
   const int width = cli.get_int("width");
   const int height = cli.get_int("height");
@@ -283,5 +289,16 @@ int main(int argc, char** argv) {
          util::to_fixed(result.rows[0].feature.roc.auc, 4)});
   }
   std::fputs(interp_table.to_string().c_str(), stdout);
+
+  // Per-stage metrics JSON alongside the tables, with the accelerator's cycle
+  // accounting for this frame size at the paper's hardware scale set.
+  const hwsim::TimingModel timing(hwsim::timing_config_for_frame(width, height));
+  hwsim::publish_timing_metrics(timing, scale_sets.front());
+  if (!obs::report_from_cli(cli)) return 1;
+  if (cli.get_string("metrics-out").empty()) {
+    const char* path = "bench_pipeline_speedup_metrics.json";
+    if (!obs::write_file(path, obs::Registry::instance().to_json())) return 1;
+    std::printf("metrics JSON written to %s\n", path);
+  }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "src/svm/train_dcd.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/stats.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 
@@ -38,16 +39,16 @@ Agreement measure(const hog::HogParams& params,
   const hwsim::FixedHogPipeline pipe(params, fp);
   const hwsim::QuantizedModel qmodel = hwsim::QuantizedModel::quantize(model, fp);
   int agree = 0;
-  double err = 0.0;
+  util::Accumulator abs_err;
   for (std::size_t i = 0; i < test.count(); ++i) {
     const imgproc::ImageU8 u8 = imgproc::to_u8(test.windows[i]);
     const auto blocks = pipe.normalize(pipe.compute_cells(u8));
     const double hw = pipe.classify_window(blocks, qmodel, 0, 0);
     if ((hw > 0) == (sw_scores[i] > 0)) ++agree;
-    err += std::fabs(hw - static_cast<double>(sw_scores[i]));
+    abs_err.add(std::fabs(hw - static_cast<double>(sw_scores[i])));
   }
   return {static_cast<double>(agree) / static_cast<double>(test.count()),
-          err / static_cast<double>(test.count())};
+          abs_err.mean()};
 }
 
 /// Scaler-path agreement: classify up-scaled windows through the
@@ -60,7 +61,7 @@ Agreement measure_scaled(const hog::HogParams& params,
   const hwsim::FixedHogPipeline pipe(params, fp);
   const hwsim::QuantizedModel qmodel = hwsim::QuantizedModel::quantize(model, fp);
   int agree = 0;
-  double err = 0.0;
+  util::Accumulator abs_err;
   for (std::size_t i = 0; i < test_2x.count(); ++i) {
     const imgproc::ImageU8 u8 = imgproc::to_u8(test_2x.windows[i]);
     const auto cells = pipe.compute_cells(u8);
@@ -69,10 +70,10 @@ Agreement measure_scaled(const hog::HogParams& params,
     const auto blocks = pipe.normalize(down);
     const double hw = pipe.classify_window(blocks, qmodel, 0, 0);
     if ((hw > 0) == (sw_scores[i] > 0)) ++agree;
-    err += std::fabs(hw - static_cast<double>(sw_scores[i]));
+    abs_err.add(std::fabs(hw - static_cast<double>(sw_scores[i])));
   }
   return {static_cast<double>(agree) / static_cast<double>(test_2x.count()),
-          err / static_cast<double>(test_2x.count())};
+          abs_err.mean()};
 }
 
 }  // namespace
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   cli.add_int("test-pos", 60, "positive test windows");
   cli.add_int("test-neg", 60, "negative test windows");
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
 
   const hog::HogParams params;
   const dataset::WindowSet train = dataset::make_window_set(51, 200, 400);

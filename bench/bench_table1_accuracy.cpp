@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   cli.add_string("csv", "", "optional CSV output path");
   if (!cli.parse(argc, argv)) return 1;
 
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
   core::ScaleExperimentConfig config;
   config.train_pos = cli.get_int("train-pos");
   config.train_neg = cli.get_int("train-neg");

@@ -16,6 +16,8 @@
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/scene.hpp"
 #include "src/detect/tracker.hpp"
+#include "src/hwsim/timing.hpp"
+#include "src/obs/report.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 
@@ -26,8 +28,10 @@ int main(int argc, char** argv) {
   cli.add_double("start", 28.0, "initial distance m");
   cli.add_int("frames", 48, "frames to simulate");
   cli.add_int("fps", 30, "simulated camera rate (lower than 60 to keep the demo fast)");
+  obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
+  obs::configure_from_cli(cli);
 
   // Train (with a small hard-negative pass: full-frame scanning without it
   // produces distracting clutter tracks).
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   int tracked_frames = 0;
   std::printf("frame  dist(m)  tracks  main-track                TTC est (s)  truth (s)\n");
   for (std::size_t f = 0; f < sequence.size(); ++f) {
+    PDET_TRACE_SCOPE("das/frame");
     const auto& scene = sequence[f];
     const auto result = detector.detect(scene.image);
     const auto& tracks = tracker.update(result.detections);
@@ -141,5 +146,12 @@ int main(int argc, char** argv) {
   if (!braked) {
     std::printf("note: no brake decision fired — raise --frames or speed\n");
   }
+
+  // Publish what the modeled accelerator would do with these frames, so the
+  // hwsim.cycles.* gauges sit beside the measured host-time metrics.
+  const hwsim::TimingModel timing(hwsim::timing_config_for_frame(
+      static_cast<int>(aopts.scene.width), static_cast<int>(aopts.scene.height)));
+  hwsim::publish_timing_metrics(timing, ms.scales);
+  if (!obs::report_from_cli(cli)) return 1;
   return tracked_frames * 2 >= static_cast<int>(sequence.size()) ? 0 : 1;
 }

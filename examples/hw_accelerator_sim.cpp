@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   cli.add_double("threshold", -0.1, "detection threshold");
   cli.add_string("vcd", "", "write a GTKWave-viewable trace of a small frame");
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
 
   // Train the model the accelerator will run (offline step in the paper).
   core::PedestrianDetector trainer;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   util::Cli cli("multi_object", "pedestrian + vehicle from one pyramid");
   cli.add_string("out", "multi_object.ppm", "annotated output image");
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
 
   // Train the two class models (offline stage).
   hog::HogParams ped_params;  // 64x128

@@ -13,8 +13,10 @@
 #include "src/detect/scanner.hpp"
 #include "src/hog/descriptor.hpp"
 #include "src/hog/visualize.hpp"
+#include "src/hwsim/timing.hpp"
 #include "src/imgproc/convert.hpp"
 #include "src/imgproc/draw.hpp"
+#include "src/obs/report.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
@@ -30,8 +32,10 @@ int main(int argc, char** argv) {
                  "hybrid (Dollar [4])");
   cli.add_int("seed", 99, "scene random seed");
   cli.add_double("threshold", -0.1, "detection threshold");
+  obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
+  obs::configure_from_cli(cli);
 
   // Train once on the synthetic protocol.
   core::PedestrianDetector detector;
@@ -149,5 +153,10 @@ int main(int argc, char** argv) {
   std::printf("annotated frame written to %s (white=truth, green=scale1, "
               "orange=mid, red=scale2)\n",
               out.c_str());
+
+  const hwsim::TimingModel timing(
+      hwsim::timing_config_for_frame(sopts.width, sopts.height));
+  hwsim::publish_timing_metrics(timing, ms.scales);
+  if (!obs::report_from_cli(cli)) return 1;
   return 0;
 }

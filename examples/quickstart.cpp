@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   cli.add_string("model", "", "optional path to save/reload the model");
   cli.add_double("threshold", -0.25, "detection threshold");
   if (!cli.parse(argc, argv)) return 1;
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
 
   // 1. Data.
   const dataset::WindowSet train = dataset::make_window_set(

@@ -76,17 +76,26 @@ detect::MultiscaleResult ModelPyramidDetector::detect(
         blocks.blocks_y() < sm.params.blocks_per_window_y()) {
       continue;
     }
-    ++result.levels;
     detect::ScanOptions scan;
     scan.threshold = config_.threshold;
     const auto hits = detect::scan_level(blocks, sm.params, sm.model, scan);
-    result.windows_evaluated += detect::scan_window_count(blocks, sm.params);
+    // Same per-level bookkeeping contract as detect_multiscale (one
+    // LevelStats entry per scanned level, windows summed into the total).
+    detect::LevelStats stats;
+    stats.scale = sm.scale;
+    stats.cells_x = cells.cells_x();
+    stats.cells_y = cells.cells_y();
+    stats.windows = detect::scan_window_count(blocks, sm.params);
+    stats.detections = static_cast<long long>(hits.size());
+    result.windows_evaluated += stats.windows;
+    result.per_level.push_back(stats);
     for (detect::Detection d : hits) {
       // Already in native pixels: the window itself is scale-sized.
       d.scale = sm.scale;
       result.raw.push_back(d);
     }
   }
+  result.levels = static_cast<int>(result.per_level.size());
   result.detections = detect::nms(result.raw, config_.nms_iou);
   return result;
 }

@@ -1,8 +1,11 @@
 #include "src/core/pedestrian_detector.hpp"
 
 #include "src/hog/descriptor.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/svm/model_io.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
 
 namespace pdet::core {
 
@@ -12,6 +15,7 @@ PedestrianDetector::PedestrianDetector(DetectorConfig config)
 }
 
 svm::TrainReport PedestrianDetector::train(const dataset::WindowSet& windows) {
+  PDET_TRACE_SCOPE("core/train");
   PDET_REQUIRE(windows.count() > 0);
   PDET_REQUIRE(windows.positives() > 0 && windows.negatives() > 0);
   const svm::Dataset data = dataset::to_svm_dataset(windows, config_.hog);
@@ -48,9 +52,13 @@ bool PedestrianDetector::save_model(const std::string& path) const {
 
 detect::MultiscaleResult PedestrianDetector::detect(
     const imgproc::ImageF& frame) const {
+  PDET_TRACE_SCOPE("core/detect");
+  const util::Timer timer;
   PDET_REQUIRE(model_.has_value());
-  return detect::detect_multiscale(frame, config_.hog, *model_,
-                                   config_.multiscale);
+  auto result = detect::detect_multiscale(frame, config_.hog, *model_,
+                                          config_.multiscale);
+  obs::observe("core.detect_ms", timer.milliseconds());
+  return result;
 }
 
 float PedestrianDetector::score_window(const imgproc::ImageF& window) const {

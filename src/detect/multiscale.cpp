@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
 
 namespace pdet::detect {
 
@@ -10,6 +13,8 @@ MultiscaleResult detect_multiscale(const imgproc::ImageF& image,
                                    const hog::HogParams& params,
                                    const svm::LinearModel& model,
                                    const MultiscaleOptions& options) {
+  PDET_TRACE_SCOPE("detect/multiscale");
+  const util::Timer frame_timer;
   params.validate();
   std::vector<hog::PyramidLevel> levels;
   if (options.strategy == PyramidStrategy::kFeature) {
@@ -31,11 +36,18 @@ MultiscaleResult detect_multiscale(const imgproc::ImageF& image,
   }
 
   MultiscaleResult result;
-  result.levels = static_cast<int>(levels.size());
+  result.per_level.reserve(levels.size());
   for (const auto& level : levels) {
     const auto hits = scan_level(level.blocks, params, model, options.scan);
-    result.windows_evaluated +=
+    LevelStats stats;
+    stats.scale = level.scale;
+    stats.cells_x = level.cells.cells_x();
+    stats.cells_y = level.cells.cells_y();
+    stats.windows =
         scan_window_count(level.blocks, params, options.scan.cell_stride);
+    stats.detections = static_cast<long long>(hits.size());
+    result.windows_evaluated += stats.windows;
+    result.per_level.push_back(stats);
     for (Detection d : hits) {
       // Map level coordinates back to the original frame. For the feature
       // pyramid the level's pixel metric is cells * cell_size of the scaled
@@ -49,8 +61,18 @@ MultiscaleResult detect_multiscale(const imgproc::ImageF& image,
       result.raw.push_back(d);
     }
   }
+  result.levels = static_cast<int>(result.per_level.size());
   result.detections =
       options.run_nms ? nms(result.raw, options.nms_iou) : result.raw;
+
+  obs::counter_add("detect.frames");
+  obs::counter_add("detect.levels", result.levels);
+  obs::counter_add("detect.windows_evaluated", result.windows_evaluated);
+  obs::counter_add("detect.raw_detections",
+                   static_cast<long long>(result.raw.size()));
+  obs::counter_add("detect.detections",
+                   static_cast<long long>(result.detections.size()));
+  obs::observe("detect.frame_ms", frame_timer.milliseconds());
   return result;
 }
 

@@ -29,11 +29,23 @@ struct MultiscaleOptions {
   bool run_nms = true;
 };
 
+/// Per-level accounting, filled identically for every PyramidStrategy (and
+/// by core::ModelPyramidDetector): one entry per level actually scanned,
+/// after too-small levels are dropped by the pyramid builder.
+struct LevelStats {
+  double scale = 1.0;
+  int cells_x = 0;            ///< cell-grid width of the scanned level
+  int cells_y = 0;
+  long long windows = 0;      ///< windows the scan evaluated at this level
+  long long detections = 0;   ///< pre-NMS hits at this level
+};
+
 struct MultiscaleResult {
   std::vector<Detection> detections;   ///< final (post-NMS if enabled)
   std::vector<Detection> raw;          ///< pre-NMS responses
-  long long windows_evaluated = 0;
-  int levels = 0;
+  std::vector<LevelStats> per_level;   ///< one entry per scanned level
+  long long windows_evaluated = 0;     ///< sum of per_level[i].windows
+  int levels = 0;                      ///< == per_level.size()
 };
 
 /// Detect pedestrians in `image` at every configured scale. Detections come

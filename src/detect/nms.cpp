@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 
 namespace pdet::detect {
@@ -20,6 +22,7 @@ double iou(const Detection& a, const Detection& b) {
 
 std::vector<Detection> nms(std::vector<Detection> detections,
                            double iou_threshold) {
+  PDET_TRACE_SCOPE("detect/nms");
   PDET_REQUIRE(iou_threshold >= 0.0 && iou_threshold <= 1.0);
   std::sort(detections.begin(), detections.end(),
             [](const Detection& a, const Detection& b) {
@@ -36,6 +39,9 @@ std::vector<Detection> nms(std::vector<Detection> detections,
     }
     if (!suppressed) kept.push_back(d);
   }
+  obs::counter_add("nms.suppressed",
+                   static_cast<long long>(detections.size() - kept.size()));
+  obs::counter_add("nms.kept", static_cast<long long>(kept.size()));
   return kept;
 }
 

@@ -1,23 +1,84 @@
 #include "src/detect/scanner.hpp"
 
+#include <span>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 
 namespace pdet::detect {
+#ifndef PDET_OBS_DISABLED
+namespace {
+
+/// Traced variant of the scan loop: windows of one cell row are gathered
+/// first and scored second, so "hog/extract_window" and "svm/score" show up
+/// as separate nested spans under "detect/scan_level". Evaluation order and
+/// arithmetic are identical to the plain loop (row-major, per-window double
+/// accumulation); only the interleaving changes, and only while tracing.
+std::vector<Detection> scan_level_traced(const hog::BlockGrid& blocks,
+                                         const hog::HogParams& params,
+                                         const svm::LinearModel& model,
+                                         const ScanOptions& options, int nx,
+                                         int ny) {
+  std::vector<Detection> out;
+  const auto dlen = static_cast<std::size_t>(params.descriptor_size());
+  std::vector<int> row_cx;
+  std::vector<float> row_desc;
+  for (int cy = 0; cy < ny; cy += options.cell_stride) {
+    row_cx.clear();
+    for (int cx = 0; cx < nx; cx += options.cell_stride) row_cx.push_back(cx);
+    row_desc.resize(row_cx.size() * dlen);
+    {
+      PDET_TRACE_SCOPE("hog/extract_window");
+      for (std::size_t i = 0; i < row_cx.size(); ++i) {
+        hog::extract_window(blocks, params, row_cx[i], cy,
+                            std::span<float>(row_desc).subspan(i * dlen, dlen));
+      }
+    }
+    {
+      PDET_TRACE_SCOPE("svm/score");
+      for (std::size_t i = 0; i < row_cx.size(); ++i) {
+        const float score = model.decision(
+            std::span<const float>(row_desc).subspan(i * dlen, dlen));
+        if (score > options.threshold) {
+          Detection d;
+          d.x = row_cx[i] * params.cell_size;
+          d.y = cy * params.cell_size;
+          d.width = params.window_width;
+          d.height = params.window_height;
+          d.score = score;
+          out.push_back(d);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+#endif  // PDET_OBS_DISABLED
 
 std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
                                   const hog::HogParams& params,
                                   const svm::LinearModel& model,
                                   const ScanOptions& options) {
+  PDET_TRACE_SCOPE("detect/scan_level");
   params.validate();
   PDET_REQUIRE(options.cell_stride >= 1);
   PDET_REQUIRE(model.dimension() ==
                static_cast<std::size_t>(params.descriptor_size()));
 
-  std::vector<Detection> out;
   const int nx = hog::window_positions_x(blocks, params);
   const int ny = hog::window_positions_y(blocks, params);
+  obs::counter_add("svm.dot_products",
+                   scan_window_count(blocks, params, options.cell_stride));
+#ifndef PDET_OBS_DISABLED
+  if (obs::tracing_enabled()) {
+    return scan_level_traced(blocks, params, model, options, nx, ny);
+  }
+#endif
+  std::vector<Detection> out;
   std::vector<float> desc(static_cast<std::size_t>(params.descriptor_size()));
   for (int cy = 0; cy < ny; cy += options.cell_stride) {
     for (int cx = 0; cx < nx; cx += options.cell_stride) {

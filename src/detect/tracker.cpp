@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 
 namespace pdet::detect {
@@ -15,6 +17,7 @@ Tracker::Tracker(TrackerOptions options) : options_(options) {
 
 const std::vector<Track>& Tracker::update(
     const std::vector<Detection>& detections) {
+  PDET_TRACE_SCOPE("detect/tracker_update");
   // Greedy association: repeatedly take the globally best (track, detection)
   // IoU pair above the threshold.
   std::vector<bool> det_used(detections.size(), false);
@@ -84,6 +87,8 @@ const std::vector<Track>& Tracker::update(
     track.last_score = detections[d].score;
     tracks_.push_back(track);
   }
+  obs::gauge_set("tracker.active_tracks",
+                 static_cast<double>(tracks_.size()));
   return tracks_;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.hpp"
+
 namespace pdet::hog {
 
 BlockGrid::BlockGrid(int blocks_x, int blocks_y, int feature_len,
@@ -155,6 +157,7 @@ BlockGrid normalize_cell_groups(const CellGrid& cells, const HogParams& params) 
 }  // namespace
 
 BlockGrid normalize_cells(const CellGrid& cells, const HogParams& params) {
+  PDET_TRACE_SCOPE("hog/block_norm");
   params.validate();
   PDET_REQUIRE(cells.bins() == params.bins);
   if (params.layout == DescriptorLayout::kDalalBlocks) {

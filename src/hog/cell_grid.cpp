@@ -6,6 +6,8 @@
 
 #include "src/imgproc/convolve.hpp"
 #include "src/imgproc/gradient.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace pdet::hog {
 
@@ -40,8 +42,10 @@ std::span<const float> CellGrid::hist(int cx, int cy) const {
 
 CellGrid compute_cell_grid(const imgproc::ImageF& image,
                            const HogParams& params) {
+  PDET_TRACE_SCOPE("hog/cell_grid");
   params.validate();
   PDET_REQUIRE(!image.empty());
+  obs::counter_add("hog.cell_grids");
 
   const int cell = params.cell_size;
   const int cells_x = image.width() / cell;

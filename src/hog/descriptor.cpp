@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
+
 namespace pdet::hog {
 
 int window_positions_x(const BlockGrid& blocks, const HogParams& params) {
@@ -47,6 +49,7 @@ std::vector<float> extract_window(const BlockGrid& blocks,
 
 std::vector<float> compute_window_descriptor(const imgproc::ImageF& window,
                                              const HogParams& params) {
+  PDET_TRACE_SCOPE("hog/window_descriptor");
   params.validate();
   PDET_REQUIRE(window.width() >= params.window_width);
   PDET_REQUIRE(window.height() >= params.window_height);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/imgproc/resize.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace pdet::hog {
 namespace {
@@ -49,6 +51,7 @@ float sample_area(const CellGrid& src, double sx0, double sx1, double sy0,
 
 CellGrid scale_cell_grid(const CellGrid& src, int out_cells_x, int out_cells_y,
                          FeatureInterp interp) {
+  PDET_TRACE_SCOPE("hog/feature_scale");
   PDET_REQUIRE(!src.empty());
   PDET_REQUIRE(out_cells_x >= 1 && out_cells_y >= 1);
   if (out_cells_x == src.cells_x() && out_cells_y == src.cells_y()) return src;
@@ -108,6 +111,7 @@ CellGrid downscale_cell_grid(const CellGrid& src, double factor,
 std::vector<PyramidLevel> build_feature_pyramid(
     const imgproc::ImageF& image, const HogParams& params,
     const FeaturePyramidOptions& options) {
+  PDET_TRACE_SCOPE("hog/feature_pyramid");
   params.validate();
   // The expensive stage runs exactly once (the point of the paper).
   const CellGrid base = compute_cell_grid(image, params);
@@ -124,12 +128,15 @@ std::vector<PyramidLevel> build_feature_pyramid(
     level.blocks = normalize_cells(level.cells, params);
     levels.push_back(std::move(level));
   }
+  obs::counter_add("hog.pyramid_levels",
+                   static_cast<long long>(levels.size()));
   return levels;
 }
 
 std::vector<PyramidLevel> build_image_pyramid(
     const imgproc::ImageF& image, const HogParams& params,
     const ImagePyramidOptions& options) {
+  PDET_TRACE_SCOPE("hog/image_pyramid");
   params.validate();
   std::vector<PyramidLevel> levels;
   for (const double s : options.scales) {
@@ -146,12 +153,15 @@ std::vector<PyramidLevel> build_image_pyramid(
     level.blocks = normalize_cells(level.cells, params);
     levels.push_back(std::move(level));
   }
+  obs::counter_add("hog.pyramid_levels",
+                   static_cast<long long>(levels.size()));
   return levels;
 }
 
 std::vector<PyramidLevel> build_hybrid_pyramid(
     const imgproc::ImageF& image, const HogParams& params,
     const HybridPyramidOptions& options) {
+  PDET_TRACE_SCOPE("hog/hybrid_pyramid");
   params.validate();
   PDET_REQUIRE(options.lambda >= 0.0);
 
@@ -201,6 +211,8 @@ std::vector<PyramidLevel> build_hybrid_pyramid(
     level.blocks = normalize_cells(level.cells, params);
     levels.push_back(std::move(level));
   }
+  obs::counter_add("hog.pyramid_levels",
+                   static_cast<long long>(levels.size()));
   return levels;
 }
 

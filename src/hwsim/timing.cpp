@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
 
 namespace pdet::hwsim {
 
@@ -66,6 +68,39 @@ double TimingModel::max_fps() const {
 
 bool TimingModel::meets_fps(double target_fps) const {
   return max_fps() >= target_fps;
+}
+
+TimingConfig timing_config_for_frame(int width, int height, int cell_size,
+                                     double clock_hz) {
+  PDET_REQUIRE(width >= cell_size && height >= cell_size);
+  TimingConfig config;
+  config.cell_size = cell_size;
+  config.frame_width = (width / cell_size) * cell_size;
+  config.frame_height = (height / cell_size) * cell_size;
+  config.clock_hz = clock_hz;
+  return config;
+}
+
+void publish_timing_metrics(const TimingModel& model,
+                            std::span<const double> scales) {
+  obs::gauge_set("hwsim.cycles.classifier_frame",
+                 static_cast<double>(model.classifier_frame_cycles()));
+  obs::gauge_set("hwsim.cycles.extractor_frame",
+                 static_cast<double>(model.extractor_frame_cycles()));
+  obs::gauge_set("hwsim.cycles.frame_latency",
+                 static_cast<double>(model.frame_latency_cycles()));
+  obs::gauge_set("hwsim.cycles.column_sweep",
+                 static_cast<double>(
+                     TimingModel::sweep_cycles(model.config().cell_cols())));
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    obs::gauge_set(
+        util::format("hwsim.cycles.classifier_level.%zu", i),
+        static_cast<double>(
+            model.classifier_frame_cycles_at_scale(scales[i])));
+  }
+  obs::gauge_set("hwsim.classifier_frame_ms", model.classifier_frame_ms());
+  obs::gauge_set("hwsim.frame_latency_ms", model.frame_latency_ms());
+  obs::gauge_set("hwsim.max_fps", model.max_fps());
 }
 
 }  // namespace pdet::hwsim

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace pdet::hwsim {
 
@@ -76,5 +77,20 @@ class TimingModel {
  private:
   TimingConfig config_;
 };
+
+/// Timing config for an arbitrary software frame: dimensions are rounded
+/// down to whole cells (matching compute_cell_grid's drop of trailing
+/// partial cells) so the model accepts any image the detector accepts.
+TimingConfig timing_config_for_frame(int width, int height, int cell_size = 8,
+                                     double clock_hz = 125e6);
+
+/// Publish the model's cycle accounting into the obs metrics registry so the
+/// modeled-hardware view sits beside the host-time metrics in one report:
+///   hwsim.cycles.classifier_frame / extractor_frame / frame_latency /
+///   column_sweep, hwsim.cycles.classifier_level.<i> per scale, plus
+///   hwsim.classifier_frame_ms / frame_latency_ms / max_fps.
+/// No-op unless obs::metrics_enabled().
+void publish_timing_metrics(const TimingModel& model,
+                            std::span<const double> scales = {});
 
 }  // namespace pdet::hwsim

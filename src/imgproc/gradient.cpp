@@ -3,6 +3,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace pdet::imgproc {
 
 float fold_unsigned(float angle_radians) {
@@ -15,9 +18,12 @@ float fold_unsigned(float angle_radians) {
 }
 
 GradientField compute_gradients(const ImageF& src, GradientOp op) {
+  PDET_TRACE_SCOPE("imgproc/gradient");
   PDET_REQUIRE(!src.empty());
   const int w = src.width();
   const int h = src.height();
+  obs::counter_add("imgproc.gradient_pixels",
+                   static_cast<long long>(w) * static_cast<long long>(h));
   GradientField g{ImageF(w, h), ImageF(w, h), ImageF(w, h), ImageF(w, h)};
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {

@@ -1,0 +1,233 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace pdet::obs {
+namespace {
+
+std::atomic<bool> g_metrics{false};
+
+constexpr double kLatencyBoundsMs[] = {0.1, 0.2, 0.5, 1.0,  2.0,  5.0,
+                                       10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                                       1000.0, 3200.0};
+
+/// JSON-safe rendering of a double: finite values as shortest round-trip
+/// (%.17g is overkill for reports; %.6g keeps the export stable and small),
+/// non-finite as null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return util::format("%.6g", v);
+}
+
+void append_json_key(std::string& out, const std::string& name) {
+  out.push_back('"');
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\":";
+}
+
+}  // namespace
+
+bool metrics_enabled() { return g_metrics.load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool enabled) {
+  g_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PDET_REQUIRE(!bounds_.empty());
+  PDET_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  // Buckets carry inclusive upper edges (Prometheus "le" convention):
+  // bucket i counts values in (bounds[i-1], bounds[i]].
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  acc_.add(value);
+  percentiles_.add(value);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = acc_.count();
+  s.mean = acc_.mean();
+  s.min = acc_.min();
+  s.max = acc_.max();
+  s.p50 = percentiles_.value(0);
+  s.p95 = percentiles_.value(1);
+  s.p99 = percentiles_.value(2);
+  s.bounds = bounds_;
+  s.buckets = buckets_;
+  return s;
+}
+
+std::span<const double> default_latency_bounds_ms() {
+  return kLatencyBoundsMs;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::counter_add(std::string_view name, long long delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  if (bounds.empty()) bounds = default_latency_bounds_ms();
+  return histograms_
+      .emplace(std::string(name),
+               Histogram(std::vector<double>(bounds.begin(), bounds.end())))
+      .first->second;
+}
+
+void Registry::observe(std::string_view name, double value) {
+  histogram(name).record(value);
+}
+
+long long Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double Registry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+bool Registry::has_histogram(std::string_view name) const {
+  return histograms_.find(name) != histograms_.end();
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_key(out, name);
+    out += util::format("%lld", value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_key(out, name);
+    out += json_number(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_key(out, name);
+    const HistogramSummary s = hist.summary();
+    out += util::format("{\"count\":%llu",
+                        static_cast<unsigned long long>(s.count));
+    out += ",\"mean\":" + json_number(s.mean);
+    out += ",\"min\":" + json_number(s.min);
+    out += ",\"max\":" + json_number(s.max);
+    out += ",\"p50\":" + json_number(s.p50);
+    out += ",\"p95\":" + json_number(s.p95);
+    out += ",\"p99\":" + json_number(s.p99);
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += json_number(s.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += util::format("%llu", static_cast<unsigned long long>(s.buckets[i]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::to_text() const {
+  std::string out;
+  if (!counters_.empty()) {
+    util::Table table({"counter", "value"});
+    for (const auto& [name, value] : counters_) {
+      table.add_row({name, util::format("%lld", value)});
+    }
+    out += table.to_string();
+  }
+  if (!gauges_.empty()) {
+    util::Table table({"gauge", "value"});
+    for (const auto& [name, value] : gauges_) {
+      table.add_row({name, util::format("%.6g", value)});
+    }
+    out += table.to_string();
+  }
+  if (!histograms_.empty()) {
+    util::Table table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, hist] : histograms_) {
+      const HistogramSummary s = hist.summary();
+      table.add_row({name,
+                     util::format("%llu", static_cast<unsigned long long>(s.count)),
+                     util::to_fixed(s.mean, 3), util::to_fixed(s.p50, 3),
+                     util::to_fixed(s.p95, 3), util::to_fixed(s.p99, 3),
+                     util::to_fixed(s.max, 3)});
+    }
+    out += table.to_string();
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+#ifndef PDET_OBS_DISABLED
+void counter_add(std::string_view name, long long delta) {
+  if (!metrics_enabled()) return;
+  Registry::instance().counter_add(name, delta);
+}
+
+void gauge_set(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  Registry::instance().gauge_set(name, value);
+}
+
+void observe(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  Registry::instance().observe(name, value);
+}
+#endif
+
+}  // namespace pdet::obs

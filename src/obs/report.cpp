@@ -1,0 +1,62 @@
+#include "src/obs/report.hpp"
+
+#include <cstdio>
+
+#include "src/util/logging.hpp"
+
+namespace pdet::obs {
+
+void add_cli_options(util::Cli& cli) {
+  cli.add_string("trace-out", "",
+                 "write Chrome trace_event JSON of pipeline spans to FILE");
+  cli.add_flag("metrics", "print the counter/gauge/histogram report");
+  cli.add_string("metrics-out", "", "write the metrics report as JSON to FILE");
+}
+
+bool configure_from_cli(const util::Cli& cli) {
+  const bool want_trace = !cli.get_string("trace-out").empty();
+  const bool want_metrics =
+      cli.get_flag("metrics") || !cli.get_string("metrics-out").empty();
+  if (want_trace) set_tracing_enabled(true);
+  // Tracing implies metrics: the per-stage counters give the spans context.
+  if (want_trace || want_metrics) set_metrics_enabled(true);
+  return want_trace || want_metrics;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    util::log_error("obs: cannot open %s for writing", path.c_str());
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = written == contents.size() && std::fclose(f) == 0;
+  if (!ok) util::log_error("obs: short write to %s", path.c_str());
+  return ok;
+}
+
+bool report_from_cli(const util::Cli& cli) {
+  bool ok = true;
+  const std::string trace_path = cli.get_string("trace-out");
+  if (!trace_path.empty()) {
+    ok = write_file(trace_path, trace_to_chrome_json()) && ok;
+    std::printf("\n--- per-stage span summary (%zu spans -> %s) ---\n%s",
+                trace_events().size(), trace_path.c_str(),
+                trace_summary_text().c_str());
+  }
+  const bool want_metrics =
+      cli.get_flag("metrics") || !cli.get_string("metrics-out").empty();
+  if (want_metrics) {
+    std::printf("\n--- metrics ---\n%s",
+                Registry::instance().to_text().c_str());
+    const std::string metrics_path = cli.get_string("metrics-out");
+    if (!metrics_path.empty()) {
+      ok = write_file(metrics_path, Registry::instance().to_json()) && ok;
+      std::printf("metrics JSON written to %s\n", metrics_path.c_str());
+    }
+  }
+  return ok;
+}
+
+}  // namespace pdet::obs

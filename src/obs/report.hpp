@@ -1,0 +1,37 @@
+// Observability wiring for the example/bench binaries.
+//
+//   util::Cli cli("das_video", "...");
+//   obs::add_cli_options(cli);
+//   if (!cli.parse(argc, argv)) return 1;
+//   obs::configure_from_cli(cli);      // enables tracing/metrics as asked
+//   ... run ...
+//   obs::report_from_cli(cli);         // writes --trace-out, prints --metrics
+//
+// Flags added: --trace-out FILE (Chrome trace_event JSON + per-stage summary
+// table), --metrics (print counter/gauge/histogram report), --metrics-out
+// FILE (write the same report as JSON).
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/cli.hpp"
+
+namespace pdet::obs {
+
+void add_cli_options(util::Cli& cli);
+
+/// Enable tracing/metrics per the parsed flags. Returns true when any
+/// observability output was requested.
+bool configure_from_cli(const util::Cli& cli);
+
+/// Emit the requested outputs (trace file, summary table, metrics report).
+/// Returns false if a requested file could not be written.
+bool report_from_cli(const util::Cli& cli);
+
+/// Write `contents` to `path` atomically enough for reports (truncate +
+/// write + close, diagnostics logged on failure).
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace pdet::obs

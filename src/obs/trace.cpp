@@ -1,0 +1,185 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace pdet::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_tracing{false};
+
+struct TraceBuffer {
+  std::vector<TraceEvent> events;
+  std::size_t capacity = std::size_t{1} << 20;
+  std::uint64_t dropped = 0;
+  int depth = 0;
+  Clock::time_point epoch = Clock::now();
+};
+
+TraceBuffer& buffer() {
+  static TraceBuffer buf;
+  return buf;
+}
+
+std::uint64_t now_ns(const TraceBuffer& buf) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           buf.epoch)
+          .count());
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += util::format("\\u%04x", static_cast<unsigned>(c));
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+void set_tracing_enabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!tracing_enabled()) return;
+  TraceBuffer& buf = buffer();
+  if (buf.events.size() >= buf.capacity) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(TraceEvent{name, buf.depth++, now_ns(buf), 0});
+  index_ = buf.events.size() - 1;
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceBuffer& buf = buffer();
+  TraceEvent& ev = buf.events[index_];
+  ev.dur_ns = now_ns(buf) - ev.start_ns;
+  --buf.depth;
+}
+
+const std::vector<TraceEvent>& trace_events() { return buffer().events; }
+
+void clear_trace() {
+  TraceBuffer& buf = buffer();
+  buf.events.clear();
+  buf.dropped = 0;
+  buf.depth = 0;
+  buf.epoch = Clock::now();
+}
+
+void set_trace_capacity(std::size_t max_events) {
+  buffer().capacity = max_events;
+}
+
+std::uint64_t trace_dropped() { return buffer().dropped; }
+
+std::string trace_to_chrome_json() {
+  const auto& events = buffer().events;
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, ev.name);
+    // ts/dur are microseconds (the trace_event spec's unit), as decimals so
+    // sub-microsecond spans stay visible.
+    out += util::format(
+        "\",\"cat\":\"pdet\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":1}",
+        static_cast<double>(ev.start_ns) / 1e3,
+        static_cast<double>(ev.dur_ns) / 1e3);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::vector<SpanStats> trace_summary() {
+  const auto& events = buffer().events;
+  // Child time per event, to derive self time. Events are stored in start
+  // order and nest strictly (single-threaded scopes), so a stack of open
+  // intervals recovers the parent of each span.
+  std::vector<double> child_ms(events.size(), 0.0);
+  std::vector<std::size_t> stack;
+  std::map<std::string, SpanStats> by_name;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    while (!stack.empty()) {
+      const TraceEvent& top = events[stack.back()];
+      if (ev.start_ns >= top.start_ns + top.dur_ns) {
+        stack.pop_back();
+      } else {
+        break;
+      }
+    }
+    const double dur_ms = static_cast<double>(ev.dur_ns) / 1e6;
+    if (!stack.empty()) child_ms[stack.back()] += dur_ms;
+    stack.push_back(i);
+
+    SpanStats& s = by_name[ev.name];
+    if (s.count == 0) {
+      s.name = ev.name;
+      s.min_ms = s.max_ms = dur_ms;
+    } else {
+      s.min_ms = std::min(s.min_ms, dur_ms);
+      s.max_ms = std::max(s.max_ms, dur_ms);
+    }
+    ++s.count;
+    s.total_ms += dur_ms;
+  }
+  // Self time: total minus the duration of directly nested spans.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    by_name[events[i].name].self_ms +=
+        static_cast<double>(events[i].dur_ns) / 1e6 - child_ms[i];
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+std::string trace_summary_text() {
+  const std::vector<SpanStats> stats = trace_summary();
+  util::Table table(
+      {"span", "count", "total ms", "self ms", "mean ms", "min ms", "max ms"});
+  for (const SpanStats& s : stats) {
+    table.add_row({s.name,
+                   util::format("%llu", static_cast<unsigned long long>(s.count)),
+                   util::to_fixed(s.total_ms, 3), util::to_fixed(s.self_ms, 3),
+                   util::to_fixed(s.total_ms / static_cast<double>(s.count), 3),
+                   util::to_fixed(s.min_ms, 3), util::to_fixed(s.max_ms, 3)});
+  }
+  std::string out = table.to_string();
+  const std::uint64_t dropped = trace_dropped();
+  if (dropped > 0) {
+    out += util::format("(%llu spans dropped at the trace capacity)\n",
+                        static_cast<unsigned long long>(dropped));
+  }
+  return out;
+}
+
+}  // namespace pdet::obs

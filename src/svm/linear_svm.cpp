@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace pdet::svm {
@@ -32,6 +33,9 @@ void Dataset::add(std::span<const float> x, int label) {
 
 double svm_objective(const LinearModel& model, const Dataset& data, double C) {
   PDET_REQUIRE(model.dimension() == data.dimension);
+  // Aggregate count (decision() itself stays uninstrumented: it is the
+  // innermost hot path and is accounted for by its callers).
+  obs::counter_add("svm.dot_products", static_cast<long long>(data.count()));
   double reg = 0.0;
   for (const float w : model.weights) {
     reg += static_cast<double>(w) * static_cast<double>(w);
@@ -47,6 +51,7 @@ double svm_objective(const LinearModel& model, const Dataset& data, double C) {
 
 double training_accuracy(const LinearModel& model, const Dataset& data) {
   if (data.count() == 0) return 0.0;
+  obs::counter_add("svm.dot_products", static_cast<long long>(data.count()));
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.count(); ++i) {
     const bool positive = model.decision(data.row(i)) > 0.0f;

@@ -1,24 +1,60 @@
 #include "src/util/logging.hpp"
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pdet::util {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+using Clock = std::chrono::steady_clock;
+
+struct LoggerState {
+  LogLevel level = LogLevel::kInfo;
+  bool env_override = false;
+  Clock::time_point epoch = Clock::now();
+
+  LoggerState() {
+    // Environment override so examples/benches can be made chatty (or
+    // silenced) without a rebuild or a flag on every binary.
+    if (const char* env = std::getenv("PDET_LOG_LEVEL")) {
+      if (const auto parsed = parse_log_level(env)) {
+        level = *parsed;
+        env_override = true;
+      }
+    }
+  }
+};
+
+LoggerState& state() {
+  static LoggerState s;
+  return s;
+}
 
 void vlog(LogLevel level, const char* fmt, std::va_list args) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[pdet:%s] ", to_string(level).c_str());
+  LoggerState& s = state();
+  if (level < s.level) return;
+  const double uptime =
+      std::chrono::duration<double>(Clock::now() - s.epoch).count();
+  std::fprintf(stderr, "[%10.3f] [pdet:%s] ", uptime,
+               to_string(level).c_str());
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
 }
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { state().level = level; }
+LogLevel log_level() { return state().level; }
+
+void set_default_log_level(LogLevel level) {
+  if (!state().env_override) state().level = level;
+}
+
+double log_uptime_seconds() {
+  return std::chrono::duration<double>(Clock::now() - state().epoch).count();
+}
 
 std::string to_string(LogLevel level) {
   switch (level) {
@@ -28,6 +64,14 @@ std::string to_string(LogLevel level) {
     case LogLevel::kError: return "error";
   }
   return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
 }
 
 void log(LogLevel level, const char* fmt, ...) {

@@ -6,15 +6,25 @@
 // hardware, not host threads).
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace pdet::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. The initial level is
+/// kInfo, overridable by the PDET_LOG_LEVEL environment variable (values
+/// "debug" / "info" / "warn" / "error", read once at first use); an explicit
+/// set_log_level always wins thereafter.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Like set_log_level, but defers to a PDET_LOG_LEVEL environment override:
+/// the examples/benches use this for their quiet-by-default setting so the
+/// env var still works on them without a flag.
+void set_default_log_level(LogLevel level);
 
 /// printf-style logging entry points.
 void log(LogLevel level, const char* fmt, ...)
@@ -27,5 +37,13 @@ void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /// Human-readable level name ("debug", "info", ...).
 std::string to_string(LogLevel level);
+
+/// Inverse of to_string (case-sensitive); nullopt for unknown names.
+/// parse_log_level(to_string(l)) == l for every LogLevel.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Seconds since the logger's monotonic epoch (first log call or level
+/// query); the value prefixed to every log line.
+double log_uptime_seconds();
 
 }  // namespace pdet::util

@@ -65,6 +65,109 @@ double correlation(std::span<const double> xs, std::span<const double> ys) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+StreamingQuantile::StreamingQuantile(double q) : q_(q) {
+  PDET_REQUIRE(q > 0.0 && q < 1.0);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increment_[0] = 0.0;
+  increment_[1] = q / 2.0;
+  increment_[2] = q;
+  increment_[3] = (1.0 + q) / 2.0;
+  increment_[4] = 1.0;
+}
+
+void StreamingQuantile::add(double x) {
+  if (n_ < 5) {
+    // Bootstrap: collect the first five samples sorted into the markers.
+    heights_[n_] = x;
+    ++n_;
+    std::sort(heights_, heights_ + n_);
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++n_;
+
+  // Nudge interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction; fall back to linear when it would
+      // leave the bracket.
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          sign / span *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double StreamingQuantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // Exact for the samples seen so far (heights_ holds them sorted).
+    std::span<const double> seen(heights_, n_);
+    return percentile(seen, q_ * 100.0);
+  }
+  return heights_[2];
+}
+
+StreamingPercentiles::StreamingPercentiles(std::vector<double> percentiles)
+    : percentiles_(std::move(percentiles)) {
+  PDET_REQUIRE(!percentiles_.empty());
+  quantiles_.reserve(percentiles_.size());
+  for (const double p : percentiles_) {
+    PDET_REQUIRE(p > 0.0 && p < 100.0);
+    quantiles_.emplace_back(p / 100.0);
+  }
+}
+
+void StreamingPercentiles::add(double x) {
+  for (StreamingQuantile& q : quantiles_) q.add(x);
+}
+
+std::size_t StreamingPercentiles::count() const {
+  return quantiles_.front().count();
+}
+
+double StreamingPercentiles::value(std::size_t i) const {
+  PDET_REQUIRE(i < quantiles_.size());
+  return quantiles_[i].value();
+}
+
 void Accumulator::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -20,6 +20,49 @@ double median(std::span<const double> xs);
 /// Pearson correlation coefficient; returns 0 when either side is constant.
 double correlation(std::span<const double> xs, std::span<const double> ys);
 
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm): tracks one
+/// quantile q in O(1) memory without storing samples. Exact while fewer than
+/// six samples have been seen; afterwards the five markers adapt with a
+/// piecewise-parabolic update. Accuracy is ample for latency percentiles
+/// (the obs histograms report p50/p95/p99 through this).
+class StreamingQuantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit StreamingQuantile(double q);
+
+  void add(double x);
+  std::size_t count() const { return n_; }
+
+  /// Current estimate; 0 before any sample.
+  double value() const;
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5];    ///< marker heights (the quantile is heights_[2])
+  double positions_[5];  ///< actual marker positions (1-based ranks)
+  double desired_[5];    ///< desired marker positions
+  double increment_[5];  ///< desired-position increment per sample
+};
+
+/// Fixed percentile set over one stream (shared sample feed, one P² marker
+/// bank per percentile). Percentiles are given on the [0, 100] scale.
+class StreamingPercentiles {
+ public:
+  explicit StreamingPercentiles(std::vector<double> percentiles);
+
+  void add(double x);
+  std::size_t count() const;
+
+  /// Estimate for percentiles()[i].
+  double value(std::size_t i) const;
+  const std::vector<double>& percentiles() const { return percentiles_; }
+
+ private:
+  std::vector<double> percentiles_;
+  std::vector<StreamingQuantile> quantiles_;
+};
+
 /// Online accumulator (Welford) for streaming statistics.
 class Accumulator {
  public:

@@ -229,9 +229,10 @@ TEST_P(StrategyTest, WindowAccountingMatchesLevels) {
   EXPECT_TRUE(result.detections.empty());
 }
 
-INSTANTIATE_TEST_SUITE_P(BothStrategies, StrategyTest,
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
                          testing::Values(PyramidStrategy::kImage,
-                                         PyramidStrategy::kFeature));
+                                         PyramidStrategy::kFeature,
+                                         PyramidStrategy::kHybrid));
 
 TEST_F(DetectFixture, CoordinateMappingScalesBoxes) {
   imgproc::ImageF frame(256, 256, 0.5f);

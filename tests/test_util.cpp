@@ -333,6 +333,63 @@ TEST(Stats, AccumulatorMatchesBatch) {
   EXPECT_EQ(acc.count(), xs.size());
 }
 
+TEST(Stats, StreamingQuantileExactForSmallSamples) {
+  StreamingQuantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  for (const double x : {30.0, 10.0, 50.0, 20.0, 40.0}) q.add(x);
+  EXPECT_EQ(q.count(), 5u);
+  // Five samples or fewer: exact linear-interpolated percentile.
+  const std::array<double, 5> xs{30, 10, 50, 20, 40};
+  EXPECT_DOUBLE_EQ(q.value(), percentile(xs, 50));
+}
+
+TEST(Stats, StreamingQuantileTracksUniformStream) {
+  StreamingQuantile p50(0.5);
+  StreamingQuantile p95(0.95);
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+  }
+  EXPECT_NEAR(p50.value(), percentile(xs, 50), 2.0);
+  EXPECT_NEAR(p95.value(), percentile(xs, 95), 2.0);
+}
+
+TEST(Stats, StreamingPercentilesShareOneStream) {
+  StreamingPercentiles ps({50.0, 95.0, 99.0});
+  for (int i = 1; i <= 1000; ++i) ps.add(static_cast<double>(i));
+  EXPECT_EQ(ps.count(), 1000u);
+  ASSERT_EQ(ps.percentiles().size(), 3u);
+  EXPECT_NEAR(ps.value(0), 500.0, 20.0);
+  EXPECT_NEAR(ps.value(1), 950.0, 20.0);
+  EXPECT_NEAR(ps.value(2), 990.0, 20.0);
+  // Estimates stay ordered like the percentiles they track.
+  EXPECT_LE(ps.value(0), ps.value(1));
+  EXPECT_LE(ps.value(1), ps.value(2));
+}
+
+TEST(Logging, LevelNamesRoundTripThroughParse) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError}) {
+    const auto parsed = parse_log_level(to_string(level));
+    ASSERT_TRUE(parsed.has_value()) << to_string(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_log_level("chatty").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("WARN").has_value());  // case-sensitive
+}
+
+TEST(Logging, UptimeIsMonotonicNonNegative) {
+  const double a = log_uptime_seconds();
+  const double b = log_uptime_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
 TEST(Logging, LevelNamesAndThreshold) {
   EXPECT_EQ(to_string(LogLevel::kDebug), "debug");
   EXPECT_EQ(to_string(LogLevel::kError), "error");
