@@ -14,6 +14,7 @@
 #include "src/core/model_pyramid.hpp"
 #include "src/core/pedestrian_detector.hpp"
 #include "src/core/scale_experiment.hpp"
+#include "src/detect/engine.hpp"
 #include "src/dataset/scene.hpp"
 #include "src/dataset/synth.hpp"
 #include "src/hog/feature_scale.hpp"
@@ -166,6 +167,40 @@ int main(int argc, char** argv) {
         " keeps the FPGA's single model memory.)\n",
         fp_ms, fp_result.windows_evaluated, fp_result.levels, mp_ms,
         mp_result.windows_evaluated, mp_train_s);
+
+    // --- persistent engine: steady-state reuse and per-level threading ---
+    // The streaming counterpart of the numbers above: one DetectionEngine
+    // held across frames re-shapes warm buffers instead of reallocating
+    // (frame 1 pays the workspace sizing), and levels can be scanned on
+    // parallel lanes with bit-identical output.
+    std::printf("\n--- persistent engine: steady-state reuse, --threads scaling ---\n");
+    const auto& cfg = fp_detector.config();
+    util::Table eng_table(
+        {"threads", "cold ms", "steady ms/frame", "workspace KiB", "reuse hits"});
+    for (const int threads : {1, 2, 4}) {
+      detect::DetectionEngine engine(detect::EngineOptions{.threads = threads});
+      util::Timer cold;
+      (void)engine.process(scene.image, cfg.hog, fp_detector.model(),
+                           cfg.multiscale);
+      const double cold_ms = cold.milliseconds();
+      constexpr int kSteadyFrames = 5;
+      util::Timer steady;
+      for (int i = 0; i < kSteadyFrames; ++i) {
+        (void)engine.process(scene.image, cfg.hog, fp_detector.model(),
+                             cfg.multiscale);
+      }
+      const double steady_ms = steady.milliseconds() / kSteadyFrames;
+      eng_table.add_row(
+          {util::format("%d", threads), util::to_fixed(cold_ms, 1),
+           util::to_fixed(steady_ms, 1),
+           util::to_fixed(static_cast<double>(engine.stats().alloc_bytes) / 1024.0, 0),
+           util::format("%lld", engine.stats().reuse_hits)});
+    }
+    std::fputs(eng_table.to_string().c_str(), stdout);
+    std::printf(
+        "(steady < cold: warm-buffer reuse removes every per-frame\n"
+        " allocation; extra lanes help when level costs are balanced —\n"
+        " the base level dominates the feature pyramid, bounding the gain.)\n");
   }
 
   // --- ablation 1: block normalization scheme vs accuracy ---

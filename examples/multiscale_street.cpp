@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
                  "hybrid (Dollar [4])");
   cli.add_int("seed", 99, "scene random seed");
   cli.add_double("threshold", -0.1, "detection threshold");
+  cli.add_int("threads", 1, "pyramid-level lanes in the detection engine");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   auto& ms = detector.mutable_config().multiscale;
   ms.scales = {1.0, 1.4, 2.0};
   ms.scan.threshold = static_cast<float>(cli.get_double("threshold"));
+  detector.mutable_config().threads = cli.get_int("threads");
   const std::string strategy = cli.get_string("strategy");
   if (strategy == "image") {
     ms.strategy = detect::PyramidStrategy::kImage;
@@ -65,9 +67,12 @@ int main(int argc, char** argv) {
   const dataset::Scene scene = dataset::render_scene(rng, sopts);
 
   const detect::MultiscaleResult result = detector.detect(scene.image);
-  std::printf("strategy=%s levels=%d windows=%lld raw=%zu kept=%zu\n",
+  std::printf("strategy=%s levels=%d windows=%lld raw=%zu kept=%zu "
+              "(engine workspace %.1f KiB, %d thread%s)\n",
               strategy.c_str(), result.levels, result.windows_evaluated,
-              result.raw.size(), result.detections.size());
+              result.raw.size(), result.detections.size(),
+              static_cast<double>(detector.engine_stats().alloc_bytes) / 1024.0,
+              cli.get_int("threads"), cli.get_int("threads") == 1 ? "" : "s");
 
   // Match against truth.
   int hits = 0;

@@ -55,16 +55,18 @@ detect::MultiscaleResult PedestrianDetector::detect(
   PDET_TRACE_SCOPE("core/detect");
   const util::Timer timer;
   PDET_REQUIRE(model_.has_value());
-  auto result = detect::detect_multiscale(frame, config_.hog, *model_,
-                                          config_.multiscale);
+  // Config is re-read every call, so mutable_config() changes between frames
+  // take effect; the engine re-shapes its workspace when shapes change.
+  engine_.set_threads(config_.threads);
+  detect::MultiscaleResult result =
+      engine_.process(frame, config_.hog, *model_, config_.multiscale);
   obs::observe("core.detect_ms", timer.milliseconds());
   return result;
 }
 
 float PedestrianDetector::score_window(const imgproc::ImageF& window) const {
   PDET_REQUIRE(model_.has_value());
-  const auto desc = hog::compute_window_descriptor(window, config_.hog);
-  return model_->decision(desc);
+  return engine_.score_window(window, config_.hog, *model_);
 }
 
 }  // namespace pdet::core

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/dataset/builder.hpp"
+#include "src/detect/engine.hpp"
 #include "src/detect/multiscale.hpp"
 #include "src/svm/train_dcd.hpp"
 
@@ -25,6 +26,7 @@ struct DetectorConfig {
   hog::HogParams hog;                      ///< 64x128 window, 9 bins, L2-Hys
   detect::MultiscaleOptions multiscale;    ///< 2 scales, feature pyramid
   svm::DcdOptions training;                ///< LIBLINEAR-style DCD
+  int threads = 1;                         ///< pyramid-level lanes in detect()
 };
 
 class PedestrianDetector {
@@ -43,18 +45,29 @@ class PedestrianDetector {
   bool load_model(const std::string& path);
   bool save_model(const std::string& path) const;
 
-  /// Multi-scale detection on a grayscale frame. Requires a model.
+  /// Multi-scale detection on a grayscale frame. Requires a model. Runs on
+  /// an internal persistent DetectionEngine, so repeated calls on same-sized
+  /// frames reuse every intermediate buffer (zero steady-state allocation in
+  /// the pipeline itself; the returned result is an owned copy).
   detect::MultiscaleResult detect(const imgproc::ImageF& frame) const;
 
   /// Score a single window-sized image (positive score => pedestrian).
+  /// Routed through the engine workspace — repeated calls do not reallocate
+  /// the descriptor chain.
   float score_window(const imgproc::ImageF& window) const;
 
   const DetectorConfig& config() const { return config_; }
   DetectorConfig& mutable_config() { return config_; }
 
+  /// Allocation/reuse accounting of the internal engine.
+  const detect::EngineStats& engine_stats() const { return engine_.stats(); }
+
  private:
   DetectorConfig config_;
   std::optional<svm::LinearModel> model_;
+  // detect()/score_window() stay logically const (config and model are
+  // untouched); the engine is the reusable scratch behind them.
+  mutable detect::DetectionEngine engine_;
 };
 
 }  // namespace pdet::core

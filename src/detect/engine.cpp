@@ -1,0 +1,342 @@
+#include "src/detect/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/detect/scanner.hpp"
+#include "src/hog/feature_scale.hpp"
+#include "src/imgproc/resize.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace pdet::detect {
+namespace {
+
+std::size_t gradient_capacity_bytes(const imgproc::GradientField& g) {
+  return g.fx.capacity_bytes() + g.fy.capacity_bytes() +
+         g.magnitude.capacity_bytes() + g.angle.capacity_bytes();
+}
+
+struct LevelJobCtx {
+  DetectionEngine* engine;
+  const imgproc::ImageF* frame;
+  const hog::HogParams* params;
+  const svm::LinearModel* model;
+  const MultiscaleOptions* options;
+};
+
+}  // namespace
+
+std::size_t LevelWorkspace::capacity_bytes() const {
+  return scaled.capacity_bytes() + gradient_capacity_bytes(grad) +
+         cells.capacity_bytes() + blocks.capacity_bytes() +
+         block_scratch.capacity() * sizeof(float) +
+         desc.capacity() * sizeof(float) + hits.capacity() * sizeof(Detection);
+}
+
+std::size_t AnchorWorkspace::capacity_bytes() const {
+  return scaled.capacity_bytes() + gradient_capacity_bytes(grad) +
+         cells.capacity_bytes();
+}
+
+std::size_t FrameWorkspace::capacity_bytes() const {
+  std::size_t total = gradient_capacity_bytes(base_grad) +
+                      base_cells.capacity_bytes() +
+                      levels.capacity() * sizeof(LevelWorkspace) +
+                      anchors.capacity() * sizeof(AnchorWorkspace) +
+                      nms_scratch.capacity() * sizeof(Detection);
+  for (const LevelWorkspace& level : levels) total += level.capacity_bytes();
+  for (const AnchorWorkspace& anchor : anchors) total += anchor.capacity_bytes();
+  total += result.detections.capacity() * sizeof(Detection) +
+           result.raw.capacity() * sizeof(Detection) +
+           result.per_level.capacity() * sizeof(LevelStats);
+  total += win_crop.capacity_bytes() + gradient_capacity_bytes(win_grad) +
+           win_cells.capacity_bytes() + win_blocks.capacity_bytes() +
+           win_block_scratch.capacity() * sizeof(float) +
+           win_desc.capacity() * sizeof(float);
+  return total;
+}
+
+DetectionEngine::DetectionEngine(EngineOptions options) : options_(options) {
+  options_.threads = std::max(1, options_.threads);
+}
+
+DetectionEngine::DetectionEngine(const DetectionEngine& other)
+    : options_(other.options_) {}
+
+DetectionEngine& DetectionEngine::operator=(const DetectionEngine& other) {
+  if (this != &other) {
+    options_ = other.options_;
+    stats_ = EngineStats{};
+    high_water_bytes_ = 0;
+    workspace_ = FrameWorkspace{};
+    pool_.reset();
+  }
+  return *this;
+}
+
+void DetectionEngine::set_threads(int threads) {
+  options_.threads = std::max(1, threads);
+}
+
+void DetectionEngine::ensure_pool() {
+  if (!pool_ || pool_->threads() != options_.threads) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+void DetectionEngine::run_level(const imgproc::ImageF& frame,
+                                const hog::HogParams& params,
+                                const svm::LinearModel& model,
+                                const MultiscaleOptions& options, int index) {
+  FrameWorkspace& ws = workspace_;
+  LevelWorkspace& level = ws.levels[static_cast<std::size_t>(index)];
+  const double s = options.scales[static_cast<std::size_t>(index)];
+  PDET_REQUIRE(s >= 1.0);
+  level.scale = s;
+  level.scanned = false;
+  level.cell_grids = 0;
+  level.gradient_pixels = 0;
+  level.hits.clear();
+
+  // Feature source for this level; points either at a shared read-only grid
+  // (native cells, an octave anchor) or at the level's own slot.
+  const hog::CellGrid* cells = nullptr;
+  switch (options.strategy) {
+    case PyramidStrategy::kImage: {
+      const imgproc::ImageF* src = &frame;
+      if (s != 1.0) {
+        imgproc::resize_scale_into(frame, 1.0 / s, options.image_interp,
+                                   level.scaled);
+        src = &level.scaled;
+      }
+      hog::compute_cell_grid_into(*src, params, level.grad, level.cells);
+      level.cell_grids = 1;
+      level.gradient_pixels = static_cast<long long>(src->width()) *
+                              static_cast<long long>(src->height());
+      cells = &level.cells;
+      break;
+    }
+    case PyramidStrategy::kFeature: {
+      if (s == 1.0) {
+        cells = &ws.base_cells;
+      } else {
+        hog::downscale_cell_grid_into(ws.base_cells, s, options.feature_interp,
+                                      level.cells);
+        cells = &level.cells;
+      }
+      break;
+    }
+    case PyramidStrategy::kHybrid: {
+      // Nearest anchor at or below s, so resampling only ever shrinks.
+      const AnchorWorkspace* anchor = &ws.anchors.front();
+      for (int k = 0; k < ws.anchor_count; ++k) {
+        if (ws.anchors[static_cast<std::size_t>(k)].scale <= s + 1e-9) {
+          anchor = &ws.anchors[static_cast<std::size_t>(k)];
+        }
+      }
+      const double rel = s / anchor->scale;  // within one octave: [1, 2)
+      if (rel <= 1.0 + 1e-9) {
+        cells = &anchor->cells;
+      } else {
+        hog::downscale_cell_grid_into(anchor->cells, rel,
+                                      options.feature_interp, level.cells);
+        cells = &level.cells;
+      }
+      break;
+    }
+  }
+
+  if (cells->cells_x() < params.cells_per_window_x() ||
+      cells->cells_y() < params.cells_per_window_y()) {
+    return;  // object larger than the remaining field of view: level dropped
+  }
+
+  hog::normalize_cells_into(*cells, params, level.block_scratch, level.blocks);
+  const auto dlen = static_cast<std::size_t>(params.descriptor_size());
+  if (level.desc.size() < dlen) level.desc.resize(dlen);
+  scan_level_into(level.blocks, params, model, options.scan, level.desc,
+                  level.hits);
+
+  level.stats.scale = s;
+  level.stats.cells_x = cells->cells_x();
+  level.stats.cells_y = cells->cells_y();
+  level.stats.windows =
+      scan_window_count(level.blocks, params, options.scan.cell_stride);
+  level.stats.detections = static_cast<long long>(level.hits.size());
+  for (Detection& d : level.hits) {
+    // Map level coordinates back to the original frame — same arithmetic as
+    // detect_multiscale for every strategy.
+    d.x = static_cast<int>(std::lround(d.x * s));
+    d.y = static_cast<int>(std::lround(d.y * s));
+    d.width = static_cast<int>(std::lround(d.width * s));
+    d.height = static_cast<int>(std::lround(d.height * s));
+    d.scale = s;
+  }
+  level.scanned = true;
+}
+
+const MultiscaleResult& DetectionEngine::process(
+    const imgproc::ImageF& frame, const hog::HogParams& params,
+    const svm::LinearModel& model, const MultiscaleOptions& options) {
+  PDET_TRACE_SCOPE("detect/multiscale");
+  const util::Timer frame_timer;
+  params.validate();
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(params.descriptor_size()));
+
+  FrameWorkspace& ws = workspace_;
+  const int n = static_cast<int>(options.scales.size());
+  if (static_cast<int>(ws.levels.size()) < n) {
+    ws.levels.resize(static_cast<std::size_t>(n));
+  }
+
+  // Shared inputs are prepared on the calling thread (unmuted, so their
+  // spans/counters record normally); levels then only read them.
+  ws.anchor_count = 0;
+  if (options.strategy == PyramidStrategy::kFeature) {
+    hog::compute_cell_grid_into(frame, params, ws.base_grad, ws.base_cells);
+  } else if (options.strategy == PyramidStrategy::kHybrid) {
+    double max_scale = 1.0;
+    for (const double s : options.scales) {
+      PDET_REQUIRE(s >= 1.0);
+      max_scale = std::max(max_scale, s);
+    }
+    int k = 0;
+    for (double a = 1.0; a <= max_scale + 1e-9; a *= 2.0) {
+      if (static_cast<int>(ws.anchors.size()) <= k) {
+        ws.anchors.resize(static_cast<std::size_t>(k) + 1);
+      }
+      AnchorWorkspace& anchor = ws.anchors[static_cast<std::size_t>(k)];
+      const imgproc::ImageF* src = &frame;
+      if (a != 1.0) {
+        imgproc::resize_scale_into(frame, 1.0 / a, options.image_interp,
+                                   anchor.scaled);
+        src = &anchor.scaled;
+      }
+      if (src->width() < params.cell_size || src->height() < params.cell_size) {
+        break;
+      }
+      anchor.scale = a;
+      hog::compute_cell_grid_into(*src, params, anchor.grad, anchor.cells);
+      ++k;
+    }
+    ws.anchor_count = k;
+    PDET_REQUIRE(ws.anchor_count > 0);
+  }
+
+  const bool threaded = options_.threads > 1 && n > 1;
+  if (threaded) {
+    ensure_pool();
+    LevelJobCtx ctx{this, &frame, &params, &model, &options};
+    pool_->parallel_for(
+        n,
+        +[](void* raw_ctx, int index) {
+          auto* job = static_cast<LevelJobCtx*>(raw_ctx);
+          // The obs layer is single-threaded; workers record nothing and the
+          // engine publishes per-level counters as aggregates below.
+          obs::ScopedThreadMute mute;
+          job->engine->run_level(*job->frame, *job->params, *job->model,
+                                 *job->options, index);
+        },
+        &ctx);
+  } else {
+    for (int i = 0; i < n; ++i) run_level(frame, params, model, options, i);
+  }
+
+  // Merge in level (scale) order: output is independent of which thread ran
+  // which level, hence bit-identical to the single-threaded run.
+  MultiscaleResult& result = ws.result;
+  result.raw.clear();
+  result.per_level.clear();
+  result.windows_evaluated = 0;
+  for (int i = 0; i < n; ++i) {
+    const LevelWorkspace& level = ws.levels[static_cast<std::size_t>(i)];
+    if (!level.scanned) continue;
+    result.per_level.push_back(level.stats);
+    result.windows_evaluated += level.stats.windows;
+    result.raw.insert(result.raw.end(), level.hits.begin(), level.hits.end());
+  }
+  result.levels = static_cast<int>(result.per_level.size());
+  if (options.run_nms) {
+    nms_into(result.raw, options.nms_iou, ws.nms_scratch, result.detections);
+  } else {
+    result.detections = result.raw;
+  }
+
+  if (threaded) {
+    // Counters the muted workers would have recorded, published once.
+    long long cell_grids = 0;
+    long long gradient_pixels = 0;
+    long long dot_products = 0;
+    for (int i = 0; i < n; ++i) {
+      const LevelWorkspace& level = ws.levels[static_cast<std::size_t>(i)];
+      cell_grids += level.cell_grids;
+      gradient_pixels += level.gradient_pixels;
+      if (level.scanned) dot_products += level.stats.windows;
+    }
+    if (cell_grids > 0) obs::counter_add("hog.cell_grids", cell_grids);
+    if (gradient_pixels > 0) {
+      obs::counter_add("imgproc.gradient_pixels", gradient_pixels);
+    }
+    if (dot_products > 0) obs::counter_add("svm.dot_products", dot_products);
+  }
+  obs::counter_add("hog.pyramid_levels", result.levels);
+  obs::counter_add("detect.frames");
+  obs::counter_add("detect.levels", result.levels);
+  obs::counter_add("detect.windows_evaluated", result.windows_evaluated);
+  obs::counter_add("detect.raw_detections",
+                   static_cast<long long>(result.raw.size()));
+  obs::counter_add("detect.detections",
+                   static_cast<long long>(result.detections.size()));
+  obs::observe("detect.frame_ms", frame_timer.milliseconds());
+
+  ++stats_.frames;
+  const std::size_t bytes = ws.capacity_bytes();
+  if (bytes > high_water_bytes_) {
+    high_water_bytes_ = bytes;
+    ++stats_.grow_events;
+  } else {
+    ++stats_.reuse_hits;
+  }
+  stats_.alloc_bytes = high_water_bytes_;
+  obs::gauge_set("engine.alloc_bytes",
+                 static_cast<double>(stats_.alloc_bytes));
+  obs::gauge_set("engine.reuse_hits",
+                 static_cast<double>(stats_.reuse_hits));
+  return result;
+}
+
+float DetectionEngine::score_window(const imgproc::ImageF& window,
+                                    const hog::HogParams& params,
+                                    const svm::LinearModel& model) {
+  PDET_TRACE_SCOPE("hog/window_descriptor");
+  params.validate();
+  PDET_REQUIRE(model.dimension() ==
+               static_cast<std::size_t>(params.descriptor_size()));
+  PDET_REQUIRE(window.width() >= params.window_width);
+  PDET_REQUIRE(window.height() >= params.window_height);
+
+  FrameWorkspace& ws = workspace_;
+  const imgproc::ImageF* src = &window;
+  if (window.width() != params.window_width ||
+      window.height() != params.window_height) {
+    const int x0 = (window.width() - params.window_width) / 2;
+    const int y0 = (window.height() - params.window_height) / 2;
+    window.crop_into(x0, y0, params.window_width, params.window_height,
+                     ws.win_crop);
+    src = &ws.win_crop;
+  }
+  hog::compute_cell_grid_into(*src, params, ws.win_grad, ws.win_cells);
+  hog::normalize_cells_into(ws.win_cells, params, ws.win_block_scratch,
+                            ws.win_blocks);
+  const auto dlen = static_cast<std::size_t>(params.descriptor_size());
+  if (ws.win_desc.size() < dlen) ws.win_desc.resize(dlen);
+  const std::span<float> desc(ws.win_desc.data(), dlen);
+  hog::extract_window(ws.win_blocks, params, 0, 0, desc);
+  return model.decision(desc);
+}
+
+}  // namespace pdet::detect

@@ -1,0 +1,149 @@
+// Persistent detection engine with a reusable per-frame workspace.
+//
+// The paper's accelerator never allocates: every stage streams through
+// fixed-size on-chip buffers (NHOGMem banks, MACBAR accumulators) sized once
+// for the frame format. The free functions in multiscale.hpp re-create every
+// intermediate (gradients, cell grids, block grids, descriptors, detection
+// lists) per call, which is fine for one-shot use but wrong for the paper's
+// setting — a driver-assistance system classifying every frame of a video
+// stream. DetectionEngine is the host-side analogue of the fixed-buffer
+// datapath: it owns a FrameWorkspace of buffers sized lazily on the first
+// frame and re-shaped (never released) afterwards, so steady-state
+// process() calls perform zero heap allocations.
+//
+// Per-level parallelism is opt-in (EngineOptions::threads). Each pyramid
+// level owns its complete scratch set, so the arithmetic of a level is
+// independent of which thread runs it; levels are merged in scale order, and
+// the result is bit-identical to the single-threaded run for every
+// PyramidStrategy. With threads > 1 the workers run obs-muted (the trace /
+// metrics layer is single-threaded by design, see trace.hpp) and the engine
+// publishes the per-level counters as aggregates afterwards; per-stage spans
+// inside levels are only recorded in the threads == 1 configuration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/detect/multiscale.hpp"
+#include "src/imgproc/gradient.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace pdet::detect {
+
+struct EngineOptions {
+  /// Pyramid-level lanes. 1 (default) runs levels inline on the calling
+  /// thread with full per-stage tracing; N > 1 scans levels on a small
+  /// internal pool with identical (bit-for-bit) results.
+  int threads = 1;
+};
+
+/// Allocation/reuse accounting across the engine's lifetime.
+struct EngineStats {
+  long long frames = 0;       ///< process() calls completed
+  long long grow_events = 0;  ///< frames that grew the workspace footprint
+  long long reuse_hits = 0;   ///< frames served entirely from warm buffers
+  std::size_t alloc_bytes = 0;  ///< workspace high-water footprint, bytes
+};
+
+/// Scratch owned by one pyramid level. A level touches nothing outside its
+/// slot (plus read-only shared inputs), which is what makes the threaded
+/// scan deterministic.
+struct LevelWorkspace {
+  double scale = 1.0;
+  imgproc::ImageF scaled;              ///< kImage: per-level resized frame
+  imgproc::GradientField grad;         ///< kImage: per-level gradient field
+  hog::CellGrid cells;                 ///< per-level (re)scaled cell grid
+  hog::BlockGrid blocks;               ///< normalized features the scan reads
+  std::vector<float> block_scratch;    ///< one raw block (4 * bins floats)
+  std::vector<float> desc;             ///< one window descriptor
+  std::vector<Detection> hits;         ///< level detections, frame coords
+  LevelStats stats;
+  bool scanned = false;                ///< false = dropped (window too big)
+  int cell_grids = 0;                  ///< obs compensation when muted
+  long long gradient_pixels = 0;       ///< obs compensation when muted
+
+  std::size_t capacity_bytes() const;
+};
+
+/// One kHybrid octave anchor (scale 1, 2, 4, ...): features genuinely
+/// re-extracted from a resized frame, shared read-only by the levels of its
+/// octave.
+struct AnchorWorkspace {
+  double scale = 1.0;
+  imgproc::ImageF scaled;
+  imgproc::GradientField grad;
+  hog::CellGrid cells;
+
+  std::size_t capacity_bytes() const;
+};
+
+/// Every buffer the detection chain needs for one frame, reused across
+/// frames. Buffers are re-shaped in place and storage is never released, so
+/// once each slot has reached its high-water size a frame allocates nothing.
+struct FrameWorkspace {
+  imgproc::GradientField base_grad;    ///< kFeature: native-scale gradients
+  hog::CellGrid base_cells;            ///< kFeature: native-scale cell grid
+  std::vector<LevelWorkspace> levels;  ///< grown to max level count, kept
+  std::vector<AnchorWorkspace> anchors;
+  int anchor_count = 0;                ///< anchors active this frame
+  std::vector<Detection> nms_scratch;
+  MultiscaleResult result;             ///< what process() returns a ref to
+
+  // score_window scratch (satellite of the same zero-alloc story).
+  imgproc::ImageF win_crop;
+  imgproc::GradientField win_grad;
+  hog::CellGrid win_cells;
+  hog::BlockGrid win_blocks;
+  std::vector<float> win_block_scratch;
+  std::vector<float> win_desc;
+
+  std::size_t capacity_bytes() const;
+};
+
+class DetectionEngine {
+ public:
+  explicit DetectionEngine(EngineOptions options = {});
+
+  /// Copies share configuration only: the copy starts with a cold workspace
+  /// and zeroed stats (warm buffers are per-engine by construction).
+  DetectionEngine(const DetectionEngine& other);
+  DetectionEngine& operator=(const DetectionEngine& other);
+  DetectionEngine(DetectionEngine&&) = default;
+  DetectionEngine& operator=(DetectionEngine&&) = default;
+  ~DetectionEngine() = default;
+
+  int threads() const { return options_.threads; }
+  void set_threads(int threads);
+
+  /// Multi-scale detection over `frame`, semantically identical to
+  /// detect_multiscale() (same spans and counters at threads == 1, same
+  /// detections at any thread count). The returned reference points into the
+  /// workspace and is valid until the next process()/score_window() call.
+  const MultiscaleResult& process(const imgproc::ImageF& frame,
+                                  const hog::HogParams& params,
+                                  const svm::LinearModel& model,
+                                  const MultiscaleOptions& options);
+
+  /// Score one window-sized image (center-cropped if larger), equal to
+  /// hog::compute_window_descriptor + decision but through workspace scratch.
+  float score_window(const imgproc::ImageF& window,
+                     const hog::HogParams& params,
+                     const svm::LinearModel& model);
+
+  const EngineStats& stats() const { return stats_; }
+  const FrameWorkspace& workspace() const { return workspace_; }
+
+ private:
+  void run_level(const imgproc::ImageF& frame, const hog::HogParams& params,
+                 const svm::LinearModel& model,
+                 const MultiscaleOptions& options, int index);
+  void ensure_pool();
+
+  EngineOptions options_;
+  EngineStats stats_;
+  std::size_t high_water_bytes_ = 0;
+  FrameWorkspace workspace_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< lazily created, threads > 1
+};
+
+}  // namespace pdet::detect

@@ -1,11 +1,6 @@
 #include "src/detect/multiscale.hpp"
 
-#include <cmath>
-
-#include "src/obs/metrics.hpp"
-#include "src/obs/trace.hpp"
-#include "src/util/assert.hpp"
-#include "src/util/timer.hpp"
+#include "src/detect/engine.hpp"
 
 namespace pdet::detect {
 
@@ -13,67 +8,11 @@ MultiscaleResult detect_multiscale(const imgproc::ImageF& image,
                                    const hog::HogParams& params,
                                    const svm::LinearModel& model,
                                    const MultiscaleOptions& options) {
-  PDET_TRACE_SCOPE("detect/multiscale");
-  const util::Timer frame_timer;
-  params.validate();
-  std::vector<hog::PyramidLevel> levels;
-  if (options.strategy == PyramidStrategy::kFeature) {
-    hog::FeaturePyramidOptions fopt;
-    fopt.scales = options.scales;
-    fopt.interp = options.feature_interp;
-    levels = hog::build_feature_pyramid(image, params, fopt);
-  } else if (options.strategy == PyramidStrategy::kImage) {
-    hog::ImagePyramidOptions iopt;
-    iopt.scales = options.scales;
-    iopt.interp = options.image_interp;
-    levels = hog::build_image_pyramid(image, params, iopt);
-  } else {
-    hog::HybridPyramidOptions hopt;
-    hopt.scales = options.scales;
-    hopt.interp = options.feature_interp;
-    hopt.image_interp = options.image_interp;
-    levels = hog::build_hybrid_pyramid(image, params, hopt);
-  }
-
-  MultiscaleResult result;
-  result.per_level.reserve(levels.size());
-  for (const auto& level : levels) {
-    const auto hits = scan_level(level.blocks, params, model, options.scan);
-    LevelStats stats;
-    stats.scale = level.scale;
-    stats.cells_x = level.cells.cells_x();
-    stats.cells_y = level.cells.cells_y();
-    stats.windows =
-        scan_window_count(level.blocks, params, options.scan.cell_stride);
-    stats.detections = static_cast<long long>(hits.size());
-    result.windows_evaluated += stats.windows;
-    result.per_level.push_back(stats);
-    for (Detection d : hits) {
-      // Map level coordinates back to the original frame. For the feature
-      // pyramid the level's pixel metric is cells * cell_size of the scaled
-      // grid, which corresponds to `scale`-times-larger regions of the
-      // original image — identical arithmetic to the image pyramid.
-      d.x = static_cast<int>(std::lround(d.x * level.scale));
-      d.y = static_cast<int>(std::lround(d.y * level.scale));
-      d.width = static_cast<int>(std::lround(d.width * level.scale));
-      d.height = static_cast<int>(std::lround(d.height * level.scale));
-      d.scale = level.scale;
-      result.raw.push_back(d);
-    }
-  }
-  result.levels = static_cast<int>(result.per_level.size());
-  result.detections =
-      options.run_nms ? nms(result.raw, options.nms_iou) : result.raw;
-
-  obs::counter_add("detect.frames");
-  obs::counter_add("detect.levels", result.levels);
-  obs::counter_add("detect.windows_evaluated", result.windows_evaluated);
-  obs::counter_add("detect.raw_detections",
-                   static_cast<long long>(result.raw.size()));
-  obs::counter_add("detect.detections",
-                   static_cast<long long>(result.detections.size()));
-  obs::observe("detect.frame_ms", frame_timer.milliseconds());
-  return result;
+  // One-shot convenience path: a cold single-threaded engine, discarded with
+  // its workspace after the frame. Streaming callers should hold a
+  // DetectionEngine instead and get zero-allocation steady state.
+  DetectionEngine engine;
+  return engine.process(image, params, model, options);
 }
 
 }  // namespace pdet::detect

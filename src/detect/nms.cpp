@@ -20,29 +20,42 @@ double iou(const Detection& a, const Detection& b) {
   return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
 }
 
+bool detection_order(const Detection& a, const Detection& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  if (a.width != b.width) return a.width < b.width;
+  return a.height < b.height;
+}
+
 std::vector<Detection> nms(std::vector<Detection> detections,
                            double iou_threshold) {
+  std::vector<Detection> scratch;
+  std::vector<Detection> kept;
+  nms_into(detections, iou_threshold, scratch, kept);
+  return kept;
+}
+
+void nms_into(std::span<const Detection> detections, double iou_threshold,
+              std::vector<Detection>& scratch, std::vector<Detection>& out) {
   PDET_TRACE_SCOPE("detect/nms");
   PDET_REQUIRE(iou_threshold >= 0.0 && iou_threshold <= 1.0);
-  std::sort(detections.begin(), detections.end(),
-            [](const Detection& a, const Detection& b) {
-              return a.score > b.score;
-            });
-  std::vector<Detection> kept;
-  for (const Detection& d : detections) {
+  scratch.assign(detections.begin(), detections.end());
+  std::sort(scratch.begin(), scratch.end(), detection_order);
+  out.clear();
+  for (const Detection& d : scratch) {
     bool suppressed = false;
-    for (const Detection& k : kept) {
+    for (const Detection& k : out) {
       if (iou(d, k) > iou_threshold) {
         suppressed = true;
         break;
       }
     }
-    if (!suppressed) kept.push_back(d);
+    if (!suppressed) out.push_back(d);
   }
   obs::counter_add("nms.suppressed",
-                   static_cast<long long>(detections.size() - kept.size()));
-  obs::counter_add("nms.kept", static_cast<long long>(kept.size()));
-  return kept;
+                   static_cast<long long>(scratch.size() - out.size()));
+  obs::counter_add("nms.kept", static_cast<long long>(out.size()));
 }
 
 }  // namespace pdet::detect

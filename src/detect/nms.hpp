@@ -6,13 +6,29 @@
 // is that host-side step.)
 #pragma once
 
+#include <span>
+
 #include "src/detect/detection.hpp"
 
 namespace pdet::detect {
 
-/// Keep detections greedily by descending score, dropping any box whose IoU
+/// The total order NMS processes candidates in: score descending, ties
+/// broken by x, then y, then width, then height (all ascending). Scores tie
+/// exactly whenever symmetric image content yields identical windows, so a
+/// score-only sort would leave the survivor of a tied cluster up to
+/// std::sort's whims; the full key makes suppression reproducible across
+/// runs, thread counts, and standard libraries.
+bool detection_order(const Detection& a, const Detection& b);
+
+/// Keep detections greedily in `detection_order`, dropping any box whose IoU
 /// with an already-kept box exceeds `iou_threshold`.
 std::vector<Detection> nms(std::vector<Detection> detections,
                            double iou_threshold = 0.45);
+
+/// `nms` into caller-owned storage: `scratch` receives the sorted candidate
+/// list, `out` the kept boxes. Both are cleared and refilled; warm vectors
+/// make the pass allocation-free (the DetectionEngine workspace path).
+void nms_into(std::span<const Detection> detections, double iou_threshold,
+              std::vector<Detection>& scratch, std::vector<Detection>& out);
 
 }  // namespace pdet::detect

@@ -16,12 +16,11 @@ namespace {
 /// as separate nested spans under "detect/scan_level". Evaluation order and
 /// arithmetic are identical to the plain loop (row-major, per-window double
 /// accumulation); only the interleaving changes, and only while tracing.
-std::vector<Detection> scan_level_traced(const hog::BlockGrid& blocks,
-                                         const hog::HogParams& params,
-                                         const svm::LinearModel& model,
-                                         const ScanOptions& options, int nx,
-                                         int ny) {
-  std::vector<Detection> out;
+void scan_level_traced(const hog::BlockGrid& blocks,
+                       const hog::HogParams& params,
+                       const svm::LinearModel& model,
+                       const ScanOptions& options, int nx, int ny,
+                       std::vector<Detection>& out) {
   const auto dlen = static_cast<std::size_t>(params.descriptor_size());
   std::vector<int> row_cx;
   std::vector<float> row_desc;
@@ -53,7 +52,6 @@ std::vector<Detection> scan_level_traced(const hog::BlockGrid& blocks,
       }
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -63,11 +61,25 @@ std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
                                   const hog::HogParams& params,
                                   const svm::LinearModel& model,
                                   const ScanOptions& options) {
+  params.validate();
+  std::vector<float> desc(static_cast<std::size_t>(params.descriptor_size()));
+  std::vector<Detection> out;
+  scan_level_into(blocks, params, model, options, desc, out);
+  return out;
+}
+
+void scan_level_into(const hog::BlockGrid& blocks, const hog::HogParams& params,
+                     const svm::LinearModel& model, const ScanOptions& options,
+                     std::span<float> desc_scratch,
+                     std::vector<Detection>& out) {
   PDET_TRACE_SCOPE("detect/scan_level");
   params.validate();
   PDET_REQUIRE(options.cell_stride >= 1);
   PDET_REQUIRE(model.dimension() ==
                static_cast<std::size_t>(params.descriptor_size()));
+  PDET_REQUIRE(desc_scratch.size() >=
+               static_cast<std::size_t>(params.descriptor_size()));
+  out.clear();
 
   const int nx = hog::window_positions_x(blocks, params);
   const int ny = hog::window_positions_y(blocks, params);
@@ -75,11 +87,12 @@ std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
                    scan_window_count(blocks, params, options.cell_stride));
 #ifndef PDET_OBS_DISABLED
   if (obs::tracing_enabled()) {
-    return scan_level_traced(blocks, params, model, options, nx, ny);
+    scan_level_traced(blocks, params, model, options, nx, ny, out);
+    return;
   }
 #endif
-  std::vector<Detection> out;
-  std::vector<float> desc(static_cast<std::size_t>(params.descriptor_size()));
+  const std::span<float> desc =
+      desc_scratch.first(static_cast<std::size_t>(params.descriptor_size()));
   for (int cy = 0; cy < ny; cy += options.cell_stride) {
     for (int cx = 0; cx < nx; cx += options.cell_stride) {
       hog::extract_window(blocks, params, cx, cy, desc);
@@ -95,7 +108,6 @@ std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
       }
     }
   }
-  return out;
 }
 
 imgproc::ImageF score_map(const hog::BlockGrid& blocks,

@@ -6,6 +6,8 @@
 // 36-cycle window cadence implements.
 #pragma once
 
+#include <span>
+
 #include "src/detect/detection.hpp"
 #include "src/imgproc/image.hpp"
 #include "src/hog/descriptor.hpp"
@@ -25,6 +27,17 @@ std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
                                   const hog::HogParams& params,
                                   const svm::LinearModel& model,
                                   const ScanOptions& options);
+
+/// `scan_level` into caller-owned storage. `desc_scratch` must hold at least
+/// `params.descriptor_size()` floats; `out` is cleared and refilled, so warm
+/// buffers make the scan allocation-free below its high-water mark (the
+/// DetectionEngine workspace path). The row-batched layout used while
+/// tracing is enabled still allocates its row staging — tracing is a
+/// diagnostic mode, not the steady-state one.
+void scan_level_into(const hog::BlockGrid& blocks, const hog::HogParams& params,
+                     const svm::LinearModel& model, const ScanOptions& options,
+                     std::span<float> desc_scratch,
+                     std::vector<Detection>& out);
 
 /// Dense per-anchor score map of one level: pixel (cx, cy) of the returned
 /// image is the SVM score of the window anchored at cell (cx, cy). Used for

@@ -40,6 +40,19 @@ std::span<const float> BlockGrid::block(int bx, int by) const {
       offset, static_cast<std::size_t>(feature_len_));
 }
 
+void BlockGrid::reset(int blocks_x, int blocks_y, int feature_len,
+                      DescriptorLayout layout) {
+  PDET_REQUIRE(blocks_x >= 0 && blocks_y >= 0 && feature_len >= 1);
+  blocks_x_ = blocks_x;
+  blocks_y_ = blocks_y;
+  feature_len_ = feature_len;
+  layout_ = layout;
+  data_.resize(static_cast<std::size_t>(blocks_x) *
+               static_cast<std::size_t>(blocks_y) *
+               static_cast<std::size_t>(feature_len));
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
 void normalize_block(std::span<float> v, const HogParams& params) {
   const float eps = params.normalize_epsilon;
   switch (params.norm) {
@@ -92,11 +105,12 @@ void gather_block(const CellGrid& cells, int bx, int by, std::span<float> out) {
   }
 }
 
-BlockGrid normalize_dalal(const CellGrid& cells, const HogParams& params) {
+void normalize_dalal(const CellGrid& cells, const HogParams& params,
+                     BlockGrid& out) {
   const int bx_count = cells.cells_x() - 1;
   const int by_count = cells.cells_y() - 1;
-  BlockGrid out(std::max(bx_count, 0), std::max(by_count, 0),
-                params.block_feature_len(), DescriptorLayout::kDalalBlocks);
+  out.reset(std::max(bx_count, 0), std::max(by_count, 0),
+            params.block_feature_len(), DescriptorLayout::kDalalBlocks);
   for (int by = 0; by < by_count; ++by) {
     for (int bx = 0; bx < bx_count; ++bx) {
       auto blk = out.block(bx, by);
@@ -104,20 +118,20 @@ BlockGrid normalize_dalal(const CellGrid& cells, const HogParams& params) {
       normalize_block(blk, params);
     }
   }
-  return out;
 }
 
-BlockGrid normalize_cell_groups(const CellGrid& cells, const HogParams& params) {
+void normalize_cell_groups(const CellGrid& cells, const HogParams& params,
+                           std::vector<float>& scratch, BlockGrid& out) {
   const int cx_count = cells.cells_x();
   const int cy_count = cells.cells_y();
   const int bins = cells.bins();
-  BlockGrid out(cx_count, cy_count, params.block_feature_len(),
-                DescriptorLayout::kCellGroups);
+  out.reset(cx_count, cy_count, params.block_feature_len(),
+            DescriptorLayout::kCellGroups);
 
   // Norm of the block whose top-left cell is (bx, by); border blocks are
   // clamped to the nearest valid block so edge cells still get 4 groups
   // (the streaming hardware does the same by replicating its line buffers).
-  std::vector<float> scratch(static_cast<std::size_t>(4 * bins));
+  scratch.resize(static_cast<std::size_t>(4 * bins));
   auto block_normed_cell = [&](int bx, int by, int cell_cx, int cell_cy,
                                std::span<float> dst) {
     bx = std::clamp(bx, 0, std::max(cx_count - 2, 0));
@@ -151,19 +165,27 @@ BlockGrid normalize_cell_groups(const CellGrid& cells, const HogParams& params) 
                                      static_cast<std::size_t>(bins)));
     }
   }
-  return out;
 }
 
 }  // namespace
 
 BlockGrid normalize_cells(const CellGrid& cells, const HogParams& params) {
+  BlockGrid out;
+  std::vector<float> scratch;
+  normalize_cells_into(cells, params, scratch, out);
+  return out;
+}
+
+void normalize_cells_into(const CellGrid& cells, const HogParams& params,
+                          std::vector<float>& block_scratch, BlockGrid& out) {
   PDET_TRACE_SCOPE("hog/block_norm");
   params.validate();
   PDET_REQUIRE(cells.bins() == params.bins);
   if (params.layout == DescriptorLayout::kDalalBlocks) {
-    return normalize_dalal(cells, params);
+    normalize_dalal(cells, params, out);
+    return;
   }
-  return normalize_cell_groups(cells, params);
+  normalize_cell_groups(cells, params, block_scratch, out);
 }
 
 }  // namespace pdet::hog

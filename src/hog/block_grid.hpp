@@ -28,6 +28,14 @@ class BlockGrid {
   DescriptorLayout layout() const { return layout_; }
   bool empty() const { return data_.empty(); }
 
+  /// Bytes reserved by the feature buffer (workspace accounting).
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
+
+  /// Re-shape in place, zeroed; storage is never released, so a warm grid
+  /// re-shapes without allocating.
+  void reset(int blocks_x, int blocks_y, int feature_len,
+             DescriptorLayout layout);
+
   std::span<float> block(int bx, int by);
   std::span<const float> block(int bx, int by) const;
 
@@ -46,5 +54,12 @@ void normalize_block(std::span<float> v, const HogParams& params);
 
 /// Normalize a full cell grid into a block grid per params.layout.
 BlockGrid normalize_cells(const CellGrid& cells, const HogParams& params);
+
+/// `normalize_cells` into a caller-owned grid. `block_scratch` is resized to
+/// one raw block (`params.block_feature_len()` floats) and reused across
+/// blocks; with warm buffers the stage performs no allocation (the
+/// DetectionEngine workspace path).
+void normalize_cells_into(const CellGrid& cells, const HogParams& params,
+                          std::vector<float>& block_scratch, BlockGrid& out);
 
 }  // namespace pdet::hog

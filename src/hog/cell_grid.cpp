@@ -40,8 +40,29 @@ std::span<const float> CellGrid::hist(int cx, int cy) const {
                                                static_cast<std::size_t>(bins_));
 }
 
+void CellGrid::reset(int cells_x, int cells_y, int bins) {
+  PDET_REQUIRE(cells_x >= 0 && cells_y >= 0 && bins >= 1);
+  cells_x_ = cells_x;
+  cells_y_ = cells_y;
+  bins_ = bins;
+  data_.resize(static_cast<std::size_t>(cells_x) *
+               static_cast<std::size_t>(cells_y) *
+               static_cast<std::size_t>(bins));
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
 CellGrid compute_cell_grid(const imgproc::ImageF& image,
                            const HogParams& params) {
+  CellGrid grid;
+  imgproc::GradientField grad;
+  compute_cell_grid_into(image, params, grad, grid);
+  return grid;
+}
+
+void compute_cell_grid_into(const imgproc::ImageF& image,
+                            const HogParams& params,
+                            imgproc::GradientField& grad_scratch,
+                            CellGrid& grid) {
   PDET_TRACE_SCOPE("hog/cell_grid");
   params.validate();
   PDET_REQUIRE(!image.empty());
@@ -50,14 +71,17 @@ CellGrid compute_cell_grid(const imgproc::ImageF& image,
   const int cell = params.cell_size;
   const int cells_x = image.width() / cell;
   const int cells_y = image.height() / cell;
-  CellGrid grid(cells_x, cells_y, params.bins);
-  if (cells_x == 0 || cells_y == 0) return grid;
+  grid.reset(cells_x, cells_y, params.bins);
+  if (cells_x == 0 || cells_y == 0) return;
 
-  const imgproc::GradientField g = imgproc::compute_gradients(
-      params.presmooth_sigma > 0.0f
-          ? imgproc::gaussian_blur(image, params.presmooth_sigma)
-          : image,
-      params.gradient_op);
+  if (params.presmooth_sigma > 0.0f) {
+    imgproc::compute_gradients_into(
+        imgproc::gaussian_blur(image, params.presmooth_sigma),
+        params.gradient_op, grad_scratch);
+  } else {
+    imgproc::compute_gradients_into(image, params.gradient_op, grad_scratch);
+  }
+  const imgproc::GradientField& g = grad_scratch;
   constexpr float kPi = std::numbers::pi_v<float>;
   const float bin_width = kPi / static_cast<float>(params.bins);
   const float inv_bin_width = 1.0f / bin_width;
@@ -117,7 +141,6 @@ CellGrid compute_cell_grid(const imgproc::ImageF& image,
       }
     }
   }
-  return grid;
 }
 
 }  // namespace pdet::hog

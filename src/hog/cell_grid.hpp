@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/hog/params.hpp"
+#include "src/imgproc/gradient.hpp"
 #include "src/imgproc/image.hpp"
 
 namespace pdet::hog {
@@ -22,6 +23,13 @@ class CellGrid {
   int cells_y() const { return cells_y_; }
   int bins() const { return bins_; }
   bool empty() const { return data_.empty(); }
+
+  /// Bytes reserved by the histogram buffer (workspace accounting).
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
+
+  /// Re-shape in place to `cells_x` x `cells_y` x `bins`, zeroed. Storage is
+  /// never released, so a warm grid re-shapes without allocating.
+  void reset(int cells_x, int cells_y, int bins);
 
   std::span<float> hist(int cx, int cy);
   std::span<const float> hist(int cx, int cy) const;
@@ -45,5 +53,15 @@ class CellGrid {
 /// the four nearest cell centers.
 CellGrid compute_cell_grid(const imgproc::ImageF& image,
                            const HogParams& params);
+
+/// `compute_cell_grid` into a caller-owned grid, routing the intermediate
+/// gradient planes through `grad_scratch` — with warm buffers the whole
+/// stage performs no allocation (the DetectionEngine workspace path). The
+/// one exception is `params.presmooth_sigma > 0`, whose Gaussian pass still
+/// allocates a temporary (the paper's configuration uses sigma = 0).
+void compute_cell_grid_into(const imgproc::ImageF& image,
+                            const HogParams& params,
+                            imgproc::GradientField& grad_scratch,
+                            CellGrid& out);
 
 }  // namespace pdet::hog

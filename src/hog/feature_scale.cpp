@@ -51,12 +51,25 @@ float sample_area(const CellGrid& src, double sx0, double sx1, double sy0,
 
 CellGrid scale_cell_grid(const CellGrid& src, int out_cells_x, int out_cells_y,
                          FeatureInterp interp) {
+  if (out_cells_x == src.cells_x() && out_cells_y == src.cells_y()) return src;
+  CellGrid out;
+  scale_cell_grid_into(src, out_cells_x, out_cells_y, interp, out);
+  return out;
+}
+
+void scale_cell_grid_into(const CellGrid& src, int out_cells_x,
+                          int out_cells_y, FeatureInterp interp,
+                          CellGrid& out) {
   PDET_TRACE_SCOPE("hog/feature_scale");
   PDET_REQUIRE(!src.empty());
   PDET_REQUIRE(out_cells_x >= 1 && out_cells_y >= 1);
-  if (out_cells_x == src.cells_x() && out_cells_y == src.cells_y()) return src;
+  PDET_REQUIRE(&out != &src);
+  if (out_cells_x == src.cells_x() && out_cells_y == src.cells_y()) {
+    out = src;
+    return;
+  }
 
-  CellGrid out(out_cells_x, out_cells_y, src.bins());
+  out.reset(out_cells_x, out_cells_y, src.bins());
   const double ix = static_cast<double>(src.cells_x()) / out_cells_x;
   const double iy = static_cast<double>(src.cells_y()) / out_cells_y;
   // A destination cell aggregates ~ix*iy source cells' gradient mass; keep
@@ -95,7 +108,6 @@ CellGrid scale_cell_grid(const CellGrid& src, int out_cells_x, int out_cells_y,
       }
     }
   }
-  return out;
 }
 
 CellGrid downscale_cell_grid(const CellGrid& src, double factor,
@@ -106,6 +118,16 @@ CellGrid downscale_cell_grid(const CellGrid& src, double factor,
   const int oy = std::max(
       1, static_cast<int>(std::lround(src.cells_y() / factor)));
   return scale_cell_grid(src, ox, oy, interp);
+}
+
+void downscale_cell_grid_into(const CellGrid& src, double factor,
+                              FeatureInterp interp, CellGrid& out) {
+  PDET_REQUIRE(factor >= 1.0);
+  const int ox = std::max(
+      1, static_cast<int>(std::lround(src.cells_x() / factor)));
+  const int oy = std::max(
+      1, static_cast<int>(std::lround(src.cells_y() / factor)));
+  scale_cell_grid_into(src, ox, oy, interp, out);
 }
 
 std::vector<PyramidLevel> build_feature_pyramid(

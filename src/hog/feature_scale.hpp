@@ -37,6 +37,15 @@ CellGrid scale_cell_grid(const CellGrid& src, int out_cells_x, int out_cells_y,
 CellGrid downscale_cell_grid(const CellGrid& src, double factor,
                              FeatureInterp interp);
 
+/// `scale_cell_grid` / `downscale_cell_grid` into a caller-owned grid. `out`
+/// is re-shaped in place and never releases storage, so a warm grid incurs
+/// no allocation (the DetectionEngine workspace path). `out` must not alias
+/// `src`; identity sizes degenerate to a copy.
+void scale_cell_grid_into(const CellGrid& src, int out_cells_x,
+                          int out_cells_y, FeatureInterp interp, CellGrid& out);
+void downscale_cell_grid_into(const CellGrid& src, double factor,
+                              FeatureInterp interp, CellGrid& out);
+
 /// One level of a pyramid: the object scale it detects, its cell grid, and
 /// the normalized blocks the classifier scans.
 struct PyramidLevel {

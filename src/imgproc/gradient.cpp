@@ -18,13 +18,23 @@ float fold_unsigned(float angle_radians) {
 }
 
 GradientField compute_gradients(const ImageF& src, GradientOp op) {
+  GradientField g;
+  compute_gradients_into(src, op, g);
+  return g;
+}
+
+void compute_gradients_into(const ImageF& src, GradientOp op,
+                            GradientField& g) {
   PDET_TRACE_SCOPE("imgproc/gradient");
   PDET_REQUIRE(!src.empty());
   const int w = src.width();
   const int h = src.height();
   obs::counter_add("imgproc.gradient_pixels",
                    static_cast<long long>(w) * static_cast<long long>(h));
-  GradientField g{ImageF(w, h), ImageF(w, h), ImageF(w, h), ImageF(w, h)};
+  g.fx.reset(w, h);
+  g.fy.reset(w, h);
+  g.magnitude.reset(w, h);
+  g.angle.reset(w, h);
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
       float dx = 0.0f;
@@ -59,7 +69,6 @@ GradientField compute_gradients(const ImageF& src, GradientOp op) {
       g.angle.at(x, y) = fold_unsigned(std::atan2(dy, dx));
     }
   }
-  return g;
 }
 
 }  // namespace pdet::imgproc

@@ -30,6 +30,12 @@ struct GradientField {
 GradientField compute_gradients(const ImageF& src,
                                 GradientOp op = GradientOp::kCentered);
 
+/// `compute_gradients` into a caller-owned field: every plane is re-shaped
+/// in place and storage is never released, so a warm GradientField incurs no
+/// allocation (the DetectionEngine workspace path).
+void compute_gradients_into(const ImageF& src, GradientOp op,
+                            GradientField& out);
+
 /// Fold an arbitrary angle (radians) into the unsigned-orientation interval
 /// [0, pi).
 float fold_unsigned(float angle_radians);

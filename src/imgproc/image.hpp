@@ -34,6 +34,22 @@ class Image {
   bool empty() const { return data_.empty(); }
   std::size_t pixel_count() const { return data_.size(); }
 
+  /// Bytes currently reserved by the pixel buffer (capacity, not size) —
+  /// the footprint the engine workspace accounting sums per frame.
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(T); }
+
+  /// Re-shape in place to `width` x `height`, filled with `fill_value`.
+  /// Never releases storage: shrinking or re-growing within the high-water
+  /// mark performs no allocation, which is what lets preallocated frame
+  /// workspaces reuse one Image across differently-sized pyramid levels.
+  void reset(int width, int height, T fill_value = T{}) {
+    PDET_REQUIRE(width >= 0 && height >= 0);
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+    std::fill(data_.begin(), data_.end(), fill_value);
+  }
+
   T& at(int x, int y) {
     PDET_ASSERT(contains(x, y));
     return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
@@ -72,14 +88,21 @@ class Image {
 
   /// Copy-out a rectangular region; the rectangle must lie inside the image.
   Image crop(int x0, int y0, int w, int h) const {
+    Image out;
+    crop_into(x0, y0, w, h, out);
+    return out;
+  }
+
+  /// `crop` into a caller-owned destination (reused buffer, no allocation
+  /// once `out` has seen a region this large).
+  void crop_into(int x0, int y0, int w, int h, Image& out) const {
     PDET_REQUIRE(w >= 0 && h >= 0);
     PDET_REQUIRE(x0 >= 0 && y0 >= 0 && x0 + w <= width_ && y0 + h <= height_);
-    Image out(w, h);
+    out.reset(w, h);
     for (int y = 0; y < h; ++y) {
       const T* src = row(y0 + y) + x0;
       std::copy(src, src + w, out.row(y));
     }
-    return out;
   }
 
   /// Paste `src` with its top-left corner at (x0, y0); the source must fit.

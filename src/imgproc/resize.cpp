@@ -23,8 +23,8 @@ inline float src_coord(int dst, double inv_scale) {
   return static_cast<float>((static_cast<double>(dst) + 0.5) * inv_scale - 0.5);
 }
 
-ImageF resize_nearest(const ImageF& src, int ow, int oh) {
-  ImageF out(ow, oh);
+void resize_nearest(const ImageF& src, int ow, int oh, ImageF& out) {
+  out.reset(ow, oh);
   const double ix = static_cast<double>(src.width()) / ow;
   const double iy = static_cast<double>(src.height()) / oh;
   for (int y = 0; y < oh; ++y) {
@@ -36,11 +36,10 @@ ImageF resize_nearest(const ImageF& src, int ow, int oh) {
       out.at(x, y) = src.at(sx, sy);
     }
   }
-  return out;
 }
 
-ImageF resize_bilinear(const ImageF& src, int ow, int oh) {
-  ImageF out(ow, oh);
+void resize_bilinear(const ImageF& src, int ow, int oh, ImageF& out) {
+  out.reset(ow, oh);
   const double ix = static_cast<double>(src.width()) / ow;
   const double iy = static_cast<double>(src.height()) / oh;
   for (int y = 0; y < oh; ++y) {
@@ -59,11 +58,10 @@ ImageF resize_bilinear(const ImageF& src, int ow, int oh) {
                      wy * ((1.0f - wx) * v01 + wx * v11);
     }
   }
-  return out;
 }
 
-ImageF resize_bicubic(const ImageF& src, int ow, int oh) {
-  ImageF out(ow, oh);
+void resize_bicubic(const ImageF& src, int ow, int oh, ImageF& out) {
+  out.reset(ow, oh);
   const double ix = static_cast<double>(src.width()) / ow;
   const double iy = static_cast<double>(src.height()) / oh;
   for (int y = 0; y < oh; ++y) {
@@ -92,11 +90,10 @@ ImageF resize_bicubic(const ImageF& src, int ow, int oh) {
       out.at(x, y) = wsum != 0.0f ? acc / wsum : 0.0f;
     }
   }
-  return out;
 }
 
-ImageF resize_area(const ImageF& src, int ow, int oh) {
-  ImageF out(ow, oh);
+void resize_area(const ImageF& src, int ow, int oh, ImageF& out) {
+  out.reset(ow, oh);
   const double ix = static_cast<double>(src.width()) / ow;
   const double iy = static_cast<double>(src.height()) / oh;
   for (int y = 0; y < oh; ++y) {
@@ -124,28 +121,46 @@ ImageF resize_area(const ImageF& src, int ow, int oh) {
       out.at(x, y) = area > 0 ? static_cast<float>(acc / area) : 0.0f;
     }
   }
-  return out;
 }
 
 }  // namespace
 
-ImageF resize(const ImageF& src, int out_width, int out_height, Interp interp) {
+void resize_into(const ImageF& src, int out_width, int out_height,
+                 Interp interp, ImageF& out) {
   PDET_REQUIRE(!src.empty());
   PDET_REQUIRE(out_width >= 1 && out_height >= 1);
-  if (out_width == src.width() && out_height == src.height()) return src;
+  PDET_REQUIRE(&out != &src);
+  if (out_width == src.width() && out_height == src.height()) {
+    out = src;
+    return;
+  }
   switch (interp) {
-    case Interp::kNearest: return resize_nearest(src, out_width, out_height);
-    case Interp::kBilinear: return resize_bilinear(src, out_width, out_height);
-    case Interp::kBicubic: return resize_bicubic(src, out_width, out_height);
-    case Interp::kArea: return resize_area(src, out_width, out_height);
+    case Interp::kNearest: resize_nearest(src, out_width, out_height, out); return;
+    case Interp::kBilinear: resize_bilinear(src, out_width, out_height, out); return;
+    case Interp::kBicubic: resize_bicubic(src, out_width, out_height, out); return;
+    case Interp::kArea: resize_area(src, out_width, out_height, out); return;
   }
   PDET_REQUIRE(false && "unreachable");
-  return {};
+}
+
+ImageF resize(const ImageF& src, int out_width, int out_height, Interp interp) {
+  if (out_width == src.width() && out_height == src.height()) return src;
+  ImageF out;
+  resize_into(src, out_width, out_height, interp, out);
+  return out;
 }
 
 ImageU8 resize(const ImageU8& src, int out_width, int out_height,
                Interp interp) {
   return to_u8(resize(to_float(src), out_width, out_height, interp));
+}
+
+void resize_scale_into(const ImageF& src, double scale, Interp interp,
+                       ImageF& out) {
+  PDET_REQUIRE(scale > 0.0);
+  const int ow = std::max(1, static_cast<int>(std::lround(src.width() * scale)));
+  const int oh = std::max(1, static_cast<int>(std::lround(src.height() * scale)));
+  resize_into(src, ow, oh, interp, out);
 }
 
 ImageF resize_scale(const ImageF& src, double scale, Interp interp) {

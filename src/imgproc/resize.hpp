@@ -26,4 +26,13 @@ ImageU8 resize(const ImageU8& src, int out_width, int out_height, Interp interp)
 ImageF resize_scale(const ImageF& src, double scale, Interp interp);
 ImageU8 resize_scale(const ImageU8& src, double scale, Interp interp);
 
+/// `resize` / `resize_scale` into a caller-owned destination. `out` is
+/// re-shaped in place and never releases storage, so a warm buffer incurs no
+/// allocation (the DetectionEngine workspace path). `out` must not alias
+/// `src`. Identity sizes degenerate to a copy.
+void resize_into(const ImageF& src, int out_width, int out_height,
+                 Interp interp, ImageF& out);
+void resize_scale_into(const ImageF& src, double scale, Interp interp,
+                       ImageF& out);
+
 }  // namespace pdet::imgproc

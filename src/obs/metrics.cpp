@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
@@ -36,7 +37,11 @@ void append_json_key(std::string& out, const std::string& name) {
 
 }  // namespace
 
-bool metrics_enabled() { return g_metrics.load(std::memory_order_relaxed); }
+bool metrics_enabled() {
+  // The registry is single-threaded; per-thread mutes (worker pools) read
+  // metrics as disabled, same as spans. See ScopedThreadMute in trace.hpp.
+  return g_metrics.load(std::memory_order_relaxed) && !obs_thread_muted();
+}
 void set_metrics_enabled(bool enabled) {
   g_metrics.store(enabled, std::memory_order_relaxed);
 }

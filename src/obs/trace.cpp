@@ -14,6 +14,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::atomic<bool> g_tracing{false};
+thread_local int g_mute_depth = 0;
 
 struct TraceBuffer {
   std::vector<TraceEvent> events;
@@ -51,10 +52,16 @@ void append_json_escaped(std::string& out, const char* s) {
 
 }  // namespace
 
-bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+bool tracing_enabled() {
+  return g_tracing.load(std::memory_order_relaxed) && g_mute_depth == 0;
+}
 void set_tracing_enabled(bool enabled) {
   g_tracing.store(enabled, std::memory_order_relaxed);
 }
+
+bool obs_thread_muted() { return g_mute_depth > 0; }
+ScopedThreadMute::ScopedThreadMute() { ++g_mute_depth; }
+ScopedThreadMute::~ScopedThreadMute() { --g_mute_depth; }
 
 ScopedSpan::ScopedSpan(const char* name) {
   if (!tracing_enabled()) return;

@@ -30,6 +30,22 @@ namespace pdet::obs {
 bool tracing_enabled();
 void set_tracing_enabled(bool enabled);
 
+/// Per-thread mute for the whole obs surface (spans *and* metrics). The
+/// trace buffer and metrics registry are deliberately single-threaded;
+/// worker threads — e.g. the DetectionEngine's per-level pool — hold a
+/// ScopedThreadMute so instrumented pipeline code stays safe to call
+/// concurrently, and the orchestrating thread publishes aggregates instead.
+/// Mutes nest; a muted thread reads tracing/metrics as disabled.
+bool obs_thread_muted();
+
+class ScopedThreadMute {
+ public:
+  ScopedThreadMute();
+  ~ScopedThreadMute();
+  ScopedThreadMute(const ScopedThreadMute&) = delete;
+  ScopedThreadMute& operator=(const ScopedThreadMute&) = delete;
+};
+
 /// One completed (or still-open, dur_ns == 0) span.
 struct TraceEvent {
   const char* name;        ///< static string supplied by PDET_TRACE_SCOPE

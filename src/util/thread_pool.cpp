@@ -1,0 +1,73 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace pdet::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int spawn = threads - 1;
+  workers_.reserve(spawn > 0 ? static_cast<std::size_t>(spawn) : 0);
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_indices() {
+  for (int i = next_.fetch_add(1, std::memory_order_relaxed); i < count_;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    task_(ctx_, i);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+
+    run_indices();
+
+    lock.lock();
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(int count, Task task, void* ctx) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) task(ctx, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = task;
+    ctx_ = ctx;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  run_indices();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  task_ = nullptr;
+  ctx_ = nullptr;
+  count_ = 0;
+}
+
+}  // namespace pdet::util

@@ -1,0 +1,65 @@
+// Minimal persistent worker pool for per-level parallelism (pdet::util).
+//
+// The paper's hardware processes pyramid levels in independent fixed-buffer
+// datapaths; the host-side analogue is a handful of long-lived threads that
+// each run whole levels against preallocated workspaces. The pool is
+// deliberately tiny: one kind of job (parallel_for over an index range),
+// raw function-pointer + context instead of std::function so dispatching a
+// job performs no heap allocation, and the calling thread participates in
+// the loop so `threads == 1` degenerates to a plain inline for-loop.
+//
+// The pool makes no fairness or ordering promise — callers that need
+// deterministic output must make each index's work independent and merge
+// results by index afterwards (what DetectionEngine does per level).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdet::util {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total lanes: threads-1 workers are spawned, the
+  /// caller of parallel_for is the last lane. threads <= 1 spawns nothing.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (spawned workers + the calling thread).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// One unit of work: called as task(ctx, index) for each index in
+  /// [0, count). Indices are claimed from a shared atomic counter, so the
+  /// assignment of indices to threads is nondeterministic.
+  using Task = void (*)(void* ctx, int index);
+
+  /// Run task over [0, count), blocking until every index has completed.
+  /// The calling thread executes indices alongside the workers. Not
+  /// reentrant: task must not call parallel_for on the same pool.
+  void parallel_for(int count, Task task, void* ctx);
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_ = nullptr;
+  void* ctx_ = nullptr;
+  int count_ = 0;
+  std::atomic<int> next_{0};
+  int pending_ = 0;            ///< workers still inside the current job
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pdet::util

@@ -98,6 +98,36 @@ TEST(Nms, IdempotentOnItsOwnOutput) {
   }
 }
 
+TEST(Nms, TiedScoresBreakByGeometryNotInputOrder) {
+  // Symmetric content produces exactly-tied scores; the survivor must be
+  // picked by the documented total order (x, then y, then width, height),
+  // not by where the box happened to sit in the input.
+  const std::vector<Detection> cluster{
+      box(4, 0, 10, 10, 0.8f), box(0, 0, 10, 10, 0.8f), box(0, 4, 10, 10, 0.8f)};
+  std::vector<std::vector<Detection>> orders{
+      {cluster[0], cluster[1], cluster[2]},
+      {cluster[1], cluster[2], cluster[0]},
+      {cluster[2], cluster[0], cluster[1]},
+      {cluster[2], cluster[1], cluster[0]}};
+  for (const auto& dets : orders) {
+    const auto kept = nms(dets, 0.3);
+    ASSERT_EQ(kept.size(), 1u);
+    // Smallest x wins the tie; ties in x fall through to y.
+    EXPECT_EQ(kept[0].x, 0);
+    EXPECT_EQ(kept[0].y, 0);
+  }
+}
+
+TEST(Nms, DetectionOrderIsATotalOrder) {
+  const Detection a = box(0, 0, 10, 10, 0.5f);
+  const Detection b = box(0, 0, 10, 12, 0.5f);
+  EXPECT_TRUE(detection_order(a, b));
+  EXPECT_FALSE(detection_order(b, a));
+  EXPECT_FALSE(detection_order(a, a));  // irreflexive
+  // Score dominates every geometric key.
+  EXPECT_TRUE(detection_order(box(99, 99, 1, 1, 0.6f), a));
+}
+
 TEST(Nms, SurvivorsArePairwiseBelowThreshold) {
   util::Rng rng(20);
   std::vector<Detection> dets;

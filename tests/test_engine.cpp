@@ -1,0 +1,200 @@
+// Tests for detect::DetectionEngine: equivalence with the free-function
+// chain, buffer-reuse determinism, and thread-count invariance.
+#include <gtest/gtest.h>
+
+#include "src/core/pedestrian_detector.hpp"
+#include "src/detect/engine.hpp"
+#include "src/detect/multiscale.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::detect {
+namespace {
+
+imgproc::ImageF make_frame(int width, int height, std::uint64_t seed) {
+  util::Rng rng(seed);
+  imgproc::ImageF img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<float>(rng.uniform());
+    }
+  }
+  return img;
+}
+
+svm::LinearModel make_model(const hog::HogParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  svm::LinearModel model;
+  model.weights.resize(static_cast<std::size_t>(params.descriptor_size()));
+  for (float& w : model.weights) {
+    w = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  model.bias = -0.25f;
+  return model;
+}
+
+void expect_identical(const MultiscaleResult& a, const MultiscaleResult& b) {
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.windows_evaluated, b.windows_evaluated);
+  ASSERT_EQ(a.per_level.size(), b.per_level.size());
+  for (std::size_t i = 0; i < a.per_level.size(); ++i) {
+    EXPECT_EQ(a.per_level[i].scale, b.per_level[i].scale);
+    EXPECT_EQ(a.per_level[i].cells_x, b.per_level[i].cells_x);
+    EXPECT_EQ(a.per_level[i].cells_y, b.per_level[i].cells_y);
+    EXPECT_EQ(a.per_level[i].windows, b.per_level[i].windows);
+    EXPECT_EQ(a.per_level[i].detections, b.per_level[i].detections);
+  }
+  ASSERT_EQ(a.raw.size(), b.raw.size());
+  for (std::size_t i = 0; i < a.raw.size(); ++i) {
+    EXPECT_EQ(a.raw[i].x, b.raw[i].x);
+    EXPECT_EQ(a.raw[i].y, b.raw[i].y);
+    EXPECT_EQ(a.raw[i].width, b.raw[i].width);
+    EXPECT_EQ(a.raw[i].height, b.raw[i].height);
+    EXPECT_EQ(a.raw[i].score, b.raw[i].score);  // bit-identical, not "near"
+    EXPECT_EQ(a.raw[i].scale, b.raw[i].scale);
+  }
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].x, b.detections[i].x);
+    EXPECT_EQ(a.detections[i].y, b.detections[i].y);
+    EXPECT_EQ(a.detections[i].score, b.detections[i].score);
+  }
+}
+
+class EngineTest : public ::testing::TestWithParam<PyramidStrategy> {
+ protected:
+  hog::HogParams params_;
+  svm::LinearModel model_ = make_model(params_, 11);
+  imgproc::ImageF frame_ = make_frame(192, 192, 7);
+
+  MultiscaleOptions options() const {
+    MultiscaleOptions opts;
+    opts.strategy = GetParam();
+    // 5.0 drops (192 px / 5 < one window) — exercises the drop rule too.
+    opts.scales = {1.0, 1.3, 2.0, 5.0};
+    return opts;
+  }
+};
+
+TEST_P(EngineTest, MatchesFreeFunctionChain) {
+  const MultiscaleOptions opts = options();
+  DetectionEngine engine;
+  const MultiscaleResult& got =
+      engine.process(frame_, params_, model_, opts);
+  const MultiscaleResult want =
+      detect_multiscale(frame_, params_, model_, opts);
+  expect_identical(got, want);
+}
+
+TEST_P(EngineTest, RepeatedFramesAreIdenticalAndReuseBuffers) {
+  const MultiscaleOptions opts = options();
+  DetectionEngine engine;
+  const MultiscaleResult first = engine.process(frame_, params_, model_, opts);
+  const MultiscaleResult second = engine.process(frame_, params_, model_, opts);
+  const MultiscaleResult third = engine.process(frame_, params_, model_, opts);
+  expect_identical(first, second);
+  expect_identical(first, third);
+
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.frames, 3);
+  EXPECT_GT(stats.alloc_bytes, 0u);
+  // Frame 1 sizes the workspace; identical frames 2 and 3 must be served
+  // entirely from warm buffers.
+  EXPECT_EQ(stats.grow_events, 1);
+  EXPECT_EQ(stats.reuse_hits, 2);
+}
+
+TEST_P(EngineTest, WarmHistoryDoesNotChangeResults) {
+  const MultiscaleOptions opts = options();
+  // Engine A is warmed on a frame of a different size (and a different scale
+  // count) before seeing the test frame; engine B sees it cold.
+  DetectionEngine warmed;
+  MultiscaleOptions other = opts;
+  other.scales = {1.0, 2.0};
+  const imgproc::ImageF small = make_frame(96, 128, 3);
+  warmed.process(small, params_, model_, other);
+
+  DetectionEngine cold;
+  const MultiscaleResult& a = warmed.process(frame_, params_, model_, opts);
+  const MultiscaleResult& b = cold.process(frame_, params_, model_, opts);
+  expect_identical(a, b);
+}
+
+TEST_P(EngineTest, ThreadCountDoesNotChangeResults) {
+  const MultiscaleOptions opts = options();
+  DetectionEngine single(EngineOptions{.threads = 1});
+  const MultiscaleResult baseline =
+      single.process(frame_, params_, model_, opts);
+  for (const int threads : {2, 4}) {
+    DetectionEngine parallel(EngineOptions{.threads = threads});
+    const MultiscaleResult& got =
+        parallel.process(frame_, params_, model_, opts);
+    SCOPED_TRACE(threads);
+    expect_identical(baseline, got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, EngineTest,
+                         ::testing::Values(PyramidStrategy::kImage,
+                                           PyramidStrategy::kFeature,
+                                           PyramidStrategy::kHybrid),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case PyramidStrategy::kImage: return "Image";
+                             case PyramidStrategy::kFeature: return "Feature";
+                             default: return "Hybrid";
+                           }
+                         });
+
+TEST(EngineScoreWindow, MatchesFreeChainAndReuses) {
+  hog::HogParams params;
+  const svm::LinearModel model = make_model(params, 5);
+  const imgproc::ImageF window = make_frame(64, 128, 21);
+  const imgproc::ImageF oversized = make_frame(96, 160, 22);
+
+  DetectionEngine engine;
+  const auto free_score = [&](const imgproc::ImageF& img) {
+    return model.decision(hog::compute_window_descriptor(img, params));
+  };
+  EXPECT_EQ(engine.score_window(window, params, model), free_score(window));
+  // Oversized input takes the center-crop path.
+  EXPECT_EQ(engine.score_window(oversized, params, model),
+            free_score(oversized));
+  // Warm repeat is unchanged.
+  EXPECT_EQ(engine.score_window(window, params, model), free_score(window));
+}
+
+TEST(EngineFacade, DetectorDelegatesToPersistentEngine) {
+  core::DetectorConfig config;
+  config.multiscale.scales = {1.0, 2.0};
+  core::PedestrianDetector detector(config);
+  detector.set_model(make_model(config.hog, 17));
+
+  const imgproc::ImageF frame = make_frame(160, 160, 9);
+  const auto first = detector.detect(frame);
+  const auto second = detector.detect(frame);
+  ASSERT_EQ(first.raw.size(), second.raw.size());
+  for (std::size_t i = 0; i < first.raw.size(); ++i) {
+    EXPECT_EQ(first.raw[i].score, second.raw[i].score);
+  }
+  EXPECT_EQ(detector.engine_stats().frames, 2);
+  EXPECT_EQ(detector.engine_stats().reuse_hits, 1);
+
+  // Flipping threads through the public config must not change detections.
+  detector.mutable_config().threads = 4;
+  const auto threaded = detector.detect(frame);
+  ASSERT_EQ(first.detections.size(), threaded.detections.size());
+  for (std::size_t i = 0; i < first.detections.size(); ++i) {
+    EXPECT_EQ(first.detections[i].x, threaded.detections[i].x);
+    EXPECT_EQ(first.detections[i].score, threaded.detections[i].score);
+  }
+
+  // score_window goes through the same workspace.
+  const imgproc::ImageF window = make_frame(64, 128, 2);
+  const float s1 = detector.score_window(window);
+  const float s2 = detector.score_window(window);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace pdet::detect
