@@ -1,0 +1,54 @@
+#include "src/dataset/multistream.hpp"
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::dataset {
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix so adjacent (stream, frame)
+/// pairs land on uncorrelated seeds.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MultiStreamSource::MultiStreamSource(std::uint64_t seed,
+                                     MultiStreamOptions options)
+    : seed_(seed), options_(options) {
+  PDET_REQUIRE(options_.min_pedestrians >= 0);
+  PDET_REQUIRE(options_.max_pedestrians >= options_.min_pedestrians);
+  PDET_REQUIRE(options_.min_distance_m > 1.0);
+  PDET_REQUIRE(options_.max_distance_m >= options_.min_distance_m);
+}
+
+std::uint64_t MultiStreamSource::frame_seed(int stream, int frame_index) const {
+  PDET_REQUIRE(stream >= 0 && frame_index >= 0);
+  // Two mixing rounds, golden-ratio offsets between the components: the
+  // per-stream constant alone already decorrelates streams, the second round
+  // decorrelates consecutive frames within one.
+  const std::uint64_t per_stream =
+      mix64(seed_ + 0x9e3779b97f4a7c15ULL *
+                        (static_cast<std::uint64_t>(stream) + 1));
+  return mix64(per_stream +
+               0xd1b54a32d192ed03ULL *
+                   (static_cast<std::uint64_t>(frame_index) + 1));
+}
+
+Scene MultiStreamSource::frame(int stream, int frame_index) const {
+  util::Rng rng(frame_seed(stream, frame_index));
+  SceneOptions scene = options_.scene;
+  scene.pedestrian_distances_m.clear();
+  const int count =
+      rng.uniform_int(options_.min_pedestrians, options_.max_pedestrians);
+  for (int i = 0; i < count; ++i) {
+    scene.pedestrian_distances_m.push_back(
+        rng.uniform(options_.min_distance_m, options_.max_distance_m));
+  }
+  return render_scene(rng, scene);
+}
+
+}  // namespace pdet::dataset

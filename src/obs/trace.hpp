@@ -32,10 +32,15 @@ void set_tracing_enabled(bool enabled);
 
 /// Per-thread mute for the whole obs surface (spans *and* metrics). The
 /// trace buffer and metrics registry are deliberately single-threaded;
-/// worker threads — e.g. the DetectionEngine's per-level pool — hold a
-/// ScopedThreadMute so instrumented pipeline code stays safe to call
-/// concurrently, and the orchestrating thread publishes aggregates instead.
-/// Mutes nest; a muted thread reads tracing/metrics as disabled.
+/// any worker thread that executes instrumented pipeline code — the
+/// DetectionEngine's per-level pool, the runtime server's engine workers —
+/// holds a ScopedThreadMute for its lifetime so that code stays safe to run
+/// concurrently, and the orchestrating thread publishes aggregates instead
+/// (the engine's compensating counters, DetectionServer::publish_metrics).
+/// This is public API: anything spawning threads around pdet pipeline calls
+/// should use it rather than re-inventing the guard. Mutes nest per thread
+/// and are independent across threads; a muted thread reads tracing and
+/// metrics as disabled.
 bool obs_thread_muted();
 
 class ScopedThreadMute {

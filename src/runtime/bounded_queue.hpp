@@ -1,0 +1,153 @@
+// Bounded multi-producer / multi-consumer frame queue (pdet::runtime).
+//
+// The paper's accelerator meets its 60 fps budget because every stage sits
+// behind a fixed-size buffer (line buffers, the 18-row NHOGMem ring): when a
+// producer outruns a consumer the buffer depth is the *whole* story — nothing
+// grows, something visible gives. The serving runtime needs the same
+// property at frame granularity: a queue that can never grow without bound,
+// with an explicit, configurable answer to "what happens when it is full":
+//
+//   kBlock      the producer waits for space (lossless, couples producer
+//               rate to consumer rate — offline re-processing),
+//   kDropOldest evict the stalest queued frame to admit the new one (live
+//               camera feeds: a newer frame is always worth more),
+//   kDropNewest refuse the incoming frame (keep the backlog stable while it
+//               drains — results already queued stay valid).
+//
+// The queue is a fixed ring of default-constructed slots. push() copy-assigns
+// into a slot and pop() swap()s the slot out, so element buffers (frame
+// pixels, detection vectors) cycle between producer, ring and consumer
+// without steady-state heap allocation once every slot has reached its
+// high-water capacity — the same reuse discipline as detect::FrameWorkspace.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::runtime {
+
+/// What a full queue does with the next frame. See the header comment.
+enum class BackpressurePolicy { kBlock, kDropOldest, kDropNewest };
+
+/// Outcome of one push() call.
+enum class PushResult {
+  kAccepted,        ///< item enqueued, nothing displaced
+  kReplacedOldest,  ///< item enqueued, oldest queued item evicted (kDropOldest)
+  kRejected,        ///< queue full, item refused (kDropNewest)
+  kClosed,          ///< queue closed, item refused
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(std::size_t capacity, BackpressurePolicy policy)
+      : policy_(policy), slots_(capacity) {
+    PDET_REQUIRE(capacity > 0);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  BackpressurePolicy policy() const { return policy_; }
+
+  /// Current queued item count (racy by nature; exact under the lock only).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  /// Enqueue a copy of `item` per the backpressure policy. With kDropOldest
+  /// and a full queue the evicted element is swapped into `*evicted` when
+  /// provided (so the caller can account for / deliver the dropped frame);
+  /// without `evicted` it is discarded. kBlock waits until space frees up or
+  /// the queue closes.
+  PushResult push(const T& item, T* evicted = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PushResult result = PushResult::kAccepted;
+    if (count_ == slots_.size()) {
+      switch (policy_) {
+        case BackpressurePolicy::kBlock:
+          space_cv_.wait(lock, [&] { return closed_ || count_ < slots_.size(); });
+          break;
+        case BackpressurePolicy::kDropOldest: {
+          if (evicted != nullptr) {
+            using std::swap;
+            swap(*evicted, slots_[head_]);
+          }
+          head_ = (head_ + 1) % slots_.size();
+          --count_;
+          result = PushResult::kReplacedOldest;
+          break;
+        }
+        case BackpressurePolicy::kDropNewest:
+          return closed_ ? PushResult::kClosed : PushResult::kRejected;
+      }
+    }
+    if (closed_) return PushResult::kClosed;
+    slots_[(head_ + count_) % slots_.size()] = item;  // copy: slot reuse
+    ++count_;
+    lock.unlock();
+    item_cv_.notify_one();
+    return result;
+  }
+
+  /// Dequeue into `out` (swap, no allocation). Blocks while the queue is
+  /// open and empty; returns false once it is closed *and* drained, which is
+  /// the worker-loop exit condition.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    item_cv_.wait(lock, [&] { return closed_ || count_ > 0; });
+    if (count_ == 0) return false;  // closed and drained
+    using std::swap;
+    swap(out, slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    lock.unlock();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when empty (whether or not closed).
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ == 0) return false;
+    using std::swap;
+    swap(out, slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    lock.unlock();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Stop admitting items and wake every blocked producer/consumer. Items
+  /// already queued remain poppable (drain-then-exit semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const BackpressurePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;   ///< signalled on push
+  std::condition_variable space_cv_;  ///< signalled on pop
+  std::vector<T> slots_;              ///< fixed ring, reused in place
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pdet::runtime

@@ -1,0 +1,75 @@
+#include "src/runtime/scheduler.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::runtime {
+
+Scheduler::Scheduler(SchedulerOptions options, std::size_t queue_capacity)
+    : options_(options), queue_capacity_(queue_capacity) {
+  PDET_REQUIRE(queue_capacity_ > 0);
+  PDET_REQUIRE(options_.deadline_ms >= 0.0);
+  PDET_REQUIRE(options_.low_watermark >= 0.0);
+  PDET_REQUIRE(options_.high_watermark > options_.low_watermark);
+  PDET_REQUIRE(options_.max_level >= 0 && options_.max_level <= 3);
+}
+
+AdmitDecision Scheduler::admit(std::size_t queue_depth, double wait_ms) {
+  const double pressure =
+      static_cast<double>(queue_depth) / static_cast<double>(queue_capacity_);
+  // One compare-exchange loop keeps the rung consistent under concurrent
+  // workers without a mutex: each admit moves the ladder at most one rung.
+  int level = level_.load(std::memory_order_relaxed);
+  for (;;) {
+    int next = level;
+    if (pressure >= options_.high_watermark) {
+      next = std::min(level + 1, options_.max_level);
+    } else if (pressure <= options_.low_watermark) {
+      next = std::max(level - 1, 0);
+    }
+    if (next == level ||
+        level_.compare_exchange_weak(level, next, std::memory_order_relaxed)) {
+      level = next;
+      break;
+    }
+  }
+
+  AdmitDecision decision;
+  decision.level = std::min(level, 2);
+  // A frame that already spent its whole budget in the queue cannot meet its
+  // deadline no matter how degraded the processing — skip it so the workers'
+  // capacity goes to frames that still can.
+  const bool deadline_blown =
+      options_.deadline_ms > 0.0 && wait_ms > options_.deadline_ms;
+  decision.skip = deadline_blown || level >= 3;
+  return decision;
+}
+
+detect::MultiscaleOptions Scheduler::degraded_options(
+    const detect::MultiscaleOptions& base, int level) {
+  PDET_REQUIRE(level >= 0);
+  detect::MultiscaleOptions out = base;
+  if (level == 0 || base.scales.size() <= 2) {
+    if (level >= 2) out.strategy = detect::PyramidStrategy::kHybrid;
+    return out;
+  }
+  if (level == 1) {
+    // Every other level, endpoints always kept: halves the work while the
+    // covered scale range is unchanged (the feature pyramid tolerates the
+    // coarser ladder — the paper's Table 1 holds to ~1.5x between levels).
+    out.scales.clear();
+    for (std::size_t i = 0; i + 1 < base.scales.size(); i += 2) {
+      out.scales.push_back(base.scales[i]);
+    }
+    out.scales.push_back(base.scales.back());
+  } else {
+    // Minimum ladder (coverage endpoints only) on the hybrid pyramid: one
+    // native extraction, octave anchors shared, everything else resampled.
+    out.scales = {base.scales.front(), base.scales.back()};
+    out.strategy = detect::PyramidStrategy::kHybrid;
+  }
+  return out;
+}
+
+}  // namespace pdet::runtime

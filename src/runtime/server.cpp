@@ -1,0 +1,280 @@
+#include "src/runtime/server.hpp"
+
+#include <utility>
+
+#include "src/obs/trace.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace pdet::runtime {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+std::vector<double> latency_bounds() {
+  const std::span<const double> bounds = obs::default_latency_bounds_ms();
+  return {bounds.begin(), bounds.end()};
+}
+
+}  // namespace
+
+DetectionServer::DetectionServer(svm::LinearModel model, ServerOptions options)
+    : options_(options),
+      model_(std::move(model)),
+      rung_options_{Scheduler::degraded_options(options.multiscale, 0),
+                    Scheduler::degraded_options(options.multiscale, 1),
+                    Scheduler::degraded_options(options.multiscale, 2)},
+      queue_(options_.queue_capacity, options_.backpressure),
+      scheduler_(options_.scheduler, options_.queue_capacity),
+      wait_hist_(latency_bounds()),
+      service_hist_(latency_bounds()),
+      total_hist_(latency_bounds()) {
+  PDET_REQUIRE(options_.workers >= 1);
+  PDET_REQUIRE(options_.engine_threads >= 1);
+  options_.hog.validate();
+  PDET_REQUIRE(model_.dimension() ==
+               static_cast<std::size_t>(options_.hog.descriptor_size()));
+  engines_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    engines_.emplace_back(
+        detect::EngineOptions{.threads = options_.engine_threads});
+  }
+}
+
+DetectionServer::~DetectionServer() { stop(); }
+
+int DetectionServer::add_stream(std::string name, ResultCallback on_result) {
+  PDET_REQUIRE(!started_);
+  const int id = static_cast<int>(streams_.size());
+  streams_.push_back(
+      std::make_unique<StreamContext>(id, std::move(name), std::move(on_result)));
+  return id;
+}
+
+void DetectionServer::start() {
+  PDET_REQUIRE(!started_);
+  PDET_REQUIRE(!streams_.empty());
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  started_at_ = Clock::now();
+  submit_slots_.resize(streams_.size());
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
+  PDET_REQUIRE(started_);
+  PDET_REQUIRE(stream >= 0 && stream < static_cast<int>(streams_.size()));
+  StreamContext& ctx = *streams_[static_cast<std::size_t>(stream)];
+  SubmitSlot& slot = submit_slots_[static_cast<std::size_t>(stream)];
+
+  slot.task.stream = stream;
+  slot.task.sequence = ctx.next_sequence();
+  slot.task.frame = frame;  // copy into the reused per-stream slot
+  slot.task.enqueued_at = Clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.submitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    ++in_flight_;
+  }
+
+  switch (queue_.push(slot.task, &slot.evicted)) {
+    case PushResult::kAccepted:
+      return SubmitStatus::kAccepted;
+    case PushResult::kReplacedOldest: {
+      // The evicted frame still owes its stream a delivery: account it as a
+      // queue drop, in order, from this producer thread.
+      StreamResult& d = slot.dropped;
+      d.stream = slot.evicted.stream;
+      d.sequence = slot.evicted.sequence;
+      d.status = FrameStatus::kDroppedQueue;
+      d.degrade_level = scheduler_.level();
+      d.queue_wait_ms = ms_since(slot.evicted.enqueued_at);
+      d.service_ms = 0.0;
+      d.total_ms = d.queue_wait_ms;
+      d.detections.clear();
+      finish(d);
+      return SubmitStatus::kAcceptedEvicted;
+    }
+    case PushResult::kRejected:
+    case PushResult::kClosed: {
+      StreamResult& d = slot.dropped;
+      d.stream = stream;
+      d.sequence = slot.task.sequence;
+      d.status = FrameStatus::kDroppedQueue;
+      d.degrade_level = scheduler_.level();
+      d.queue_wait_ms = 0.0;
+      d.service_ms = 0.0;
+      d.total_ms = 0.0;
+      d.detections.clear();
+      finish(d);
+      return SubmitStatus::kRejected;
+    }
+  }
+  PDET_REQUIRE(false);
+  return SubmitStatus::kRejected;
+}
+
+void DetectionServer::worker_main(int worker_index) {
+  // The obs registry/trace buffer are single-threaded; the engine's own
+  // instrumentation must stay silent here. publish_metrics() re-publishes
+  // the aggregate accounting from the registry-owning thread.
+  obs::ScopedThreadMute mute;
+  detect::DetectionEngine& engine =
+      engines_[static_cast<std::size_t>(worker_index)];
+  FrameTask task;       // reused: pop() swaps queue slots through it
+  StreamResult result;  // reused: detection vector stays warm
+  while (queue_.pop(task)) {
+    const double wait_ms = ms_since(task.enqueued_at);
+    // Pressure counts the frame in hand too: it was popped an instant ago,
+    // and without it a queue of capacity C could never read more than
+    // (C-1)/C full here, leaving small queues unable to reach the watermark.
+    const AdmitDecision decision = scheduler_.admit(queue_.size() + 1, wait_ms);
+
+    result.stream = task.stream;
+    result.sequence = task.sequence;
+    result.degrade_level = decision.level;
+    result.queue_wait_ms = wait_ms;
+    if (decision.skip) {
+      result.status = FrameStatus::kDroppedDeadline;
+      result.service_ms = 0.0;
+      result.detections.clear();
+      result.total_ms = ms_since(task.enqueued_at);
+      finish(result);
+      continue;
+    }
+
+    const util::Timer service;
+    const detect::MultiscaleResult& detected =
+        engine.process(task.frame, options_.hog, model_,
+                       rung_options_[static_cast<std::size_t>(decision.level)]);
+    result.service_ms = service.milliseconds();
+    result.status =
+        decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
+    result.detections = detected.detections;  // copy-assign, capacity reuse
+    result.total_ms = ms_since(task.enqueued_at);
+    finish(result);
+  }
+}
+
+void DetectionServer::finish(const StreamResult& result) {
+  streams_[static_cast<std::size_t>(result.stream)]->deliver(result);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (result.status) {
+      case FrameStatus::kOk:
+        ++counters_.ok;
+        ++counters_.completed;
+        break;
+      case FrameStatus::kDegraded:
+        ++counters_.degraded;
+        ++counters_.completed;
+        break;
+      case FrameStatus::kDroppedQueue:
+        ++counters_.dropped_queue;
+        break;
+      case FrameStatus::kDroppedDeadline:
+        ++counters_.dropped_deadline;
+        break;
+    }
+    if (result.status == FrameStatus::kOk ||
+        result.status == FrameStatus::kDegraded) {
+      wait_hist_.record(result.queue_wait_ms);
+      service_hist_.record(result.service_ms);
+      total_hist_.record(result.total_ms);
+    } else if (result.status == FrameStatus::kDroppedDeadline) {
+      wait_hist_.record(result.queue_wait_ms);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    --in_flight_;
+  }
+  drain_cv_.notify_all();
+}
+
+void DetectionServer::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void DetectionServer::stop() {
+  if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  queue_.close();  // workers drain the backlog, then their pop() returns false
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  wall_seconds_ = std::chrono::duration<double>(Clock::now() - started_at_).count();
+  running_.store(false, std::memory_order_release);
+  // The workers are gone; their engines' accounting is safe to aggregate.
+  long long frames = 0;
+  std::size_t bytes = 0;
+  for (const detect::DetectionEngine& engine : engines_) {
+    frames += engine.stats().frames;
+    bytes += engine.stats().alloc_bytes;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  counters_.engine_frames = frames;
+  counters_.engine_alloc_bytes = bytes;
+}
+
+RuntimeStats DetectionServer::stats() const {
+  RuntimeStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = counters_;
+    out.queue_wait_ms = wait_hist_.summary();
+    out.service_ms = service_hist_.summary();
+    out.total_latency_ms = total_hist_.summary();
+  }
+  out.queue_depth = queue_.size();
+  out.degrade_level = scheduler_.level();
+  if (started_) {
+    out.wall_seconds =
+        running_.load(std::memory_order_acquire)
+            ? std::chrono::duration<double>(Clock::now() - started_at_).count()
+            : wall_seconds_;
+  }
+  out.aggregate_fps = out.wall_seconds > 0.0
+                          ? static_cast<double>(out.completed) / out.wall_seconds
+                          : 0.0;
+  return out;
+}
+
+void DetectionServer::publish_metrics() {
+  const RuntimeStats s = stats();
+  const auto delta = [](const char* name, long long current, long long& last) {
+    if (current != last) {
+      obs::counter_add(name, current - last);
+      last = current;
+    }
+  };
+  delta("runtime.frames_submitted", s.submitted, published_.submitted);
+  delta("runtime.frames_completed", s.completed, published_.completed);
+  delta("runtime.frames_ok", s.ok, published_.ok);
+  delta("runtime.frames_degraded", s.degraded, published_.degraded);
+  delta("runtime.frames_dropped_queue", s.dropped_queue,
+        published_.dropped_queue);
+  delta("runtime.frames_dropped_deadline", s.dropped_deadline,
+        published_.dropped_deadline);
+  obs::gauge_set("runtime.queue_depth", static_cast<double>(s.queue_depth));
+  obs::gauge_set("runtime.degrade_level", static_cast<double>(s.degrade_level));
+  obs::gauge_set("runtime.aggregate_fps", s.aggregate_fps);
+  obs::gauge_set("runtime.queue_wait_ms.p50", s.queue_wait_ms.p50);
+  obs::gauge_set("runtime.queue_wait_ms.p99", s.queue_wait_ms.p99);
+  obs::gauge_set("runtime.service_ms.p50", s.service_ms.p50);
+  obs::gauge_set("runtime.service_ms.p99", s.service_ms.p99);
+  obs::gauge_set("runtime.total_latency_ms.p50", s.total_latency_ms.p50);
+  obs::gauge_set("runtime.total_latency_ms.p99", s.total_latency_ms.p99);
+}
+
+}  // namespace pdet::runtime

@@ -1,0 +1,195 @@
+// Multi-stream detection server (pdet::runtime).
+//
+// The layer above detect::DetectionEngine: where the engine turns one frame
+// into detections with zero steady-state allocation, the server turns N
+// concurrent camera streams into N ordered result streams under an explicit
+// throughput/latency budget. It is the software analogue of the paper's
+// top-level claim — the accelerator sustains 60 fps because frames stream
+// through fixed buffers with a bounded worst case — generalized to many
+// cameras on a multicore host:
+//
+//   submit(stream, frame)                      N producers, one per camera
+//        │ copy into pooled slot, sequence number
+//        ▼
+//   BoundedQueue<FrameTask>                    fixed depth, backpressure
+//        │ policy: block / drop-oldest / drop-newest
+//        ▼
+//   worker 0..M-1, each owning a warm          Scheduler consulted per frame:
+//   DetectionEngine (the engine pool)          deadline + degradation ladder
+//        │
+//        ▼
+//   StreamContext per camera                   in-order delivery: every
+//        └─ ResultCallback(StreamResult)       submitted frame, exactly once
+//
+// Threading contract: one producer per stream (frames of a stream must be
+// submitted in order; different streams submit concurrently), M internal
+// workers, callbacks fire on worker/producer threads under the stream's
+// delivery lock. Workers run obs-muted (obs::ScopedThreadMute — the trace
+// buffer and metrics registry are single-threaded by design); the server
+// aggregates worker-side accounting locally and publish_metrics() writes it
+// into the registry from the calling thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/detect/engine.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/runtime/bounded_queue.hpp"
+#include "src/runtime/scheduler.hpp"
+#include "src/runtime/stream.hpp"
+#include "src/svm/linear_svm.hpp"
+
+namespace pdet::runtime {
+
+struct ServerOptions {
+  int workers = 2;                 ///< engine pool size (one engine each)
+  int engine_threads = 1;          ///< per-engine pyramid-level lanes
+  std::size_t queue_capacity = 8;  ///< shared frame queue depth
+  BackpressurePolicy backpressure = BackpressurePolicy::kDropOldest;
+  SchedulerOptions scheduler;      ///< deadlines + degradation ladder
+  hog::HogParams hog;              ///< detector window/descriptor geometry
+  detect::MultiscaleOptions multiscale;  ///< full-quality (rung 0) config
+};
+
+/// Outcome of one submit() call, from the producer's point of view. Every
+/// submitted frame additionally receives exactly one in-order delivery.
+enum class SubmitStatus {
+  kAccepted,        ///< queued for processing
+  kAcceptedEvicted, ///< queued; an older queued frame was dropped for it
+  kRejected,        ///< refused (kDropNewest full queue, or server stopping)
+};
+
+/// Aggregate accounting snapshot. Counters cover the server's lifetime;
+/// histograms summarize worker-side measurements (obs::Histogram under a
+/// server-local lock, since workers cannot touch the global registry).
+struct RuntimeStats {
+  long long submitted = 0;         ///< submit() calls
+  long long completed = 0;         ///< frames processed (ok + degraded)
+  long long ok = 0;                ///< processed at full quality
+  long long degraded = 0;          ///< processed on a degraded rung (1-2)
+  long long dropped_queue = 0;     ///< evicted or refused at the queue
+  long long dropped_deadline = 0;  ///< skipped by the scheduler
+  double wall_seconds = 0.0;       ///< start() to stop() (or to now)
+  double aggregate_fps = 0.0;      ///< completed / wall_seconds
+  std::size_t queue_depth = 0;     ///< frames queued at snapshot time
+  int degrade_level = 0;           ///< scheduler rung at snapshot time
+  obs::HistogramSummary queue_wait_ms;     ///< submit -> dequeue
+  obs::HistogramSummary service_ms;        ///< engine time per frame
+  obs::HistogramSummary total_latency_ms;  ///< submit -> delivery
+  // Engine-pool aggregates; valid after stop() (workers own their engines
+  // while running).
+  long long engine_frames = 0;
+  std::size_t engine_alloc_bytes = 0;  ///< summed workspace high water
+};
+
+class DetectionServer {
+ public:
+  /// The server owns a copy of the model; every worker engine classifies
+  /// with it. Options are fixed at construction.
+  DetectionServer(svm::LinearModel model, ServerOptions options);
+  ~DetectionServer();
+
+  DetectionServer(const DetectionServer&) = delete;
+  DetectionServer& operator=(const DetectionServer&) = delete;
+
+  /// Register a camera stream. Must be called before start(). Returns the
+  /// stream id used by submit(). The callback fires in frame order.
+  int add_stream(std::string name, ResultCallback on_result);
+
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+
+  /// Spawn the worker pool. Streams are frozen from this point.
+  void start();
+
+  /// Submit the next frame of `stream`. The frame is copied into a pooled
+  /// slot (no steady-state allocation once slots are warm); the caller may
+  /// reuse its buffer immediately. One producer per stream.
+  SubmitStatus submit(int stream, const imgproc::ImageF& frame);
+
+  /// Block until every accepted frame has been delivered. Producers must
+  /// have stopped submitting (or be blocked on a full kBlock queue, which
+  /// drain() does not wait out).
+  void drain();
+
+  /// Drain remaining queued frames, stop the workers, join. Idempotent;
+  /// called by the destructor if needed.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  RuntimeStats stats() const;
+
+  /// Write the runtime counters/gauges into the global obs registry
+  /// (runtime.frames_*, runtime.queue_depth, runtime.*_ms.p50/p99...).
+  /// Counter deltas are tracked so repeated publishes accumulate correctly.
+  /// Call from the thread that owns the registry (the obs convention).
+  void publish_metrics();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct FrameTask {
+    int stream = -1;
+    std::uint64_t sequence = 0;
+    Clock::time_point enqueued_at{};
+    imgproc::ImageF frame;
+  };
+
+  /// Per-stream submit scratch: reused task + eviction + drop-delivery
+  /// buffers, touched only by the stream's single producer.
+  struct SubmitSlot {
+    FrameTask task;
+    FrameTask evicted;
+    StreamResult dropped;
+  };
+
+  void worker_main(int worker_index);
+  void finish(const StreamResult& result);
+  void record_drop(const StreamResult& result);
+
+  const ServerOptions options_;
+  const svm::LinearModel model_;
+  /// Effective multiscale options per degradation rung, precomputed so a
+  /// worker's per-frame scheduling path allocates nothing.
+  std::array<detect::MultiscaleOptions, 3> rung_options_;
+
+  BoundedQueue<FrameTask> queue_;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<StreamContext>> streams_;
+  std::vector<SubmitSlot> submit_slots_;
+  std::vector<detect::DetectionEngine> engines_;
+  std::vector<std::thread> workers_;
+
+  bool started_ = false;
+  std::atomic<bool> running_{false};
+  Clock::time_point started_at_{};
+  double wall_seconds_ = 0.0;  ///< fixed at stop()
+
+  // In-flight accounting for drain(): frames accepted into the queue whose
+  // delivery has not yet happened.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  long long in_flight_ = 0;
+
+  // Worker-side measurements, aggregated under one lock (the per-frame cost
+  // is three histogram records — negligible next to a multiscale detect).
+  mutable std::mutex stats_mutex_;
+  RuntimeStats counters_;  ///< histogram summaries unused here
+  obs::Histogram wait_hist_;
+  obs::Histogram service_hist_;
+  obs::Histogram total_hist_;
+
+  /// Last published counter values, for delta publishing.
+  RuntimeStats published_;
+};
+
+}  // namespace pdet::runtime

@@ -1,0 +1,60 @@
+#include "src/runtime/stream.hpp"
+
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::runtime {
+
+StreamContext::StreamContext(int id, std::string name, ResultCallback callback)
+    : id_(id), name_(std::move(name)), callback_(std::move(callback)) {}
+
+std::uint64_t StreamContext::next_sequence() {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return next_submit_++;
+}
+
+void StreamContext::deliver(const StreamResult& result) {
+  std::lock_guard<std::mutex> lock(deliver_mutex_);
+  PDET_REQUIRE(result.sequence >= next_deliver_);
+  if (result.sequence != next_deliver_) {
+    // Out of order: park a copy in a free slot (copy-assign, so a warm
+    // slot's detection vector is reused) until the gap closes.
+    PendingSlot* free_slot = nullptr;
+    for (PendingSlot& slot : pending_) {
+      PDET_REQUIRE(!slot.used || slot.result.sequence != result.sequence);
+      if (!slot.used && free_slot == nullptr) free_slot = &slot;
+    }
+    if (free_slot == nullptr) {
+      pending_.emplace_back();
+      free_slot = &pending_.back();
+    }
+    free_slot->used = true;
+    free_slot->result = result;
+    return;
+  }
+  if (callback_) callback_(result);
+  ++delivered_;
+  ++next_deliver_;
+  // Flush every buffered successor the delivery unblocked.
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (PendingSlot& slot : pending_) {
+      if (slot.used && slot.result.sequence == next_deliver_) {
+        if (callback_) callback_(slot.result);
+        ++delivered_;
+        ++next_deliver_;
+        slot.used = false;
+        advanced = true;
+      }
+    }
+  }
+}
+
+std::uint64_t StreamContext::delivered() const {
+  std::lock_guard<std::mutex> lock(deliver_mutex_);
+  return delivered_;
+}
+
+}  // namespace pdet::runtime

@@ -1,0 +1,89 @@
+// Per-camera stream state: frame sequencing and in-order result delivery.
+//
+// A DAS consumer (tracker, brake planner) is stateful in frame order — the
+// greedy-IoU tracker in detect/tracker.hpp is only correct if update() sees
+// frames in capture order. The server's workers, however, finish frames in
+// whatever order the engine pool happens to run them. StreamContext is the
+// reorder point: every submitted frame of a stream receives exactly one
+// delivery — completed, degraded or dropped — and deliveries fire strictly
+// in submission (sequence) order, buffering out-of-order completions in
+// reused slots until the gap closes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/detect/detection.hpp"
+
+namespace pdet::runtime {
+
+/// What happened to one submitted frame.
+enum class FrameStatus {
+  kOk,               ///< detected at full quality (degrade level 0)
+  kDegraded,         ///< detected on a reduced configuration (level 1-2)
+  kDroppedQueue,     ///< evicted (kDropOldest) or refused (kDropNewest)
+  kDroppedDeadline,  ///< skipped by the scheduler (deadline / ladder rung 3)
+};
+
+/// One delivery. `detections` is empty for dropped frames; the latency
+/// fields are 0 for frames dropped at submit time.
+struct StreamResult {
+  int stream = -1;
+  std::uint64_t sequence = 0;
+  FrameStatus status = FrameStatus::kOk;
+  int degrade_level = 0;        ///< scheduler rung the frame ran at
+  double queue_wait_ms = 0.0;   ///< submit -> worker dequeue
+  double service_ms = 0.0;      ///< engine processing time
+  double total_ms = 0.0;        ///< submit -> delivery handoff
+  std::vector<detect::Detection> detections;
+};
+
+/// Invoked in sequence order, under the stream's delivery lock, from
+/// whichever thread closed the sequence gap (a worker or the submitter).
+/// The referenced result is only valid for the duration of the call.
+using ResultCallback = std::function<void(const StreamResult&)>;
+
+class StreamContext {
+ public:
+  StreamContext(int id, std::string name, ResultCallback callback);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Reserve the next sequence number. Frames of one stream must be
+  /// submitted by a single producer (or externally ordered): the sequence
+  /// defines the delivery order.
+  std::uint64_t next_sequence();
+
+  /// Hand one frame's outcome to the stream. If `result.sequence` is the
+  /// next expected one, the callback fires immediately (plus any buffered
+  /// successors it unblocks); otherwise the result is copied into a reused
+  /// pending slot. Thread-safe across workers and the submitter.
+  void deliver(const StreamResult& result);
+
+  /// Frames delivered so far (callback invocations).
+  std::uint64_t delivered() const;
+
+ private:
+  struct PendingSlot {
+    bool used = false;
+    StreamResult result;
+  };
+
+  const int id_;
+  const std::string name_;
+  const ResultCallback callback_;
+
+  std::mutex submit_mutex_;  ///< guards sequence assignment only
+  std::uint64_t next_submit_ = 0;
+
+  mutable std::mutex deliver_mutex_;
+  std::uint64_t next_deliver_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::vector<PendingSlot> pending_;  ///< out-of-order buffer, slots reused
+};
+
+}  // namespace pdet::runtime

@@ -50,6 +50,9 @@ void ThreadPool::parallel_for(int count, Task task, void* ctx) {
     for (int i = 0; i < count; ++i) task(ctx, i);
     return;
   }
+  // One job at a time: a second producer blocks here until the first job's
+  // completion wait below has finished and reset the job state.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = task;

@@ -11,6 +11,13 @@
 // The pool makes no fairness or ordering promise — callers that need
 // deterministic output must make each index's work independent and merge
 // results by index afterwards (what DetectionEngine does per level).
+//
+// Multiple producer threads may call parallel_for on one pool concurrently
+// (e.g. several runtime workers sharing a pool of lanes): jobs are
+// serialized through a submission lock, so one job runs at a time and each
+// caller blocks until its own job completes. Dispatch remains allocation-
+// free. Reentrant submission (a task calling parallel_for on its own pool)
+// is still forbidden — it would self-deadlock on the submission lock.
 #pragma once
 
 #include <atomic>
@@ -41,8 +48,10 @@ class ThreadPool {
   using Task = void (*)(void* ctx, int index);
 
   /// Run task over [0, count), blocking until every index has completed.
-  /// The calling thread executes indices alongside the workers. Not
-  /// reentrant: task must not call parallel_for on the same pool.
+  /// The calling thread executes indices alongside the workers. Safe to call
+  /// from multiple threads concurrently (jobs serialize; see header
+  /// comment). Not reentrant: task must not call parallel_for on the same
+  /// pool.
   void parallel_for(int count, Task task, void* ctx);
 
  private:
@@ -50,6 +59,7 @@ class ThreadPool {
   void run_indices();
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  ///< serializes whole parallel_for invocations
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/hwsim/timing.hpp"
@@ -269,6 +270,62 @@ TEST_F(ObsTest, HwsimBridgePublishesCycleModel) {
   EXPECT_EQ(r.gauge("hwsim.cycles.classifier_frame"), 0.0);
 #endif
 }
+
+TEST(ThreadMute, NestsPerThread) {
+  EXPECT_FALSE(obs_thread_muted());
+  {
+    ScopedThreadMute outer;
+    EXPECT_TRUE(obs_thread_muted());
+    {
+      ScopedThreadMute inner;
+      EXPECT_TRUE(obs_thread_muted());
+    }
+    EXPECT_TRUE(obs_thread_muted());  // inner scope must not unmute the outer
+  }
+  EXPECT_FALSE(obs_thread_muted());
+}
+
+TEST(ThreadMute, IndependentAcrossThreads) {
+  ScopedThreadMute mute;  // this thread is muted...
+  ASSERT_TRUE(obs_thread_muted());
+  bool other_thread_muted = true;
+  std::thread([&] { other_thread_muted = obs_thread_muted(); }).join();
+  EXPECT_FALSE(other_thread_muted);  // ...but a fresh thread is not
+
+  // And the reverse: a thread muting itself leaves this thread untouched.
+  std::thread([] {
+    ScopedThreadMute worker_mute;
+    EXPECT_TRUE(obs_thread_muted());
+  }).join();
+  EXPECT_TRUE(obs_thread_muted());
+}
+
+#ifndef PDET_OBS_DISABLED
+TEST_F(ObsTest, MuteSilencesSpansAndMetricsThenReleases) {
+  set_tracing_enabled(true);
+  set_metrics_enabled(true);
+  {
+    ScopedThreadMute mute;
+    // A muted thread reads the whole obs surface as off...
+    EXPECT_FALSE(tracing_enabled());
+    EXPECT_FALSE(metrics_enabled());
+    { PDET_TRACE_SCOPE("muted_span"); }
+    counter_add("muted.counter", 5);
+    observe("muted.hist", 1.0);
+  }
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_EQ(Registry::instance().counter("muted.counter"), 0);
+  EXPECT_FALSE(Registry::instance().has_histogram("muted.hist"));
+
+  // ...and instrumentation works again the moment the guard is gone.
+  EXPECT_TRUE(tracing_enabled());
+  { PDET_TRACE_SCOPE("live_span"); }
+  counter_add("live.counter", 2);
+  ASSERT_EQ(trace_events().size(), 1u);
+  EXPECT_STREQ(trace_events()[0].name, "live_span");
+  EXPECT_EQ(Registry::instance().counter("live.counter"), 2);
+}
+#endif
 
 }  // namespace
 }  // namespace pdet::obs

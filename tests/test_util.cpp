@@ -10,12 +10,16 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/timer.hpp"
 
 namespace pdet::util {
@@ -407,6 +411,83 @@ TEST(Timer, MeasuresNonNegative) {
   EXPECT_GE(t.seconds(), 0.0);
   t.reset();
   EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+namespace {
+struct CountCtx {
+  std::vector<std::atomic<int>> hits;
+};
+void count_task(void* ctx, int index) {
+  auto& c = *static_cast<CountCtx*>(ctx);
+  c.hits[static_cast<std::size_t>(index)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+}
+}  // namespace
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr int kCount = 1000;
+  CountCtx ctx{std::vector<std::atomic<int>>(kCount)};
+  pool.parallel_for(kCount, count_task, &ctx);
+  for (const std::atomic<int>& h : ctx.hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  CountCtx ctx{std::vector<std::atomic<int>>(16)};
+  pool.parallel_for(16, count_task, &ctx);
+  for (const std::atomic<int>& h : ctx.hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NonPositiveCountIsANoop) {
+  ThreadPool pool(2);
+  CountCtx ctx{std::vector<std::atomic<int>>(4)};
+  pool.parallel_for(0, count_task, &ctx);
+  pool.parallel_for(-3, count_task, &ctx);
+  for (const std::atomic<int>& h : ctx.hits) EXPECT_EQ(h.load(), 0);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  CountCtx ctx{std::vector<std::atomic<int>>(64)};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for(64, count_task, &ctx);
+  }
+  for (const std::atomic<int>& h : ctx.hits) EXPECT_EQ(h.load(), 50);
+}
+
+TEST(ThreadPool, ConcurrentProducersSerializeSafely) {
+  // Multiple threads submitting jobs to one shared pool (the runtime-server
+  // pattern: several workers sharing engine lanes). Jobs serialize through
+  // the submission lock; every producer's every index must still run exactly
+  // once, with each call blocking until its own job is done.
+  ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kJobsEach = 25;
+  constexpr int kCount = 64;
+  CountCtx ctx{std::vector<std::atomic<int>>(kCount)};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int job = 0; job < kJobsEach; ++job) {
+        pool.parallel_for(kCount, count_task, &ctx);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (const std::atomic<int>& h : ctx.hits) {
+    EXPECT_EQ(h.load(), kProducers * kJobsEach);
+  }
+}
+
+TEST(ThreadPool, ConstructDestructWithoutWork) {
+  // Shutdown must be exception-free and not hang even if no job ever ran.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    (void)pool;
+  }
 }
 
 }  // namespace
