@@ -1,0 +1,149 @@
+// Remote camera node: stream synthetic frames to a das_server --listen
+// instance and print the in-order detections it returns.
+//
+//   terminal 1:  $ das_server --listen 7788 --workers 2
+//   terminal 2:  $ das_remote_client --port 7788 [--frames 16]
+//                                    [--interval-ms 0] [--stream 0]
+//
+// This is the other half of the deployment picture in PAPERS.md (a detector
+// node serving camera feeds over a link): the client renders a
+// deterministic synthetic camera feed (dataset::MultiStreamSource — the
+// same scenes the in-process demos use), submits each luminance frame over
+// the wire protocol, and reads back results, verifying the in-order
+// delivery contract as it goes. If the server restarts mid-run, the client
+// reconnects with bounded exponential backoff and keeps streaming — watch
+// the "reconnects" line in the final summary.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dataset/multistream.hpp"
+#include "src/net/client.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop_signal(int) { g_stop = 1; }
+
+const char* status_name(pdet::runtime::FrameStatus status) {
+  switch (status) {
+    case pdet::runtime::FrameStatus::kOk: return "ok";
+    case pdet::runtime::FrameStatus::kDegraded: return "degraded";
+    case pdet::runtime::FrameStatus::kDroppedQueue: return "drop:queue";
+    case pdet::runtime::FrameStatus::kDroppedDeadline: return "drop:deadline";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdet;
+  util::Cli cli("das_remote_client",
+                "stream synthetic camera frames to a remote detector");
+  cli.add_string("host", "127.0.0.1", "server address");
+  cli.add_int("port", 7788, "server port");
+  cli.add_int("frames", 16, "frames to stream");
+  cli.add_int("stream", 0, "synthetic camera id (content seed)");
+  cli.add_double("interval-ms", 0.0, "frame pacing (0 = flat out)");
+  cli.add_int("width", 256, "frame width");
+  cli.add_int("height", 192, "frame height");
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_default_log_level(util::LogLevel::kWarn);
+
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  dataset::MultiStreamOptions mopts;
+  mopts.scene.width = cli.get_int("width");
+  mopts.scene.height = cli.get_int("height");
+  mopts.scene.camera.focal_px = 520.0;
+  mopts.min_pedestrians = 0;
+  mopts.max_pedestrians = 2;
+  const dataset::MultiStreamSource source(2026, mopts);
+
+  net::ClientOptions copts;
+  copts.host = cli.get_string("host");
+  copts.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  copts.name = "das_remote_client";
+  net::Client client(copts);
+  if (!client.connect()) {
+    std::fprintf(stderr, "connect failed: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  const net::wire::HelloAck& info = client.server_info();
+  std::printf("connected to %s (model dim %u crc %08x, stream slot %u)\n",
+              info.server_name.c_str(), info.model_dim, info.model_crc,
+              info.stream_id);
+
+  const int frames = cli.get_int("frames");
+  const int stream = cli.get_int("stream");
+  const double interval_ms = cli.get_double("interval-ms");
+  net::wire::Result result;
+  long long shown = 0;
+  for (int f = 0; f < frames && g_stop == 0; ++f) {
+    const util::Timer pace;
+    if (!client.submit(source.frame(stream, f).image)) {
+      std::fprintf(stderr, "submit failed: %s\n", client.last_error().c_str());
+      return 1;
+    }
+    // Read whatever has arrived; stay roughly one frame behind the feed.
+    while (client.next_result(result, interval_ms > 0.0 ? 1.0 : 0.0)) {
+      std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms\n",
+                  static_cast<unsigned long long>(result.tag),
+                  status_name(result.status), result.degrade_level,
+                  result.detections.size(),
+                  static_cast<double>(result.total_ms));
+      ++shown;
+    }
+    if (interval_ms > 0.0 && pace.milliseconds() < interval_ms) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          interval_ms - pace.milliseconds()));
+    }
+  }
+  // Drain the tail: every submitted frame owes exactly one result.
+  while (shown < client.submitted_on_connection() &&
+         client.next_result(result, 5000.0)) {
+    std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms\n",
+                static_cast<unsigned long long>(result.tag),
+                status_name(result.status), result.degrade_level,
+                result.detections.size(),
+                static_cast<double>(result.total_ms));
+    ++shown;
+  }
+
+  net::wire::StatsReport report;
+  const bool have_stats = client.query_stats(report, 2000.0);
+  std::printf("\n");
+  util::Table table({"metric", "value"});
+  table.add_row({"frames submitted",
+                 std::to_string(client.submitted_on_connection())});
+  table.add_row({"results received", std::to_string(client.results_received())});
+  table.add_row({"in order", client.in_order() ? "yes" : "NO"});
+  table.add_row({"reconnects", std::to_string(client.reconnects())});
+  table.add_row({"protocol errors", std::to_string(client.protocol_errors())});
+  if (have_stats) {
+    table.add_row({"server fps", util::to_fixed(report.aggregate_fps, 1)});
+    table.add_row({"server frames rx / results tx",
+                   std::to_string(report.net_frames_received) + " / " +
+                       std::to_string(report.net_results_sent)});
+    table.add_row({"server sheds (queue/deadline/slow-reader)",
+                   std::to_string(report.dropped_queue) + " / " +
+                       std::to_string(report.dropped_deadline) + " / " +
+                       std::to_string(report.net_results_dropped)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  client.disconnect();
+  return client.in_order() && client.protocol_errors() == 0 ? 0 : 1;
+}

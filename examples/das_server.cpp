@@ -1,7 +1,9 @@
-// Multi-camera DAS serving demo: N synthetic streams through the runtime.
+// Multi-camera DAS serving demo: N synthetic streams through the runtime,
+// or a remote TCP detection service over the same engine pool.
 //
 //   $ das_server [--streams 3] [--frames 8] [--workers 2] [--queue 8]
 //                [--interval-ms 0] [--deadline-ms 0] [--policy drop-oldest]
+//   $ das_server --listen 7788 [--max-clients 8] [--workers 2] ...
 //
 // A driver-assistance platform rarely has one camera: front, corners and
 // mirror-replacement feeds all want the same pedestrian detector. This demo
@@ -12,7 +14,15 @@
 // the backpressure/degradation machinery behaved. Run with a small --queue
 // and --interval-ms 0 to watch load-shedding engage instead of the queue
 // growing without bound.
+//
+// With --listen <port> the same engine pool is exposed over TCP instead
+// (pdet::net::DetectionService, wire protocol in src/net/wire.hpp); point
+// das_remote_client at it from another terminal or machine. Either mode
+// shuts down gracefully on Ctrl-C / SIGTERM: queues drain, in-flight frames
+// deliver, and the final stats report prints before exit.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -21,12 +31,31 @@
 
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/multistream.hpp"
+#include "src/net/service.hpp"
 #include "src/obs/report.hpp"
 #include "src/runtime/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
+
+namespace {
+
+// Async-signal-safe stop flag: handlers may only set it; the main/producer
+// loops poll it and run the normal drain/stop/report path.
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pdet;
@@ -39,10 +68,13 @@ int main(int argc, char** argv) {
   cli.add_double("deadline-ms", 0.0, "per-frame latency deadline (0 = none)");
   cli.add_string("policy", "drop-oldest",
                  "full-queue policy: block | drop-oldest | drop-newest");
+  cli.add_int("listen", 0, "serve remote clients on this TCP port (0 = off)");
+  cli.add_int("max-clients", 8, "remote mode: concurrent client connections");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
   obs::configure_from_cli(cli);
+  install_signal_handlers();
 
   runtime::BackpressurePolicy policy = runtime::BackpressurePolicy::kDropOldest;
   const std::string policy_name = cli.get_string("policy");
@@ -60,6 +92,58 @@ int main(int argc, char** argv) {
   std::printf("training detector...\n");
   core::PedestrianDetector detector;
   detector.train(dataset::make_window_set(616, 250, 500));
+
+  if (cli.get_int("listen") > 0) {
+    // Remote mode: expose the engine pool over TCP and serve until a stop
+    // signal arrives; stop() drains in-flight frames and flushes results.
+    net::ServiceOptions sopts;
+    sopts.port = static_cast<std::uint16_t>(cli.get_int("listen"));
+    sopts.host = "0.0.0.0";
+    sopts.max_clients = cli.get_int("max-clients");
+    sopts.runtime.workers = cli.get_int("workers");
+    sopts.runtime.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("queue"));
+    sopts.runtime.backpressure = policy;
+    sopts.runtime.scheduler.deadline_ms = cli.get_double("deadline-ms");
+    sopts.runtime.hog = detector.config().hog;
+    sopts.runtime.multiscale = detector.config().multiscale;
+    sopts.runtime.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
+    net::DetectionService service(detector.model(), sopts);
+    std::string error;
+    if (!service.start(&error)) {
+      std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("serving on port %u (Ctrl-C to stop)...\n",
+                static_cast<unsigned>(service.port()));
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("\nstopping: draining in-flight frames...\n");
+    service.stop();
+
+    const net::ServiceStats stats = service.stats();
+    util::Table table({"metric", "value"});
+    table.add_row({"connections acc/closed/refused",
+                   std::to_string(stats.connections_accepted) + " / " +
+                       std::to_string(stats.connections_closed) + " / " +
+                       std::to_string(stats.connections_refused)});
+    table.add_row({"frames received", std::to_string(stats.frames_received)});
+    table.add_row({"results sent / dropped",
+                   std::to_string(stats.results_sent) + " / " +
+                       std::to_string(stats.results_dropped)});
+    table.add_row({"decode errors", std::to_string(stats.decode_errors)});
+    table.add_row({"bytes in / out", std::to_string(stats.bytes_in) + " / " +
+                                         std::to_string(stats.bytes_out)});
+    table.add_row({"aggregate fps",
+                   util::to_fixed(stats.runtime.aggregate_fps, 1)});
+    table.add_row({"request ms p50/p99",
+                   util::to_fixed(stats.request_ms.p50, 1) + " / " +
+                       util::to_fixed(stats.request_ms.p99, 1)});
+    std::fputs(table.to_string().c_str(), stdout);
+    service.publish_metrics();
+    return obs::report_from_cli(cli) ? 0 : 1;
+  }
 
   const int streams = cli.get_int("streams");
   const int frames = cli.get_int("frames");
@@ -124,7 +208,7 @@ int main(int argc, char** argv) {
   for (int s = 0; s < streams; ++s) {
     producers.emplace_back([&, s] {
       auto next = std::chrono::steady_clock::now();
-      for (int f = 0; f < frames; ++f) {
+      for (int f = 0; f < frames && g_stop == 0; ++f) {
         (void)server.submit(
             s, feed[static_cast<std::size_t>(s)][static_cast<std::size_t>(f)]);
         if (interval.count() > 0.0) {

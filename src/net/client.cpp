@@ -1,0 +1,312 @@
+#include "src/net/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace pdet::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_until(Clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::fail_link(const std::string& why) {
+  last_error_ = why;
+  if (sock_.valid()) link_lost_ = true;  // an *established* link died
+  sock_.close();
+  recv_buf_.clear();
+  recv_pos_ = 0;
+}
+
+bool Client::connect_once(std::string* error) {
+  sock_ = Socket::connect_tcp(options_.host, options_.port,
+                              options_.connect_timeout_ms, error);
+  if (!sock_.valid()) return false;
+  recv_buf_.clear();
+  recv_pos_ = 0;
+  buffered_results_.clear();
+  buffered_pos_ = 0;
+
+  wire::Hello hello;
+  hello.protocol_version = wire::kProtocolVersion;
+  hello.client_name = options_.name;
+  send_buf_.clear();
+  wire::encode_hello(hello, send_buf_);
+  if (!send_all(send_buf_)) {
+    if (error != nullptr) *error = "handshake send failed";
+    sock_.close();
+    return false;
+  }
+  if (!read_message(options_.io_timeout_ms)) {
+    if (error != nullptr) *error = "handshake read failed: " + last_error_;
+    sock_.close();
+    return false;
+  }
+  if (msg_.type == wire::MsgType::kError) {
+    if (error != nullptr) {
+      *error = std::string("server refused: ") + msg_.error.message;
+    }
+    sock_.close();
+    return false;
+  }
+  if (msg_.type != wire::MsgType::kHelloAck ||
+      msg_.hello_ack.protocol_version != wire::kProtocolVersion) {
+    if (error != nullptr) *error = "bad handshake reply";
+    sock_.close();
+    return false;
+  }
+  hello_ack_ = msg_.hello_ack;
+  // A new connection is a new delivery stream: tags restart, sequence
+  // continuity is only promised within a connection.
+  submitted_conn_ = 0;
+  expected_tag_ = 0;
+  have_last_sequence_ = false;
+  return true;
+}
+
+bool Client::connect() {
+  if (connected()) return true;
+  std::string error;
+  for (int attempt = 0;; ++attempt) {
+    if (connect_once(&error)) {
+      // "Reconnect" = re-establishing after an established link was lost
+      // (whether or not backoff was needed: a restarted server may accept
+      // the very first redial).
+      if (link_lost_) ++reconnects_;
+      link_lost_ = false;
+      return true;
+    }
+    if (attempt >= options_.reconnect_attempts) break;
+    const double backoff =
+        std::min(options_.reconnect_base_ms *
+                     static_cast<double>(1u << std::min(attempt, 20)),
+                 options_.reconnect_max_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff));
+  }
+  last_error_ = "connect failed: " + error;
+  return false;
+}
+
+void Client::disconnect() {
+  if (!sock_.valid()) return;
+  send_buf_.clear();
+  wire::encode_shutdown(send_buf_);
+  (void)send_all(send_buf_);  // best effort
+  sock_.close();
+}
+
+bool Client::ensure_connected() {
+  // A restarted server fails the next *read*, but a send into the half-open
+  // socket would "succeed" into the void — probe for EOF first so submit()
+  // reconnects instead.
+  if (connected() && peer_closed(sock_.fd())) {
+    fail_link("connection closed by server");
+  }
+  return connected() || connect();
+}
+
+bool Client::send_all(const std::vector<std::uint8_t>& buf) {
+  std::size_t at = 0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             options_.io_timeout_ms));
+  while (at < buf.size()) {
+    std::size_t sent = 0;
+    const IoStatus status = send_some(
+        sock_.fd(),
+        std::span<const std::uint8_t>(buf.data() + at, buf.size() - at),
+        sent);
+    switch (status) {
+      case IoStatus::kOk:
+        at += sent;
+        break;
+      case IoStatus::kWouldBlock: {
+        const double left = ms_until(deadline);
+        if (left <= 0.0 || !wait_writable(sock_.fd(), left)) {
+          fail_link("send timed out");
+          return false;
+        }
+        break;
+      }
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        fail_link("send failed (connection lost)");
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Client::read_message(double timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    // Parse before reading: a previous read may have buffered a frame.
+    const std::span<const std::uint8_t> pending(recv_buf_.data() + recv_pos_,
+                                                recv_buf_.size() - recv_pos_);
+    std::size_t consumed = 0;
+    const wire::DecodeStatus status =
+        wire::decode_message(pending, msg_, consumed);
+    if (status == wire::DecodeStatus::kOk) {
+      recv_pos_ += consumed;
+      if (recv_pos_ == recv_buf_.size()) {
+        recv_buf_.clear();
+        recv_pos_ = 0;
+      } else if (recv_pos_ > (64u << 10)) {
+        std::memmove(recv_buf_.data(), recv_buf_.data() + recv_pos_,
+                     recv_buf_.size() - recv_pos_);
+        recv_buf_.resize(recv_buf_.size() - recv_pos_);
+        recv_pos_ = 0;
+      }
+      return true;
+    }
+    if (status != wire::DecodeStatus::kNeedMore) {
+      ++protocol_errors_;
+      fail_link(std::string("protocol error: ") + wire::to_string(status));
+      return false;
+    }
+    // A zero/expired deadline still polls once: timeout 0 means "drain
+    // whatever the kernel already has", not "never look at the socket".
+    const double left = std::max(0.0, ms_until(deadline));
+    if (!wait_readable(sock_.fd(), left)) {
+      last_error_ = "read timed out";  // link intact: slow is not dead
+      return false;
+    }
+    std::uint8_t chunk[64 * 1024];
+    std::size_t got = 0;
+    switch (recv_some(sock_.fd(), chunk, got)) {
+      case IoStatus::kOk:
+        recv_buf_.insert(recv_buf_.end(), chunk, chunk + got);
+        break;
+      case IoStatus::kWouldBlock:
+        break;  // spurious wakeup; re-poll
+      case IoStatus::kClosed:
+        fail_link("connection closed by server");
+        return false;
+      case IoStatus::kError:
+        fail_link("read failed");
+        return false;
+    }
+  }
+}
+
+bool Client::submit(const imgproc::ImageF& frame) {
+  for (int attempt = 0;; ++attempt) {
+    if (!ensure_connected()) return false;
+    frame_msg_.tag = static_cast<std::uint64_t>(submitted_conn_);
+    frame_msg_.image = frame;  // copy-assign into reused staging buffer
+    send_buf_.clear();
+    wire::encode_submit_frame(frame_msg_, send_buf_);
+    if (send_all(send_buf_)) {
+      ++submitted_conn_;
+      return true;
+    }
+    // Link dropped mid-frame: reconnect and resend this frame on the fresh
+    // connection (it was never accepted), unless the schedule is exhausted.
+    if (options_.reconnect_attempts == 0 ||
+        attempt >= options_.reconnect_attempts) {
+      return false;
+    }
+  }
+}
+
+bool Client::next_result(wire::Result& out, double timeout_ms) {
+  if (buffered_pos_ < buffered_results_.size()) {
+    out = buffered_results_[buffered_pos_++];
+    if (buffered_pos_ == buffered_results_.size()) {
+      buffered_results_.clear();
+      buffered_pos_ = 0;
+    }
+    return true;
+  }
+  if (!connected()) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    if (!read_message(std::max(0.0, ms_until(deadline)))) return false;
+    switch (msg_.type) {
+      case wire::MsgType::kResult: {
+        out = msg_.result;
+        ++results_received_;
+        // In-order contract: tags count up from 0 per connection; server
+        // sequences are strictly increasing.
+        if (out.tag != expected_tag_ ||
+            (have_last_sequence_ && out.sequence <= last_sequence_)) {
+          in_order_ = false;
+        }
+        ++expected_tag_;
+        last_sequence_ = out.sequence;
+        have_last_sequence_ = true;
+        return true;
+      }
+      case wire::MsgType::kError:
+        ++protocol_errors_;
+        fail_link(std::string("server error: ") + msg_.error.message);
+        return false;
+      case wire::MsgType::kStatsReport:
+        continue;  // stale report (query timed out earlier); skip
+      default:
+        ++protocol_errors_;
+        fail_link("unexpected message type");
+        return false;
+    }
+  }
+}
+
+bool Client::query_stats(wire::StatsReport& out, double timeout_ms) {
+  if (!ensure_connected()) return false;
+  send_buf_.clear();
+  wire::encode_stats_query(send_buf_);
+  if (!send_all(send_buf_)) return false;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    if (!read_message(std::max(0.0, ms_until(deadline)))) return false;
+    switch (msg_.type) {
+      case wire::MsgType::kStatsReport:
+        out = msg_.stats;
+        return true;
+      case wire::MsgType::kResult:
+        // Keep the delivery contract: park it for next_result().
+        if (msg_.result.tag != expected_tag_ ||
+            (have_last_sequence_ && msg_.result.sequence <= last_sequence_)) {
+          in_order_ = false;
+        }
+        ++expected_tag_;
+        last_sequence_ = msg_.result.sequence;
+        have_last_sequence_ = true;
+        ++results_received_;
+        buffered_results_.push_back(msg_.result);
+        continue;
+      case wire::MsgType::kError:
+        ++protocol_errors_;
+        fail_link(std::string("server error: ") + msg_.error.message);
+        return false;
+      default:
+        ++protocol_errors_;
+        fail_link("unexpected message type");
+        return false;
+    }
+  }
+}
+
+}  // namespace pdet::net

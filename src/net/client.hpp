@@ -1,0 +1,132 @@
+// Resilient client for the remote detection service (pdet::net).
+//
+// A camera node in the deployment picture: it owns one TCP connection to a
+// DetectionService, submits luminance frames, and reads back in-order
+// results. Resilience is the point — a detector node must survive the
+// server restarting (fleet rollout, watchdog reboot) without operator
+// intervention:
+//
+//   - connect() and every submit() that finds the link down walk a bounded
+//     exponential-backoff schedule (base * 2^attempt, capped, finite
+//     attempts) before giving up;
+//   - after a reconnect the client re-handshakes, picks up whatever stream
+//     slot the server assigns, and resets its delivery bookkeeping —
+//     results for frames submitted on a previous connection are gone (the
+//     server sheds them), which mirrors how a live camera treats missed
+//     frames: the newest frame matters, the backlog does not.
+//
+// Delivery matches runtime::StreamContext sequencing: within one
+// connection, results arrive exactly in submit order (slot FIFO + TCP
+// ordering), each echoing the client's tag, with server-side sequence
+// numbers strictly increasing. next_result() verifies this and flags any
+// violation as a protocol error.
+//
+// Blocking with explicit timeouts throughout; single-threaded use (one
+// camera loop). Encode/decode buffers are owned and reused — a steady
+// submit/read cycle allocates nothing once buffers are warm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/socket.hpp"
+#include "src/net/wire.hpp"
+
+namespace pdet::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "camera";
+  double connect_timeout_ms = 2000.0;
+  double io_timeout_ms = 5000.0;  ///< per send/recv readiness wait
+  /// Reconnect schedule: attempt k sleeps min(base * 2^k, max) before
+  /// retrying, for at most `attempts` tries (0 disables reconnection).
+  int reconnect_attempts = 8;
+  double reconnect_base_ms = 50.0;
+  double reconnect_max_ms = 2000.0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establish (or re-establish) the connection + handshake, walking the
+  /// backoff schedule. True when connected.
+  bool connect();
+
+  /// Best-effort graceful close: sends Shutdown, closes the socket.
+  void disconnect();
+
+  bool connected() const { return sock_.valid(); }
+
+  /// Handshake results (valid while connected).
+  const wire::HelloAck& server_info() const { return hello_ack_; }
+
+  /// Submit one frame. Reconnects (with backoff) if the link is down or the
+  /// send fails mid-way; false once the schedule is exhausted. The returned
+  /// tag-to-come is submitted_count() - 1 — tags count frames on the
+  /// *current* connection, matching result arrival order.
+  bool submit(const imgproc::ImageF& frame);
+
+  /// Block (up to timeout_ms) for the next Result frame. Skips/handles
+  /// interleaved non-result messages. False on timeout, link failure or
+  /// protocol violation (see last_error()); a failure other than timeout
+  /// drops the connection so the next submit() reconnects.
+  bool next_result(wire::Result& out, double timeout_ms);
+
+  /// Round-trip a StatsQuery. Any Result frames that arrive ahead of the
+  /// report are buffered and handed out by later next_result() calls, still
+  /// in order.
+  bool query_stats(wire::StatsReport& out, double timeout_ms);
+
+  // Lifetime accounting (reset by reconnects where noted).
+  long long submitted_on_connection() const { return submitted_conn_; }
+  long long results_received() const { return results_received_; }
+  long long reconnects() const { return reconnects_; }
+  long long protocol_errors() const { return protocol_errors_; }
+  /// True while every received result arrived in submit order with strictly
+  /// increasing server sequence numbers (per connection).
+  bool in_order() const { return in_order_; }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool connect_once(std::string* error);
+  bool ensure_connected();
+  bool send_all(const std::vector<std::uint8_t>& buf);
+  /// Read until `msg_` holds one decoded message; false on timeout/error.
+  bool read_message(double timeout_ms);
+  void fail_link(const std::string& why);
+
+  const ClientOptions options_;
+  Socket sock_;
+  wire::HelloAck hello_ack_;
+
+  std::vector<std::uint8_t> send_buf_;  ///< reused encode buffer
+  std::vector<std::uint8_t> recv_buf_;  ///< unparsed inbound bytes
+  std::size_t recv_pos_ = 0;
+  wire::Message msg_;  ///< reused decode target
+  wire::SubmitFrame frame_msg_;
+  /// Results decoded while waiting for a StatsReport, delivered by later
+  /// next_result() calls in arrival order.
+  std::vector<wire::Result> buffered_results_;
+  std::size_t buffered_pos_ = 0;
+
+  long long submitted_conn_ = 0;   ///< frames on the current connection
+  long long results_received_ = 0;
+  long long reconnects_ = 0;
+  long long protocol_errors_ = 0;
+  bool in_order_ = true;
+  bool link_lost_ = false;  ///< an established connection died (see connect)
+  bool have_last_sequence_ = false;
+  std::uint64_t last_sequence_ = 0;
+  std::uint64_t expected_tag_ = 0;  ///< next expected result tag
+  std::string last_error_;
+};
+
+}  // namespace pdet::net

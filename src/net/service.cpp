@@ -1,0 +1,593 @@
+#include "src/net/service.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/trace.hpp"
+#include "src/svm/model_io.hpp"
+#include "src/util/assert.hpp"
+
+namespace pdet::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<double> latency_bounds() {
+  const std::span<const double> bounds = obs::default_latency_bounds_ms();
+  return {bounds.begin(), bounds.end()};
+}
+
+/// Fixed ring of pending frame tags for one slot: tags enter at submit and
+/// leave, in the same order, when the runtime delivers — per-stream
+/// deliveries are sequence-ordered, so FIFO alignment is exact. Capacity is
+/// bounded by the runtime's in-flight ceiling (queue depth + workers + the
+/// frame in submit transit), so pushes cannot overflow.
+class TagRing {
+ public:
+  void reset(std::size_t capacity) {
+    ring_.assign(capacity, 0);
+    head_ = count_ = 0;
+  }
+  void push(std::uint64_t tag) {
+    PDET_ASSERT(count_ < ring_.size());
+    ring_[(head_ + count_) % ring_.size()] = tag;
+    ++count_;
+  }
+  std::uint64_t pop() {
+    PDET_ASSERT(count_ > 0);
+    const std::uint64_t tag = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return tag;
+  }
+  std::size_t size() const { return count_; }
+
+ private:
+  std::vector<std::uint64_t> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+/// One result queued for a client, with the echoed client tag. swap() keeps
+/// BoundedQueue's buffer-recycling contract allocation-free.
+struct SlotResult {
+  std::uint64_t tag = 0;
+  runtime::StreamResult res;
+
+  friend void swap(SlotResult& a, SlotResult& b) {
+    std::swap(a.tag, b.tag);
+    std::swap(a.res, b.res);
+  }
+};
+
+/// One pre-registered runtime stream and its outbound plumbing. A slot
+/// outlives connections: it is acquired at handshake, released at close,
+/// and only re-acquired once every in-flight frame from the previous owner
+/// has delivered (outstanding == 0) so results can never cross connections.
+struct DetectionService::Slot {
+  explicit Slot(std::size_t queue_capacity)
+      : results(queue_capacity, runtime::BackpressurePolicy::kDropOldest) {}
+
+  int stream_id = -1;
+  std::atomic<bool> attached{false};
+  std::atomic<long long> outstanding{0};
+  runtime::BoundedQueue<SlotResult> results;
+
+  // Callback-side state. The stream's delivery lock serializes callbacks;
+  // the mutex additionally orders them against handshake-time reset.
+  std::mutex mutex;
+  TagRing tags;
+  SlotResult scratch;  ///< staging copy, capacity reused
+  SlotResult evicted;  ///< drop-oldest out-param, capacity reused
+};
+
+struct DetectionService::Connection {
+  Socket sock;
+  int slot = -1;  ///< index into slots_, -1 before handshake
+  bool closing = false;   ///< fatal: flush wbuf, then close
+  bool draining = false;  ///< kShutdown: close once results are flushed
+  bool dead = false;
+
+  std::vector<std::uint8_t> rbuf;
+  std::size_t rpos = 0;  ///< consumed prefix of rbuf
+  std::vector<std::uint8_t> wbuf;
+  std::size_t wpos = 0;  ///< sent prefix of wbuf
+
+  wire::Message msg;          ///< reused decode target
+  wire::Result out_result;    ///< reused encode staging
+  wire::StatsReport out_stats;
+  SlotResult popped;  ///< reused pop target
+
+  std::size_t unsent() const { return wbuf.size() - wpos; }
+};
+
+DetectionService::DetectionService(svm::LinearModel model,
+                                   ServiceOptions options)
+    : options_(std::move(options)),
+      runtime_(model, options_.runtime),
+      request_hist_(latency_bounds()) {
+  PDET_REQUIRE(options_.max_clients >= 1);
+  PDET_REQUIRE(options_.result_queue_capacity >= 1);
+  model_dim_ = static_cast<std::uint32_t>(model.dimension());
+  model_crc_ = svm::model_fingerprint(model);
+  // In-flight ceiling per stream: every queued frame + one per worker in
+  // service + the frame inside submit() itself.
+  const std::size_t tag_capacity = options_.runtime.queue_capacity +
+                                   static_cast<std::size_t>(
+                                       options_.runtime.workers) +
+                                   2;
+  slots_.reserve(static_cast<std::size_t>(options_.max_clients));
+  for (int i = 0; i < options_.max_clients; ++i) {
+    auto slot = std::make_unique<Slot>(options_.result_queue_capacity);
+    slot->tags.reset(tag_capacity);
+    Slot* raw = slot.get();
+    slot->stream_id = runtime_.add_stream(
+        "net" + std::to_string(i), [this, raw](const runtime::StreamResult& r) {
+          Slot& s = *raw;
+          bool attached = false;
+          {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            s.scratch.tag = s.tags.pop();
+            s.scratch.res = r;  // copy-assign, capacity reuse
+            attached = s.attached.load(std::memory_order_acquire);
+            if (attached) {
+              if (s.results.push(s.scratch, &s.evicted) ==
+                  runtime::PushResult::kReplacedOldest) {
+                std::lock_guard<std::mutex> stats(stats_mutex_);
+                ++counters_.results_dropped;
+              }
+            } else {
+              std::lock_guard<std::mutex> stats(stats_mutex_);
+              ++counters_.results_dropped;
+            }
+          }
+          s.outstanding.fetch_sub(1, std::memory_order_release);
+          if (attached) wake();
+        });
+    slots_.push_back(std::move(slot));
+  }
+}
+
+DetectionService::~DetectionService() {
+  stop();
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+bool DetectionService::start(std::string* error) {
+  PDET_REQUIRE(!started_);
+  listener_ = Socket::listen_tcp(options_.host, options_.port, 64, error);
+  if (!listener_.valid()) return false;
+  port_ = listener_.local_port();
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    if (error != nullptr) *error = "pipe failed";
+    listener_.close();
+    return false;
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  (void)fcntl(wake_read_, F_SETFL, O_NONBLOCK);
+  (void)fcntl(wake_write_, F_SETFL, O_NONBLOCK);
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  runtime_.start();
+  io_thread_ = std::thread([this] { io_main(); });
+  return true;
+}
+
+void DetectionService::stop() {
+  if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  runtime_.stop();
+  running_.store(false, std::memory_order_release);
+}
+
+void DetectionService::wake() {
+  if (wake_write_ < 0) return;
+  const std::uint8_t b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  (void)!::write(wake_write_, &b, 1);
+}
+
+int DetectionService::acquire_slot() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = *slots_[i];
+    if (s.attached.load(std::memory_order_acquire)) continue;
+    if (s.outstanding.load(std::memory_order_acquire) != 0) continue;
+    // Clear any results the previous owner never read.
+    SlotResult stale;
+    while (s.results.try_pop(stale)) {
+    }
+    s.attached.store(true, std::memory_order_release);
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void DetectionService::send_error(Connection& conn, wire::ErrorCode code,
+                                  const char* text) {
+  wire::Error err;
+  err.code = code;
+  err.message = text;
+  wire::encode_error(err, conn.wbuf);
+}
+
+void DetectionService::build_stats_report(wire::StatsReport& out) {
+  const runtime::RuntimeStats rt = runtime_.stats();
+  out.submitted = static_cast<std::uint64_t>(rt.submitted);
+  out.completed = static_cast<std::uint64_t>(rt.completed);
+  out.ok = static_cast<std::uint64_t>(rt.ok);
+  out.degraded = static_cast<std::uint64_t>(rt.degraded);
+  out.dropped_queue = static_cast<std::uint64_t>(rt.dropped_queue);
+  out.dropped_deadline = static_cast<std::uint64_t>(rt.dropped_deadline);
+  out.aggregate_fps = rt.aggregate_fps;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  out.net_frames_received =
+      static_cast<std::uint64_t>(counters_.frames_received);
+  out.net_results_sent = static_cast<std::uint64_t>(counters_.results_sent);
+  out.net_results_dropped =
+      static_cast<std::uint64_t>(counters_.results_dropped);
+  out.net_decode_errors = static_cast<std::uint64_t>(counters_.decode_errors);
+  out.active_connections =
+      static_cast<std::uint32_t>(counters_.active_connections);
+}
+
+void DetectionService::handle_message(Connection& conn) {
+  switch (conn.msg.type) {
+    case wire::MsgType::kHello: {
+      if (conn.slot >= 0) {
+        send_error(conn, wire::ErrorCode::kProtocol, "duplicate hello");
+        conn.closing = true;
+        return;
+      }
+      if (conn.msg.hello.protocol_version != wire::kProtocolVersion) {
+        send_error(conn, wire::ErrorCode::kVersionMismatch,
+                   "unsupported protocol version");
+        conn.closing = true;
+        return;
+      }
+      const int slot = acquire_slot();
+      if (slot < 0) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++counters_.connections_refused;
+        }
+        send_error(conn, wire::ErrorCode::kBusy, "no free stream slot");
+        conn.closing = true;
+        return;
+      }
+      conn.slot = slot;
+      wire::HelloAck ack;
+      ack.protocol_version = wire::kProtocolVersion;
+      ack.model_dim = model_dim_;
+      ack.model_crc = model_crc_;
+      ack.stream_id =
+          static_cast<std::uint32_t>(slots_[static_cast<std::size_t>(slot)]
+                                         ->stream_id);
+      ack.server_name = options_.name;
+      wire::encode_hello_ack(ack, conn.wbuf);
+      return;
+    }
+    case wire::MsgType::kSubmitFrame: {
+      if (conn.slot < 0) {
+        send_error(conn, wire::ErrorCode::kProtocol, "frame before hello");
+        conn.closing = true;
+        return;
+      }
+      if (conn.msg.frame.image.empty()) {
+        send_error(conn, wire::ErrorCode::kBadFrame, "empty frame");
+        conn.closing = true;
+        return;
+      }
+      Slot& s = *slots_[static_cast<std::size_t>(conn.slot)];
+      {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.tags.push(conn.msg.frame.tag);
+      }
+      s.outstanding.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.frames_received;
+      }
+      // Every submit outcome (accepted, evicted, rejected) produces exactly
+      // one in-order delivery, so the tag/outstanding bookkeeping balances.
+      (void)runtime_.submit(s.stream_id, conn.msg.frame.image);
+      return;
+    }
+    case wire::MsgType::kStatsQuery: {
+      build_stats_report(conn.out_stats);
+      wire::encode_stats_report(conn.out_stats, conn.wbuf);
+      return;
+    }
+    case wire::MsgType::kShutdown: {
+      conn.draining = true;
+      return;
+    }
+    case wire::MsgType::kHelloAck:
+    case wire::MsgType::kResult:
+    case wire::MsgType::kStatsReport:
+      send_error(conn, wire::ErrorCode::kProtocol,
+                 "server-to-client message from client");
+      conn.closing = true;
+      return;
+    case wire::MsgType::kError: {
+      // A client-reported error: log-free teardown of this connection.
+      conn.closing = true;
+      return;
+    }
+  }
+}
+
+void DetectionService::handle_readable(Connection& conn) {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    std::size_t got = 0;
+    const IoStatus status = recv_some(conn.sock.fd(), chunk, got);
+    if (status == IoStatus::kOk) {
+      conn.rbuf.insert(conn.rbuf.end(), chunk, chunk + got);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      counters_.bytes_in += static_cast<long long>(got);
+      if (got == sizeof chunk) continue;  // more may be pending
+      break;
+    }
+    if (status == IoStatus::kWouldBlock) break;
+    conn.dead = true;  // kClosed or kError: peer is gone
+    return;
+  }
+
+  while (!conn.closing && !conn.draining) {
+    const std::span<const std::uint8_t> pending(conn.rbuf.data() + conn.rpos,
+                                                conn.rbuf.size() - conn.rpos);
+    std::size_t consumed = 0;
+    const wire::DecodeStatus status =
+        wire::decode_message(pending, conn.msg, consumed);
+    if (status == wire::DecodeStatus::kNeedMore) break;
+    if (status != wire::DecodeStatus::kOk) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.decode_errors;
+      }
+      send_error(conn, wire::ErrorCode::kProtocol, wire::to_string(status));
+      conn.closing = true;
+      break;
+    }
+    conn.rpos += consumed;
+    handle_message(conn);
+  }
+
+  // Compact the consumed prefix (cheap: leftovers are partial frames).
+  if (conn.rpos == conn.rbuf.size()) {
+    conn.rbuf.clear();
+    conn.rpos = 0;
+  } else if (conn.rpos > 0) {
+    std::memmove(conn.rbuf.data(), conn.rbuf.data() + conn.rpos,
+                 conn.rbuf.size() - conn.rpos);
+    conn.rbuf.resize(conn.rbuf.size() - conn.rpos);
+    conn.rpos = 0;
+  }
+}
+
+void DetectionService::flush_slot_queues() {
+  for (auto& conn_ptr : conns_) {
+    Connection& conn = *conn_ptr;
+    if (conn.dead || conn.slot < 0) continue;
+    Slot& s = *slots_[static_cast<std::size_t>(conn.slot)];
+    while (conn.unsent() < options_.max_write_buffer &&
+           s.results.try_pop(conn.popped)) {
+      const runtime::StreamResult& r = conn.popped.res;
+      wire::Result& out = conn.out_result;
+      out.sequence = r.sequence;
+      out.tag = conn.popped.tag;
+      out.status = r.status;
+      out.degrade_level = static_cast<std::uint8_t>(r.degrade_level);
+      out.queue_wait_ms = static_cast<float>(r.queue_wait_ms);
+      out.service_ms = static_cast<float>(r.service_ms);
+      out.total_ms = static_cast<float>(r.total_ms);
+      out.detections = r.detections;  // copy-assign, capacity reuse
+      wire::encode_result(out, conn.wbuf);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.results_sent;
+      request_hist_.record(r.total_ms);
+    }
+  }
+}
+
+void DetectionService::try_send(Connection& conn) {
+  while (conn.unsent() > 0) {
+    std::size_t sent = 0;
+    const IoStatus status = send_some(
+        conn.sock.fd(),
+        std::span<const std::uint8_t>(conn.wbuf.data() + conn.wpos,
+                                      conn.unsent()),
+        sent);
+    if (status == IoStatus::kOk) {
+      conn.wpos += sent;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      counters_.bytes_out += static_cast<long long>(sent);
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) return;
+    conn.dead = true;
+    return;
+  }
+  conn.wbuf.clear();
+  conn.wpos = 0;
+}
+
+void DetectionService::close_connection(std::size_t index) {
+  Connection& conn = *conns_[index];
+  if (conn.slot >= 0) {
+    slots_[static_cast<std::size_t>(conn.slot)]->attached.store(
+        false, std::memory_order_release);
+    conn.slot = -1;
+  }
+  conn.sock.close();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.connections_closed;
+    --counters_.active_connections;
+  }
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void DetectionService::io_main() {
+  // The io thread may not touch the single-threaded obs registry (spans or
+  // metric helpers fired inside runtime_.submit would race the owner
+  // thread); everything is aggregated under stats_mutex_ instead.
+  obs::ScopedThreadMute mute;
+
+  std::vector<pollfd> fds;
+  bool stopping = false;
+  while (true) {
+    if (!stopping && stop_requested_.load(std::memory_order_acquire)) {
+      stopping = true;
+      listener_.close();
+      // No reads from here on: the io thread is the only producer, so once
+      // current buffers are parsed the runtime can drain fully.
+      runtime_.drain();
+      flush_slot_queues();
+      const auto flush_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 options_.flush_timeout_ms));
+      while (Clock::now() < flush_deadline) {
+        flush_slot_queues();
+        bool pending = false;
+        for (auto& conn_ptr : conns_) {
+          if (conn_ptr->dead) continue;
+          try_send(*conn_ptr);
+          if (conn_ptr->unsent() > 0 && !conn_ptr->dead) pending = true;
+        }
+        for (auto& slot : slots_) {
+          if (slot->attached.load(std::memory_order_acquire) &&
+              slot->results.size() > 0) {
+            pending = true;
+          }
+        }
+        if (!pending) break;
+        // Wait for some client to accept more bytes.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      while (!conns_.empty()) close_connection(conns_.size() - 1);
+      return;
+    }
+
+    fds.clear();
+    fds.push_back(pollfd{wake_read_, POLLIN, 0});
+    if (listener_.valid()) fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    const std::size_t conn_base = fds.size();
+    // Snapshot: the accept loop below may append to conns_, and those new
+    // connections have no pollfd entry this cycle.
+    const std::size_t polled_conns = conns_.size();
+    for (auto& conn_ptr : conns_) {
+      short events = 0;
+      if (!conn_ptr->closing && !conn_ptr->draining) events |= POLLIN;
+      if (conn_ptr->unsent() > 0) events |= POLLOUT;
+      fds.push_back(pollfd{conn_ptr->sock.fd(), events, 0});
+    }
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      std::uint8_t drain_buf[256];
+      while (::read(wake_read_, drain_buf, sizeof drain_buf) > 0) {
+      }
+    }
+    if (listener_.valid() && fds.size() > 1 &&
+        (fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        Socket accepted = listener_.accept();
+        if (!accepted.valid()) break;
+        auto conn = std::make_unique<Connection>();
+        conn->sock = std::move(accepted);
+        conns_.push_back(std::move(conn));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.connections_accepted;
+        ++counters_.active_connections;
+      }
+    }
+
+    for (std::size_t i = 0; i < polled_conns; ++i) {
+      const short revents = fds[conn_base + i].revents;
+      Connection& conn = *conns_[i];
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        conn.dead = true;
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP)) != 0 && !conn.closing &&
+          !conn.draining) {
+        handle_readable(conn);
+      }
+    }
+
+    flush_slot_queues();
+    for (auto& conn_ptr : conns_) {
+      if (!conn_ptr->dead) try_send(*conn_ptr);
+    }
+
+    // Reap: dead sockets; closed-after-flush errors; drained shutdowns.
+    for (std::size_t i = conns_.size(); i-- > 0;) {
+      Connection& conn = *conns_[i];
+      bool finished = conn.dead;
+      if (!finished && conn.closing && conn.unsent() == 0) finished = true;
+      if (!finished && conn.draining && conn.unsent() == 0 &&
+          conn.slot >= 0) {
+        Slot& s = *slots_[static_cast<std::size_t>(conn.slot)];
+        if (s.outstanding.load(std::memory_order_acquire) == 0 &&
+            s.results.size() == 0) {
+          finished = true;
+        }
+      }
+      if (finished) close_connection(i);
+    }
+  }
+}
+
+ServiceStats DetectionService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = counters_;
+    out.request_ms = request_hist_.summary();
+  }
+  out.runtime = runtime_.stats();
+  return out;
+}
+
+void DetectionService::publish_metrics() {
+  const ServiceStats s = stats();
+  const auto delta = [](const char* name, long long current, long long& last) {
+    if (current != last) {
+      obs::counter_add(name, current - last);
+      last = current;
+    }
+  };
+  delta("net.connections_accepted", s.connections_accepted,
+        published_.connections_accepted);
+  delta("net.connections_closed", s.connections_closed,
+        published_.connections_closed);
+  delta("net.connections_refused", s.connections_refused,
+        published_.connections_refused);
+  delta("net.frames_received", s.frames_received, published_.frames_received);
+  delta("net.results_sent", s.results_sent, published_.results_sent);
+  delta("net.results_dropped", s.results_dropped, published_.results_dropped);
+  delta("net.decode_errors", s.decode_errors, published_.decode_errors);
+  delta("net.bytes_in", s.bytes_in, published_.bytes_in);
+  delta("net.bytes_out", s.bytes_out, published_.bytes_out);
+  obs::gauge_set("net.active_connections",
+                 static_cast<double>(s.active_connections));
+  obs::gauge_set("net.request_ms.p50", s.request_ms.p50);
+  obs::gauge_set("net.request_ms.p99", s.request_ms.p99);
+  runtime_.publish_metrics();
+}
+
+}  // namespace pdet::net

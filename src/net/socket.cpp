@@ -1,0 +1,206 @@
+#include "src/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+
+namespace pdet::net {
+namespace {
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  return inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+int poll_timeout(double timeout_ms) {
+  if (timeout_ms < 0.0) return -1;
+  return static_cast<int>(std::ceil(timeout_ms));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::set_nonblocking(bool enable) const {
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return fcntl(fd_, F_SETFL, next) == 0;
+}
+
+bool Socket::set_nodelay(bool enable) const {
+  const int v = enable ? 1 : 0;
+  return setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof v) == 0;
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket Socket::listen_tcp(const std::string& host, std::uint16_t port,
+                          int backlog, std::string* error) {
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, addr)) {
+    if (error != nullptr) *error = "bad listen address: " + host;
+    return Socket();
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    set_error(error, "socket");
+    return Socket();
+  }
+  const int one = 1;
+  (void)setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    set_error(error, "bind");
+    return Socket();
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    set_error(error, "listen");
+    return Socket();
+  }
+  if (!sock.set_nonblocking(true)) {
+    set_error(error, "fcntl");
+    return Socket();
+  }
+  return sock;
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port,
+                           double timeout_ms, std::string* error) {
+  sockaddr_in addr{};
+  if (!fill_addr(host.empty() ? "127.0.0.1" : host, port, addr)) {
+    if (error != nullptr) *error = "bad connect address: " + host;
+    return Socket();
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    set_error(error, "socket");
+    return Socket();
+  }
+  if (!sock.set_nonblocking(true)) {
+    set_error(error, "fcntl");
+    return Socket();
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      set_error(error, "connect");
+      return Socket();
+    }
+    if (!wait_writable(sock.fd(), timeout_ms)) {
+      if (error != nullptr) *error = "connect: timed out";
+      return Socket();
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      if (error != nullptr) {
+        *error = std::string("connect: ") + std::strerror(soerr);
+      }
+      return Socket();
+    }
+  }
+  (void)sock.set_nodelay(true);
+  return sock;
+}
+
+Socket Socket::accept() const {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Socket();
+  Socket conn(fd);
+  (void)conn.set_nonblocking(true);
+  (void)conn.set_nodelay(true);
+  return conn;
+}
+
+IoStatus send_some(int fd, std::span<const std::uint8_t> data,
+                   std::size_t& sent) {
+  const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+  if (n > 0) {
+    sent = static_cast<std::size_t>(n);
+    return IoStatus::kOk;
+  }
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return IoStatus::kWouldBlock;
+  }
+  if (n < 0 && errno == EINTR) return IoStatus::kWouldBlock;
+  if (n < 0 && errno == EPIPE) return IoStatus::kClosed;
+  return IoStatus::kError;
+}
+
+IoStatus recv_some(int fd, std::span<std::uint8_t> buf, std::size_t& got) {
+  const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+  if (n > 0) {
+    got = static_cast<std::size_t>(n);
+    return IoStatus::kOk;
+  }
+  if (n == 0) return IoStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return IoStatus::kWouldBlock;
+  }
+  return IoStatus::kError;
+}
+
+bool wait_readable(int fd, double timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  return ::poll(&p, 1, poll_timeout(timeout_ms)) > 0 &&
+         (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+bool wait_writable(int fd, double timeout_ms) {
+  pollfd p{fd, POLLOUT, 0};
+  return ::poll(&p, 1, poll_timeout(timeout_ms)) > 0 &&
+         (p.revents & (POLLOUT | POLLHUP | POLLERR)) != 0;
+}
+
+bool peer_closed(int fd) {
+  std::uint8_t probe = 0;
+  const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n > 0) return false;  // data pending: alive (and left unconsumed)
+  if (n == 0) return true;  // orderly EOF
+  return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+}
+
+}  // namespace pdet::net

@@ -1,0 +1,83 @@
+// Thin RAII layer over POSIX TCP sockets (pdet::net).
+//
+// Everything the service and client need, and nothing else: non-blocking
+// listen/accept/connect with explicit timeouts, partial send/recv with a
+// four-state outcome (progress, would-block, peer-closed, error), and
+// poll()-based readiness waits. No exceptions — the wire layer must keep
+// running through every transient network condition, so errors are values.
+// SIGPIPE is suppressed per-send (MSG_NOSIGNAL); nothing here installs
+// signal handlers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace pdet::net {
+
+/// Outcome of one send_some()/recv_some() call.
+enum class IoStatus {
+  kOk,          ///< >= 1 byte moved
+  kWouldBlock,  ///< non-blocking socket has no space/data right now
+  kClosed,      ///< orderly peer shutdown (recv) / EPIPE (send)
+  kError,       ///< anything else; errno captured by the caller if needed
+};
+
+/// Move-only owner of one socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Bind + listen on host:port (port 0 = ephemeral; read back with
+  /// local_port()). SO_REUSEADDR is set so a restarted server can rebind
+  /// its port immediately. Returns an invalid socket on failure, with a
+  /// description in `*error` when provided.
+  static Socket listen_tcp(const std::string& host, std::uint16_t port,
+                           int backlog, std::string* error = nullptr);
+
+  /// Connect to host:port with a bounded wait; the returned socket is
+  /// non-blocking. Fails (invalid socket) on refusal or timeout.
+  static Socket connect_tcp(const std::string& host, std::uint16_t port,
+                            double timeout_ms, std::string* error = nullptr);
+
+  /// Accept one pending connection (listener must be non-blocking);
+  /// invalid socket when none is pending. The connection is non-blocking.
+  Socket accept() const;
+
+  bool set_nonblocking(bool enable) const;
+  bool set_nodelay(bool enable) const;  ///< TCP_NODELAY: latency over batching
+  /// Port actually bound (after listen_tcp with port 0); 0 on error.
+  std::uint16_t local_port() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// One send(2); `sent` is set on kOk. Never raises SIGPIPE.
+IoStatus send_some(int fd, std::span<const std::uint8_t> data,
+                   std::size_t& sent);
+/// One recv(2); `got` is set on kOk; kClosed on orderly EOF.
+IoStatus recv_some(int fd, std::span<std::uint8_t> buf, std::size_t& got);
+
+/// poll() one fd for readability/writability. timeout_ms < 0 waits forever.
+bool wait_readable(int fd, double timeout_ms);
+bool wait_writable(int fd, double timeout_ms);
+
+/// True when the peer has closed (or reset) the connection. Probes with
+/// MSG_PEEK so pending unread data is left in place; a live connection with
+/// no data pending returns false. Needed because send(2) into a freshly
+/// half-closed socket "succeeds" — a writer that never reads would not
+/// notice a dead peer without this.
+bool peer_closed(int fd);
+
+}  // namespace pdet::net

@@ -1,0 +1,289 @@
+#include "src/net/wire.hpp"
+
+#include "src/util/bytes.hpp"
+
+namespace pdet::net::wire {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+/// Offsets within the fixed header (see the header-file diagram).
+constexpr std::size_t kLenOffset = 8;
+constexpr std::size_t kCrcOffset = 12;
+
+/// Begin one frame: write the header with length/CRC placeholders and return
+/// the absolute offset of the frame start for end_frame() to patch.
+std::size_t begin_frame(ByteWriter& w, MsgType type) {
+  const std::size_t frame_at = w.offset();
+  w.u32(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // reserved
+  w.u32(0);  // payload_len, patched
+  w.u32(0);  // crc32, patched
+  return frame_at;
+}
+
+void end_frame(ByteWriter& w, std::vector<std::uint8_t>& buf,
+               std::size_t frame_at) {
+  const std::size_t payload_len = w.offset() - frame_at - kHeaderSize;
+  w.patch_u32(frame_at + kLenOffset,
+              static_cast<std::uint32_t>(payload_len));
+  // CRC covers header[0,12) ++ payload — the crc field itself stays zero
+  // while the digest is computed, then lands at [12,16).
+  const std::span<const std::uint8_t> all(buf.data() + frame_at,
+                                          w.offset() - frame_at);
+  const std::uint32_t head_crc = util::crc32(all.subspan(0, kCrcOffset));
+  const std::uint32_t full_crc =
+      util::crc32(all.subspan(kHeaderSize), head_crc);
+  w.patch_u32(frame_at + kCrcOffset, full_crc);
+}
+
+bool decode_hello(ByteReader& r, Hello& out) {
+  out.protocol_version = r.u32();
+  return r.str(out.client_name, kMaxNameLen) && r.exhausted();
+}
+
+bool decode_hello_ack(ByteReader& r, HelloAck& out) {
+  out.protocol_version = r.u32();
+  out.model_dim = r.u32();
+  out.model_crc = r.u32();
+  out.stream_id = r.u32();
+  return r.str(out.server_name, kMaxNameLen) && r.exhausted();
+}
+
+bool decode_submit_frame(ByteReader& r, SubmitFrame& out) {
+  out.tag = r.u64();
+  const std::uint32_t width = r.u32();
+  const std::uint32_t height = r.u32();
+  if (!r.ok() || width > kMaxFrameDim || height > kMaxFrameDim) return false;
+  const std::size_t pixels =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  if (r.remaining() != pixels * sizeof(float)) return false;
+  out.image.reset(static_cast<int>(width), static_cast<int>(height));
+  return r.f32_array(out.image.pixels()) && r.exhausted();
+}
+
+bool decode_result(ByteReader& r, Result& out) {
+  out.sequence = r.u64();
+  out.tag = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(
+                   runtime::FrameStatus::kDroppedDeadline)) {
+    return false;
+  }
+  out.status = static_cast<runtime::FrameStatus>(status);
+  out.degrade_level = r.u8();
+  r.skip(2);  // pad
+  out.queue_wait_ms = r.f32();
+  out.service_ms = r.f32();
+  out.total_ms = r.f32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxDetections) return false;
+  // 28 bytes per detection; reject inconsistent counts before resizing.
+  if (r.remaining() != static_cast<std::size_t>(count) * 28) return false;
+  out.detections.resize(count);
+  for (detect::Detection& d : out.detections) {
+    d.x = r.i32();
+    d.y = r.i32();
+    d.width = r.i32();
+    d.height = r.i32();
+    d.score = r.f32();
+    d.scale = r.f64();
+  }
+  return r.exhausted();
+}
+
+bool decode_stats_report(ByteReader& r, StatsReport& out) {
+  out.submitted = r.u64();
+  out.completed = r.u64();
+  out.ok = r.u64();
+  out.degraded = r.u64();
+  out.dropped_queue = r.u64();
+  out.dropped_deadline = r.u64();
+  out.aggregate_fps = r.f64();
+  out.net_frames_received = r.u64();
+  out.net_results_sent = r.u64();
+  out.net_results_dropped = r.u64();
+  out.net_decode_errors = r.u64();
+  out.active_connections = r.u32();
+  return r.ok() && r.exhausted();
+}
+
+bool decode_error(ByteReader& r, Error& out) {
+  out.code = static_cast<ErrorCode>(r.u32());
+  return r.str(out.message, kMaxErrorLen) && r.exhausted();
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kBadPayload: return "bad-payload";
+    case DecodeStatus::kUnknownType: return "unknown-type";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kVersionMismatch: return "version-mismatch";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kBadFrame: return "bad-frame";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+void encode_hello(const Hello& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kHello);
+  w.u32(msg.protocol_version);
+  w.str(msg.client_name);
+  end_frame(w, out, at);
+}
+
+void encode_hello_ack(const HelloAck& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kHelloAck);
+  w.u32(msg.protocol_version);
+  w.u32(msg.model_dim);
+  w.u32(msg.model_crc);
+  w.u32(msg.stream_id);
+  w.str(msg.server_name);
+  end_frame(w, out, at);
+}
+
+void encode_submit_frame(const SubmitFrame& msg,
+                         std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kSubmitFrame);
+  w.u64(msg.tag);
+  w.u32(static_cast<std::uint32_t>(msg.image.width()));
+  w.u32(static_cast<std::uint32_t>(msg.image.height()));
+  w.f32_array(msg.image.pixels());
+  end_frame(w, out, at);
+}
+
+void encode_result(const Result& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kResult);
+  w.u64(msg.sequence);
+  w.u64(msg.tag);
+  w.u8(static_cast<std::uint8_t>(msg.status));
+  w.u8(msg.degrade_level);
+  w.u16(0);  // pad
+  w.f32(msg.queue_wait_ms);
+  w.f32(msg.service_ms);
+  w.f32(msg.total_ms);
+  w.u32(static_cast<std::uint32_t>(msg.detections.size()));
+  for (const detect::Detection& d : msg.detections) {
+    w.i32(d.x);
+    w.i32(d.y);
+    w.i32(d.width);
+    w.i32(d.height);
+    w.f32(d.score);
+    w.f64(d.scale);
+  }
+  end_frame(w, out, at);
+}
+
+void encode_stats_query(std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kStatsQuery);
+  end_frame(w, out, at);
+}
+
+void encode_stats_report(const StatsReport& msg,
+                         std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kStatsReport);
+  w.u64(msg.submitted);
+  w.u64(msg.completed);
+  w.u64(msg.ok);
+  w.u64(msg.degraded);
+  w.u64(msg.dropped_queue);
+  w.u64(msg.dropped_deadline);
+  w.f64(msg.aggregate_fps);
+  w.u64(msg.net_frames_received);
+  w.u64(msg.net_results_sent);
+  w.u64(msg.net_results_dropped);
+  w.u64(msg.net_decode_errors);
+  w.u32(msg.active_connections);
+  end_frame(w, out, at);
+}
+
+void encode_error(const Error& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kError);
+  w.u32(static_cast<std::uint32_t>(msg.code));
+  w.str(msg.message);
+  end_frame(w, out, at);
+}
+
+void encode_shutdown(std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kShutdown);
+  end_frame(w, out, at);
+}
+
+DecodeStatus decode_message(std::span<const std::uint8_t> data, Message& out,
+                            std::size_t& consumed) {
+  consumed = 0;
+  if (data.size() < kHeaderSize) return DecodeStatus::kNeedMore;
+  ByteReader header(data.subspan(0, kHeaderSize));
+  const std::uint32_t magic = header.u32();
+  const std::uint8_t version = header.u8();
+  const std::uint8_t type = header.u8();
+  header.u16();  // reserved
+  const std::uint32_t payload_len = header.u32();
+  const std::uint32_t declared_crc = header.u32();
+  if (magic != kMagic) return DecodeStatus::kBadMagic;
+  if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (payload_len > kMaxPayloadBytes) return DecodeStatus::kBadLength;
+  if (data.size() < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+
+  const std::span<const std::uint8_t> payload =
+      data.subspan(kHeaderSize, payload_len);
+  const std::uint32_t head_crc = util::crc32(data.subspan(0, kCrcOffset));
+  if (util::crc32(payload, head_crc) != declared_crc) {
+    return DecodeStatus::kBadCrc;
+  }
+
+  if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    return DecodeStatus::kUnknownType;
+  }
+  out.type = static_cast<MsgType>(type);
+
+  ByteReader r(payload);
+  bool ok = false;
+  switch (out.type) {
+    case MsgType::kHello: ok = decode_hello(r, out.hello); break;
+    case MsgType::kHelloAck: ok = decode_hello_ack(r, out.hello_ack); break;
+    case MsgType::kSubmitFrame:
+      ok = decode_submit_frame(r, out.frame);
+      break;
+    case MsgType::kResult: ok = decode_result(r, out.result); break;
+    case MsgType::kStatsQuery: ok = payload.empty(); break;
+    case MsgType::kStatsReport:
+      ok = decode_stats_report(r, out.stats);
+      break;
+    case MsgType::kError: ok = decode_error(r, out.error); break;
+    case MsgType::kShutdown: ok = payload.empty(); break;
+  }
+  if (!ok) return DecodeStatus::kBadPayload;
+  consumed = kHeaderSize + payload_len;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace pdet::net::wire

@@ -1,0 +1,178 @@
+// Binary wire protocol for the remote detection service (pdet::net::wire).
+//
+// Every message on the wire is one length-prefixed frame:
+//
+//   offset  size  field
+//        0     4  magic        0x5044_4E31 ("1NDP" on the wire, LE)
+//        4     1  protocol     kProtocolVersion; bumped on breaking change
+//        5     1  type         MsgType
+//        6     2  reserved     0 (alignment / future flags)
+//        8     4  payload_len  bytes following the header
+//       12     4  crc32        over header bytes [0,12) ++ payload
+//       16   len  payload      ByteWriter/ByteReader-encoded fields (LE)
+//
+// The CRC covers the header prefix as well as the payload, so flipping any
+// single bit of a frame — type byte included — is detected: a corrupted
+// frame can be rejected, never misparsed as a different message. Frames are
+// self-delimiting (kNeedMore until payload_len bytes have arrived), which is
+// all a TCP byte stream needs for reassembly.
+//
+// Encoding appends one complete frame to a caller-owned vector (reused
+// buffers encode with no steady-state allocation — the *_into convention).
+// Decoding reads into a reused Message whose vectors/images keep their
+// high-water capacity, and never trusts a declared length without bounding
+// it first (kMaxPayloadBytes, kMaxFrameDim, per-string caps).
+//
+// Version negotiation: the client opens with Hello{protocol_version}; the
+// server answers HelloAck carrying its own protocol version plus the model
+// fingerprint (dimension + CRC of the canonical model bytes) and the stream
+// id it assigned. A server that cannot speak the client's version replies
+// Error{kVersionMismatch} and closes. Within one protocol version, unknown
+// message types are a decode error (kUnknownType) — there are no optional
+// extensions in v1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/detect/detection.hpp"
+#include "src/imgproc/image.hpp"
+#include "src/runtime/stream.hpp"
+
+namespace pdet::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x50444E31u;  // "PDN1"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+/// Upper bound on a frame payload; a 4K-UHD float luminance plane is ~33 MiB,
+/// anything larger is a corrupt or hostile length field.
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+/// Per-axis bound on submitted frame dimensions.
+inline constexpr std::uint32_t kMaxFrameDim = 8192;
+inline constexpr std::size_t kMaxNameLen = 256;
+inline constexpr std::size_t kMaxErrorLen = 1024;
+inline constexpr std::uint32_t kMaxDetections = 1u << 16;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,        ///< client -> server, first message on a connection
+  kHelloAck = 2,     ///< server -> client, handshake accept
+  kSubmitFrame = 3,  ///< client -> server, one luminance frame
+  kResult = 4,       ///< server -> client, one in-order frame outcome
+  kStatsQuery = 5,   ///< client -> server, empty payload
+  kStatsReport = 6,  ///< server -> client, runtime + net counters
+  kError = 7,        ///< either direction; sender closes after a fatal one
+  kShutdown = 8,     ///< client -> server: flush my results, then close
+};
+
+enum class ErrorCode : std::uint32_t {
+  kProtocol = 1,         ///< malformed frame / message out of order
+  kVersionMismatch = 2,  ///< handshake protocol version not supported
+  kBusy = 3,             ///< no free stream slot for a new connection
+  kBadFrame = 4,         ///< frame dimensions rejected
+  kShuttingDown = 5,     ///< server is draining; no new work accepted
+  kInternal = 6,
+};
+
+struct Hello {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::string client_name;
+};
+
+struct HelloAck {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint32_t model_dim = 0;  ///< descriptor length the server classifies
+  std::uint32_t model_crc = 0;  ///< crc32 of svm::model_to_bytes output
+  std::uint32_t stream_id = 0;  ///< runtime stream slot serving this client
+  std::string server_name;
+};
+
+struct SubmitFrame {
+  std::uint64_t tag = 0;  ///< opaque client-side id, echoed in Result
+  imgproc::ImageF image;  ///< reused on decode (reset, not reallocated)
+};
+
+/// Mirrors runtime::StreamResult; `tag` echoes the SubmitFrame that produced
+/// it so a client can match results without trusting arrival order (though
+/// per-stream delivery *is* in order: slot FIFO + TCP ordering).
+struct Result {
+  std::uint64_t sequence = 0;  ///< server-side stream sequence
+  std::uint64_t tag = 0;
+  runtime::FrameStatus status = runtime::FrameStatus::kOk;
+  std::uint8_t degrade_level = 0;
+  float queue_wait_ms = 0.0f;
+  float service_ms = 0.0f;
+  float total_ms = 0.0f;
+  std::vector<detect::Detection> detections;
+};
+
+struct StatsReport {
+  // Runtime aggregate (subset of runtime::RuntimeStats).
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_deadline = 0;
+  double aggregate_fps = 0.0;
+  // Net frontend accounting.
+  std::uint64_t net_frames_received = 0;
+  std::uint64_t net_results_sent = 0;
+  std::uint64_t net_results_dropped = 0;  ///< shed to slow readers
+  std::uint64_t net_decode_errors = 0;
+  std::uint32_t active_connections = 0;
+};
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Reused decode target: one instance per connection, buffers stay warm.
+/// Only the member matching `type` is meaningful after a successful decode.
+struct Message {
+  MsgType type = MsgType::kError;
+  Hello hello;
+  HelloAck hello_ack;
+  SubmitFrame frame;
+  Result result;
+  StatsReport stats;
+  Error error;
+};
+
+enum class DecodeStatus {
+  kOk,           ///< one message decoded; `consumed` bytes eaten
+  kNeedMore,     ///< buffer holds a frame prefix; nothing consumed
+  kBadMagic,     ///< stream out of sync / not our protocol
+  kBadVersion,   ///< header protocol byte unsupported
+  kBadLength,    ///< declared payload length out of bounds
+  kBadCrc,       ///< frame failed its integrity check
+  kBadPayload,   ///< CRC ok but fields malformed (internal inconsistency)
+  kUnknownType,  ///< type byte not a v1 MsgType
+};
+
+const char* to_string(DecodeStatus status);
+const char* to_string(ErrorCode code);
+
+// Each encoder appends exactly one complete frame (header + payload) to
+// `out`. `out` is not cleared: callers batch frames into one send buffer.
+void encode_hello(const Hello& msg, std::vector<std::uint8_t>& out);
+void encode_hello_ack(const HelloAck& msg, std::vector<std::uint8_t>& out);
+void encode_submit_frame(const SubmitFrame& msg,
+                         std::vector<std::uint8_t>& out);
+void encode_result(const Result& msg, std::vector<std::uint8_t>& out);
+void encode_stats_query(std::vector<std::uint8_t>& out);
+void encode_stats_report(const StatsReport& msg,
+                         std::vector<std::uint8_t>& out);
+void encode_error(const Error& msg, std::vector<std::uint8_t>& out);
+void encode_shutdown(std::vector<std::uint8_t>& out);
+
+/// Try to decode one message from the front of `data`. On kOk, `out` holds
+/// the message and `consumed` the frame size; on kNeedMore nothing was
+/// consumed; on any error `consumed` is 0 and the connection should be torn
+/// down (a TCP stream cannot resynchronise after a framing error).
+DecodeStatus decode_message(std::span<const std::uint8_t> data, Message& out,
+                            std::size_t& consumed);
+
+}  // namespace pdet::net::wire

@@ -66,11 +66,16 @@ class BoundedQueue {
   /// the queue closes.
   PushResult push(const T& item, T* evicted = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
+    // Closed wins before the policy acts: a kClosed verdict must leave the
+    // queue untouched, never evict-then-refuse (the evicted frame would
+    // vanish from the drain a shutting-down server still owes).
+    if (closed_) return PushResult::kClosed;
     PushResult result = PushResult::kAccepted;
     if (count_ == slots_.size()) {
       switch (policy_) {
         case BackpressurePolicy::kBlock:
           space_cv_.wait(lock, [&] { return closed_ || count_ < slots_.size(); });
+          if (closed_) return PushResult::kClosed;
           break;
         case BackpressurePolicy::kDropOldest: {
           if (evicted != nullptr) {
@@ -83,10 +88,9 @@ class BoundedQueue {
           break;
         }
         case BackpressurePolicy::kDropNewest:
-          return closed_ ? PushResult::kClosed : PushResult::kRejected;
+          return PushResult::kRejected;
       }
     }
-    if (closed_) return PushResult::kClosed;
     slots_[(head_ + count_) % slots_.size()] = item;  // copy: slot reuse
     ++count_;
     lock.unlock();

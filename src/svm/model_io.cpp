@@ -1,8 +1,10 @@
 #include "src/svm/model_io.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
+#include "src/util/bytes.hpp"
 #include "src/util/strings.hpp"
 
 namespace pdet::svm {
@@ -13,6 +15,12 @@ struct FileCloser {
     if (f != nullptr) std::fclose(f);
   }
 };
+
+constexpr std::uint8_t kMagic[4] = {'P', 'S', 'V', 'M'};
+constexpr std::uint32_t kBinaryVersion = 2;
+/// Sanity bound on the weight-vector length a file may declare; the largest
+/// descriptor in this codebase is a few thousand floats.
+constexpr std::uint32_t kMaxDimension = 1u << 24;
 
 }  // namespace
 
@@ -66,23 +74,76 @@ bool model_from_string(const std::string& text, LinearModel& out) {
   return true;
 }
 
+void model_to_bytes(const LinearModel& model, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  const std::size_t start = w.offset();
+  w.bytes(kMagic);
+  w.u32(kBinaryVersion);
+  w.u32(static_cast<std::uint32_t>(model.dimension()));
+  w.f32(model.bias);
+  w.f32_array(model.weights);
+  // CRC over everything after the magic (version..weights).
+  const std::span<const std::uint8_t> body(out.data() + start + 4,
+                                           w.offset() - start - 4);
+  w.u32(util::crc32(body));
+}
+
+bool model_from_bytes(std::span<const std::uint8_t> data, LinearModel& out) {
+  util::ByteReader r(data);
+  std::uint8_t magic[4] = {};
+  if (!r.bytes(magic) || std::memcmp(magic, kMagic, 4) != 0) return false;
+  if (r.u32() != kBinaryVersion) return false;
+  const std::uint32_t dim = r.u32();
+  if (!r.ok() || dim > kMaxDimension) return false;
+  // Everything between the magic and the trailing CRC is covered by it.
+  const std::size_t body_bytes = 4 + 4 + 4 + std::size_t{dim} * 4;
+  if (data.size() != 4 + body_bytes + 4) return false;
+  LinearModel model;
+  model.bias = r.f32();
+  model.weights.resize(dim);
+  if (!r.f32_array(model.weights)) return false;
+  const std::uint32_t declared = r.u32();
+  if (!r.exhausted()) return false;
+  if (util::crc32(data.subspan(4, body_bytes)) != declared) return false;
+  out = std::move(model);
+  return true;
+}
+
+std::uint32_t model_fingerprint(const LinearModel& model) {
+  // Hash the encoding *minus* its trailing CRC field. Hashing the full
+  // bytes would be useless: by CRC linearity, crc(body ++ crc(body))
+  // collapses to a length-dependent constant, identical for every model of
+  // the same dimension.
+  std::vector<std::uint8_t> bytes;
+  model_to_bytes(model, bytes);
+  return util::crc32(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+}
+
 bool save_model(const LinearModel& model, const std::string& path) {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
   if (!f) return false;
-  const std::string text = model_to_string(model);
-  return std::fwrite(text.data(), 1, text.size(), f.get()) == text.size();
+  std::vector<std::uint8_t> bytes;
+  model_to_bytes(model, bytes);
+  return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
 }
 
 bool load_model(const std::string& path, LinearModel& out) {
   std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
-  std::string text;
-  char buf[4096];
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
   std::size_t got = 0;
   while ((got = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
-    text.append(buf, got);
+    bytes.insert(bytes.end(), buf, buf + got);
   }
-  return model_from_string(text, out);
+  if (bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0) {
+    return model_from_bytes(bytes, out);
+  }
+  // Legacy text model ("pdet-svm 1 ..."): fall back to the line parser.
+  return model_from_string(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      out);
 }
 
 }  // namespace pdet::svm

@@ -1,11 +1,29 @@
-// Text serialization for trained models.
+// Model serialization: canonical binary format plus a legacy text format.
 //
-// The format is a deliberately simple line-oriented text file (comparable to
-// LIBLINEAR's model files) so a trained pedestrian model can be inspected,
-// versioned, and loaded by the examples without retraining.
+// The binary format is the canonical one — it shares the util::ByteWriter /
+// ByteReader little-endian codec (and its CRC-32 integrity check) with the
+// network wire protocol (net/wire), so one set of codec tests covers both
+// model files and wire frames, and the HelloAck model fingerprint is just
+// crc32(model_to_bytes(...)):
+//
+//   offset  size     field
+//        0     4     magic "PSVM"
+//        4     4     format version (2)
+//        8     4     dimension n
+//       12     4     bias (f32)
+//       16   4*n     weights (f32, little-endian)
+//   16+4*n     4     crc32 over bytes [4, 16+4*n)
+//
+// The line-oriented text format of earlier versions ("pdet-svm 1") remains
+// readable — load_model() sniffs the magic and falls back — and writable via
+// model_to_string() for human inspection, but save_model() now writes
+// binary.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/svm/linear_svm.hpp"
 
@@ -14,10 +32,24 @@ namespace pdet::svm {
 /// Render a model as text:  "pdet-svm 1\ndim <n>\nbias <b>\nw <w0> <w1> ...".
 std::string model_to_string(const LinearModel& model);
 
-/// Parse a model back; returns false (leaving `out` untouched) on malformed
-/// input.
+/// Parse the text format back; returns false (leaving `out` untouched) on
+/// malformed input.
 bool model_from_string(const std::string& text, LinearModel& out);
 
+/// Append the canonical binary encoding to `out` (not cleared — the
+/// ByteWriter appending convention; encode into a reused buffer for a
+/// steady state free of allocation).
+void model_to_bytes(const LinearModel& model, std::vector<std::uint8_t>& out);
+
+/// Decode the binary format; false (out untouched) on bad magic/version,
+/// truncation, CRC mismatch or trailing bytes.
+bool model_from_bytes(std::span<const std::uint8_t> data, LinearModel& out);
+
+/// Stable fingerprint of the model parameters (CRC-32 of the canonical
+/// binary encoding) — what the wire handshake reports as model_crc.
+std::uint32_t model_fingerprint(const LinearModel& model);
+
+/// save_model writes the binary format; load_model reads either format.
 bool save_model(const LinearModel& model, const std::string& path);
 bool load_model(const std::string& path, LinearModel& out);
 

@@ -1,0 +1,585 @@
+// Tests for pdet::net: wire codec round-trip / truncation / corruption /
+// fuzz, the TCP DetectionService + Client loopback path (handshake, in-order
+// delivery, stats, refusal, graceful stop) and client reconnection across a
+// server restart.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/hog/descriptor.hpp"
+#include "src/net/client.hpp"
+#include "src/net/service.hpp"
+#include "src/net/socket.hpp"
+#include "src/net/wire.hpp"
+#include "src/svm/model_io.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::net {
+namespace {
+
+// --- fixtures ---------------------------------------------------------------
+
+imgproc::ImageF make_frame(int width, int height, std::uint64_t seed) {
+  util::Rng rng(seed);
+  imgproc::ImageF img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<float>(rng.uniform());
+    }
+  }
+  return img;
+}
+
+svm::LinearModel make_model(const hog::HogParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  svm::LinearModel model;
+  model.weights.resize(static_cast<std::size_t>(params.descriptor_size()));
+  for (float& w : model.weights) {
+    w = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  model.bias = -0.25f;
+  return model;
+}
+
+ServiceOptions test_service_options() {
+  ServiceOptions opts;
+  opts.port = 0;  // ephemeral: tests never collide on a fixed port
+  opts.runtime.workers = 2;
+  opts.runtime.queue_capacity = 8;
+  opts.runtime.backpressure = runtime::BackpressurePolicy::kBlock;
+  opts.runtime.scheduler.max_level = 0;  // assert counts, not shedding
+  opts.runtime.multiscale.scales = {1.0, 1.5};
+  return opts;
+}
+
+wire::Result sample_result() {
+  wire::Result r;
+  r.sequence = 41;
+  r.tag = 1234567890123ull;
+  r.status = runtime::FrameStatus::kDegraded;
+  r.degrade_level = 2;
+  r.queue_wait_ms = 1.5f;
+  r.service_ms = 7.25f;
+  r.total_ms = 8.75f;
+  r.detections.push_back({10, 20, 64, 128, 1.75f, 1.26});
+  r.detections.push_back({-3, 0, 32, 64, -0.5f, 2.0});
+  return r;
+}
+
+/// Encode each message type once, in a fixed order, into separate buffers.
+std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
+  std::vector<std::vector<std::uint8_t>> frames(8);
+  wire::Hello hello;
+  hello.client_name = "cam-front";
+  wire::encode_hello(hello, frames[0]);
+  wire::HelloAck ack;
+  ack.model_dim = 4608;
+  ack.model_crc = 0xDEADBEEF;
+  ack.stream_id = 3;
+  ack.server_name = "pdet-test";
+  wire::encode_hello_ack(ack, frames[1]);
+  wire::SubmitFrame submit;
+  submit.tag = 77;
+  submit.image = make_frame(24, 16, 5);
+  wire::encode_submit_frame(submit, frames[2]);
+  wire::encode_result(sample_result(), frames[3]);
+  wire::encode_stats_query(frames[4]);
+  wire::StatsReport stats;
+  stats.submitted = 100;
+  stats.completed = 99;
+  stats.ok = 90;
+  stats.degraded = 6;
+  stats.dropped_queue = 2;
+  stats.dropped_deadline = 1;
+  stats.aggregate_fps = 61.5;
+  stats.net_frames_received = 100;
+  stats.net_results_sent = 98;
+  stats.net_results_dropped = 1;
+  stats.net_decode_errors = 0;
+  stats.active_connections = 4;
+  wire::encode_stats_report(stats, frames[5]);
+  wire::Error err;
+  err.code = wire::ErrorCode::kBusy;
+  err.message = "no free stream slot";
+  wire::encode_error(err, frames[6]);
+  wire::encode_shutdown(frames[7]);
+  return frames;
+}
+
+// --- wire codec -------------------------------------------------------------
+
+TEST(WireCodec, HelloRoundtrip) {
+  wire::Hello in;
+  in.client_name = "cam-front-left";
+  std::vector<std::uint8_t> buf;
+  wire::encode_hello(in, buf);
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, buf.size());
+  ASSERT_EQ(out.type, wire::MsgType::kHello);
+  EXPECT_EQ(out.hello.protocol_version, wire::kProtocolVersion);
+  EXPECT_EQ(out.hello.client_name, in.client_name);
+}
+
+TEST(WireCodec, HelloAckRoundtrip) {
+  wire::HelloAck in;
+  in.model_dim = 4608;
+  in.model_crc = 0x0D8A6497;
+  in.stream_id = 7;
+  in.server_name = "pdet";
+  std::vector<std::uint8_t> buf;
+  wire::encode_hello_ack(in, buf);
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kHelloAck);
+  EXPECT_EQ(out.hello_ack.model_dim, in.model_dim);
+  EXPECT_EQ(out.hello_ack.model_crc, in.model_crc);
+  EXPECT_EQ(out.hello_ack.stream_id, in.stream_id);
+  EXPECT_EQ(out.hello_ack.server_name, in.server_name);
+}
+
+TEST(WireCodec, SubmitFrameRoundtripIsPixelExact) {
+  wire::SubmitFrame in;
+  in.tag = 0xFEEDFACE01234567ull;
+  in.image = make_frame(33, 21, 9);  // odd sizes: no stride assumptions
+  std::vector<std::uint8_t> buf;
+  wire::encode_submit_frame(in, buf);
+  wire::Message out;
+  // Pre-dirty the reused image: decode must reset geometry and content.
+  out.frame.image = make_frame(64, 64, 1);
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kSubmitFrame);
+  EXPECT_EQ(out.frame.tag, in.tag);
+  ASSERT_EQ(out.frame.image.width(), in.image.width());
+  ASSERT_EQ(out.frame.image.height(), in.image.height());
+  for (int y = 0; y < in.image.height(); ++y) {
+    for (int x = 0; x < in.image.width(); ++x) {
+      ASSERT_EQ(out.frame.image.at(x, y), in.image.at(x, y));
+    }
+  }
+}
+
+TEST(WireCodec, ResultRoundtrip) {
+  const wire::Result in = sample_result();
+  std::vector<std::uint8_t> buf;
+  wire::encode_result(in, buf);
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kResult);
+  const wire::Result& r = out.result;
+  EXPECT_EQ(r.sequence, in.sequence);
+  EXPECT_EQ(r.tag, in.tag);
+  EXPECT_EQ(r.status, in.status);
+  EXPECT_EQ(r.degrade_level, in.degrade_level);
+  EXPECT_FLOAT_EQ(r.queue_wait_ms, in.queue_wait_ms);
+  EXPECT_FLOAT_EQ(r.service_ms, in.service_ms);
+  EXPECT_FLOAT_EQ(r.total_ms, in.total_ms);
+  ASSERT_EQ(r.detections.size(), in.detections.size());
+  for (std::size_t i = 0; i < r.detections.size(); ++i) {
+    EXPECT_EQ(r.detections[i].x, in.detections[i].x);
+    EXPECT_EQ(r.detections[i].y, in.detections[i].y);
+    EXPECT_EQ(r.detections[i].width, in.detections[i].width);
+    EXPECT_EQ(r.detections[i].height, in.detections[i].height);
+    EXPECT_FLOAT_EQ(r.detections[i].score, in.detections[i].score);
+    EXPECT_DOUBLE_EQ(r.detections[i].scale, in.detections[i].scale);
+  }
+}
+
+TEST(WireCodec, StatsAndControlRoundtrip) {
+  const auto frames = encode_one_of_each();
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(frames[4], out, consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(out.type, wire::MsgType::kStatsQuery);
+  ASSERT_EQ(wire::decode_message(frames[5], out, consumed),
+            wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kStatsReport);
+  EXPECT_EQ(out.stats.submitted, 100u);
+  EXPECT_EQ(out.stats.dropped_queue, 2u);
+  EXPECT_DOUBLE_EQ(out.stats.aggregate_fps, 61.5);
+  EXPECT_EQ(out.stats.net_results_dropped, 1u);
+  EXPECT_EQ(out.stats.active_connections, 4u);
+  ASSERT_EQ(wire::decode_message(frames[6], out, consumed),
+            wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kError);
+  EXPECT_EQ(out.error.code, wire::ErrorCode::kBusy);
+  EXPECT_EQ(out.error.message, "no free stream slot");
+  ASSERT_EQ(wire::decode_message(frames[7], out, consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(out.type, wire::MsgType::kShutdown);
+}
+
+TEST(WireCodec, ConcatenatedFramesDecodeInSequence) {
+  // Encoders append: a send buffer can batch frames back to back, and the
+  // decoder must peel them off one at a time with exact consumed counts.
+  std::vector<std::uint8_t> buf;
+  wire::Hello hello;
+  hello.client_name = "a";
+  wire::encode_hello(hello, buf);
+  wire::encode_stats_query(buf);
+  wire::encode_shutdown(buf);
+  wire::Message out;
+  std::size_t consumed = 0;
+  std::size_t offset = 0;
+  const wire::MsgType expect[] = {wire::MsgType::kHello,
+                                  wire::MsgType::kStatsQuery,
+                                  wire::MsgType::kShutdown};
+  for (wire::MsgType t : expect) {
+    ASSERT_EQ(wire::decode_message(
+                  std::span<const std::uint8_t>(buf).subspan(offset), out,
+                  consumed),
+              wire::DecodeStatus::kOk);
+    EXPECT_EQ(out.type, t);
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(WireCodec, EveryPrefixReturnsNeedMoreAndConsumesNothing) {
+  for (const auto& frame : encode_one_of_each()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      wire::Message out;
+      std::size_t consumed = 99;
+      const auto status = wire::decode_message(
+          std::span<const std::uint8_t>(frame.data(), len), out, consumed);
+      ASSERT_EQ(status, wire::DecodeStatus::kNeedMore)
+          << "prefix " << len << " of " << frame.size();
+      ASSERT_EQ(consumed, 0u);
+    }
+  }
+}
+
+TEST(WireCodec, EverySingleByteFlipIsRejected) {
+  // The CRC covers the header prefix as well as the payload, so no
+  // single-byte corruption — magic, version, type, length, crc or payload —
+  // may ever decode as a valid message.
+  for (const auto& frame : encode_one_of_each()) {
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0x20;
+      wire::Message out;
+      std::size_t consumed = 0;
+      const auto status = wire::decode_message(bad, out, consumed);
+      ASSERT_NE(status, wire::DecodeStatus::kOk)
+          << "flip at byte " << i << " of " << frame.size();
+      if (status != wire::DecodeStatus::kNeedMore) {
+        ASSERT_EQ(consumed, 0u);
+      }
+    }
+  }
+}
+
+TEST(WireCodec, RandomBytesNeverCrashTheDecoder) {
+  util::Rng rng(2026);
+  wire::Message out;  // reused across iterations like a real connection
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 256)));
+    for (std::uint8_t& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    // Half the rounds get a valid magic prefix so the deeper header /
+    // length / crc paths are exercised, not just the magic check.
+    if (round % 2 == 0 && junk.size() >= 4) {
+      junk[0] = 0x31;
+      junk[1] = 0x4E;
+      junk[2] = 0x44;
+      junk[3] = 0x50;
+    }
+    std::size_t consumed = 0;
+    const auto status = wire::decode_message(junk, out, consumed);
+    if (status == wire::DecodeStatus::kOk) {
+      ASSERT_LE(consumed, junk.size());
+    } else {
+      ASSERT_EQ(consumed, 0u);
+    }
+  }
+}
+
+// --- service + client loopback ----------------------------------------------
+
+TEST(DetectionService, StartsOnEphemeralPortAndStopsIdempotently) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 21);
+  DetectionService service(model, opts);
+  std::string error;
+  ASSERT_TRUE(service.start(&error)) << error;
+  EXPECT_TRUE(service.running());
+  EXPECT_GT(service.port(), 0);
+  service.stop();
+  EXPECT_FALSE(service.running());
+  service.stop();  // idempotent
+}
+
+TEST(DetectionService, SingleClientSubmitsAndReadsInOrder) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 22);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  ClientOptions copts;
+  copts.port = service.port();
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+  EXPECT_EQ(client.server_info().model_dim,
+            static_cast<std::uint32_t>(model.weights.size()));
+  EXPECT_EQ(client.server_info().model_crc, svm::model_fingerprint(model));
+
+  constexpr int kFrames = 5;
+  for (int f = 0; f < kFrames; ++f) {
+    ASSERT_TRUE(client.submit(make_frame(160, 160, 100 + static_cast<std::uint64_t>(f))))
+        << client.last_error();
+  }
+  wire::Result result;
+  for (int f = 0; f < kFrames; ++f) {
+    ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+    EXPECT_EQ(result.tag, static_cast<std::uint64_t>(f));
+    EXPECT_EQ(result.status, runtime::FrameStatus::kOk);
+  }
+  EXPECT_TRUE(client.in_order());
+  EXPECT_EQ(client.protocol_errors(), 0);
+  EXPECT_EQ(client.results_received(), kFrames);
+
+  wire::StatsReport report;
+  ASSERT_TRUE(client.query_stats(report, 30000.0)) << client.last_error();
+  EXPECT_EQ(report.net_frames_received, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(report.net_results_sent, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(report.active_connections, 1u);
+
+  client.disconnect();
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.connections_accepted, 1);
+  EXPECT_EQ(stats.frames_received, kFrames);
+  EXPECT_EQ(stats.results_sent, kFrames);
+  EXPECT_EQ(stats.decode_errors, 0);
+  service.publish_metrics();  // owner-thread publish must not throw
+}
+
+TEST(DetectionService, FourConcurrentClientsStayIsolatedAndInOrder) {
+  ServiceOptions opts = test_service_options();
+  opts.runtime.workers = 2;
+  const svm::LinearModel model = make_model(opts.runtime.hog, 23);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  constexpr int kClients = 4;
+  constexpr int kFrames = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.port = service.port();
+      copts.name = "cam" + std::to_string(c);
+      Client client(copts);
+      if (!client.connect()) {
+        ADD_FAILURE() << "client " << c << ": " << client.last_error();
+        failures.fetch_add(1);
+        return;
+      }
+      for (int f = 0; f < kFrames; ++f) {
+        if (!client.submit(
+                make_frame(160, 160,
+                           static_cast<std::uint64_t>(c) * 1000 + static_cast<std::uint64_t>(f)))) {
+          ADD_FAILURE() << "submit " << c << "/" << f << ": "
+                        << client.last_error();
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      wire::Result result;
+      for (int f = 0; f < kFrames; ++f) {
+        if (!client.next_result(result, 30000.0)) {
+          ADD_FAILURE() << "result " << c << "/" << f << ": "
+                        << client.last_error();
+          failures.fetch_add(1);
+          return;
+        }
+        // Tag echoes this client's own submit index: slot isolation means a
+        // client never sees another connection's results.
+        EXPECT_EQ(result.tag, static_cast<std::uint64_t>(f));
+      }
+      EXPECT_TRUE(client.in_order());
+      EXPECT_EQ(client.protocol_errors(), 0);
+      client.disconnect();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service.stop();
+  EXPECT_EQ(failures.load(), 0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.frames_received, kClients * kFrames);
+  EXPECT_EQ(stats.results_sent, kClients * kFrames);
+  EXPECT_EQ(stats.decode_errors, 0);
+}
+
+TEST(DetectionService, RefusesClientsBeyondMaxSlots) {
+  ServiceOptions opts = test_service_options();
+  opts.max_clients = 1;
+  const svm::LinearModel model = make_model(opts.runtime.hog, 24);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  ClientOptions copts;
+  copts.port = service.port();
+  Client first(copts);
+  ASSERT_TRUE(first.connect()) << first.last_error();
+
+  ClientOptions no_retry = copts;
+  no_retry.reconnect_attempts = 0;  // a kBusy refusal must not loop
+  Client second(no_retry);
+  EXPECT_FALSE(second.connect());
+
+  // The occupied slot keeps working after the refusal.
+  ASSERT_TRUE(first.submit(make_frame(160, 160, 3)));
+  wire::Result result;
+  ASSERT_TRUE(first.next_result(result, 30000.0)) << first.last_error();
+  EXPECT_EQ(result.tag, 0u);
+  first.disconnect();
+  service.stop();
+  EXPECT_EQ(service.stats().connections_refused, 1);
+}
+
+TEST(DetectionService, RejectsHandshakeWithWrongProtocolVersion) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 25);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  // Raw socket: the Client always speaks the right version, so drive the
+  // negotiation failure path by hand.
+  std::string error;
+  Socket sock = Socket::connect_tcp("127.0.0.1", service.port(), 2000.0,
+                                    &error);
+  ASSERT_TRUE(sock.valid()) << error;
+  wire::Hello hello;
+  hello.protocol_version = 42;
+  hello.client_name = "time-traveller";
+  std::vector<std::uint8_t> buf;
+  wire::encode_hello(hello, buf);
+  std::size_t total_sent = 0;
+  while (total_sent < buf.size()) {
+    ASSERT_TRUE(wait_writable(sock.fd(), 2000.0));
+    std::size_t n = 0;
+    ASSERT_NE(send_some(sock.fd(),
+                        std::span<const std::uint8_t>(buf).subspan(total_sent),
+                        n),
+              IoStatus::kError);
+    total_sent += n;
+  }
+  std::vector<std::uint8_t> in;
+  std::uint8_t chunk[1024];
+  wire::Message msg;
+  std::size_t consumed = 0;
+  wire::DecodeStatus status = wire::DecodeStatus::kNeedMore;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (status == wire::DecodeStatus::kNeedMore &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (!wait_readable(sock.fd(), 100.0)) continue;
+    std::size_t n = 0;
+    const IoStatus io = recv_some(sock.fd(), chunk, n);
+    if (io == IoStatus::kOk) in.insert(in.end(), chunk, chunk + n);
+    if (io == IoStatus::kClosed) break;
+    status = wire::decode_message(in, msg, consumed);
+  }
+  ASSERT_EQ(status, wire::DecodeStatus::kOk);
+  ASSERT_EQ(msg.type, wire::MsgType::kError);
+  EXPECT_EQ(msg.error.code, wire::ErrorCode::kVersionMismatch);
+  service.stop();
+}
+
+TEST(DetectionService, GracefulStopFlushesInFlightResults) {
+  ServiceOptions opts = test_service_options();
+  opts.flush_timeout_ms = 10000.0;
+  const svm::LinearModel model = make_model(opts.runtime.hog, 26);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  ClientOptions copts;
+  copts.port = service.port();
+  copts.reconnect_attempts = 0;  // the close after flush must not re-dial
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+  constexpr int kFrames = 4;
+  for (int f = 0; f < kFrames; ++f) {
+    ASSERT_TRUE(client.submit(make_frame(160, 160, 40 + static_cast<std::uint64_t>(f))));
+  }
+  // Wait until the server has *received* every frame (they may sit in the
+  // TCP buffer for a moment), then stop with their results still in flight:
+  // the drain + flush path owes the client every received frame's result
+  // before the close.
+  const auto received_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().frames_received < kFrames &&
+         std::chrono::steady_clock::now() < received_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(service.stats().frames_received, kFrames);
+  service.stop();
+  wire::Result result;
+  for (int f = 0; f < kFrames; ++f) {
+    ASSERT_TRUE(client.next_result(result, 30000.0))
+        << "frame " << f << ": " << client.last_error();
+    EXPECT_EQ(result.tag, static_cast<std::uint64_t>(f));
+  }
+  EXPECT_TRUE(client.in_order());
+  EXPECT_EQ(service.stats().results_sent, kFrames);
+}
+
+TEST(Client, ReconnectsAcrossServerRestartOnSamePort) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 27);
+  auto first = std::make_unique<DetectionService>(model, opts);
+  ASSERT_TRUE(first->start());
+  const std::uint16_t port = first->port();
+
+  ClientOptions copts;
+  copts.port = port;
+  copts.reconnect_attempts = 10;
+  copts.reconnect_base_ms = 20.0;
+  copts.reconnect_max_ms = 250.0;
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+  ASSERT_TRUE(client.submit(make_frame(160, 160, 50)));
+  wire::Result result;
+  ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+  EXPECT_EQ(result.tag, 0u);
+
+  // Restart the service on the same port (SO_REUSEADDR): the client's next
+  // submit finds the link dead, walks the backoff schedule, re-handshakes
+  // and carries on with fresh per-connection bookkeeping.
+  first->stop();
+  first.reset();
+  opts.port = port;
+  DetectionService second(model, opts);
+  std::string error;
+  ASSERT_TRUE(second.start(&error)) << error;
+
+  ASSERT_TRUE(client.submit(make_frame(160, 160, 51))) << client.last_error();
+  EXPECT_GE(client.reconnects(), 1);
+  EXPECT_EQ(client.submitted_on_connection(), 1);  // tags reset on reconnect
+  ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+  EXPECT_EQ(result.tag, 0u);
+  EXPECT_TRUE(client.in_order());
+  EXPECT_EQ(client.protocol_errors(), 0);
+  client.disconnect();
+  second.stop();
+  EXPECT_EQ(second.stats().frames_received, 1);
+}
+
+}  // namespace
+}  // namespace pdet::net

@@ -102,6 +102,98 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   consumer.join();
 }
 
+TEST(BoundedQueue, CapacityOneDropNewestKeepsTheResident) {
+  // Capacity 1 is the degenerate ring: head == tail, one slot. kDropNewest
+  // must keep refusing while the resident sits there, then admit again the
+  // moment it is popped.
+  BoundedQueue<int> q(1, BackpressurePolicy::kDropNewest);
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
+  EXPECT_EQ(q.push(2), PushResult::kRejected);
+  EXPECT_EQ(q.push(3), PushResult::kRejected);
+  int v = 0;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);  // the resident, not any refused newcomer
+  EXPECT_EQ(q.push(4), PushResult::kAccepted);
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 4);
+}
+
+TEST(BoundedQueue, CapacityOneDropOldestAlwaysHoldsTheNewest) {
+  // Every push on a full capacity-1 kDropOldest queue replaces the resident:
+  // the queue behaves as a mailbox holding only the freshest frame, and each
+  // eviction hands back exactly the displaced element.
+  BoundedQueue<int> q(1, BackpressurePolicy::kDropOldest);
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
+  for (int i = 2; i <= 5; ++i) {
+    int evicted = -1;
+    EXPECT_EQ(q.push(i, &evicted), PushResult::kReplacedOldest);
+    EXPECT_EQ(evicted, i - 1);
+    EXPECT_EQ(q.size(), 1u);
+  }
+  int v = 0;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 5);
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(BoundedQueue, ConcurrentPushDuringCloseNeverLosesAcceptedItems) {
+  // The shutdown race: producers hammering push() while another thread
+  // close()es. Every push must return a definite verdict, and the number of
+  // items the consumer drains afterwards must equal the number of accepted
+  // pushes — nothing vanishes, nothing appears after kClosed.
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> q(4, BackpressurePolicy::kDropOldest);
+    std::atomic<long long> accepted{0};
+    std::atomic<long long> evictions{0};
+    std::atomic<long long> closed{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 200; ++i) {
+          int evicted = -1;
+          switch (q.push(p * 1000 + i, &evicted)) {
+            case PushResult::kAccepted:
+              accepted.fetch_add(1);
+              break;
+            case PushResult::kReplacedOldest:
+              accepted.fetch_add(1);
+              evictions.fetch_add(1);
+              break;
+            case PushResult::kClosed:
+              closed.fetch_add(1);
+              break;
+            case PushResult::kRejected:
+              ADD_FAILURE() << "kDropOldest never rejects";
+              break;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    q.close();
+    for (std::thread& t : producers) t.join();
+    long long drained = 0;
+    int v = 0;
+    while (q.pop(v)) ++drained;
+    EXPECT_EQ(drained + evictions.load(), accepted.load());
+    EXPECT_EQ(accepted.load() + closed.load(), 4 * 200);
+    EXPECT_EQ(q.push(99), PushResult::kClosed);  // stays closed
+  }
+}
+
+TEST(BoundedQueue, CloseUnblocksProducerBlockedOnFullQueue) {
+  // kBlock producer waiting for space must observe close() and give up with
+  // kClosed rather than sleeping forever (the stop() path of the server).
+  BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+  ASSERT_EQ(q.push(1), PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2), PushResult::kClosed);  // blocks full, woken by close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+}
+
 // --- Scheduler --------------------------------------------------------------
 
 TEST(Scheduler, EscalatesUnderPressureAndReleasesWithHysteresis) {

@@ -3,6 +3,8 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -240,6 +242,75 @@ TEST(ModelIo, RejectsMalformed) {
 TEST(ModelIo, RejectsMissingFile) {
   LinearModel out;
   EXPECT_FALSE(load_model("/nonexistent/m.txt", out));
+}
+
+TEST(ModelIo, BinaryRoundtripIsExact) {
+  LinearModel m;
+  m.weights.assign(257, 0.0f);
+  for (std::size_t i = 0; i < m.weights.size(); ++i) {
+    m.weights[i] = static_cast<float>(i) * -0.037f + 0.5f;
+  }
+  m.bias = -3.0e-7f;
+  std::vector<std::uint8_t> bytes;
+  model_to_bytes(m, bytes);
+  LinearModel back;
+  ASSERT_TRUE(model_from_bytes(bytes, back));
+  EXPECT_EQ(back.weights, m.weights);  // bit-exact, unlike the text format
+  EXPECT_FLOAT_EQ(back.bias, m.bias);
+}
+
+TEST(ModelIo, BinaryRejectsAnySingleByteFlip) {
+  LinearModel m;
+  m.weights = {1.0f, -2.0f, 0.25f};
+  m.bias = 0.5f;
+  std::vector<std::uint8_t> bytes;
+  model_to_bytes(m, bytes);
+  LinearModel out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(model_from_bytes(bad, out)) << "flip at byte " << i;
+  }
+  EXPECT_FALSE(model_from_bytes(std::vector<std::uint8_t>{}, out));
+  // Truncation at every length must fail too (never crash / over-read).
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(model_from_bytes(cut, out)) << "truncated to " << len;
+  }
+}
+
+TEST(ModelIo, BinaryFileRoundtripAndFingerprint) {
+  LinearModel m;
+  m.weights = {0.125f, -2.5f, 3.0e-4f, 7.0f};
+  m.bias = -0.75f;
+  const std::string path = testing::TempDir() + "/pdet_model.bin";
+  ASSERT_TRUE(save_model(m, path));
+  LinearModel back;
+  ASSERT_TRUE(load_model(path, back));
+  EXPECT_EQ(back.weights, m.weights);
+  EXPECT_FLOAT_EQ(back.bias, m.bias);
+  // The fingerprint is what HelloAck advertises: equal models agree,
+  // different models disagree.
+  EXPECT_EQ(model_fingerprint(back), model_fingerprint(m));
+  back.weights[1] += 1.0f;
+  EXPECT_NE(model_fingerprint(back), model_fingerprint(m));
+}
+
+TEST(ModelIo, LoadModelFallsBackToLegacyTextFiles) {
+  LinearModel m;
+  m.weights = {0.5f, -1.5f};
+  m.bias = 2.0f;
+  const std::string path = testing::TempDir() + "/pdet_model_legacy.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  const std::string text = model_to_string(m);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  LinearModel back;
+  ASSERT_TRUE(load_model(path, back));
+  EXPECT_EQ(back.weights, m.weights);
+  EXPECT_FLOAT_EQ(back.bias, m.bias);
 }
 
 TEST(TrainDcd, HigherCFitsTrainingDataHarder) {

@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <span>
 #include <numeric>
 #include <set>
 #include <string>
@@ -13,6 +15,7 @@
 #include <atomic>
 #include <thread>
 
+#include "src/util/bytes.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/rng.hpp"
@@ -488,6 +491,114 @@ TEST(ThreadPool, ConstructDestructWithoutWork) {
     ThreadPool pool(threads);
     (void)pool;
   }
+}
+
+TEST(Bytes, Crc32KnownVector) {
+  // The canonical IEEE check value: crc32("123456789") == 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Bytes, Crc32SeedChains) {
+  const std::uint8_t all[] = {1, 2, 3, 4, 5, 6, 7};
+  const std::span<const std::uint8_t> whole(all);
+  const std::uint32_t split =
+      crc32(whole.subspan(3), crc32(whole.first(3)));
+  EXPECT_EQ(split, crc32(whole));
+}
+
+TEST(Bytes, WriterReaderRoundtrip) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f32(3.25f);
+  w.f64(-0.0078125);
+  w.str("pedestrian");
+  const std::array<float, 3> fs{1.0f, -2.5f, 0.125f};
+  w.f32_array(fs);
+  EXPECT_EQ(w.written(), buf.size());
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_FLOAT_EQ(r.f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0078125);
+  std::string s;
+  ASSERT_TRUE(r.str(s));
+  EXPECT_EQ(s, "pedestrian");
+  std::array<float, 3> back{};
+  ASSERT_TRUE(r.f32_array(back));
+  EXPECT_EQ(back, fs);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  // The wire format is LE by definition, not by host accident.
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u32(0x11223344);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x44);
+  EXPECT_EQ(buf[1], 0x33);
+  EXPECT_EQ(buf[2], 0x22);
+  EXPECT_EQ(buf[3], 0x11);
+}
+
+TEST(Bytes, ReaderUnderflowIsStickyAndZeroValued) {
+  const std::uint8_t two[] = {7, 9};
+  ByteReader r{std::span<const std::uint8_t>(two)};
+  EXPECT_EQ(r.u32(), 0u);  // 4 > 2: fails
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(r.u8(), 0u);  // sticky: even in-bounds reads fail now
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(Bytes, ReaderStrRejectsOversizedLength) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.str("abcdef");
+  std::string out = "untouched";
+  ByteReader r(buf);
+  EXPECT_FALSE(r.str(out, 3));  // declared length 6 > max_len 3
+  EXPECT_EQ(out, "untouched");
+  EXPECT_FALSE(r.ok());
+
+  // Truncated payload: length says 6 but only 2 bytes follow.
+  ByteReader t(std::span<const std::uint8_t>(buf.data(), 6));
+  EXPECT_FALSE(t.str(out));
+  EXPECT_EQ(out, "untouched");
+}
+
+TEST(Bytes, PatchU32RewritesInPlace) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  const std::size_t at = w.offset();
+  w.u32(0);  // placeholder
+  w.u16(0x5555);
+  w.patch_u32(at, 0xCAFEBABE);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+  EXPECT_EQ(r.u16(), 0x5555);
+}
+
+TEST(Bytes, WriterAppendsWithoutClearing) {
+  std::vector<std::uint8_t> buf = {0xFF};
+  ByteWriter w(buf);
+  w.u8(1);
+  EXPECT_EQ(w.written(), 1u);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xFF);  // pre-existing content untouched
 }
 
 }  // namespace
