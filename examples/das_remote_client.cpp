@@ -131,6 +131,8 @@ int main(int argc, char** argv) {
                  std::to_string(client.submitted_on_connection())});
   table.add_row({"results received", std::to_string(client.results_received())});
   table.add_row({"in order", client.in_order() ? "yes" : "NO"});
+  table.add_row({"results missed (shed)",
+                 std::to_string(client.results_missed())});
   table.add_row({"reconnects", std::to_string(client.reconnects())});
   table.add_row({"protocol errors", std::to_string(client.protocol_errors())});
   if (have_stats) {

@@ -224,6 +224,23 @@ bool Client::submit(const imgproc::ImageF& frame) {
   }
 }
 
+void Client::note_result(const wire::Result& r) {
+  ++results_received_;
+  // Tags count up from 0 per connection; server sequences strictly
+  // increase. A *forward* tag gap is server-side shedding (drop-oldest on
+  // this connection's result queue under backpressure) — expected under
+  // load, so it feeds results_missed_ instead of breaking in_order_.
+  if (r.tag < expected_tag_ ||
+      (have_last_sequence_ && r.sequence <= last_sequence_)) {
+    in_order_ = false;
+  } else if (r.tag > expected_tag_) {
+    results_missed_ += static_cast<long long>(r.tag - expected_tag_);
+  }
+  expected_tag_ = r.tag + 1;
+  last_sequence_ = r.sequence;
+  have_last_sequence_ = true;
+}
+
 bool Client::next_result(wire::Result& out, double timeout_ms) {
   if (buffered_pos_ < buffered_results_.size()) {
     out = buffered_results_[buffered_pos_++];
@@ -245,16 +262,7 @@ bool Client::next_result(wire::Result& out, double timeout_ms) {
     switch (msg_.type) {
       case wire::MsgType::kResult: {
         out = msg_.result;
-        ++results_received_;
-        // In-order contract: tags count up from 0 per connection; server
-        // sequences are strictly increasing.
-        if (out.tag != expected_tag_ ||
-            (have_last_sequence_ && out.sequence <= last_sequence_)) {
-          in_order_ = false;
-        }
-        ++expected_tag_;
-        last_sequence_ = out.sequence;
-        have_last_sequence_ = true;
+        note_result(out);
         return true;
       }
       case wire::MsgType::kError:
@@ -287,14 +295,7 @@ bool Client::query_stats(wire::StatsReport& out, double timeout_ms) {
         return true;
       case wire::MsgType::kResult:
         // Keep the delivery contract: park it for next_result().
-        if (msg_.result.tag != expected_tag_ ||
-            (have_last_sequence_ && msg_.result.sequence <= last_sequence_)) {
-          in_order_ = false;
-        }
-        ++expected_tag_;
-        last_sequence_ = msg_.result.sequence;
-        have_last_sequence_ = true;
-        ++results_received_;
+        note_result(msg_.result);
         buffered_results_.push_back(msg_.result);
         continue;
       case wire::MsgType::kError:

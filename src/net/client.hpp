@@ -16,10 +16,12 @@
 //     frames: the newest frame matters, the backlog does not.
 //
 // Delivery matches runtime::StreamContext sequencing: within one
-// connection, results arrive exactly in submit order (slot FIFO + TCP
-// ordering), each echoing the client's tag, with server-side sequence
-// numbers strictly increasing. next_result() verifies this and flags any
-// violation as a protocol error.
+// connection, results arrive in submit order (slot FIFO + TCP ordering),
+// each echoing the client's tag, with server-side sequence numbers strictly
+// increasing. A slow reader can be load-shed server-side (drop-oldest on
+// its result queue), which surfaces here as a *forward* tag gap — counted
+// in results_missed(), not an error. next_result() verifies ordering and
+// treats only backward tags or non-increasing sequences as violations.
 //
 // Blocking with explicit timeouts throughout; single-threaded use (one
 // camera loop). Encode/decode buffers are owned and reused — a steady
@@ -90,8 +92,13 @@ class Client {
   long long results_received() const { return results_received_; }
   long long reconnects() const { return reconnects_; }
   long long protocol_errors() const { return protocol_errors_; }
-  /// True while every received result arrived in submit order with strictly
-  /// increasing server sequence numbers (per connection).
+  /// Results the server shed for this connection (drop-oldest under
+  /// backpressure), observed as forward tag gaps in the delivery stream.
+  long long results_missed() const { return results_missed_; }
+  /// True while received results respected submit order: tags never went
+  /// backwards and server sequence numbers strictly increased (per
+  /// connection). Forward tag gaps are shedding, not disorder — see
+  /// results_missed().
   bool in_order() const { return in_order_; }
   const std::string& last_error() const { return last_error_; }
 
@@ -101,6 +108,8 @@ class Client {
   bool send_all(const std::vector<std::uint8_t>& buf);
   /// Read until `msg_` holds one decoded message; false on timeout/error.
   bool read_message(double timeout_ms);
+  /// Ordering/shedding bookkeeping for one received Result.
+  void note_result(const wire::Result& r);
   void fail_link(const std::string& why);
 
   const ClientOptions options_;
@@ -121,6 +130,7 @@ class Client {
   long long results_received_ = 0;
   long long reconnects_ = 0;
   long long protocol_errors_ = 0;
+  long long results_missed_ = 0;
   bool in_order_ = true;
   bool link_lost_ = false;  ///< an established connection died (see connect)
   bool have_last_sequence_ = false;

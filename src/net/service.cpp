@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <utility>
@@ -22,19 +23,22 @@ std::vector<double> latency_bounds() {
   return {bounds.begin(), bounds.end()};
 }
 
-/// Fixed ring of pending frame tags for one slot: tags enter at submit and
-/// leave, in the same order, when the runtime delivers — per-stream
-/// deliveries are sequence-ordered, so FIFO alignment is exact. Capacity is
-/// bounded by the runtime's in-flight ceiling (queue depth + workers + the
-/// frame in submit transit), so pushes cannot overflow.
+/// Ring of pending frame tags for one slot: tags enter at submit and leave,
+/// in the same order, when the runtime delivers — per-stream deliveries are
+/// sequence-ordered, so FIFO alignment is exact. There is no hard in-flight
+/// ceiling: StreamContext buffers out-of-order completions (one slow frame
+/// lets arbitrarily many successors finish and wait, holding their tags
+/// without occupying a queue slot or worker), so push() grows the ring on
+/// overflow instead of asserting — the initial capacity only sizes the
+/// common case so steady state stays allocation-free.
 class TagRing {
  public:
   void reset(std::size_t capacity) {
-    ring_.assign(capacity, 0);
+    ring_.assign(std::max<std::size_t>(capacity, 1), 0);
     head_ = count_ = 0;
   }
   void push(std::uint64_t tag) {
-    PDET_ASSERT(count_ < ring_.size());
+    if (count_ == ring_.size()) grow();
     ring_[(head_ + count_) % ring_.size()] = tag;
     ++count_;
   }
@@ -48,6 +52,15 @@ class TagRing {
   std::size_t size() const { return count_; }
 
  private:
+  void grow() {
+    std::vector<std::uint64_t> bigger(ring_.size() * 2, 0);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = ring_[(head_ + i) % ring_.size()];
+    }
+    ring_.swap(bigger);
+    head_ = 0;
+  }
+
   std::vector<std::uint64_t> ring_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
@@ -117,8 +130,9 @@ DetectionService::DetectionService(svm::LinearModel model,
   PDET_REQUIRE(options_.result_queue_capacity >= 1);
   model_dim_ = static_cast<std::uint32_t>(model.dimension());
   model_crc_ = svm::model_fingerprint(model);
-  // In-flight ceiling per stream: every queued frame + one per worker in
-  // service + the frame inside submit() itself.
+  // Initial per-stream tag capacity: every queued frame + one per worker in
+  // service + the frame inside submit() itself. Out-of-order completions
+  // buffered inside the runtime can exceed this; the ring grows then.
   const std::size_t tag_capacity = options_.runtime.queue_capacity +
                                    static_cast<std::size_t>(
                                        options_.runtime.workers) +
@@ -539,12 +553,16 @@ void DetectionService::io_main() {
       Connection& conn = *conns_[i];
       bool finished = conn.dead;
       if (!finished && conn.closing && conn.unsent() == 0) finished = true;
-      if (!finished && conn.draining && conn.unsent() == 0 &&
-          conn.slot >= 0) {
-        Slot& s = *slots_[static_cast<std::size_t>(conn.slot)];
-        if (s.outstanding.load(std::memory_order_acquire) == 0 &&
-            s.results.size() == 0) {
+      if (!finished && conn.draining && conn.unsent() == 0) {
+        if (conn.slot < 0) {
+          // Shutdown before hello: no stream, nothing in flight to wait on.
           finished = true;
+        } else {
+          Slot& s = *slots_[static_cast<std::size_t>(conn.slot)];
+          if (s.outstanding.load(std::memory_order_acquire) == 0 &&
+              s.results.size() == 0) {
+            finished = true;
+          }
         }
       }
       if (finished) close_connection(i);

@@ -113,6 +113,57 @@ std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
   return frames;
 }
 
+// --- raw-socket helpers (tests that speak the protocol by hand) -------------
+
+bool send_all_raw(int fd, const std::vector<std::uint8_t>& buf) {
+  std::size_t at = 0;
+  while (at < buf.size()) {
+    if (!wait_writable(fd, 5000.0)) return false;
+    std::size_t n = 0;
+    const IoStatus status = send_some(
+        fd, std::span<const std::uint8_t>(buf).subspan(at), n);
+    if (status == IoStatus::kClosed || status == IoStatus::kError) {
+      return false;
+    }
+    if (status == IoStatus::kOk) at += n;
+  }
+  return true;
+}
+
+/// Read one wire message from fd into `msg`, keeping unconsumed bytes in
+/// `in` for the next call. False on timeout, EOF or decode failure.
+bool read_one_message(int fd, std::vector<std::uint8_t>& in,
+                      wire::Message& msg, double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    std::size_t consumed = 0;
+    const wire::DecodeStatus status = wire::decode_message(in, msg, consumed);
+    if (status == wire::DecodeStatus::kOk) {
+      in.erase(in.begin(),
+               in.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return true;
+    }
+    if (status != wire::DecodeStatus::kNeedMore) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (!wait_readable(fd, 100.0)) continue;
+    std::uint8_t chunk[64 * 1024];
+    std::size_t got = 0;
+    switch (recv_some(fd, chunk, got)) {
+      case IoStatus::kOk:
+        in.insert(in.end(), chunk, chunk + got);
+        break;
+      case IoStatus::kWouldBlock:
+        break;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return false;
+    }
+  }
+}
+
 // --- wire codec -------------------------------------------------------------
 
 TEST(WireCodec, HelloRoundtrip) {
@@ -538,6 +589,153 @@ TEST(DetectionService, GracefulStopFlushesInFlightResults) {
   }
   EXPECT_TRUE(client.in_order());
   EXPECT_EQ(service.stats().results_sent, kFrames);
+}
+
+TEST(DetectionService, ShutdownBeforeHelloReapsTheConnection) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 28);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  std::string error;
+  Socket sock = Socket::connect_tcp("127.0.0.1", service.port(), 2000.0,
+                                    &error);
+  ASSERT_TRUE(sock.valid()) << error;
+  std::vector<std::uint8_t> buf;
+  wire::encode_shutdown(buf);
+  ASSERT_TRUE(send_all_raw(sock.fd(), buf));
+
+  // A pre-handshake shutdown owns no slot and no in-flight frames, so the
+  // server must close its end promptly (EOF here) instead of leaving the
+  // connection draining forever.
+  std::uint8_t chunk[64];
+  IoStatus status = IoStatus::kWouldBlock;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!wait_readable(sock.fd(), 100.0)) continue;
+    std::size_t got = 0;
+    status = recv_some(sock.fd(), chunk, got);
+    if (status == IoStatus::kClosed || status == IoStatus::kError) break;
+  }
+  EXPECT_EQ(status, IoStatus::kClosed);
+  while (service.stats().active_connections > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.active_connections, 0);
+  EXPECT_EQ(stats.connections_closed, 1);
+  service.stop();
+}
+
+TEST(DetectionService, OutOfOrderCompletionsKeepTagsAligned) {
+  // One slow frame followed by a burst of fast ones: the fast frames finish
+  // while the slow one is still in service and wait in the runtime's
+  // out-of-order buffer, holding tags without occupying a queue slot or
+  // worker. With queue_capacity=1 + workers=2 the initial tag-ring capacity
+  // is 5, so the burst exercises ring growth — every result must still come
+  // back with its own tag, in submit order.
+  ServiceOptions opts = test_service_options();
+  opts.runtime.workers = 2;
+  opts.runtime.queue_capacity = 1;
+  const svm::LinearModel model = make_model(opts.runtime.hog, 29);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  ClientOptions copts;
+  copts.port = service.port();
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+
+  constexpr int kSmall = 12;
+  ASSERT_TRUE(client.submit(make_frame(480, 360, 100)));
+  for (int f = 0; f < kSmall; ++f) {
+    ASSERT_TRUE(
+        client.submit(make_frame(96, 160, 101 + static_cast<std::uint64_t>(f))));
+  }
+  wire::Result result;
+  for (int f = 0; f < 1 + kSmall; ++f) {
+    ASSERT_TRUE(client.next_result(result, 60000.0))
+        << "frame " << f << ": " << client.last_error();
+    EXPECT_EQ(result.tag, static_cast<std::uint64_t>(f));
+  }
+  EXPECT_TRUE(client.in_order());
+  EXPECT_EQ(client.results_missed(), 0);
+  EXPECT_EQ(client.protocol_errors(), 0);
+  client.disconnect();
+  service.stop();
+}
+
+TEST(Client, ForwardTagGapsCountAsShedNotDisorder) {
+  // A hand-rolled server that delivers results with forward tag gaps (how
+  // server-side slow-reader shedding looks on the wire) and then one
+  // backward tag (a genuine ordering violation). The client must count the
+  // gaps in results_missed() without clearing in_order(), and clear
+  // in_order() only for the backward tag.
+  std::string error;
+  Socket listener = Socket::listen_tcp("127.0.0.1", 0, 4, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  const std::uint16_t port = listener.local_port();
+
+  std::thread server([&listener] {
+    if (!wait_readable(listener.fd(), 10000.0)) return;
+    Socket conn = listener.accept();
+    if (!conn.valid()) return;
+    std::vector<std::uint8_t> in;
+    wire::Message msg;
+    if (!read_one_message(conn.fd(), in, msg, 10000.0)) return;
+    EXPECT_EQ(msg.type, wire::MsgType::kHello);
+
+    std::vector<std::uint8_t> out;
+    wire::HelloAck ack;
+    ack.protocol_version = wire::kProtocolVersion;
+    ack.server_name = "shed-faker";
+    wire::encode_hello_ack(ack, out);
+    wire::Result r;
+    r.status = runtime::FrameStatus::kOk;
+    std::uint64_t sequence = 10;
+    for (const std::uint64_t tag : {0ull, 2ull, 3ull, 5ull, 4ull}) {
+      r.tag = tag;
+      r.sequence = sequence++;
+      wire::encode_result(r, out);
+    }
+    if (!send_all_raw(conn.fd(), out)) return;
+
+    // Hold the connection open until the client disconnects (EOF).
+    std::uint8_t chunk[256];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!wait_readable(conn.fd(), 100.0)) continue;
+      std::size_t got = 0;
+      const IoStatus status = recv_some(conn.fd(), chunk, got);
+      if (status == IoStatus::kClosed || status == IoStatus::kError) break;
+    }
+  });
+
+  ClientOptions copts;
+  copts.port = port;
+  copts.reconnect_attempts = 0;
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+
+  wire::Result result;
+  for (const std::uint64_t want : {0ull, 2ull, 3ull, 5ull}) {
+    ASSERT_TRUE(client.next_result(result, 10000.0)) << client.last_error();
+    EXPECT_EQ(result.tag, want);
+  }
+  EXPECT_TRUE(client.in_order());        // gaps are shedding, not disorder
+  EXPECT_EQ(client.results_missed(), 2);  // tags 1 and 4 skipped forward
+  EXPECT_EQ(client.protocol_errors(), 0);
+
+  ASSERT_TRUE(client.next_result(result, 10000.0)) << client.last_error();
+  EXPECT_EQ(result.tag, 4u);
+  EXPECT_FALSE(client.in_order());  // backward tag: genuine violation
+  EXPECT_EQ(client.results_missed(), 2);
+
+  client.disconnect();
+  server.join();
 }
 
 TEST(Client, ReconnectsAcrossServerRestartOnSamePort) {
