@@ -22,6 +22,7 @@
 
 #include "src/dataset/multistream.hpp"
 #include "src/net/client.hpp"
+#include "src/runtime/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
@@ -39,6 +40,7 @@ const char* status_name(pdet::runtime::FrameStatus status) {
     case pdet::runtime::FrameStatus::kDegraded: return "degraded";
     case pdet::runtime::FrameStatus::kDroppedQueue: return "drop:queue";
     case pdet::runtime::FrameStatus::kDroppedDeadline: return "drop:deadline";
+    case pdet::runtime::FrameStatus::kError: return "error";
   }
   return "?";
 }
@@ -144,6 +146,14 @@ int main(int argc, char** argv) {
                    std::to_string(report.dropped_queue) + " / " +
                        std::to_string(report.dropped_deadline) + " / " +
                        std::to_string(report.net_results_dropped)});
+    table.add_row({"server faults (worker/stall/poison)",
+                   std::to_string(report.worker_faults) + " / " +
+                       std::to_string(report.worker_stalls) + " / " +
+                       std::to_string(report.poison_frames)});
+    table.add_row(
+        {"server health",
+         runtime::to_string(
+             static_cast<runtime::HealthState>(report.health_state))});
   }
   std::fputs(table.to_string().c_str(), stdout);
   client.disconnect();

@@ -31,6 +31,7 @@
 
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/multistream.hpp"
+#include "src/fault/injector.hpp"
 #include "src/net/service.hpp"
 #include "src/obs/report.hpp"
 #include "src/runtime/server.hpp"
@@ -70,11 +71,30 @@ int main(int argc, char** argv) {
                  "full-queue policy: block | drop-oldest | drop-newest");
   cli.add_int("listen", 0, "serve remote clients on this TCP port (0 = off)");
   cli.add_int("max-clients", 8, "remote mode: concurrent client connections");
+  cli.add_int("chaos-seed", 0,
+              "arm seeded fault injection across io/runtime (0 = off)");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
   obs::configure_from_cli(cli);
   install_signal_handlers();
+
+  // Chaos mode: a deterministic fault schedule across every injection point
+  // plus the runtime's watchdog/self-healing machinery. The same seed
+  // reproduces the same fault sequence (per-point check counts permitting).
+  const int chaos_seed = cli.get_int("chaos-seed");
+  if (chaos_seed != 0) {
+    fault::Plan plan;
+    plan.seed = static_cast<std::uint64_t>(chaos_seed);
+    plan.with("net.send.short", 0.02)
+        .with("net.send.eintr", 0.02)
+        .with("net.recv.short", 0.02)
+        .with("net.recv.eintr", 0.02)
+        .with("runtime.engine.fault", 0.05)
+        .with("runtime.worker.stall", 0.01, /*param=*/120);
+    fault::Injector::instance().arm(plan);
+    std::printf("chaos: armed fault plan, seed %d\n", chaos_seed);
+  }
 
   runtime::BackpressurePolicy policy = runtime::BackpressurePolicy::kDropOldest;
   const std::string policy_name = cli.get_string("policy");
@@ -105,6 +125,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("queue"));
     sopts.runtime.backpressure = policy;
     sopts.runtime.scheduler.deadline_ms = cli.get_double("deadline-ms");
+    if (chaos_seed != 0) sopts.runtime.stall_timeout_ms = 60.0;
     sopts.runtime.hog = detector.config().hog;
     sopts.runtime.multiscale = detector.config().multiscale;
     sopts.runtime.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
@@ -132,9 +153,19 @@ int main(int argc, char** argv) {
     table.add_row({"results sent / dropped",
                    std::to_string(stats.results_sent) + " / " +
                        std::to_string(stats.results_dropped)});
-    table.add_row({"decode errors", std::to_string(stats.decode_errors)});
+    table.add_row({"decode errors / frames rejected",
+                   std::to_string(stats.decode_errors) + " / " +
+                       std::to_string(stats.frames_rejected)});
     table.add_row({"bytes in / out", std::to_string(stats.bytes_in) + " / " +
                                          std::to_string(stats.bytes_out)});
+    table.add_row({"worker faults / stalls / replaced",
+                   std::to_string(stats.runtime.worker_faults) + " / " +
+                       std::to_string(stats.runtime.worker_stalls) + " / " +
+                       std::to_string(stats.runtime.workers_replaced)});
+    table.add_row({"frame errors / poison",
+                   std::to_string(stats.runtime.errors) + " / " +
+                       std::to_string(stats.runtime.poison_frames)});
+    table.add_row({"health", runtime::to_string(stats.runtime.health)});
     table.add_row({"aggregate fps",
                    util::to_fixed(stats.runtime.aggregate_fps, 1)});
     table.add_row({"request ms p50/p99",
@@ -171,6 +202,7 @@ int main(int argc, char** argv) {
   opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
   opts.backpressure = policy;
   opts.scheduler.deadline_ms = cli.get_double("deadline-ms");
+  if (chaos_seed != 0) opts.stall_timeout_ms = 60.0;
   opts.hog = detector.config().hog;
   opts.multiscale = detector.config().multiscale;
   opts.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
@@ -189,6 +221,8 @@ int main(int argc, char** argv) {
                             status = "drop:queue"; break;
                           case runtime::FrameStatus::kDroppedDeadline:
                             status = "drop:deadline"; break;
+                          case runtime::FrameStatus::kError:
+                            status = "error"; break;
                         }
                         std::lock_guard<std::mutex> lock(print_mutex);
                         std::printf(
@@ -237,6 +271,13 @@ int main(int argc, char** argv) {
   table.add_row({"dropped queue / deadline",
                  std::to_string(stats.dropped_queue) + " / " +
                      std::to_string(stats.dropped_deadline)});
+  table.add_row({"errors / poison", std::to_string(stats.errors) + " / " +
+                                        std::to_string(stats.poison_frames)});
+  table.add_row({"worker faults / stalls / replaced",
+                 std::to_string(stats.worker_faults) + " / " +
+                     std::to_string(stats.worker_stalls) + " / " +
+                     std::to_string(stats.workers_replaced)});
+  table.add_row({"health", runtime::to_string(stats.health)});
   table.add_row({"aggregate fps", util::to_fixed(stats.aggregate_fps, 1)});
   table.add_row({"queue wait ms p50/p99",
                  util::to_fixed(stats.queue_wait_ms.p50, 1) + " / " +
@@ -256,8 +297,9 @@ int main(int argc, char** argv) {
 
   server.publish_metrics();
   if (!obs::report_from_cli(cli)) return 1;
-  // Every submitted frame must have been delivered exactly once.
+  // Every submitted frame must have been delivered exactly once — including
+  // frames that faulted and were delivered as errors under chaos.
   const long long delivered = stats.completed + stats.dropped_queue +
-                              stats.dropped_deadline;
+                              stats.dropped_deadline + stats.errors;
   return delivered == stats.submitted ? 0 : 1;
 }

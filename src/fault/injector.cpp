@@ -1,0 +1,97 @@
+#include "src/fault/injector.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::fault {
+namespace {
+
+// FNV-1a, folded with the plan seed so each point gets an independent
+// SplitMix64 stream. Not security-relevant — just stream separation.
+std::uint64_t point_seed(std::uint64_t plan_seed, std::string_view point) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return plan_seed ^ h;
+}
+
+}  // namespace
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(const Plan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  seed_ = plan.seed;
+  for (const PointSpec& spec : plan.points) {
+    PointState state;
+    state.spec = spec;
+    state.rng_state = point_seed(plan.seed, spec.point);
+    points_[spec.point] = std::move(state);
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+Decision Injector::check_armed(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    // Unplanned point: never fires, but count the visit so tests can prove
+    // a site is reachable before writing a plan that targets it.
+    PointState state;
+    state.spec.point = std::string(point);
+    state.spec.probability = 0.0;
+    state.rng_state = point_seed(seed_, point);
+    it = points_.emplace(std::string(point), std::move(state)).first;
+  }
+  PointState& state = it->second;
+  const long long index = state.checks++;
+  if (index < state.spec.skip) return Decision{};
+  if (state.spec.max_fires >= 0 && state.fires >= state.spec.max_fires)
+    return Decision{};
+  // Draw even when probability is 0 or 1 so the stream position stays a
+  // pure function of the check count (plans stay comparable across edits
+  // that only tweak probabilities).
+  util::Rng rng(state.rng_state);
+  const bool fire = rng.chance(state.spec.probability);
+  // Persist the advanced state: Rng is by-value, so re-seed from the draw.
+  state.rng_state += 0x9e3779b97f4a7c15ULL;
+  if (!fire) return Decision{};
+  ++state.fires;
+  return Decision{true, state.spec.param};
+}
+
+long long Injector::checks(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.checks;
+}
+
+long long Injector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+long long Injector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  long long total = 0;
+  for (const auto& [name, state] : points_) total += state.fires;
+  return total;
+}
+
+void sleep_ms(std::uint32_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace pdet::fault

@@ -1,0 +1,150 @@
+// Deterministic fault injection (pdet::fault).
+//
+// A driver-assistance detector is a safety component: a hung worker, a
+// corrupt model file or one malformed frame must degrade a single result,
+// never the process. The recovery machinery that guarantees this (worker
+// exception containment, the runtime watchdog, wire-level validation) is
+// exactly the code normal operation never executes — so pdet::fault exists
+// to execute it, on demand and reproducibly.
+//
+// The model is a set of *named injection points* compiled permanently into
+// the production code paths:
+//
+//   net.send.short     truncate one send(2) to `param` bytes (default 1)
+//   net.send.eintr     fail one send with errno == EINTR
+//   net.send.reset     fail one send with errno == ECONNRESET
+//   net.send.latency   sleep `param` ms (default 1) before the send
+//   net.recv.short     truncate one recv(2) window to `param` bytes
+//   net.recv.eintr     fail one recv with errno == EINTR
+//   net.recv.reset     fail one recv with errno == ECONNRESET
+//   net.recv.corrupt   XOR received byte [param % n] with 0x01
+//   net.recv.latency   sleep `param` ms before the recv
+//   runtime.engine.fault  throw from the worker's engine task
+//   runtime.worker.stall  sleep `param` ms (default 50) inside a worker,
+//                         simulating a wedged engine for the watchdog
+//   svm.model.corrupt  flip one byte of a model file after reading it
+//
+// Each point costs one relaxed atomic load while the injector is disarmed
+// (`armed()` below) — the production fast path pays a single branch, no
+// lock, no allocation, no string hashing. Arming installs a Plan: a seed
+// plus one PointSpec per point naming a fire probability, an optional
+// per-site parameter, a count of checks to let through unharmed and a cap
+// on total fires. Every point draws from its own SplitMix64 stream seeded
+// from (plan seed, point name), so a point's fire schedule is a pure
+// function of the plan and that point's check count — independent of other
+// points, thread interleaving across points, and wall time. (Checks on one
+// point from multiple threads serialize under the injector lock; the k-th
+// check of a point always sees the k-th draw.)
+//
+// The injector is process-global (fault sites live in leaf libraries that
+// must not thread a handle through every call); tests arm it through
+// ScopedPlan so a failing test cannot leak an armed plan into the next.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdet::fault {
+
+/// What an armed site does when its check fires. `param` is site-specific
+/// (milliseconds, byte count, byte offset — see the table above).
+struct Decision {
+  bool fire = false;
+  std::uint32_t param = 0;
+};
+
+/// Schedule for one injection point within a Plan.
+struct PointSpec {
+  std::string point;         ///< injection-point name, e.g. "net.send.short"
+  double probability = 1.0;  ///< chance each check fires (seeded, see header)
+  std::uint32_t param = 0;   ///< site-specific knob (0 = site default)
+  long long skip = 0;        ///< let the first N checks through unharmed
+  long long max_fires = -1;  ///< stop firing after this many (-1 = unlimited)
+};
+
+/// A complete seeded fault schedule. Same plan + same per-point check
+/// sequence => same fires, byte for byte.
+struct Plan {
+  std::uint64_t seed = 1;
+  std::vector<PointSpec> points;
+
+  /// Builder convenience: plan.with("net.send.short", 0.5).with(...)
+  Plan& with(std::string point, double probability = 1.0,
+             std::uint32_t param = 0, long long skip = 0,
+             long long max_fires = -1) {
+    points.push_back(PointSpec{std::move(point), probability, param, skip,
+                               max_fires});
+    return *this;
+  }
+};
+
+class Injector {
+ public:
+  static Injector& instance();
+
+  /// Install a plan and enable checking. Replaces any armed plan and resets
+  /// all per-point accounting.
+  void arm(const Plan& plan);
+
+  /// Disable all points. Accounting from the last armed plan is preserved
+  /// until the next arm() so tests can assert after disarming.
+  void disarm();
+
+  /// The production fast path: one relaxed atomic load.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Slow path — call only when armed() (the free check() below does).
+  /// Points absent from the plan never fire but are still counted, so a
+  /// test can prove a site is actually reachable.
+  Decision check_armed(std::string_view point);
+
+  /// Accounting for the current (or last) plan, by point name.
+  long long checks(std::string_view point) const;
+  long long fires(std::string_view point) const;
+  long long total_fires() const;
+
+ private:
+  struct PointState {
+    PointSpec spec;
+    std::uint64_t rng_state = 0;
+    long long checks = 0;
+    long long fires = 0;
+  };
+
+  Injector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState, std::less<>> points_;
+  std::uint64_t seed_ = 0;
+};
+
+/// Site-side entry point. Disarmed cost: one relaxed atomic load.
+inline Decision check(std::string_view point) {
+  Injector& injector = Injector::instance();
+  if (!injector.armed()) return Decision{};
+  return injector.check_armed(point);
+}
+
+/// One relaxed load; lets a site guard a whole block of checks.
+inline bool armed() { return Injector::instance().armed(); }
+
+/// Helper for latency-style points: sleep `ms` milliseconds.
+void sleep_ms(std::uint32_t ms);
+
+/// RAII plan for tests: arms on construction, disarms on destruction, so a
+/// failing assertion cannot leak an armed injector into the next test.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const Plan& plan) { Injector::instance().arm(plan); }
+  ~ScopedPlan() { Injector::instance().disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace pdet::fault

@@ -245,6 +245,12 @@ void DetectionService::build_stats_report(wire::StatsReport& out) {
   out.dropped_queue = static_cast<std::uint64_t>(rt.dropped_queue);
   out.dropped_deadline = static_cast<std::uint64_t>(rt.dropped_deadline);
   out.aggregate_fps = rt.aggregate_fps;
+  out.frames_error = static_cast<std::uint64_t>(rt.errors);
+  out.worker_faults = static_cast<std::uint64_t>(rt.worker_faults);
+  out.worker_stalls = static_cast<std::uint64_t>(rt.worker_stalls);
+  out.workers_replaced = static_cast<std::uint64_t>(rt.workers_replaced);
+  out.poison_frames = static_cast<std::uint64_t>(rt.poison_frames);
+  out.health_state = static_cast<std::uint32_t>(rt.health);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.net_frames_received =
       static_cast<std::uint64_t>(counters_.frames_received);
@@ -252,6 +258,8 @@ void DetectionService::build_stats_report(wire::StatsReport& out) {
   out.net_results_dropped =
       static_cast<std::uint64_t>(counters_.results_dropped);
   out.net_decode_errors = static_cast<std::uint64_t>(counters_.decode_errors);
+  out.net_frames_rejected =
+      static_cast<std::uint64_t>(counters_.frames_rejected);
   out.active_connections =
       static_cast<std::uint32_t>(counters_.active_connections);
 }
@@ -299,8 +307,14 @@ void DetectionService::handle_message(Connection& conn) {
         return;
       }
       if (conn.msg.frame.image.empty()) {
+        // Unreachable through wire v2 decode (zero dims are kBadPayload),
+        // kept as defense in depth — and non-fatal: reject the frame, keep
+        // the connection.
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++counters_.frames_rejected;
+        }
         send_error(conn, wire::ErrorCode::kBadFrame, "empty frame");
-        conn.closing = true;
         return;
       }
       Slot& s = *slots_[static_cast<std::size_t>(conn.slot)];
@@ -366,6 +380,23 @@ void DetectionService::handle_readable(Connection& conn) {
     const wire::DecodeStatus status =
         wire::decode_message(pending, conn.msg, consumed);
     if (status == wire::DecodeStatus::kNeedMore) break;
+    if (status == wire::DecodeStatus::kBadPayload &&
+        conn.msg.type == wire::MsgType::kSubmitFrame) {
+      // The frame passed its CRC, so the framing is sound — only the
+      // SubmitFrame fields are invalid (zero/oversized dimensions, payload
+      // not matching w*h). Skip this one message, answer with a wire Error,
+      // and keep the connection: one malformed frame must not kill a
+      // camera feed.
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.decode_errors;
+        ++counters_.frames_rejected;
+      }
+      send_error(conn, wire::ErrorCode::kBadFrame,
+                 "invalid frame dimensions/payload");
+      conn.rpos += consumed;
+      continue;
+    }
     if (status != wire::DecodeStatus::kOk) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -596,6 +627,7 @@ void DetectionService::publish_metrics() {
   delta("net.connections_refused", s.connections_refused,
         published_.connections_refused);
   delta("net.frames_received", s.frames_received, published_.frames_received);
+  delta("net.frames_rejected", s.frames_rejected, published_.frames_rejected);
   delta("net.results_sent", s.results_sent, published_.results_sent);
   delta("net.results_dropped", s.results_dropped, published_.results_dropped);
   delta("net.decode_errors", s.decode_errors, published_.decode_errors);

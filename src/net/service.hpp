@@ -75,6 +75,7 @@ struct ServiceStats {
   long long connections_closed = 0;
   long long connections_refused = 0;  ///< kBusy (no free slot)
   long long frames_received = 0;
+  long long frames_rejected = 0;  ///< bad SubmitFrame answered with Error
   long long results_sent = 0;
   long long results_dropped = 0;  ///< shed on slow-reader queues
   long long decode_errors = 0;

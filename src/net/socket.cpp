@@ -12,6 +12,8 @@
 
 #include <cmath>
 
+#include "src/fault/injector.hpp"
+
 namespace pdet::net {
 namespace {
 
@@ -157,7 +159,33 @@ Socket Socket::accept() const {
 
 IoStatus send_some(int fd, std::span<const std::uint8_t> data,
                    std::size_t& sent) {
-  const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+  ssize_t n;
+  // Chaos hooks (fault::armed() is one relaxed load when off). Faults are
+  // injected *upstream* of the errno mapping below — EINTR/reset plans set n
+  // and errno exactly as a failing send(2) would, so the production mapping
+  // branches genuinely execute; short writes truncate the request so the
+  // caller's resume-from-offset loop runs.
+  if (fault::armed()) {
+    const fault::Decision latency = fault::check("net.send.latency");
+    if (latency.fire) fault::sleep_ms(latency.param != 0 ? latency.param : 1);
+    if (fault::check("net.send.eintr").fire) {
+      n = -1;
+      errno = EINTR;
+    } else if (fault::check("net.send.reset").fire) {
+      n = -1;
+      errno = ECONNRESET;
+    } else {
+      std::size_t len = data.size();
+      const fault::Decision cut = fault::check("net.send.short");
+      if (cut.fire && len > 1) {
+        const std::size_t keep = cut.param != 0 ? cut.param : 1;
+        if (keep < len) len = keep;
+      }
+      n = ::send(fd, data.data(), len, MSG_NOSIGNAL);
+    }
+  } else {
+    n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+  }
   if (n > 0) {
     sent = static_cast<std::size_t>(n);
     return IoStatus::kOk;
@@ -166,12 +194,39 @@ IoStatus send_some(int fd, std::span<const std::uint8_t> data,
     return IoStatus::kWouldBlock;
   }
   if (n < 0 && errno == EINTR) return IoStatus::kWouldBlock;
-  if (n < 0 && errno == EPIPE) return IoStatus::kClosed;
+  if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return IoStatus::kClosed;
   return IoStatus::kError;
 }
 
 IoStatus recv_some(int fd, std::span<std::uint8_t> buf, std::size_t& got) {
-  const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+  ssize_t n;
+  if (fault::armed()) {
+    const fault::Decision latency = fault::check("net.recv.latency");
+    if (latency.fire) fault::sleep_ms(latency.param != 0 ? latency.param : 1);
+    if (fault::check("net.recv.eintr").fire) {
+      n = -1;
+      errno = EINTR;
+    } else if (fault::check("net.recv.reset").fire) {
+      n = -1;
+      errno = ECONNRESET;
+    } else {
+      std::size_t len = buf.size();
+      const fault::Decision cut = fault::check("net.recv.short");
+      if (cut.fire && len > 1) {
+        const std::size_t keep = cut.param != 0 ? cut.param : 1;
+        if (keep < len) len = keep;
+      }
+      n = ::recv(fd, buf.data(), len, 0);
+      if (n > 0) {
+        const fault::Decision corrupt = fault::check("net.recv.corrupt");
+        if (corrupt.fire) {
+          buf[corrupt.param % static_cast<std::size_t>(n)] ^= 0x01;
+        }
+      }
+    }
+  } else {
+    n = ::recv(fd, buf.data(), buf.size(), 0);
+  }
   if (n > 0) {
     got = static_cast<std::size_t>(n);
     return IoStatus::kOk;
@@ -180,6 +235,7 @@ IoStatus recv_some(int fd, std::span<std::uint8_t> buf, std::size_t& got) {
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
     return IoStatus::kWouldBlock;
   }
+  if (errno == ECONNRESET) return IoStatus::kClosed;
   return IoStatus::kError;
 }
 

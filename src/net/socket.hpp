@@ -19,7 +19,7 @@ namespace pdet::net {
 enum class IoStatus {
   kOk,          ///< >= 1 byte moved
   kWouldBlock,  ///< non-blocking socket has no space/data right now
-  kClosed,      ///< orderly peer shutdown (recv) / EPIPE (send)
+  kClosed,      ///< peer gone: orderly shutdown, EPIPE (send) or ECONNRESET
   kError,       ///< anything else; errno captured by the caller if needed
 };
 

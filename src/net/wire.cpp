@@ -57,7 +57,13 @@ bool decode_submit_frame(ByteReader& r, SubmitFrame& out) {
   out.tag = r.u64();
   const std::uint32_t width = r.u32();
   const std::uint32_t height = r.u32();
-  if (!r.ok() || width > kMaxFrameDim || height > kMaxFrameDim) return false;
+  // Dimension validation happens here, before any allocation: zero-area
+  // frames and oversized axes are rejected while the payload is still just
+  // bytes. The payload length must equal width*height floats exactly.
+  if (!r.ok() || width == 0 || height == 0 || width > kMaxFrameDim ||
+      height > kMaxFrameDim) {
+    return false;
+  }
   const std::size_t pixels =
       static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
   if (r.remaining() != pixels * sizeof(float)) return false;
@@ -69,8 +75,7 @@ bool decode_result(ByteReader& r, Result& out) {
   out.sequence = r.u64();
   out.tag = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(
-                   runtime::FrameStatus::kDroppedDeadline)) {
+  if (status > static_cast<std::uint8_t>(runtime::FrameStatus::kError)) {
     return false;
   }
   out.status = static_cast<runtime::FrameStatus>(status);
@@ -108,6 +113,13 @@ bool decode_stats_report(ByteReader& r, StatsReport& out) {
   out.net_results_dropped = r.u64();
   out.net_decode_errors = r.u64();
   out.active_connections = r.u32();
+  out.frames_error = r.u64();
+  out.worker_faults = r.u64();
+  out.worker_stalls = r.u64();
+  out.workers_replaced = r.u64();
+  out.poison_frames = r.u64();
+  out.net_frames_rejected = r.u64();
+  out.health_state = r.u32();
   return r.ok() && r.exhausted();
 }
 
@@ -219,6 +231,13 @@ void encode_stats_report(const StatsReport& msg,
   w.u64(msg.net_results_dropped);
   w.u64(msg.net_decode_errors);
   w.u32(msg.active_connections);
+  w.u64(msg.frames_error);
+  w.u64(msg.worker_faults);
+  w.u64(msg.worker_stalls);
+  w.u64(msg.workers_replaced);
+  w.u64(msg.poison_frames);
+  w.u64(msg.net_frames_rejected);
+  w.u32(msg.health_state);
   end_frame(w, out, at);
 }
 
@@ -281,7 +300,13 @@ DecodeStatus decode_message(std::span<const std::uint8_t> data, Message& out,
     case MsgType::kError: ok = decode_error(r, out.error); break;
     case MsgType::kShutdown: ok = payload.empty(); break;
   }
-  if (!ok) return DecodeStatus::kBadPayload;
+  if (!ok) {
+    // The frame passed its CRC, so the framing (and out.type) is sound even
+    // though the fields are not: report the full frame as consumed so a
+    // caller may skip this one message and keep the stream alive.
+    consumed = kHeaderSize + payload_len;
+    return DecodeStatus::kBadPayload;
+  }
   consumed = kHeaderSize + payload_len;
   return DecodeStatus::kOk;
 }

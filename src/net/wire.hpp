@@ -29,7 +29,11 @@
 // id it assigned. A server that cannot speak the client's version replies
 // Error{kVersionMismatch} and closes. Within one protocol version, unknown
 // message types are a decode error (kUnknownType) — there are no optional
-// extensions in v1.
+// extensions.
+//
+// v2 (breaking): Result grew the kError frame status and StatsReport grew
+// the fault/health block (worker_faults..health_state) so remote clients
+// can observe the server's self-healing state machine.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +48,7 @@
 namespace pdet::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x50444E31u;  // "PDN1"
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 16;
 /// Upper bound on a frame payload; a 4K-UHD float luminance plane is ~33 MiB,
 /// anything larger is a corrupt or hostile length field.
@@ -122,6 +126,14 @@ struct StatsReport {
   std::uint64_t net_results_dropped = 0;  ///< shed to slow readers
   std::uint64_t net_decode_errors = 0;
   std::uint32_t active_connections = 0;
+  // Fault containment / self-healing block (v2; mirrors RuntimeStats).
+  std::uint64_t frames_error = 0;      ///< frames delivered as kError
+  std::uint64_t worker_faults = 0;     ///< contained engine exceptions
+  std::uint64_t worker_stalls = 0;     ///< watchdog-detected hung frames
+  std::uint64_t workers_replaced = 0;  ///< replacement workers spawned
+  std::uint64_t poison_frames = 0;     ///< frames rejected after max faults
+  std::uint64_t net_frames_rejected = 0;  ///< bad SubmitFrames answered Error
+  std::uint32_t health_state = 0;      ///< runtime::HealthState as integer
 };
 
 struct Error {
@@ -170,8 +182,13 @@ void encode_shutdown(std::vector<std::uint8_t>& out);
 
 /// Try to decode one message from the front of `data`. On kOk, `out` holds
 /// the message and `consumed` the frame size; on kNeedMore nothing was
-/// consumed; on any error `consumed` is 0 and the connection should be torn
-/// down (a TCP stream cannot resynchronise after a framing error).
+/// consumed. kBadPayload is special: the frame passed its CRC, so the
+/// framing is trustworthy — `consumed` is set to the full frame size and
+/// `out.type` to the frame's type, letting a server skip one semantically
+/// invalid message (e.g. a SubmitFrame with impossible dimensions) and keep
+/// the connection. On every other error `consumed` is 0 and the connection
+/// should be torn down (a TCP stream cannot resynchronise after a framing
+/// error).
 DecodeStatus decode_message(std::span<const std::uint8_t> data, Message& out,
                             std::size_t& consumed);
 

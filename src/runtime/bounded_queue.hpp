@@ -114,6 +114,39 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push: like push(), except a full kBlock queue returns
+  /// kRejected instead of waiting. This is the only safe way for a queue
+  /// *consumer* to requeue an item (a blocking push from the consumer side
+  /// can deadlock: every thread that would free a slot may be the one
+  /// waiting). The runtime's fault-retry path uses it.
+  PushResult try_push(const T& item, T* evicted = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    PushResult result = PushResult::kAccepted;
+    if (count_ == slots_.size()) {
+      switch (policy_) {
+        case BackpressurePolicy::kBlock:
+        case BackpressurePolicy::kDropNewest:
+          return PushResult::kRejected;
+        case BackpressurePolicy::kDropOldest: {
+          if (evicted != nullptr) {
+            using std::swap;
+            swap(*evicted, slots_[head_]);
+          }
+          head_ = (head_ + 1) % slots_.size();
+          --count_;
+          result = PushResult::kReplacedOldest;
+          break;
+        }
+      }
+    }
+    slots_[(head_ + count_) % slots_.size()] = item;  // copy: slot reuse
+    ++count_;
+    lock.unlock();
+    item_cv_.notify_one();
+    return result;
+  }
+
   /// Non-blocking pop; false when empty (whether or not closed).
   bool try_pop(T& out) {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -1,9 +1,12 @@
 #include "src/runtime/server.hpp"
 
+#include <stdexcept>
 #include <utility>
 
+#include "src/fault/injector.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/logging.hpp"
 #include "src/util/timer.hpp"
 
 namespace pdet::runtime {
@@ -22,6 +25,15 @@ std::vector<double> latency_bounds() {
 
 }  // namespace
 
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
 DetectionServer::DetectionServer(svm::LinearModel model, ServerOptions options)
     : options_(options),
       model_(std::move(model)),
@@ -35,14 +47,12 @@ DetectionServer::DetectionServer(svm::LinearModel model, ServerOptions options)
       total_hist_(latency_bounds()) {
   PDET_REQUIRE(options_.workers >= 1);
   PDET_REQUIRE(options_.engine_threads >= 1);
+  PDET_REQUIRE(options_.max_frame_faults >= 1);
+  PDET_REQUIRE(options_.recovery_frames >= 0);
+  PDET_REQUIRE(options_.stall_timeout_ms >= 0.0);
   options_.hog.validate();
   PDET_REQUIRE(model_.dimension() ==
                static_cast<std::size_t>(options_.hog.descriptor_size()));
-  engines_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    engines_.emplace_back(
-        detect::EngineOptions{.threads = options_.engine_threads});
-  }
 }
 
 DetectionServer::~DetectionServer() { stop(); }
@@ -62,10 +72,23 @@ void DetectionServer::start() {
   running_.store(true, std::memory_order_release);
   started_at_ = Clock::now();
   submit_slots_.resize(streams_.size());
-  workers_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this, i] { worker_main(i); });
+  for (int i = 0; i < options_.workers; ++i) spawn_worker();
+  if (options_.stall_timeout_ms > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
   }
+}
+
+void DetectionServer::spawn_worker() {
+  // Called from start() (single-threaded) and from the watchdog (the only
+  // post-start appender). Deques keep existing workers' pointers stable.
+  engines_.emplace_back(
+      detect::EngineOptions{.threads = options_.engine_threads});
+  worker_states_.emplace_back();
+  WorkerState* state = &worker_states_.back();
+  detect::DetectionEngine* engine = &engines_.back();
+  state->thread = std::thread([this, state, engine] {
+    worker_main(state, engine);
+  });
 }
 
 SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
@@ -76,6 +99,7 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
 
   slot.task.stream = stream;
   slot.task.sequence = ctx.next_sequence();
+  slot.task.faults = 0;
   slot.task.frame = frame;  // copy into the reused per-stream slot
   slot.task.enqueued_at = Clock::now();
 
@@ -125,13 +149,12 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
   return SubmitStatus::kRejected;
 }
 
-void DetectionServer::worker_main(int worker_index) {
+void DetectionServer::worker_main(WorkerState* state,
+                                  detect::DetectionEngine* engine) {
   // The obs registry/trace buffer are single-threaded; the engine's own
   // instrumentation must stay silent here. publish_metrics() re-publishes
   // the aggregate accounting from the registry-owning thread.
   obs::ScopedThreadMute mute;
-  detect::DetectionEngine& engine =
-      engines_[static_cast<std::size_t>(worker_index)];
   FrameTask task;       // reused: pop() swaps queue slots through it
   StreamResult result;  // reused: detection vector stays warm
   while (queue_.pop(task)) {
@@ -154,21 +177,163 @@ void DetectionServer::worker_main(int worker_index) {
       continue;
     }
 
+    // Heartbeat for the watchdog: this worker owns one frame until `busy`
+    // clears. Published under the state mutex (the exactly-once arbiter —
+    // see WorkerState).
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->busy = true;
+      state->stream = task.stream;
+      state->sequence = task.sequence;
+      state->busy_since = Clock::now();
+    }
+
+    bool faulted = false;
     const util::Timer service;
-    const detect::MultiscaleResult& detected =
-        engine.process(task.frame, options_.hog, model_,
-                       rung_options_[static_cast<std::size_t>(decision.level)]);
-    result.service_ms = service.milliseconds();
-    result.status =
-        decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
-    result.detections = detected.detections;  // copy-assign, capacity reuse
+    try {
+      if (fault::armed()) {
+        const fault::Decision stall = fault::check("runtime.worker.stall");
+        if (stall.fire) fault::sleep_ms(stall.param != 0 ? stall.param : 50);
+        if (fault::check("runtime.engine.fault").fire) {
+          throw std::runtime_error("injected engine fault");
+        }
+      }
+      const detect::MultiscaleResult& detected =
+          engine->process(task.frame, options_.hog, model_,
+                          rung_options_[static_cast<std::size_t>(decision.level)]);
+      result.service_ms = service.milliseconds();
+      result.status =
+          decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
+      result.detections = detected.detections;  // copy-assign, capacity reuse
+    } catch (const std::exception& e) {
+      faulted = true;
+      result.service_ms = service.milliseconds();
+      util::log_warn("runtime: engine fault on stream %d seq %llu: %s",
+                     task.stream,
+                     static_cast<unsigned long long>(task.sequence), e.what());
+    }
+
+    bool abandoned = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->busy = false;
+      abandoned = state->quarantined;
+    }
+    if (abandoned) {
+      // The watchdog already delivered this frame as an error and spawned a
+      // replacement worker; deliver nothing and retire (thread joined at
+      // stop()). The engine stays quarantined — never reused.
+      return;
+    }
+    if (faulted) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.worker_faults;
+        clean_needed_ = options_.recovery_frames;
+      }
+      handle_fault(task, result);
+      continue;
+    }
     result.total_ms = ms_since(task.enqueued_at);
     finish(result);
   }
 }
 
+void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
+  ++task.faults;
+  if (task.faults < options_.max_frame_faults) {
+    // Retry on another engine (any worker may pick it up; a transient
+    // engine-state fault won't repeat there). try_push, not push: workers
+    // are the queue's consumers, so a blocking push could deadlock. The
+    // original enqueued_at is kept — the deadline budget covers retries.
+    FrameTask evicted;
+    switch (queue_.try_push(task, &evicted)) {
+      case PushResult::kAccepted:
+        return;
+      case PushResult::kReplacedOldest: {
+        StreamResult dropped;
+        dropped.stream = evicted.stream;
+        dropped.sequence = evicted.sequence;
+        dropped.status = FrameStatus::kDroppedQueue;
+        dropped.degrade_level = scheduler_.level();
+        dropped.queue_wait_ms = ms_since(evicted.enqueued_at);
+        dropped.service_ms = 0.0;
+        dropped.total_ms = dropped.queue_wait_ms;
+        finish(dropped);
+        return;
+      }
+      case PushResult::kRejected:
+      case PushResult::kClosed:
+        // No room (or shutting down) for a retry: fail the frame now rather
+        // than hold up the worker. Falls through to the error delivery.
+        break;
+    }
+  } else {
+    // Poison: this frame has faulted max_frame_faults distinct attempts.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.poison_frames;
+    util::log_warn("runtime: poison frame stream %d seq %llu after %d faults",
+                   task.stream, static_cast<unsigned long long>(task.sequence),
+                   task.faults);
+  }
+  result.status = FrameStatus::kError;
+  result.detections.clear();
+  result.total_ms = ms_since(task.enqueued_at);
+  finish(result);
+}
+
+void DetectionServer::watchdog_main() {
+  obs::ScopedThreadMute mute;
+  const auto poll = std::chrono::duration<double, std::milli>(
+      options_.watchdog_poll_ms);
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    // Only the watchdog appends after start(), so the size read is stable;
+    // per-element state is guarded by each WorkerState's own mutex.
+    const std::size_t n = worker_states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      WorkerState& state = worker_states_[i];
+      StreamResult error;
+      bool stalled = false;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.quarantined && state.busy &&
+            ms_since(state.busy_since) >= options_.stall_timeout_ms) {
+          // Quarantine while busy: the worker will see the flag when it
+          // clears busy under this mutex, and deliver nothing.
+          state.quarantined = true;
+          stalled = true;
+          error.stream = state.stream;
+          error.sequence = state.sequence;
+          error.service_ms = ms_since(state.busy_since);
+        }
+      }
+      if (!stalled) continue;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.worker_stalls;
+        ++counters_.workers_replaced;
+        clean_needed_ = options_.recovery_frames;
+      }
+      util::log_warn(
+          "runtime: watchdog quarantined stalled worker %zu "
+          "(stream %d seq %llu, busy %.1f ms); spawning replacement",
+          i, error.stream, static_cast<unsigned long long>(error.sequence),
+          error.service_ms);
+      error.status = FrameStatus::kError;
+      error.degrade_level = scheduler_.level();
+      error.total_ms = error.service_ms;
+      finish(error);
+      spawn_worker();
+    }
+  }
+}
+
 void DetectionServer::finish(const StreamResult& result) {
-  streams_[static_cast<std::size_t>(result.stream)]->deliver(result);
+  // Account before delivering: an observer who has seen a result (a remote
+  // client querying stats right after its last frame, say) must never find
+  // the counters lagging behind it — the exactly-once accounting identity
+  // (submitted == completed + dropped + errors) holds at delivery time.
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     switch (result.status) {
@@ -186,16 +351,21 @@ void DetectionServer::finish(const StreamResult& result) {
       case FrameStatus::kDroppedDeadline:
         ++counters_.dropped_deadline;
         break;
+      case FrameStatus::kError:
+        ++counters_.errors;
+        break;
     }
     if (result.status == FrameStatus::kOk ||
         result.status == FrameStatus::kDegraded) {
       wait_hist_.record(result.queue_wait_ms);
       service_hist_.record(result.service_ms);
       total_hist_.record(result.total_ms);
+      if (clean_needed_ > 0) --clean_needed_;
     } else if (result.status == FrameStatus::kDroppedDeadline) {
       wait_hist_.record(result.queue_wait_ms);
     }
   }
+  streams_[static_cast<std::size_t>(result.stream)]->deliver(result);
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     --in_flight_;
@@ -210,12 +380,19 @@ void DetectionServer::drain() {
 
 void DetectionServer::stop() {
   if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  // Join the watchdog before touching the worker containers: it is the only
+  // thread that appends to them after start().
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
   queue_.close();  // workers drain the backlog, then their pop() returns false
-  for (std::thread& t : workers_) t.join();
-  workers_.clear();
+  for (WorkerState& state : worker_states_) {
+    if (state.thread.joinable()) state.thread.join();
+  }
   wall_seconds_ = std::chrono::duration<double>(Clock::now() - started_at_).count();
   running_.store(false, std::memory_order_release);
-  // The workers are gone; their engines' accounting is safe to aggregate.
+  // The workers are gone; their engines' accounting is safe to aggregate
+  // (quarantined engines included — their frames were real work).
   long long frames = 0;
   std::size_t bytes = 0;
   for (const detect::DetectionEngine& engine : engines_) {
@@ -227,6 +404,12 @@ void DetectionServer::stop() {
   counters_.engine_alloc_bytes = bytes;
 }
 
+HealthState DetectionServer::health() const {
+  if (draining_.load(std::memory_order_acquire)) return HealthState::kDraining;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return clean_needed_ > 0 ? HealthState::kDegraded : HealthState::kHealthy;
+}
+
 RuntimeStats DetectionServer::stats() const {
   RuntimeStats out;
   {
@@ -236,6 +419,7 @@ RuntimeStats DetectionServer::stats() const {
     out.service_ms = service_hist_.summary();
     out.total_latency_ms = total_hist_.summary();
   }
+  out.health = health();
   out.queue_depth = queue_.size();
   out.degrade_level = scheduler_.level();
   if (started_) {
@@ -266,6 +450,13 @@ void DetectionServer::publish_metrics() {
         published_.dropped_queue);
   delta("runtime.frames_dropped_deadline", s.dropped_deadline,
         published_.dropped_deadline);
+  delta("runtime.frames_error", s.errors, published_.errors);
+  delta("runtime.worker_faults", s.worker_faults, published_.worker_faults);
+  delta("runtime.worker_stalls", s.worker_stalls, published_.worker_stalls);
+  delta("runtime.workers_replaced", s.workers_replaced,
+        published_.workers_replaced);
+  delta("runtime.poison_frames", s.poison_frames, published_.poison_frames);
+  obs::gauge_set("runtime.health", static_cast<double>(s.health));
   obs::gauge_set("runtime.queue_depth", static_cast<double>(s.queue_depth));
   obs::gauge_set("runtime.degrade_level", static_cast<double>(s.degrade_level));
   obs::gauge_set("runtime.aggregate_fps", s.aggregate_fps);

@@ -28,6 +28,13 @@
 // buffer and metrics registry are single-threaded by design); the server
 // aggregates worker-side accounting locally and publish_metrics() writes it
 // into the registry from the calling thread.
+// Fault containment (see DESIGN §9): a worker that throws delivers a
+// per-frame kError result instead of dying; a frame is retried once on a
+// different engine before being declared poison; a watchdog thread (enabled
+// by ServerOptions::stall_timeout_ms) detects workers stuck inside one frame,
+// delivers the hung frame's error, quarantines the worker+engine and spawns
+// a replacement. A health state machine (healthy/degraded/draining) summarizes
+// recent faults for operators and remote clients.
 #pragma once
 
 #include <array>
@@ -35,6 +42,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -58,7 +66,29 @@ struct ServerOptions {
   SchedulerOptions scheduler;      ///< deadlines + degradation ladder
   hog::HogParams hog;              ///< detector window/descriptor geometry
   detect::MultiscaleOptions multiscale;  ///< full-quality (rung 0) config
+
+  // Fault containment / self-healing knobs (DESIGN §9).
+  /// Watchdog threshold: a worker busy on one frame for longer than this is
+  /// declared stalled, its frame delivered as kError, the worker+engine
+  /// quarantined and a replacement spawned. 0 disables the watchdog thread.
+  double stall_timeout_ms = 0.0;
+  double watchdog_poll_ms = 5.0;   ///< watchdog wake-up period
+  /// A frame whose processing faults is retried on another engine until it
+  /// has faulted this many times total; then it is poison — delivered as
+  /// kError, never retried again.
+  int max_frame_faults = 2;
+  /// Clean completions required after the last fault before health returns
+  /// from kDegraded to kHealthy.
+  int recovery_frames = 16;
 };
+
+/// Coarse serving-health summary, fed by the fault counters: kDegraded while
+/// the server is within `recovery_frames` clean completions of a fault,
+/// kDraining once stop() has begun. Published as the `runtime.health` gauge
+/// and mirrored into the remote StatsReport.
+enum class HealthState { kHealthy = 0, kDegraded = 1, kDraining = 2 };
+
+const char* to_string(HealthState state);
 
 /// Outcome of one submit() call, from the producer's point of view. Every
 /// submitted frame additionally receives exactly one in-order delivery.
@@ -78,6 +108,12 @@ struct RuntimeStats {
   long long degraded = 0;          ///< processed on a degraded rung (1-2)
   long long dropped_queue = 0;     ///< evicted or refused at the queue
   long long dropped_deadline = 0;  ///< skipped by the scheduler
+  long long errors = 0;            ///< frames delivered as kError
+  long long worker_faults = 0;     ///< engine exceptions contained in workers
+  long long worker_stalls = 0;     ///< hung frames detected by the watchdog
+  long long workers_replaced = 0;  ///< replacement workers spawned
+  long long poison_frames = 0;     ///< frames that faulted max_frame_faults times
+  HealthState health = HealthState::kHealthy;  ///< at snapshot time
   double wall_seconds = 0.0;       ///< start() to stop() (or to now)
   double aggregate_fps = 0.0;      ///< completed / wall_seconds
   std::size_t queue_depth = 0;     ///< frames queued at snapshot time
@@ -126,6 +162,9 @@ class DetectionServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Current serving health (see HealthState). Thread-safe.
+  HealthState health() const;
+
   RuntimeStats stats() const;
 
   /// Write the runtime counters/gauges into the global obs registry
@@ -140,6 +179,7 @@ class DetectionServer {
   struct FrameTask {
     int stream = -1;
     std::uint64_t sequence = 0;
+    int faults = 0;  ///< processing attempts that faulted (poison tracking)
     Clock::time_point enqueued_at{};
     imgproc::ImageF frame;
   };
@@ -152,7 +192,25 @@ class DetectionServer {
     StreamResult dropped;
   };
 
-  void worker_main(int worker_index);
+  /// Per-worker heartbeat shared between the worker and the watchdog. The
+  /// mutex is the exactly-once arbiter for a hung frame: the watchdog may
+  /// quarantine (and take over delivery) only while `busy`; the worker
+  /// clears `busy` and reads `quarantined` under the same lock, so exactly
+  /// one side delivers the frame's result.
+  struct WorkerState {
+    std::mutex mutex;
+    bool busy = false;         ///< between dequeue and delivery of one frame
+    bool quarantined = false;  ///< watchdog took the frame; worker must exit
+    int stream = -1;
+    std::uint64_t sequence = 0;
+    Clock::time_point busy_since{};
+    std::thread thread;
+  };
+
+  void spawn_worker();
+  void worker_main(WorkerState* state, detect::DetectionEngine* engine);
+  void watchdog_main();
+  void handle_fault(FrameTask& task, StreamResult& result);
   void finish(const StreamResult& result);
   void record_drop(const StreamResult& result);
 
@@ -166,11 +224,18 @@ class DetectionServer {
   Scheduler scheduler_;
   std::vector<std::unique_ptr<StreamContext>> streams_;
   std::vector<SubmitSlot> submit_slots_;
-  std::vector<detect::DetectionEngine> engines_;
-  std::vector<std::thread> workers_;
+  // Deques for reference stability: the watchdog appends replacement
+  // engines/workers while existing workers hold pointers into both. Only
+  // the watchdog appends after start(); stop() joins the watchdog before
+  // touching either container.
+  std::deque<detect::DetectionEngine> engines_;
+  std::deque<WorkerState> worker_states_;
+  std::thread watchdog_;
 
   bool started_ = false;
   std::atomic<bool> running_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<bool> draining_{false};
   Clock::time_point started_at_{};
   double wall_seconds_ = 0.0;  ///< fixed at stop()
 
@@ -184,6 +249,7 @@ class DetectionServer {
   // is three histogram records — negligible next to a multiscale detect).
   mutable std::mutex stats_mutex_;
   RuntimeStats counters_;  ///< histogram summaries unused here
+  int clean_needed_ = 0;   ///< clean completions until health recovers
   obs::Histogram wait_hist_;
   obs::Histogram service_hist_;
   obs::Histogram total_hist_;

@@ -26,6 +26,7 @@ enum class FrameStatus {
   kDegraded,         ///< detected on a reduced configuration (level 1-2)
   kDroppedQueue,     ///< evicted (kDropOldest) or refused (kDropNewest)
   kDroppedDeadline,  ///< skipped by the scheduler (deadline / ladder rung 3)
+  kError,            ///< processing faulted (engine threw / worker replaced)
 };
 
 /// One delivery. `detections` is empty for dropped frames; the latency

@@ -1,10 +1,13 @@
 #include "src/svm/model_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
+#include "src/fault/injector.hpp"
 #include "src/util/bytes.hpp"
+#include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
 
 namespace pdet::svm {
@@ -23,6 +26,25 @@ constexpr std::uint32_t kBinaryVersion = 2;
 constexpr std::uint32_t kMaxDimension = 1u << 24;
 
 }  // namespace
+
+bool model_valid(const LinearModel& model, std::string* why) {
+  if (model.dimension() == 0) {
+    if (why != nullptr) *why = "zero dimension";
+    return false;
+  }
+  if (!std::isfinite(model.bias)) {
+    if (why != nullptr) *why = "non-finite bias";
+    return false;
+  }
+  for (std::size_t i = 0; i < model.weights.size(); ++i) {
+    if (!std::isfinite(model.weights[i])) {
+      if (why != nullptr) *why = util::format("non-finite weight [%zu]", i);
+      return false;
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
 
 std::string model_to_string(const LinearModel& model) {
   std::string out = "pdet-svm 1\n";
@@ -70,6 +92,11 @@ bool model_from_string(const std::string& text, LinearModel& out) {
     }
     model.weights[static_cast<std::size_t>(i)] = static_cast<float>(v);
   }
+  std::string why;
+  if (!model_valid(model, &why)) {
+    util::log_warn("model_io: rejecting text model: %s", why.c_str());
+    return false;
+  }
   out = std::move(model);
   return true;
 }
@@ -105,6 +132,11 @@ bool model_from_bytes(std::span<const std::uint8_t> data, LinearModel& out) {
   const std::uint32_t declared = r.u32();
   if (!r.exhausted()) return false;
   if (util::crc32(data.subspan(4, body_bytes)) != declared) return false;
+  std::string why;
+  if (!model_valid(model, &why)) {
+    util::log_warn("model_io: rejecting binary model: %s", why.c_str());
+    return false;
+  }
   out = std::move(model);
   return true;
 }
@@ -136,6 +168,12 @@ bool load_model(const std::string& path, LinearModel& out) {
   std::size_t got = 0;
   while ((got = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
     bytes.insert(bytes.end(), buf, buf + got);
+  }
+  // Chaos hook: simulate on-disk corruption (bad sector, torn write). The
+  // flip lands after read, before parse — the CRC check must catch it.
+  if (fault::armed() && !bytes.empty()) {
+    const fault::Decision corrupt = fault::check("svm.model.corrupt");
+    if (corrupt.fire) bytes[corrupt.param % bytes.size()] ^= 0x01;
   }
   if (bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0) {
     return model_from_bytes(bytes, out);

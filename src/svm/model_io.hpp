@@ -29,6 +29,13 @@
 
 namespace pdet::svm {
 
+/// Semantic validation applied by every loader after a structurally sound
+/// parse: a usable model has dimension > 0 and only finite parameters. A
+/// NaN/Inf weight would silently poison every window score downstream (NaN
+/// compares false against any threshold — a detector that never fires), so
+/// garbage is rejected at the load boundary with a reason in `*why`.
+bool model_valid(const LinearModel& model, std::string* why = nullptr);
+
 /// Render a model as text:  "pdet-svm 1\ndim <n>\nbias <b>\nw <w0> <w1> ...".
 std::string model_to_string(const LinearModel& model);
 

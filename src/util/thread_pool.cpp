@@ -1,6 +1,9 @@
 #include "src/util/thread_pool.hpp"
 
 #include <atomic>
+#include <exception>
+
+#include "src/util/logging.hpp"
 
 namespace pdet::util {
 
@@ -24,7 +27,23 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_indices() {
   for (int i = next_.fetch_add(1, std::memory_order_relaxed); i < count_;
        i = next_.fetch_add(1, std::memory_order_relaxed)) {
-    task_(ctx_, i);
+    // Contain task exceptions here: an escape would unwind through
+    // worker_loop and std::terminate the whole process. The remaining
+    // indices still run (partial results beat a wedged job) and the first
+    // exception is surfaced to the parallel_for caller.
+    try {
+      task_(ctx_, i);
+    } catch (const std::exception& e) {
+      task_faults_.fetch_add(1, std::memory_order_relaxed);
+      log_warn("thread_pool: task threw at index %d: %s", i, e.what());
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    } catch (...) {
+      task_faults_.fetch_add(1, std::memory_order_relaxed);
+      log_warn("thread_pool: task threw non-std exception at index %d", i);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
   }
 }
 
@@ -47,7 +66,23 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(int count, Task task, void* ctx) {
   if (count <= 0) return;
   if (workers_.empty()) {
-    for (int i = 0; i < count; ++i) task(ctx, i);
+    // Inline path: same containment semantics as the pooled path — finish
+    // every index, then rethrow the first failure.
+    std::exception_ptr first;
+    for (int i = 0; i < count; ++i) {
+      try {
+        task(ctx, i);
+      } catch (const std::exception& e) {
+        task_faults_.fetch_add(1, std::memory_order_relaxed);
+        log_warn("thread_pool: task threw at index %d: %s", i, e.what());
+        if (!first) first = std::current_exception();
+      } catch (...) {
+        task_faults_.fetch_add(1, std::memory_order_relaxed);
+        log_warn("thread_pool: task threw non-std exception at index %d", i);
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
   // One job at a time: a second producer blocks here until the first job's
@@ -61,6 +96,7 @@ void ThreadPool::parallel_for(int count, Task task, void* ctx) {
     next_.store(0, std::memory_order_relaxed);
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
+    first_error_ = nullptr;
   }
   cv_start_.notify_all();
 
@@ -71,6 +107,10 @@ void ThreadPool::parallel_for(int count, Task task, void* ctx) {
   task_ = nullptr;
   ctx_ = nullptr;
   count_ = 0;
+  std::exception_ptr first = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace pdet::util

@@ -18,11 +18,18 @@
 // caller blocks until its own job completes. Dispatch remains allocation-
 // free. Reentrant submission (a task calling parallel_for on its own pool)
 // is still forbidden — it would self-deadlock on the submission lock.
+//
+// Exceptions: a task that throws does not kill the worker (which would
+// std::terminate the process) — the exception is captured, the remaining
+// indices of the job still run, and parallel_for rethrows the first
+// captured exception on the calling thread once the job has fully drained.
+// Pool workers and job state stay valid for the next job either way.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -51,8 +58,14 @@ class ThreadPool {
   /// The calling thread executes indices alongside the workers. Safe to call
   /// from multiple threads concurrently (jobs serialize; see header
   /// comment). Not reentrant: task must not call parallel_for on the same
-  /// pool.
+  /// pool. If any index throws, the remaining indices still run, workers
+  /// survive, and the first exception is rethrown here after the job drains.
   void parallel_for(int count, Task task, void* ctx);
+
+  /// Total task invocations that have thrown over the pool's lifetime.
+  long long task_faults() const {
+    return task_faults_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
@@ -70,6 +83,8 @@ class ThreadPool {
   int pending_ = 0;            ///< workers still inside the current job
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  ///< first throw of the current job
+  std::atomic<long long> task_faults_{0};
 };
 
 }  // namespace pdet::util

@@ -104,6 +104,13 @@ std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
   stats.net_results_dropped = 1;
   stats.net_decode_errors = 0;
   stats.active_connections = 4;
+  stats.frames_error = 3;  // the v2 fault/health block
+  stats.worker_faults = 5;
+  stats.worker_stalls = 1;
+  stats.workers_replaced = 1;
+  stats.poison_frames = 2;
+  stats.net_frames_rejected = 7;
+  stats.health_state = 1;  // degraded
   wire::encode_stats_report(stats, frames[5]);
   wire::Error err;
   err.code = wire::ErrorCode::kBusy;
@@ -262,6 +269,13 @@ TEST(WireCodec, StatsAndControlRoundtrip) {
   EXPECT_DOUBLE_EQ(out.stats.aggregate_fps, 61.5);
   EXPECT_EQ(out.stats.net_results_dropped, 1u);
   EXPECT_EQ(out.stats.active_connections, 4u);
+  EXPECT_EQ(out.stats.frames_error, 3u);  // v2 fault/health block survives
+  EXPECT_EQ(out.stats.worker_faults, 5u);
+  EXPECT_EQ(out.stats.worker_stalls, 1u);
+  EXPECT_EQ(out.stats.workers_replaced, 1u);
+  EXPECT_EQ(out.stats.poison_frames, 2u);
+  EXPECT_EQ(out.stats.net_frames_rejected, 7u);
+  EXPECT_EQ(out.stats.health_state, 1u);
   ASSERT_EQ(wire::decode_message(frames[6], out, consumed),
             wire::DecodeStatus::kOk);
   ASSERT_EQ(out.type, wire::MsgType::kError);
@@ -551,6 +565,82 @@ TEST(DetectionService, RejectsHandshakeWithWrongProtocolVersion) {
   ASSERT_EQ(msg.type, wire::MsgType::kError);
   EXPECT_EQ(msg.error.code, wire::ErrorCode::kVersionMismatch);
   service.stop();
+}
+
+TEST(WireCodec, ZeroDimensionFrameIsBadPayloadButSkippable) {
+  // A CRC-valid SubmitFrame with zero dimensions is a *payload* defect, not
+  // a framing one: the decoder reports the full frame as consumed so a
+  // server can skip the one message instead of tearing the stream down.
+  wire::SubmitFrame submit;
+  submit.tag = 9;  // image left default: 0x0
+  std::vector<std::uint8_t> frame;
+  wire::encode_submit_frame(submit, frame);
+  wire::encode_stats_query(frame);  // a healthy message right behind it
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(frame, out, consumed),
+            wire::DecodeStatus::kBadPayload);
+  EXPECT_EQ(out.type, wire::MsgType::kSubmitFrame);
+  ASSERT_GT(consumed, 0u);
+  ASSERT_LT(consumed, frame.size());
+  ASSERT_EQ(wire::decode_message(
+                std::span<const std::uint8_t>(frame).subspan(consumed), out,
+                consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(out.type, wire::MsgType::kStatsQuery);
+}
+
+TEST(DetectionService, BadFrameGetsAnErrorAndTheConnectionSurvives) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 27);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  // Raw socket: the Client cannot produce a malformed frame, so handshake
+  // and submit by hand.
+  std::string error;
+  Socket sock = Socket::connect_tcp("127.0.0.1", service.port(), 2000.0,
+                                    &error);
+  ASSERT_TRUE(sock.valid()) << error;
+  wire::Hello hello;
+  hello.client_name = "malformed-cam";
+  std::vector<std::uint8_t> buf;
+  wire::encode_hello(hello, buf);
+  ASSERT_TRUE(send_all_raw(sock.fd(), buf));
+  std::vector<std::uint8_t> in;
+  wire::Message msg;
+  ASSERT_TRUE(read_one_message(sock.fd(), in, msg, 10000.0));
+  ASSERT_EQ(msg.type, wire::MsgType::kHelloAck);
+
+  // A zero-dimension SubmitFrame: CRC-valid framing, garbage payload. The
+  // service must answer with a wire Error and keep the connection open —
+  // one camera glitch is not a reason to drop the stream.
+  wire::SubmitFrame bad;
+  bad.tag = 1;  // image default-constructed: 0x0
+  buf.clear();
+  wire::encode_submit_frame(bad, buf);
+  ASSERT_TRUE(send_all_raw(sock.fd(), buf));
+  ASSERT_TRUE(read_one_message(sock.fd(), in, msg, 10000.0));
+  ASSERT_EQ(msg.type, wire::MsgType::kError);
+  EXPECT_EQ(msg.error.code, wire::ErrorCode::kBadFrame);
+
+  // The same connection still serves a well-formed frame afterwards.
+  wire::SubmitFrame good;
+  good.tag = 2;
+  good.image = make_frame(160, 160, 51);
+  buf.clear();
+  wire::encode_submit_frame(good, buf);
+  ASSERT_TRUE(send_all_raw(sock.fd(), buf));
+  ASSERT_TRUE(read_one_message(sock.fd(), in, msg, 30000.0));
+  ASSERT_EQ(msg.type, wire::MsgType::kResult);
+  EXPECT_EQ(msg.result.tag, 2u);
+
+  sock.close();
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.frames_rejected, 1);
+  EXPECT_EQ(stats.frames_received, 1);  // only the good frame counted
+  EXPECT_EQ(stats.connections_closed, 1);
 }
 
 TEST(DetectionService, GracefulStopFlushesInFlightResults) {

@@ -297,6 +297,55 @@ TEST(ModelIo, BinaryFileRoundtripAndFingerprint) {
   EXPECT_NE(model_fingerprint(back), model_fingerprint(m));
 }
 
+TEST(ModelIo, ModelValidNamesTheDefect) {
+  LinearModel good;
+  good.weights = {1.0f, -2.0f};
+  good.bias = 0.5f;
+  std::string why = "stale";
+  EXPECT_TRUE(model_valid(good, &why));
+  EXPECT_TRUE(why.empty());
+
+  LinearModel empty;
+  EXPECT_FALSE(model_valid(empty, &why));
+  EXPECT_EQ(why, "zero dimension");
+
+  LinearModel nan_weight = good;
+  nan_weight.weights[1] = std::nanf("");
+  EXPECT_FALSE(model_valid(nan_weight, &why));
+  EXPECT_EQ(why, "non-finite weight [1]");
+
+  LinearModel inf_bias = good;
+  inf_bias.bias = HUGE_VALF;
+  EXPECT_FALSE(model_valid(inf_bias, &why));
+  EXPECT_EQ(why, "non-finite bias");
+}
+
+TEST(ModelIo, LoadersRejectNonFiniteAndZeroDimensionModels) {
+  // A NaN weight never trips a parse error — it poisons every window score
+  // downstream instead (NaN compares false against any threshold), so both
+  // loaders must reject it semantically even when the encoding is sound.
+  LinearModel out;
+  out.bias = 42.0f;
+  EXPECT_FALSE(
+      model_from_string("pdet-svm 1\ndim 2\nbias 0\nw 1 nan\n", out));
+  EXPECT_FALSE(model_from_string("pdet-svm 1\ndim 1\nbias inf\nw 1\n", out));
+  EXPECT_FALSE(model_from_string("pdet-svm 1\ndim 0\nbias 0\nw\n", out));
+
+  LinearModel poisoned;
+  poisoned.weights = {1.0f, std::nanf(""), 0.5f};
+  poisoned.bias = 0.0f;
+  std::vector<std::uint8_t> bytes;  // structurally valid, CRC intact
+  model_to_bytes(poisoned, bytes);
+  EXPECT_FALSE(model_from_bytes(bytes, out));
+
+  LinearModel zero_dim;  // dimension 0 encodes fine, loads never
+  bytes.clear();
+  model_to_bytes(zero_dim, bytes);
+  EXPECT_FALSE(model_from_bytes(bytes, out));
+
+  EXPECT_FLOAT_EQ(out.bias, 42.0f);  // untouched on every rejection
+}
+
 TEST(ModelIo, LoadModelFallsBackToLegacyTextFiles) {
   LinearModel m;
   m.weights = {0.5f, -1.5f};

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 
 #include "src/util/bytes.hpp"
@@ -491,6 +492,55 @@ TEST(ThreadPool, ConstructDestructWithoutWork) {
     ThreadPool pool(threads);
     (void)pool;
   }
+}
+
+namespace {
+/// Counts every invocation, throws on indices below `throw_below` — the
+/// containment tests' probe for "did the job still drain fully".
+struct FaultyCtx {
+  std::vector<std::atomic<int>> hits;
+  int throw_below = 0;
+};
+void faulty_task(void* ctx, int index) {
+  auto& c = *static_cast<FaultyCtx*>(ctx);
+  c.hits[static_cast<std::size_t>(index)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (index < c.throw_below) throw std::runtime_error("injected task fault");
+}
+}  // namespace
+
+TEST(ThreadPool, ThrowingTaskIsContainedAndRethrownToCaller) {
+  // A throwing task must not kill a worker thread (that would
+  // std::terminate): the job drains every index, the first exception
+  // resurfaces on the calling thread, and the pool stays usable.
+  ThreadPool pool(4);
+  constexpr int kCount = 200;
+  FaultyCtx ctx{std::vector<std::atomic<int>>(kCount), /*throw_below=*/3};
+  EXPECT_THROW(pool.parallel_for(kCount, faulty_task, &ctx),
+               std::runtime_error);
+  for (const std::atomic<int>& h : ctx.hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.task_faults(), 3);
+
+  // The pool survives for the next (clean) job, and a clean job does not
+  // rethrow a stale exception from the previous one.
+  CountCtx clean{std::vector<std::atomic<int>>(64)};
+  pool.parallel_for(64, count_task, &clean);
+  for (const std::atomic<int>& h : clean.hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.task_faults(), 3);  // unchanged
+}
+
+TEST(ThreadPool, InlinePathContainsExceptionsIdentically) {
+  // threads == 1 runs the loop inline on the caller; the containment
+  // semantics (drain all indices, rethrow first, survive) must match the
+  // pooled path exactly.
+  ThreadPool pool(1);
+  FaultyCtx ctx{std::vector<std::atomic<int>>(16), /*throw_below=*/2};
+  EXPECT_THROW(pool.parallel_for(16, faulty_task, &ctx), std::runtime_error);
+  for (const std::atomic<int>& h : ctx.hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.task_faults(), 2);
+  CountCtx clean{std::vector<std::atomic<int>>(8)};
+  pool.parallel_for(8, count_task, &clean);
+  for (const std::atomic<int>& h : clean.hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(Bytes, Crc32KnownVector) {
