@@ -18,6 +18,7 @@
 // keeps per-stream ordering with zero protocol errors, and satisfies the
 // exactly-once identity (submitted == completed + dropped + errors) in both
 // the remote StatsReport and the server-side ServiceStats.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -87,6 +88,8 @@ struct SeedOutcome {
   long long worker_stalls = 0;
   long long workers_replaced = 0;
   long long poison_frames = 0;
+  long long flight_triggers = 0;  ///< flight-recorder dumps fired
+  std::uint32_t final_health = 0;  ///< remote health_state after the run
   long long chaos_errors = 0;   ///< kError results inside the chaos window
   int recovery_frames = -1;     ///< clean frames until kHealthy (-1 = never)
   double recovery_ms = 0.0;     ///< wall time from disarm to kHealthy
@@ -97,8 +100,8 @@ struct SeedOutcome {
   std::string error;  ///< non-empty aborts the run
 };
 
-SeedOutcome run_seed(std::uint64_t seed, int chaos_frames,
-                     int recovery_budget) {
+SeedOutcome run_seed(std::uint64_t seed, int chaos_frames, int recovery_budget,
+                     const std::string& flight_dump) {
   SeedOutcome out;
   out.seed = seed;
 
@@ -112,6 +115,12 @@ SeedOutcome run_seed(std::uint64_t seed, int chaos_frames,
   opts.runtime.stall_timeout_ms = 500.0;
   opts.runtime.watchdog_poll_ms = 10.0;
   opts.runtime.recovery_frames = 8;
+  if (!flight_dump.empty()) {
+    // The black box: poison frames / quarantines during the chaos window
+    // dump the per-stream timeline rings for postmortem reconstruction.
+    opts.runtime.flight_dump_path = flight_dump + "-seed" +
+                                    std::to_string(seed);
+  }
   const svm::LinearModel model = make_model(opts.runtime.hog, seed);
   net::DetectionService service(model, opts);
   if (!service.start(&out.error)) return out;
@@ -205,6 +214,7 @@ SeedOutcome run_seed(std::uint64_t seed, int chaos_frames,
   out.exactly_once =
       report.submitted == static_cast<std::uint64_t>(submitted) &&
       report.completed + report.frames_error == report.submitted;
+  out.final_health = report.health_state;
   out.in_order = client.in_order();
   out.protocol_errors = client.protocol_errors();
   client.disconnect();
@@ -224,6 +234,7 @@ SeedOutcome run_seed(std::uint64_t seed, int chaos_frames,
   out.worker_stalls = stats.runtime.worker_stalls;
   out.workers_replaced = stats.runtime.workers_replaced;
   out.poison_frames = stats.runtime.poison_frames;
+  out.flight_triggers = stats.runtime.flight_triggers;
   return out;
 }
 
@@ -234,6 +245,9 @@ int main(int argc, char** argv) {
                 "time-to-healthy after seeded fault bursts over loopback TCP");
   cli.add_int("frames", 32, "frames per seed inside the armed chaos window");
   cli.add_int("budget", 32, "max clean frames allowed to reach healthy");
+  cli.add_string("flight-dump", "",
+                 "flight-recorder dump prefix (one -seedN.json/.txt pair per "
+                 "seed that trips a trigger; empty = off)");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
@@ -248,12 +262,17 @@ int main(int argc, char** argv) {
               "%zu seeds\n\n",
               chaos_frames, budget, seeds.size());
 
+  const std::string flight_dump = cli.get_string("flight-dump");
   util::Table table({"seed", "fires", "faults", "stalls", "replaced",
-                     "poison", "err frames", "recovery frames", "recovery ms",
-                     "healthy"});
+                     "poison", "flight", "err frames", "recovery frames",
+                     "recovery ms", "healthy"});
   bool accept = true;
+  long long worker_faults_total = 0;
+  long long poison_frames_total = 0;
+  double time_to_healthy_ms_max = 0.0;
+  std::uint32_t final_health = 0;
   for (const std::uint64_t seed : seeds) {
-    const SeedOutcome r = run_seed(seed, chaos_frames, budget);
+    const SeedOutcome r = run_seed(seed, chaos_frames, budget, flight_dump);
     if (!r.error.empty()) {
       std::fprintf(stderr, "seed %llu failed: %s\n",
                    static_cast<unsigned long long>(seed), r.error.c_str());
@@ -264,6 +283,7 @@ int main(int argc, char** argv) {
                    std::to_string(r.worker_stalls),
                    std::to_string(r.workers_replaced),
                    std::to_string(r.poison_frames),
+                   std::to_string(r.flight_triggers),
                    std::to_string(r.chaos_errors),
                    r.recovered ? std::to_string(r.recovery_frames) : "> budget",
                    util::to_fixed(r.recovery_ms, 1),
@@ -279,7 +299,25 @@ int main(int argc, char** argv) {
                    static_cast<double>(r.recovery_frames));
     obs::gauge_set(prefix + ".recovery_ms", r.recovery_ms);
     obs::gauge_set(prefix + ".exactly_once", r.exactly_once ? 1.0 : 0.0);
+    obs::gauge_set(prefix + ".poison_frames",
+                   static_cast<double>(r.poison_frames));
+    obs::gauge_set(prefix + ".flight_triggers",
+                   static_cast<double>(r.flight_triggers));
+    obs::gauge_set(prefix + ".health", static_cast<double>(r.final_health));
+    worker_faults_total += r.worker_faults;
+    poison_frames_total += r.poison_frames;
+    time_to_healthy_ms_max = std::max(time_to_healthy_ms_max, r.recovery_ms);
+    final_health = r.final_health;
   }
+  // Fleet-level rollup — the fields a dashboard scrapes without knowing the
+  // seed list (runtime.health mirrors the last seed's remote view; 0 means
+  // every run ended kHealthy).
+  obs::gauge_set("runtime.health", static_cast<double>(final_health));
+  obs::gauge_set("fault.bench.worker_faults",
+                 static_cast<double>(worker_faults_total));
+  obs::gauge_set("fault.bench.poison_frames",
+                 static_cast<double>(poison_frames_total));
+  obs::gauge_set("fault.bench.time_to_healthy_ms", time_to_healthy_ms_max);
   std::fputs(table.to_string().c_str(), stdout);
   std::printf("\nall seeds fired, recovered within budget, stayed in order "
               "with exactly-once accounting: %s\n",

@@ -131,13 +131,19 @@ RunResult run_inprocess(const svm::LinearModel& model,
 }
 
 /// The same load through loopback TCP: one net::Client thread per camera.
+/// With `poll_telemetry`, one extra connection scrapes the telemetry plane
+/// throughout the run (the "is a live Prometheus scrape free?" experiment);
+/// `*prometheus_valid` reports whether every scrape returned well-formed
+/// exposition text.
 RunResult run_net(const svm::LinearModel& model,
                   const runtime::ServerOptions& base, const Feed& feed,
-                  int clients, int frames, double interval_ms) {
+                  int clients, int frames, double interval_ms,
+                  bool poll_telemetry = false,
+                  bool* prometheus_valid = nullptr) {
   net::ServiceOptions sopts;
   sopts.runtime = base;
   sopts.runtime.workers = clients;
-  sopts.max_clients = clients;
+  sopts.max_clients = clients + (poll_telemetry ? 1 : 0);
   net::DetectionService service(model, sopts);
   std::string error;
   if (!service.start(&error)) {
@@ -150,6 +156,42 @@ RunResult run_net(const svm::LinearModel& model,
   std::atomic<long long> completed{0};
   std::atomic<long long> protocol_errors{0};
   std::atomic<bool> in_order{true};
+  std::atomic<bool> cams_done{false};
+  std::thread watcher;
+  if (poll_telemetry) {
+    if (prometheus_valid != nullptr) *prometheus_valid = false;
+    watcher = std::thread([&] {
+      net::ClientOptions copts;
+      copts.port = service.port();
+      copts.name = "bench-telemetry";
+      net::Client scraper(copts);
+      if (!scraper.connect()) return;
+      bool all_valid = true;
+      long long scrapes = 0;
+      net::wire::TelemetryReport report;
+      while (!cams_done.load(std::memory_order_acquire)) {
+        if (!scraper.query_telemetry(report, 2000.0)) {
+          all_valid = false;
+          break;
+        }
+        ++scrapes;
+        // Valid exposition text: typed pdet_ series with samples. The
+        // health gauge is published unconditionally, so it must be there
+        // from the very first scrape.
+        if (report.prometheus.find("# TYPE pdet_") == std::string::npos ||
+            report.prometheus.find("pdet_runtime_health") ==
+                std::string::npos ||
+            report.prometheus.back() != '\n') {
+          all_valid = false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (prometheus_valid != nullptr) {
+        *prometheus_valid = all_valid && scrapes > 0;
+      }
+      scraper.disconnect();
+    });
+  }
   const auto t0 = Clock::now();
   std::vector<std::thread> cams;
   for (int c = 0; c < clients; ++c) {
@@ -208,6 +250,8 @@ RunResult run_net(const svm::LinearModel& model,
   for (std::thread& t : cams) t.join();
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
+  cams_done.store(true, std::memory_order_release);
+  if (watcher.joinable()) watcher.join();
   service.stop();
   const net::ServiceStats stats = service.stats();
 
@@ -282,6 +326,7 @@ int main(int argc, char** argv) {
                      "in order", "proto err"});
   bool accept = true;
   double fps_ratio_4 = 0.0;
+  RunResult net4;
   for (const int n : {1, 2, 4}) {
     const RunResult inproc =
         run_inprocess(detector.model(), base, feed, n, frames, interval_ms);
@@ -300,7 +345,10 @@ int main(int argc, char** argv) {
                    net.in_order ? "yes" : "NO",
                    std::to_string(net.protocol_errors)});
     const double ratio = inproc.fps > 0.0 ? net.fps / inproc.fps : 0.0;
-    if (n == kMaxClients) fps_ratio_4 = ratio;
+    if (n == kMaxClients) {
+      fps_ratio_4 = ratio;
+      net4 = net;
+    }
     accept = accept && net.in_order && net.protocol_errors == 0 &&
              net.completed == static_cast<long long>(n) * frames;
     const std::string prefix = "net.bench.clients_" + std::to_string(n);
@@ -315,6 +363,30 @@ int main(int argc, char** argv) {
   std::printf("\n%d loopback clients at %.0f%% of in-process fps "
               "(acceptance: >= 80%%, in order, zero protocol errors): %s\n",
               kMaxClients, 100.0 * fps_ratio_4, accept ? "PASS" : "FAIL");
+
+  // --- telemetry plane overhead: is a live Prometheus scrape free? ------
+  // Re-run the 4-client configuration with one extra connection scraping
+  // TelemetryQuery every 50 ms; the paced load means any slowdown shows up
+  // directly as lost fps against the telemetry-off run above.
+  bool prometheus_ok = false;
+  const RunResult tele = run_net(detector.model(), base, feed, kMaxClients,
+                                 frames, interval_ms, /*poll_telemetry=*/true,
+                                 &prometheus_ok);
+  const double overhead =
+      net4.fps > 0.0 ? 1.0 - tele.fps / net4.fps : 1.0;
+  const bool telemetry_ok =
+      prometheus_ok && tele.in_order && tele.protocol_errors == 0 &&
+      overhead < 0.01;
+  std::printf("\ntelemetry scrapes during load: fps %.1f vs %.1f off "
+              "(overhead %.2f%%), prometheus text valid: %s\n",
+              tele.fps, net4.fps, 100.0 * overhead,
+              prometheus_ok ? "yes" : "NO");
+  std::printf("  telemetry acceptance (<1%% overhead, valid text): %s\n",
+              telemetry_ok ? "PASS" : "FAIL");
+  obs::gauge_set("net.bench.telemetry.fps_overhead", overhead);
+  obs::gauge_set("net.bench.telemetry.prometheus_valid",
+                 prometheus_ok ? 1.0 : 0.0);
+  accept = accept && telemetry_ok;
 
   // --- overload through the wire: shedding, not backlog -----------------
   const RunResult over = [&] {

@@ -29,6 +29,7 @@
 
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/multistream.hpp"
+#include "src/fault/injector.hpp"
 #include "src/obs/report.hpp"
 #include "src/runtime/server.hpp"
 #include "src/util/cli.hpp"
@@ -272,6 +273,60 @@ int main(int argc, char** argv) {
                  static_cast<double>(steady_allocs) /
                      static_cast<double>(steady_frames));
 
+  // --- fault accounting spot check ---
+  // Dashboards scraping this bench's metrics JSON alert on the same four
+  // fields the serving stack exports live (runtime.health, worker faults,
+  // poison frames, time-to-healthy), so exercise them for real: a short
+  // armed window of engine exceptions, then clean frames until the health
+  // state machine reports kHealthy again.
+  runtime::ServerOptions fopts;
+  fopts.workers = 1;
+  fopts.queue_capacity = 8;
+  fopts.backpressure = runtime::BackpressurePolicy::kBlock;
+  fopts.hog = hog;
+  fopts.multiscale = multiscale;
+  fopts.recovery_frames = 4;
+  runtime::DetectionServer fserver(detector.model(), fopts);
+  fserver.add_stream("cam-fault", nullptr);
+  fserver.start();
+  {
+    fault::Plan plan;
+    plan.seed = 404;
+    plan.with("runtime.engine.fault", 0.5);
+    fault::ScopedPlan armed(plan);
+    for (int f = 0; f < 16; ++f) {
+      (void)fserver.submit(0, feed[0][static_cast<std::size_t>(f) %
+                                      feed[0].size()]);
+    }
+    fserver.drain();
+  }
+  util::Timer heal;
+  double time_to_healthy_ms = -1.0;  // -1 = did not recover within budget
+  for (int f = 0; f < 64; ++f) {
+    if (fserver.health() == runtime::HealthState::kHealthy) {
+      time_to_healthy_ms = heal.milliseconds();
+      break;
+    }
+    (void)fserver.submit(0, feed[0][static_cast<std::size_t>(f) %
+                                    feed[0].size()]);
+    fserver.drain();
+  }
+  const runtime::HealthState final_health = fserver.health();
+  fserver.stop();
+  const runtime::RuntimeStats fstats = fserver.stats();
+  std::printf("\nfault spot check: %lld worker faults, %lld poison frames, "
+              "health %s, time to healthy %.1f ms\n",
+              fstats.worker_faults, fstats.poison_frames,
+              runtime::to_string(final_health), time_to_healthy_ms);
+  obs::gauge_set("runtime.health", static_cast<double>(final_health));
+  obs::gauge_set("runtime.bench.worker_faults",
+                 static_cast<double>(fstats.worker_faults));
+  obs::gauge_set("runtime.bench.poison_frames",
+                 static_cast<double>(fstats.poison_frames));
+  obs::gauge_set("runtime.bench.time_to_healthy_ms", time_to_healthy_ms);
+  const bool fault_recovered =
+      fstats.worker_faults > 0 && final_health == runtime::HealthState::kHealthy;
+
   std::printf("elapsed: %.1f s\n", timer.seconds());
   if (!obs::report_from_cli(cli)) return 1;
   if (cli.get_string("metrics-out").empty()) {
@@ -280,6 +335,6 @@ int main(int argc, char** argv) {
     std::printf("metrics JSON written to %s\n", path);
   }
   const bool pass_ok = scaling >= 1.5 && lossless_clean && overload_shed &&
-                       steady_allocs == 0;
+                       steady_allocs == 0 && fault_recovered;
   return pass_ok ? 0 : 1;
 }

@@ -13,6 +13,13 @@
 // delivery contract as it goes. If the server restarts mid-run, the client
 // reconnects with bounded exponential backoff and keeps streaming — watch
 // the "reconnects" line in the final summary.
+//
+// Telemetry (protocol v3): --timelines prints each frame's reconstructed
+// client -> engine -> client journey (server hop offsets grafted onto the
+// client clock); --prometheus dumps the server's metrics registry in
+// Prometheus text exposition after the run; --watch N skips streaming and
+// polls the telemetry plane every N seconds instead — a lightweight live
+// dashboard for a serving node.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -22,6 +29,7 @@
 
 #include "src/dataset/multistream.hpp"
 #include "src/net/client.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/runtime/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
@@ -58,6 +66,14 @@ int main(int argc, char** argv) {
   cli.add_double("interval-ms", 0.0, "frame pacing (0 = flat out)");
   cli.add_int("width", 256, "frame width");
   cli.add_int("height", 192, "frame height");
+  cli.add_flag("timelines",
+               "print each frame's end-to-end timeline (wire trace grafted "
+               "onto the client clock)");
+  cli.add_flag("prometheus",
+               "dump the server's Prometheus metrics text after the run");
+  cli.add_int("watch", 0,
+              "poll server telemetry every N seconds instead of streaming "
+              "(0 = off)");
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
 
@@ -89,6 +105,56 @@ int main(int argc, char** argv) {
               info.server_name.c_str(), info.model_dim, info.model_crc,
               info.stream_id);
 
+  // Watch mode: no frames, just the telemetry plane on a poll interval.
+  const int watch_s = cli.get_int("watch");
+  if (watch_s > 0) {
+    net::wire::TelemetryReport t;
+    while (g_stop == 0) {
+      if (!client.query_telemetry(t, 2000.0)) {
+        std::fprintf(stderr, "telemetry query failed: %s\n",
+                     client.last_error().c_str());
+        return 1;
+      }
+      std::printf(
+          "up %8.1fs  health %-8s  timelines %llu (window %u)  "
+          "admit %.2f/%.2f  queue %.2f/%.2f  engine %.1f/%.1f  "
+          "total %.1f/%.1f ms p50/p99\n",
+          t.uptime_seconds,
+          runtime::to_string(
+              static_cast<runtime::HealthState>(t.health_state)),
+          static_cast<unsigned long long>(t.timeline_frames),
+          t.timeline_window, static_cast<double>(t.admit.p50_ms),
+          static_cast<double>(t.admit.p99_ms),
+          static_cast<double>(t.queue.p50_ms),
+          static_cast<double>(t.queue.p99_ms),
+          static_cast<double>(t.engine.p50_ms),
+          static_cast<double>(t.engine.p99_ms),
+          static_cast<double>(t.total.p50_ms),
+          static_cast<double>(t.total.p99_ms));
+      if (cli.get_flag("prometheus")) {
+        std::fputs(t.prometheus.c_str(), stdout);
+      }
+      for (int tick = 0; tick < watch_s * 10 && g_stop == 0; ++tick) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    client.disconnect();
+    return 0;
+  }
+
+  const bool show_timelines = cli.get_flag("timelines");
+  const auto print_result = [&](const net::wire::Result& result) {
+    std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms\n",
+                static_cast<unsigned long long>(result.tag),
+                status_name(result.status), result.degrade_level,
+                result.detections.size(),
+                static_cast<double>(result.total_ms));
+    obs::FrameTimeline t;
+    if (show_timelines && client.last_timeline(t)) {
+      std::printf("     %s\n", obs::to_line(t).c_str());
+    }
+  };
+
   const int frames = cli.get_int("frames");
   const int stream = cli.get_int("stream");
   const double interval_ms = cli.get_double("interval-ms");
@@ -102,11 +168,7 @@ int main(int argc, char** argv) {
     }
     // Read whatever has arrived; stay roughly one frame behind the feed.
     while (client.next_result(result, interval_ms > 0.0 ? 1.0 : 0.0)) {
-      std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms\n",
-                  static_cast<unsigned long long>(result.tag),
-                  status_name(result.status), result.degrade_level,
-                  result.detections.size(),
-                  static_cast<double>(result.total_ms));
+      print_result(result);
       ++shown;
     }
     if (interval_ms > 0.0 && pace.milliseconds() < interval_ms) {
@@ -117,11 +179,7 @@ int main(int argc, char** argv) {
   // Drain the tail: every submitted frame owes exactly one result.
   while (shown < client.submitted_on_connection() &&
          client.next_result(result, 5000.0)) {
-    std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms\n",
-                static_cast<unsigned long long>(result.tag),
-                status_name(result.status), result.degrade_level,
-                result.detections.size(),
-                static_cast<double>(result.total_ms));
+    print_result(result);
     ++shown;
   }
 
@@ -155,7 +213,31 @@ int main(int argc, char** argv) {
          runtime::to_string(
              static_cast<runtime::HealthState>(report.health_state))});
   }
+  net::wire::TelemetryReport telemetry;
+  const bool have_telemetry = client.query_telemetry(telemetry, 2000.0);
+  if (have_telemetry) {
+    table.add_row({"server uptime s",
+                   util::to_fixed(telemetry.uptime_seconds, 1)});
+    table.add_row(
+        {"server timelines (window)",
+         std::to_string(telemetry.timeline_frames) + " (" +
+             std::to_string(telemetry.timeline_window) + ")"});
+    table.add_row(
+        {"server engine ms p50/p99",
+         util::to_fixed(static_cast<double>(telemetry.engine.p50_ms), 2) +
+             " / " +
+             util::to_fixed(static_cast<double>(telemetry.engine.p99_ms), 2)});
+    table.add_row(
+        {"server total ms p50/p99",
+         util::to_fixed(static_cast<double>(telemetry.total.p50_ms), 2) +
+             " / " +
+             util::to_fixed(static_cast<double>(telemetry.total.p99_ms), 2)});
+  }
   std::fputs(table.to_string().c_str(), stdout);
+  if (have_telemetry && cli.get_flag("prometheus")) {
+    std::printf("\n");
+    std::fputs(telemetry.prometheus.c_str(), stdout);
+  }
   client.disconnect();
   return client.in_order() && client.protocol_errors() == 0 ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 //   $ das_server [--streams 3] [--frames 8] [--workers 2] [--queue 8]
 //                [--interval-ms 0] [--deadline-ms 0] [--policy drop-oldest]
 //   $ das_server --listen 7788 [--max-clients 8] [--workers 2] ...
+//   $ das_server --listen 7788 --telemetry --flight-dump /tmp/pdet-flight
 //
 // A driver-assistance platform rarely has one camera: front, corners and
 // mirror-replacement feeds all want the same pedestrian detector. This demo
@@ -73,10 +74,21 @@ int main(int argc, char** argv) {
   cli.add_int("max-clients", 8, "remote mode: concurrent client connections");
   cli.add_int("chaos-seed", 0,
               "arm seeded fault injection across io/runtime (0 = off)");
+  cli.add_flag("telemetry",
+               "enable the live telemetry plane: metrics registry on, "
+               "TelemetryQuery answered with Prometheus text");
+  cli.add_string("flight-dump", "",
+                 "flight-recorder dump path prefix (written on poison frame, "
+                 "worker quarantine, or health leaving healthy)");
+  cli.add_int("timeline-depth", 64,
+              "frame timelines retained per stream (0 disables)");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
   obs::configure_from_cli(cli);
+  // --telemetry turns the metrics registry on even without --metrics: a
+  // remote TelemetryQuery renders whatever the registry holds.
+  if (cli.get_flag("telemetry")) obs::set_metrics_enabled(true);
   install_signal_handlers();
 
   // Chaos mode: a deterministic fault schedule across every injection point
@@ -126,6 +138,9 @@ int main(int argc, char** argv) {
     sopts.runtime.backpressure = policy;
     sopts.runtime.scheduler.deadline_ms = cli.get_double("deadline-ms");
     if (chaos_seed != 0) sopts.runtime.stall_timeout_ms = 60.0;
+    sopts.runtime.timeline_depth =
+        static_cast<std::size_t>(cli.get_int("timeline-depth"));
+    sopts.runtime.flight_dump_path = cli.get_string("flight-dump");
     sopts.runtime.hog = detector.config().hog;
     sopts.runtime.multiscale = detector.config().multiscale;
     sopts.runtime.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
@@ -166,6 +181,8 @@ int main(int argc, char** argv) {
                    std::to_string(stats.runtime.errors) + " / " +
                        std::to_string(stats.runtime.poison_frames)});
     table.add_row({"health", runtime::to_string(stats.runtime.health)});
+    table.add_row({"flight-recorder triggers",
+                   std::to_string(stats.runtime.flight_triggers)});
     table.add_row({"aggregate fps",
                    util::to_fixed(stats.runtime.aggregate_fps, 1)});
     table.add_row({"request ms p50/p99",
@@ -203,6 +220,8 @@ int main(int argc, char** argv) {
   opts.backpressure = policy;
   opts.scheduler.deadline_ms = cli.get_double("deadline-ms");
   if (chaos_seed != 0) opts.stall_timeout_ms = 60.0;
+  opts.timeline_depth = static_cast<std::size_t>(cli.get_int("timeline-depth"));
+  opts.flight_dump_path = cli.get_string("flight-dump");
   opts.hog = detector.config().hog;
   opts.multiscale = detector.config().multiscale;
   opts.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
@@ -278,6 +297,8 @@ int main(int argc, char** argv) {
                      std::to_string(stats.worker_stalls) + " / " +
                      std::to_string(stats.workers_replaced)});
   table.add_row({"health", runtime::to_string(stats.health)});
+  table.add_row({"flight-recorder triggers",
+                 std::to_string(stats.flight_triggers)});
   table.add_row({"aggregate fps", util::to_fixed(stats.aggregate_fps, 1)});
   table.add_row({"queue wait ms p50/p99",
                  util::to_fixed(stats.queue_wait_ms.p50, 1) + " / " +

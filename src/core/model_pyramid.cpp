@@ -7,6 +7,7 @@
 #include "src/hog/descriptor.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/timer.hpp"
 
 namespace pdet::core {
 namespace {
@@ -78,6 +79,7 @@ detect::MultiscaleResult ModelPyramidDetector::detect(
     }
     detect::ScanOptions scan;
     scan.threshold = config_.threshold;
+    const util::Timer level_timer;
     const auto hits = detect::scan_level(blocks, sm.params, sm.model, scan);
     // Same per-level bookkeeping contract as detect_multiscale (one
     // LevelStats entry per scanned level, windows summed into the total).
@@ -87,6 +89,7 @@ detect::MultiscaleResult ModelPyramidDetector::detect(
     stats.cells_y = cells.cells_y();
     stats.windows = detect::scan_window_count(blocks, sm.params);
     stats.detections = static_cast<long long>(hits.size());
+    stats.ms = level_timer.milliseconds();
     result.windows_evaluated += stats.windows;
     result.per_level.push_back(stats);
     for (detect::Detection d : hits) {

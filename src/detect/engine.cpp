@@ -91,6 +91,7 @@ void DetectionEngine::run_level(const imgproc::ImageF& frame,
                                 const hog::HogParams& params,
                                 const svm::LinearModel& model,
                                 const MultiscaleOptions& options, int index) {
+  const util::Timer level_timer;
   FrameWorkspace& ws = workspace_;
   LevelWorkspace& level = ws.levels[static_cast<std::size_t>(index)];
   const double s = options.scales[static_cast<std::size_t>(index)];
@@ -175,6 +176,7 @@ void DetectionEngine::run_level(const imgproc::ImageF& frame,
     d.height = static_cast<int>(std::lround(d.height * s));
     d.scale = s;
   }
+  level.stats.ms = level_timer.milliseconds();
   level.scanned = true;
 }
 
@@ -235,8 +237,10 @@ const MultiscaleResult& DetectionEngine::process(
         n,
         +[](void* raw_ctx, int index) {
           auto* job = static_cast<LevelJobCtx*>(raw_ctx);
-          // The obs layer is single-threaded; workers record nothing and the
-          // engine publishes per-level counters as aggregates below.
+          // Level lanes are muted by policy, not for safety (the obs layer
+          // is thread-safe): the engine publishes their counters as one
+          // per-frame aggregate below so counter totals stay identical at
+          // every --threads setting.
           obs::ScopedThreadMute mute;
           job->engine->run_level(*job->frame, *job->params, *job->model,
                                  *job->options, index);

@@ -15,10 +15,11 @@
 // level owns its complete scratch set, so the arithmetic of a level is
 // independent of which thread runs it; levels are merged in scale order, and
 // the result is bit-identical to the single-threaded run for every
-// PyramidStrategy. With threads > 1 the workers run obs-muted (the trace /
-// metrics layer is single-threaded by design, see trace.hpp) and the engine
-// publishes the per-level counters as aggregates afterwards; per-stage spans
-// inside levels are only recorded in the threads == 1 configuration.
+// PyramidStrategy. With threads > 1 the workers run obs-muted — a policy
+// choice, not a safety one (the trace/metrics layer is thread-safe, see
+// trace.hpp): the engine publishes the per-level counters as aggregates
+// afterwards so counter totals stay identical at every threads setting.
+// Per-stage spans inside levels are only recorded when threads == 1.
 #pragma once
 
 #include <memory>

@@ -38,6 +38,7 @@ struct LevelStats {
   int cells_y = 0;
   long long windows = 0;      ///< windows the scan evaluated at this level
   long long detections = 0;   ///< pre-NMS hits at this level
+  double ms = 0.0;            ///< wall time spent on this level's pipeline
 };
 
 struct MultiscaleResult {

@@ -15,6 +15,10 @@ double ms_until(Clock::time_point deadline) {
       .count();
 }
 
+/// In-flight encode stamps kept per connection; beyond this the oldest is
+/// dropped and its eventual result grafts without the client-side leg.
+constexpr std::size_t kMaxEncodeStamps = 256;
+
 }  // namespace
 
 Client::Client(ClientOptions options) : options_(std::move(options)) {}
@@ -72,6 +76,7 @@ bool Client::connect_once(std::string* error) {
   submitted_conn_ = 0;
   expected_tag_ = 0;
   have_last_sequence_ = false;
+  encode_stamps_.clear();
   return true;
 }
 
@@ -210,8 +215,13 @@ bool Client::submit(const imgproc::ImageF& frame) {
     frame_msg_.tag = static_cast<std::uint64_t>(submitted_conn_);
     frame_msg_.image = frame;  // copy-assign into reused staging buffer
     send_buf_.clear();
+    const std::uint64_t encode_ns = obs::timeline_now_ns();
     wire::encode_submit_frame(frame_msg_, send_buf_);
     if (send_all(send_buf_)) {
+      if (encode_stamps_.size() >= kMaxEncodeStamps) {
+        encode_stamps_.erase(encode_stamps_.begin());
+      }
+      encode_stamps_.emplace_back(frame_msg_.tag, encode_ns);
       ++submitted_conn_;
       return true;
     }
@@ -239,6 +249,66 @@ void Client::note_result(const wire::Result& r) {
   expected_tag_ = r.tag + 1;
   last_sequence_ = r.sequence;
   have_last_sequence_ = true;
+  graft_timeline(r);
+}
+
+void Client::graft_timeline(const wire::Result& r) {
+  const std::uint64_t decode_ns = obs::timeline_now_ns();
+  // Pop stamps for shed frames (tags are in order); keep the matching one.
+  std::uint64_t encode_ns = 0;
+  std::size_t drop = 0;
+  for (; drop < encode_stamps_.size() && encode_stamps_[drop].first <= r.tag;
+       ++drop) {
+    if (encode_stamps_[drop].first == r.tag) {
+      encode_ns = encode_stamps_[drop].second;
+    }
+  }
+  if (drop > 0) {
+    encode_stamps_.erase(encode_stamps_.begin(),
+                         encode_stamps_.begin() +
+                             static_cast<std::ptrdiff_t>(drop));
+  }
+
+  obs::FrameTimeline t;
+  t.trace_id = r.tag;
+  t.stream = static_cast<int>(hello_ack_.stream_id);
+  t.sequence = r.sequence;
+  t.status = static_cast<std::uint8_t>(r.status);
+  t.degrade_level = r.degrade_level;
+  t.client_encode_ns = encode_ns;
+  t.client_decode_ns = decode_ns;
+  if (encode_ns != 0 && decode_ns > encode_ns) {
+    // Place the server hops on the client clock: the server held the frame
+    // for send_us, the rest of the round trip was the network, and the
+    // midpoint estimate splits it evenly (clocks never cross the wire).
+    const std::uint64_t server_ns =
+        static_cast<std::uint64_t>(r.trace.send_us) * 1000;
+    const std::uint64_t rtt_ns = decode_ns - encode_ns;
+    const std::uint64_t one_way_ns =
+        rtt_ns > server_ns ? (rtt_ns - server_ns) / 2 : 0;
+    const std::uint64_t recv_ns = encode_ns + one_way_ns;
+    const auto hop = [recv_ns](std::uint32_t us) {
+      return us == 0 ? 0 : recv_ns + static_cast<std::uint64_t>(us) * 1000;
+    };
+    t.service_recv_ns = recv_ns;
+    t.queue_admit_ns = hop(r.trace.admit_us);
+    t.schedule_ns = hop(r.trace.schedule_us);
+    t.engine_start_ns = hop(r.trace.engine_start_us);
+    t.engine_end_ns = hop(r.trace.engine_end_us);
+    t.deliver_ns = hop(r.trace.deliver_us);
+    t.wire_send_ns = hop(r.trace.send_us);
+  }
+  t.level_count = static_cast<std::uint8_t>(std::min<std::size_t>(
+      r.trace.level_count, obs::kTimelineMaxLevels));
+  t.level_us = r.trace.level_us;
+  last_timeline_ = t;
+  have_timeline_ = true;
+}
+
+bool Client::last_timeline(obs::FrameTimeline& out) const {
+  if (!have_timeline_) return false;
+  out = last_timeline_;
+  return true;
 }
 
 bool Client::next_result(wire::Result& out, double timeout_ms) {
@@ -270,6 +340,7 @@ bool Client::next_result(wire::Result& out, double timeout_ms) {
         fail_link(std::string("server error: ") + msg_.error.message);
         return false;
       case wire::MsgType::kStatsReport:
+      case wire::MsgType::kTelemetryReport:
         continue;  // stale report (query timed out earlier); skip
       default:
         ++protocol_errors_;
@@ -293,6 +364,41 @@ bool Client::query_stats(wire::StatsReport& out, double timeout_ms) {
       case wire::MsgType::kStatsReport:
         out = msg_.stats;
         return true;
+      case wire::MsgType::kTelemetryReport:
+        continue;  // stale telemetry report; skip
+      case wire::MsgType::kResult:
+        // Keep the delivery contract: park it for next_result().
+        note_result(msg_.result);
+        buffered_results_.push_back(msg_.result);
+        continue;
+      case wire::MsgType::kError:
+        ++protocol_errors_;
+        fail_link(std::string("server error: ") + msg_.error.message);
+        return false;
+      default:
+        ++protocol_errors_;
+        fail_link("unexpected message type");
+        return false;
+    }
+  }
+}
+
+bool Client::query_telemetry(wire::TelemetryReport& out, double timeout_ms) {
+  if (!ensure_connected()) return false;
+  send_buf_.clear();
+  wire::encode_telemetry_query(send_buf_);
+  if (!send_all(send_buf_)) return false;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    if (!read_message(std::max(0.0, ms_until(deadline)))) return false;
+    switch (msg_.type) {
+      case wire::MsgType::kTelemetryReport:
+        out = msg_.telemetry;
+        return true;
+      case wire::MsgType::kStatsReport:
+        continue;  // stale stats report; skip
       case wire::MsgType::kResult:
         // Keep the delivery contract: park it for next_result().
         note_result(msg_.result);

@@ -26,14 +26,23 @@
 // Blocking with explicit timeouts throughout; single-threaded use (one
 // camera loop). Encode/decode buffers are owned and reused — a steady
 // submit/read cycle allocates nothing once buffers are warm.
+//
+// Frame timelines (v3): submit() stamps client_encode per tag; each Result
+// carries server hop offsets relative to service receive (wire FrameTrace),
+// and the client grafts them onto its own clock — the network one-way time
+// is estimated as (round trip - server residency) / 2, the classic
+// NTP-style midpoint. last_timeline() returns the reconstructed
+// client -> engine -> client journey of the most recent result.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/socket.hpp"
 #include "src/net/wire.hpp"
+#include "src/obs/timeline.hpp"
 
 namespace pdet::net {
 
@@ -87,6 +96,15 @@ class Client {
   /// in order.
   bool query_stats(wire::StatsReport& out, double timeout_ms);
 
+  /// Round-trip a TelemetryQuery (v3): Prometheus metrics text + timeline
+  /// percentiles. Same buffering contract as query_stats.
+  bool query_telemetry(wire::TelemetryReport& out, double timeout_ms);
+
+  /// End-to-end timeline of the most recent next_result() delivery, server
+  /// hops grafted onto the client clock (see the header comment). False
+  /// until a result for a frame submitted on this connection has arrived.
+  bool last_timeline(obs::FrameTimeline& out) const;
+
   // Lifetime accounting (reset by reconnects where noted).
   long long submitted_on_connection() const { return submitted_conn_; }
   long long results_received() const { return results_received_; }
@@ -110,6 +128,8 @@ class Client {
   bool read_message(double timeout_ms);
   /// Ordering/shedding bookkeeping for one received Result.
   void note_result(const wire::Result& r);
+  /// Rebuild the frame's end-to-end timeline from the wire trace offsets.
+  void graft_timeline(const wire::Result& r);
   void fail_link(const std::string& why);
 
   const ClientOptions options_;
@@ -125,6 +145,13 @@ class Client {
   /// next_result() calls in arrival order.
   std::vector<wire::Result> buffered_results_;
   std::size_t buffered_pos_ = 0;
+
+  /// (tag, client_encode_ns) for in-flight frames, submit order. Bounded:
+  /// the oldest entry is dropped beyond kMaxEncodeStamps (its result then
+  /// grafts without a client leg). Reset on reconnect, with the tags.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> encode_stamps_;
+  obs::FrameTimeline last_timeline_;
+  bool have_timeline_ = false;
 
   long long submitted_conn_ = 0;   ///< frames on the current connection
   long long results_received_ = 0;

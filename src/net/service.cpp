@@ -9,9 +9,10 @@
 #include <cstring>
 #include <utility>
 
-#include "src/obs/trace.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/svm/model_io.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/stats.hpp"
 
 namespace pdet::net {
 namespace {
@@ -116,6 +117,7 @@ struct DetectionService::Connection {
   wire::Message msg;          ///< reused decode target
   wire::Result out_result;    ///< reused encode staging
   wire::StatsReport out_stats;
+  wire::TelemetryReport out_telemetry;
   SlotResult popped;  ///< reused pop target
 
   std::size_t unsent() const { return wbuf.size() - wpos; }
@@ -264,6 +266,47 @@ void DetectionService::build_stats_report(wire::StatsReport& out) {
       static_cast<std::uint32_t>(counters_.active_connections);
 }
 
+void DetectionService::build_telemetry_report(wire::TelemetryReport& out) {
+  const runtime::RuntimeStats rt = runtime_.stats();
+  out.uptime_seconds = rt.wall_seconds;
+  out.health_state = static_cast<std::uint32_t>(rt.health);
+
+  // Frame-timeline percentiles over the flight recorder's retained window.
+  const obs::FlightRecorder& flight = runtime_.flight_recorder();
+  out.timeline_frames = flight.total_recorded();
+  const std::vector<obs::FrameTimeline> window = flight.snapshot();
+  out.timeline_window = static_cast<std::uint32_t>(window.size());
+  std::vector<double> admit, queue, engine, total;
+  admit.reserve(window.size());
+  queue.reserve(window.size());
+  engine.reserve(window.size());
+  total.reserve(window.size());
+  for (const obs::FrameTimeline& t : window) {
+    const obs::TimelineBreakdown b = obs::breakdown(t);
+    admit.push_back(b.admit_ms);
+    queue.push_back(b.queue_ms);
+    engine.push_back(b.engine_ms);
+    total.push_back(b.total_ms);
+  }
+  const auto pcts = [](std::span<const double> xs) {
+    wire::TelemetryPercentiles p;
+    if (!xs.empty()) {
+      p.p50_ms = static_cast<float>(util::percentile(xs, 50.0));
+      p.p99_ms = static_cast<float>(util::percentile(xs, 99.0));
+    }
+    return p;
+  };
+  out.admit = pcts(admit);
+  out.queue = pcts(queue);
+  out.engine = pcts(engine);
+  out.total = pcts(total);
+
+  // Refresh the registry before rendering so the scrape is current. Empty
+  // text when metrics are disabled — the counters above still fill in.
+  publish_metrics();
+  out.prometheus = obs::Registry::instance().to_prometheus();
+}
+
 void DetectionService::handle_message(Connection& conn) {
   switch (conn.msg.type) {
     case wire::MsgType::kHello: {
@@ -329,12 +372,20 @@ void DetectionService::handle_message(Connection& conn) {
       }
       // Every submit outcome (accepted, evicted, rejected) produces exactly
       // one in-order delivery, so the tag/outstanding bookkeeping balances.
-      (void)runtime_.submit(s.stream_id, conn.msg.frame.image);
+      // The tag rides along as trace context and service_recv anchors the
+      // frame's wire-visible timeline offsets.
+      (void)runtime_.submit(s.stream_id, conn.msg.frame.image,
+                            conn.msg.frame.tag, obs::timeline_now_ns());
       return;
     }
     case wire::MsgType::kStatsQuery: {
       build_stats_report(conn.out_stats);
       wire::encode_stats_report(conn.out_stats, conn.wbuf);
+      return;
+    }
+    case wire::MsgType::kTelemetryQuery: {
+      build_telemetry_report(conn.out_telemetry);
+      wire::encode_telemetry_report(conn.out_telemetry, conn.wbuf);
       return;
     }
     case wire::MsgType::kShutdown: {
@@ -344,6 +395,7 @@ void DetectionService::handle_message(Connection& conn) {
     case wire::MsgType::kHelloAck:
     case wire::MsgType::kResult:
     case wire::MsgType::kStatsReport:
+    case wire::MsgType::kTelemetryReport:
       send_error(conn, wire::ErrorCode::kProtocol,
                  "server-to-client message from client");
       conn.closing = true;
@@ -422,6 +474,19 @@ void DetectionService::handle_readable(Connection& conn) {
   }
 }
 
+namespace {
+
+/// Microseconds from `from` to `to`, 0 when either stamp is missing or the
+/// hop went backwards (a stamp of 0 means "hop not reached").
+std::uint32_t us_offset(std::uint64_t from, std::uint64_t to) {
+  if (from == 0 || to <= from) return 0;
+  const std::uint64_t us = (to - from) / 1000;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(us, 0xFFFF'FFFFull));
+}
+
+}  // namespace
+
 void DetectionService::flush_slot_queues() {
   for (auto& conn_ptr : conns_) {
     Connection& conn = *conn_ptr;
@@ -438,6 +503,20 @@ void DetectionService::flush_slot_queues() {
       out.queue_wait_ms = static_cast<float>(r.queue_wait_ms);
       out.service_ms = static_cast<float>(r.service_ms);
       out.total_ms = static_cast<float>(r.total_ms);
+      // Flatten the server-side timeline into wire offsets relative to
+      // service receive; wire_send is stamped here, at encode time.
+      const obs::FrameTimeline& t = r.timing;
+      out.trace.admit_us = us_offset(t.service_recv_ns, t.queue_admit_ns);
+      out.trace.schedule_us = us_offset(t.service_recv_ns, t.schedule_ns);
+      out.trace.engine_start_us =
+          us_offset(t.service_recv_ns, t.engine_start_ns);
+      out.trace.engine_end_us = us_offset(t.service_recv_ns, t.engine_end_ns);
+      out.trace.deliver_us = us_offset(t.service_recv_ns, t.deliver_ns);
+      out.trace.send_us =
+          us_offset(t.service_recv_ns, obs::timeline_now_ns());
+      out.trace.level_count = static_cast<std::uint8_t>(
+          std::min<std::size_t>(t.level_count, obs::kTimelineMaxLevels));
+      out.trace.level_us = t.level_us;
       out.detections = r.detections;  // copy-assign, capacity reuse
       wire::encode_result(out, conn.wbuf);
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -486,11 +565,9 @@ void DetectionService::close_connection(std::size_t index) {
 }
 
 void DetectionService::io_main() {
-  // The io thread may not touch the single-threaded obs registry (spans or
-  // metric helpers fired inside runtime_.submit would race the owner
-  // thread); everything is aggregated under stats_mutex_ instead.
-  obs::ScopedThreadMute mute;
-
+  // The obs layer is thread-safe, so the io thread records spans and
+  // answers telemetry queries directly; service counters still aggregate
+  // under stats_mutex_ so stats() stays one consistent snapshot.
   std::vector<pollfd> fds;
   bool stopping = false;
   while (true) {
@@ -614,6 +691,7 @@ ServiceStats DetectionService::stats() const {
 
 void DetectionService::publish_metrics() {
   const ServiceStats s = stats();
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   const auto delta = [](const char* name, long long current, long long& last) {
     if (current != last) {
       obs::counter_add(name, current - last);

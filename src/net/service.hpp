@@ -30,9 +30,15 @@
 // touch their slot's bounded queue + wake pipe inside the result callback.
 // stop() drains in-flight frames through the runtime, flushes what the
 // clients will accept within a deadline, then tears down. Counters are
-// aggregated service-locally (the io thread must not touch the
-// single-threaded obs registry); publish_metrics() writes net.* deltas from
-// the owner thread, the same contract as DetectionServer::publish_metrics.
+// aggregated service-locally so stats() is one consistent snapshot;
+// publish_metrics() mirrors them into the (thread-safe) obs registry and
+// may be called from any thread — a TelemetryQuery invokes it on the io
+// thread so the Prometheus text a client reads is current.
+//
+// The telemetry plane (v3): the io thread stamps service_recv on every
+// SubmitFrame and wire_send on every encoded Result, carrying the client's
+// frame tag as trace context; a TelemetryQuery is answered inline from the
+// metrics registry plus the runtime's flight-recorder timeline window.
 #pragma once
 
 #include <atomic>
@@ -111,7 +117,8 @@ class DetectionService {
   ServiceStats stats() const;
 
   /// Write net.* counters/histograms and the runtime.* set into the global
-  /// obs registry (delta-tracked, owner-thread only — the obs convention).
+  /// obs registry. Delta-tracked and thread-safe (telemetry queries publish
+  /// from the io thread; a periodic owner loop may run concurrently).
   void publish_metrics();
 
  private:
@@ -126,6 +133,7 @@ class DetectionService {
   void close_connection(std::size_t index);
   void send_error(Connection& conn, wire::ErrorCode code, const char* text);
   void build_stats_report(wire::StatsReport& out);
+  void build_telemetry_report(wire::TelemetryReport& out);
   int acquire_slot();
   void wake();
 
@@ -152,6 +160,9 @@ class DetectionService {
   mutable std::mutex stats_mutex_;
   ServiceStats counters_;
   obs::Histogram request_hist_;
+  /// Delta-publishing state, own lock (io thread and owner may both call
+  /// publish_metrics).
+  std::mutex publish_mutex_;
   ServiceStats published_;  ///< last values written to the registry
 };
 

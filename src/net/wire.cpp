@@ -1,5 +1,7 @@
 #include "src/net/wire.hpp"
 
+#include <algorithm>
+
 #include "src/util/bytes.hpp"
 
 namespace pdet::net::wire {
@@ -86,8 +88,11 @@ bool decode_result(ByteReader& r, Result& out) {
   out.total_ms = r.f32();
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > kMaxDetections) return false;
-  // 28 bytes per detection; reject inconsistent counts before resizing.
-  if (r.remaining() != static_cast<std::size_t>(count) * 28) return false;
+  // 28 bytes per detection plus the fixed prefix of the v3 trace block;
+  // reject inconsistent counts before resizing. The trace block's own
+  // length is variable (level_count), so the exact-size check is the final
+  // exhausted().
+  if (r.remaining() < static_cast<std::size_t>(count) * 28 + 25) return false;
   out.detections.resize(count);
   for (detect::Detection& d : out.detections) {
     d.x = r.i32();
@@ -97,7 +102,35 @@ bool decode_result(ByteReader& r, Result& out) {
     d.score = r.f32();
     d.scale = r.f64();
   }
+  // v3 trace block: six u32 hop offsets, u8 level count, level times.
+  out.trace.admit_us = r.u32();
+  out.trace.schedule_us = r.u32();
+  out.trace.engine_start_us = r.u32();
+  out.trace.engine_end_us = r.u32();
+  out.trace.deliver_us = r.u32();
+  out.trace.send_us = r.u32();
+  const std::uint8_t levels = r.u8();
+  if (!r.ok() || levels > obs::kTimelineMaxLevels) return false;
+  out.trace.level_count = levels;
+  out.trace.level_us.fill(0);
+  for (std::uint8_t i = 0; i < levels; ++i) {
+    out.trace.level_us[i] = r.u32();
+  }
   return r.exhausted();
+}
+
+bool decode_telemetry_report(ByteReader& r, TelemetryReport& out) {
+  out.uptime_seconds = r.f64();
+  out.health_state = r.u32();
+  out.timeline_frames = r.u64();
+  out.timeline_window = r.u32();
+  for (TelemetryPercentiles* p :
+       {&out.admit, &out.queue, &out.engine, &out.total}) {
+    p->p50_ms = r.f32();
+    p->p99_ms = r.f32();
+  }
+  return r.ok() && r.str(out.prometheus, kMaxTelemetryTextLen) &&
+         r.exhausted();
 }
 
 bool decode_stats_report(ByteReader& r, StatsReport& out) {
@@ -206,6 +239,19 @@ void encode_result(const Result& msg, std::vector<std::uint8_t>& out) {
     w.f32(d.score);
     w.f64(d.scale);
   }
+  const std::uint8_t levels = std::min<std::uint8_t>(
+      msg.trace.level_count,
+      static_cast<std::uint8_t>(obs::kTimelineMaxLevels));
+  w.u32(msg.trace.admit_us);
+  w.u32(msg.trace.schedule_us);
+  w.u32(msg.trace.engine_start_us);
+  w.u32(msg.trace.engine_end_us);
+  w.u32(msg.trace.deliver_us);
+  w.u32(msg.trace.send_us);
+  w.u8(levels);
+  for (std::uint8_t i = 0; i < levels; ++i) {
+    w.u32(msg.trace.level_us[i]);
+  }
   end_frame(w, out, at);
 }
 
@@ -238,6 +284,30 @@ void encode_stats_report(const StatsReport& msg,
   w.u64(msg.poison_frames);
   w.u64(msg.net_frames_rejected);
   w.u32(msg.health_state);
+  end_frame(w, out, at);
+}
+
+void encode_telemetry_query(std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kTelemetryQuery);
+  end_frame(w, out, at);
+}
+
+void encode_telemetry_report(const TelemetryReport& msg,
+                             std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  const std::size_t at = begin_frame(w, MsgType::kTelemetryReport);
+  w.f64(msg.uptime_seconds);
+  w.u32(msg.health_state);
+  w.u64(msg.timeline_frames);
+  w.u32(msg.timeline_window);
+  for (const TelemetryPercentiles* p :
+       {&msg.admit, &msg.queue, &msg.engine, &msg.total}) {
+    w.f32(p->p50_ms);
+    w.f32(p->p99_ms);
+  }
+  w.str(std::string_view(msg.prometheus)
+            .substr(0, kMaxTelemetryTextLen));
   end_frame(w, out, at);
 }
 
@@ -279,7 +349,7 @@ DecodeStatus decode_message(std::span<const std::uint8_t> data, Message& out,
   }
 
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+      type > static_cast<std::uint8_t>(MsgType::kTelemetryReport)) {
     return DecodeStatus::kUnknownType;
   }
   out.type = static_cast<MsgType>(type);
@@ -299,6 +369,10 @@ DecodeStatus decode_message(std::span<const std::uint8_t> data, Message& out,
       break;
     case MsgType::kError: ok = decode_error(r, out.error); break;
     case MsgType::kShutdown: ok = payload.empty(); break;
+    case MsgType::kTelemetryQuery: ok = payload.empty(); break;
+    case MsgType::kTelemetryReport:
+      ok = decode_telemetry_report(r, out.telemetry);
+      break;
   }
   if (!ok) {
     // The frame passed its CRC, so the framing (and out.type) is sound even

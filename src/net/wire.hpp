@@ -34,8 +34,17 @@
 // v2 (breaking): Result grew the kError frame status and StatsReport grew
 // the fault/health block (worker_faults..health_state) so remote clients
 // can observe the server's self-healing state machine.
+//
+// v3 (breaking): the telemetry plane. Result grew a trailing FrameTrace
+// block (server-side hop offsets in microseconds relative to service
+// receive, plus per-pyramid-level engine times) so a client can reconstruct
+// the frame's end-to-end timeline without sharing a clock with the server.
+// New messages kTelemetryQuery / kTelemetryReport return the full metrics
+// registry in Prometheus text exposition format plus frame-timeline
+// percentiles from the server's flight-recorder window.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -43,12 +52,13 @@
 
 #include "src/detect/detection.hpp"
 #include "src/imgproc/image.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/runtime/stream.hpp"
 
 namespace pdet::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x50444E31u;  // "PDN1"
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::size_t kHeaderSize = 16;
 /// Upper bound on a frame payload; a 4K-UHD float luminance plane is ~33 MiB,
 /// anything larger is a corrupt or hostile length field.
@@ -58,6 +68,9 @@ inline constexpr std::uint32_t kMaxFrameDim = 8192;
 inline constexpr std::size_t kMaxNameLen = 256;
 inline constexpr std::size_t kMaxErrorLen = 1024;
 inline constexpr std::uint32_t kMaxDetections = 1u << 16;
+/// Cap on the Prometheus text payload of a TelemetryReport. A registry of a
+/// few hundred series renders to tens of KiB; 1 MiB headroom is generous.
+inline constexpr std::size_t kMaxTelemetryTextLen = 1u << 20;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,        ///< client -> server, first message on a connection
@@ -68,6 +81,8 @@ enum class MsgType : std::uint8_t {
   kStatsReport = 6,  ///< server -> client, runtime + net counters
   kError = 7,        ///< either direction; sender closes after a fatal one
   kShutdown = 8,     ///< client -> server: flush my results, then close
+  kTelemetryQuery = 9,    ///< client -> server, empty payload (v3)
+  kTelemetryReport = 10,  ///< server -> client, Prometheus text + timeline
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -97,6 +112,22 @@ struct SubmitFrame {
   imgproc::ImageF image;  ///< reused on decode (reset, not reallocated)
 };
 
+/// Server-side hop offsets for one frame (v3), microseconds relative to the
+/// service-receive stamp. Clock domains do not cross the wire: the server
+/// publishes durations, and the client grafts them onto its own
+/// obs::timeline_now_ns() domain (see Client::last_timeline). 0 = hop not
+/// reached (dropped/errored frames stop partway).
+struct FrameTrace {
+  std::uint32_t admit_us = 0;         ///< recv -> bounded-queue admit
+  std::uint32_t schedule_us = 0;      ///< recv -> scheduler decision
+  std::uint32_t engine_start_us = 0;  ///< recv -> detect::process entered
+  std::uint32_t engine_end_us = 0;    ///< recv -> detect::process returned
+  std::uint32_t deliver_us = 0;       ///< recv -> in-order delivery fired
+  std::uint32_t send_us = 0;          ///< recv -> result encoded for wire
+  std::uint8_t level_count = 0;       ///< pyramid levels actually timed
+  std::array<std::uint32_t, obs::kTimelineMaxLevels> level_us{};
+};
+
 /// Mirrors runtime::StreamResult; `tag` echoes the SubmitFrame that produced
 /// it so a client can match results without trusting arrival order (though
 /// per-stream delivery *is* in order: slot FIFO + TCP ordering).
@@ -108,6 +139,7 @@ struct Result {
   float queue_wait_ms = 0.0f;
   float service_ms = 0.0f;
   float total_ms = 0.0f;
+  FrameTrace trace;  ///< server-side timeline offsets (v3)
   std::vector<detect::Detection> detections;
 };
 
@@ -136,6 +168,29 @@ struct StatsReport {
   std::uint32_t health_state = 0;      ///< runtime::HealthState as integer
 };
 
+/// p50/p99 of one hop duration over the server's flight-recorder window.
+struct TelemetryPercentiles {
+  float p50_ms = 0.0f;
+  float p99_ms = 0.0f;
+};
+
+/// The live telemetry plane (v3): everything a scrape or a --watch client
+/// needs in one round trip. `prometheus` is the full obs registry rendered
+/// in Prometheus text exposition format 0.0.4 (empty when the server runs
+/// with metrics disabled); the percentiles come from the frame timelines
+/// retained in the server's flight recorder.
+struct TelemetryReport {
+  double uptime_seconds = 0.0;
+  std::uint32_t health_state = 0;      ///< runtime::HealthState as integer
+  std::uint64_t timeline_frames = 0;   ///< timelines recorded since start
+  std::uint32_t timeline_window = 0;   ///< frames the percentiles cover
+  TelemetryPercentiles admit;   ///< service recv -> queue admit
+  TelemetryPercentiles queue;   ///< queue admit -> schedule decision
+  TelemetryPercentiles engine;  ///< engine start -> end
+  TelemetryPercentiles total;   ///< first -> last recorded stamp
+  std::string prometheus;       ///< metrics registry, text exposition
+};
+
 struct Error {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
@@ -150,6 +205,7 @@ struct Message {
   SubmitFrame frame;
   Result result;
   StatsReport stats;
+  TelemetryReport telemetry;
   Error error;
 };
 
@@ -161,7 +217,7 @@ enum class DecodeStatus {
   kBadLength,    ///< declared payload length out of bounds
   kBadCrc,       ///< frame failed its integrity check
   kBadPayload,   ///< CRC ok but fields malformed (internal inconsistency)
-  kUnknownType,  ///< type byte not a v1 MsgType
+  kUnknownType,  ///< type byte not a known MsgType
 };
 
 const char* to_string(DecodeStatus status);
@@ -177,6 +233,9 @@ void encode_result(const Result& msg, std::vector<std::uint8_t>& out);
 void encode_stats_query(std::vector<std::uint8_t>& out);
 void encode_stats_report(const StatsReport& msg,
                          std::vector<std::uint8_t>& out);
+void encode_telemetry_query(std::vector<std::uint8_t>& out);
+void encode_telemetry_report(const TelemetryReport& msg,
+                             std::vector<std::uint8_t>& out);
 void encode_error(const Error& msg, std::vector<std::uint8_t>& out);
 void encode_shutdown(std::vector<std::uint8_t>& out);
 

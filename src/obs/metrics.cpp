@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <tuple>
 
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
@@ -12,7 +13,13 @@
 namespace pdet::obs {
 namespace {
 
-std::atomic<bool> g_metrics{false};
+#ifdef PDET_OBS_FORCE_ENABLED
+constexpr bool kMetricsDefaultOn = true;
+#else
+constexpr bool kMetricsDefaultOn = false;
+#endif
+
+std::atomic<bool> g_metrics{kMetricsDefaultOn};
 
 constexpr double kLatencyBoundsMs[] = {0.1, 0.2, 0.5, 1.0,  2.0,  5.0,
                                        10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
@@ -35,11 +42,32 @@ void append_json_key(std::string& out, const std::string& name) {
   out += "\":";
 }
 
+/// Map a dotted pdet metric name onto the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]* with the `pdet_` namespace prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "pdet_";
+  out.reserve(name.size() + 5);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus sample value: plain decimal, +Inf/-Inf/NaN spelled out.
+std::string prometheus_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return util::format("%.9g", v);
+}
+
 }  // namespace
 
 bool metrics_enabled() {
-  // The registry is single-threaded; per-thread mutes (worker pools) read
-  // metrics as disabled, same as spans. See ScopedThreadMute in trace.hpp.
+  // The registry is thread-safe; per-thread mutes (the engine's level lanes,
+  // test helpers) still read metrics as disabled so deliberately redundant
+  // work stays out of the counters. See ScopedThreadMute in trace.hpp.
   return g_metrics.load(std::memory_order_relaxed) && !obs_thread_muted();
 }
 void set_metrics_enabled(bool enabled) {
@@ -53,6 +81,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Buckets carry inclusive upper edges (Prometheus "le" convention):
   // bucket i counts values in (bounds[i-1], bounds[i]].
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
@@ -62,6 +91,7 @@ void Histogram::record(double value) {
 }
 
 HistogramSummary Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   HistogramSummary s;
   s.count = acc_.count();
   s.mean = acc_.mean();
@@ -85,6 +115,7 @@ Registry& Registry::instance() {
 }
 
 void Registry::counter_add(std::string_view name, long long delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) {
     it->second += delta;
@@ -94,6 +125,7 @@ void Registry::counter_add(std::string_view name, long long delta) {
 }
 
 void Registry::gauge_set(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = value;
@@ -104,12 +136,15 @@ void Registry::gauge_set(std::string_view name, double value) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   if (bounds.empty()) bounds = default_latency_bounds_ms();
+  // Histogram owns a mutex and cannot be moved; construct in place.
   return histograms_
-      .emplace(std::string(name),
-               Histogram(std::vector<double>(bounds.begin(), bounds.end())))
+      .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+               std::forward_as_tuple(
+                   std::vector<double>(bounds.begin(), bounds.end())))
       .first->second;
 }
 
@@ -118,26 +153,31 @@ void Registry::observe(std::string_view name, double value) {
 }
 
 long long Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;
 }
 
 double Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second : 0.0;
 }
 
 bool Registry::has_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return histograms_.find(name) != histograms_.end();
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
@@ -186,6 +226,7 @@ std::string Registry::to_json() const {
 }
 
 std::string Registry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   if (!counters_.empty()) {
     util::Table table({"counter", "value"});
@@ -215,6 +256,43 @@ std::string Registry::to_text() const {
     out += table.to_string();
   }
   if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    const std::string pname = prometheus_name(name) + "_total";
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + util::format(" %lld\n", value);
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + prometheus_number(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSummary s = hist.summary();
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    // Buckets are stored per-interval; Prometheus wants cumulative counts.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      cumulative += s.buckets[i];
+      out += pname + "_bucket{le=\"" + prometheus_number(s.bounds[i]) + "\"}" +
+             util::format(" %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += s.buckets.back();
+    out += pname + "_bucket{le=\"+Inf\"}" +
+           util::format(" %llu\n", static_cast<unsigned long long>(cumulative));
+    // The accumulator keeps mean, not sum; reconstruct (exact for count 0).
+    out += pname + "_sum " +
+           prometheus_number(s.mean * static_cast<double>(s.count)) + "\n";
+    out += pname + util::format("_count %llu\n",
+                                static_cast<unsigned long long>(s.count));
+  }
   return out;
 }
 

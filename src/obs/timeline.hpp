@@ -1,0 +1,159 @@
+// Frame timelines and the flight recorder (pdet::obs).
+//
+// Where spans (trace.hpp) answer "where does host time go per stage,
+// aggregated", a FrameTimeline answers "what happened to THIS frame": one
+// compact record of wall-clock stamps at every hop of the serving path,
+// keyed by the client's frame tag so the journey is reconstructable end to
+// end across the wire:
+//
+//   client_encode ─ client_send ─► service_recv ─ queue_admit ─ schedule
+//        ─ engine_start ─ [level 0..k spans] ─ engine_end ─ deliver
+//        ─ wire_send ─► client_recv ─ client_decode
+//
+// Stamps are nanoseconds on obs::timeline_clock — a process-local monotonic
+// clock — so stamps from different processes must not be compared directly.
+// The wire protocol therefore carries hop *offsets* relative to service
+// receive (see net::wire FrameTrace), and the client grafts those onto its
+// own clock domain. A stamp of 0 means "hop not reached / not recorded".
+//
+// The FlightRecorder is the black box for chaos runs: a fixed-size ring of
+// the last N timelines per stream, preallocated at attach time so steady-
+// state recording is a copy under a per-stream lock — no allocation, no
+// global contention. The runtime server dumps it (Chrome trace JSON + text)
+// when a poison frame fires, a worker is quarantined, or health leaves
+// healthy.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdet::obs {
+
+/// Nanoseconds on the process-local monotonic timeline clock (steady_clock
+/// since an arbitrary process epoch). Comparable within one process only;
+/// never 0 for a real stamp.
+std::uint64_t timeline_now_ns();
+
+/// Maximum pyramid levels recorded per frame (beyond that, the remainder is
+/// folded into the last slot — the serving rungs use far fewer levels).
+inline constexpr std::size_t kTimelineMaxLevels = 12;
+
+/// One frame's journey. POD, fixed size, copyable with memcpy semantics.
+struct FrameTimeline {
+  std::uint64_t trace_id = 0;   ///< client frame tag (wire tag), 0 = local
+  int stream = -1;              ///< server-side stream id
+  std::uint64_t sequence = 0;   ///< per-stream submit sequence
+  std::uint8_t status = 0;      ///< runtime::FrameStatus as int
+  std::uint8_t degrade_level = 0;  ///< scheduler rung chosen (3 = skip)
+  std::uint8_t level_count = 0;    ///< pyramid levels actually timed
+
+  // Hop stamps, timeline_now_ns() domain; 0 = hop not reached. The client_*
+  // and wire-recv stamps only exist in the client process (grafted from wire
+  // offsets); the server's recorder fills service_recv..wire_send.
+  std::uint64_t client_encode_ns = 0;  ///< client: frame encoded for wire
+  std::uint64_t service_recv_ns = 0;   ///< server io thread decoded submit
+  std::uint64_t queue_admit_ns = 0;    ///< accepted into the bounded queue
+  std::uint64_t schedule_ns = 0;       ///< worker consulted the scheduler
+  std::uint64_t engine_start_ns = 0;   ///< detect::process() entered
+  std::uint64_t engine_end_ns = 0;     ///< detect::process() returned
+  std::uint64_t deliver_ns = 0;        ///< in-order delivery callback fired
+  std::uint64_t wire_send_ns = 0;      ///< result encoded onto the wire
+  std::uint64_t client_decode_ns = 0;  ///< client decoded the result
+
+  /// Per-pyramid-level engine time, microseconds (level_count entries).
+  std::array<std::uint32_t, kTimelineMaxLevels> level_us{};
+};
+
+/// Fixed-capacity ring of the last N timelines for one stream.
+class TimelineRing {
+ public:
+  explicit TimelineRing(std::size_t capacity);
+
+  /// Copy one timeline in (overwrites the oldest once full). No allocation.
+  void record(const FrameTimeline& t);
+
+  std::size_t size() const;
+  std::uint64_t total_recorded() const;
+
+  /// Oldest-first snapshot of the retained timelines.
+  std::vector<FrameTimeline> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FrameTimeline> slots_;
+  std::size_t head_ = 0;   ///< next write position
+  std::size_t count_ = 0;  ///< retained (<= capacity)
+  std::uint64_t total_ = 0;
+};
+
+/// Per-stream flight recorder: attach_stream() preallocates each ring, then
+/// record() is lock-per-stream and allocation-free. Dumps merge every
+/// stream's retained timelines.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t depth_per_stream = 64);
+
+  /// Preallocate the ring for `stream` (idempotent; call before record()).
+  void attach_stream(int stream, std::string name);
+
+  /// Record a completed frame. Unknown streams are counted as dropped
+  /// rather than attached mid-flight (attach allocates).
+  void record(const FrameTimeline& t);
+
+  std::size_t depth_per_stream() const { return depth_; }
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+  /// All retained timelines, stream-major, oldest first within a stream.
+  std::vector<FrameTimeline> snapshot() const;
+
+  /// Chrome trace_event JSON: one pid per stream, hops as "X" slices on
+  /// per-hop tid rows, so one frame reads as a cascade. Uses the timelines'
+  /// own clock domain (microseconds).
+  std::string to_chrome_json() const;
+
+  /// Human-readable dump: one line per frame with per-hop durations in ms.
+  std::string to_text() const;
+
+ private:
+  struct StreamRing {
+    int stream = -1;
+    std::string name;
+    TimelineRing ring;
+    StreamRing(int s, std::string n, std::size_t depth)
+        : stream(s), name(std::move(n)), ring(depth) {}
+  };
+
+  StreamRing* find(int stream);
+
+  std::size_t depth_;
+  mutable std::mutex attach_mutex_;  ///< guards rings_ growth only
+  std::vector<std::unique_ptr<StreamRing>> rings_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Hop durations of one timeline, derived from the stamps (ms; 0 when either
+/// end is missing). Shared by the text dump, the telemetry percentiles and
+/// the client's display.
+struct TimelineBreakdown {
+  double ingress_ms = 0.0;   ///< client encode -> service recv (client only)
+  double admit_ms = 0.0;     ///< service recv -> queue admit
+  double queue_ms = 0.0;     ///< queue admit -> schedule
+  double engine_ms = 0.0;    ///< engine start -> end
+  double deliver_ms = 0.0;   ///< engine end -> deliver
+  double egress_ms = 0.0;    ///< deliver -> wire send
+  double return_ms = 0.0;    ///< wire send -> client decode (client only)
+  double total_ms = 0.0;     ///< first to last recorded stamp
+};
+TimelineBreakdown breakdown(const FrameTimeline& t);
+
+/// One-line human rendering of a timeline ("tag=12 stream=0 seq=12 ok rung0
+/// admit=0.01ms queue=0.52ms engine=3.1ms ..."); used by dumps and clients.
+std::string to_line(const FrameTimeline& t);
+
+}  // namespace pdet::obs

@@ -9,14 +9,22 @@
 //     ...
 //   }
 //
-// Spans nest lexically; the recorder keeps them in a process-wide buffer
-// (pdet is single-threaded end to end, see logging.hpp) and can export them
-// as Chrome/Perfetto trace_event JSON (chrome://tracing, ui.perfetto.dev)
-// or as an aggregated per-stage summary table with total/self time.
+// Spans nest lexically. The recorder is thread-safe: each recording thread
+// appends to its own buffer (registered process-wide on first use, one
+// uncontended lock per span), and the export calls merge every thread's
+// events into one start-ordered view. pdet stopped being single-threaded in
+// PR 2 — engine level lanes, runtime workers, the net io thread and the
+// watchdog all execute instrumented code concurrently — so spans carry the
+// recording thread's id and the merged export reconstructs per-thread
+// nesting. Exports are Chrome/Perfetto trace_event JSON (chrome://tracing,
+// ui.perfetto.dev; one timeline row per recording thread) or an aggregated
+// per-stage summary table with total/self time.
 //
 // Cost model: with tracing disabled at runtime (the default) a span is one
 // relaxed atomic load and a branch. Defining PDET_OBS_DISABLED (CMake option
-// of the same name) compiles spans out entirely.
+// of the same name) compiles spans out entirely; PDET_OBS_FORCE_ENABLED
+// flips the runtime default to on (the CI configuration that keeps the
+// instrumented path from rotting).
 #pragma once
 
 #include <cstdint>
@@ -25,22 +33,27 @@
 
 namespace pdet::obs {
 
-/// Runtime switch for span recording. Off by default; enabling mid-run is
-/// allowed (spans already open are not recorded).
+/// Runtime switch for span recording. Off by default (on when built with
+/// PDET_OBS_FORCE_ENABLED); enabling mid-run is allowed (spans already open
+/// are not recorded).
 bool tracing_enabled();
 void set_tracing_enabled(bool enabled);
 
-/// Per-thread mute for the whole obs surface (spans *and* metrics). The
-/// trace buffer and metrics registry are deliberately single-threaded;
-/// any worker thread that executes instrumented pipeline code — the
-/// DetectionEngine's per-level pool, the runtime server's engine workers —
-/// holds a ScopedThreadMute for its lifetime so that code stays safe to run
-/// concurrently, and the orchestrating thread publishes aggregates instead
-/// (the engine's compensating counters, DetectionServer::publish_metrics).
-/// This is public API: anything spawning threads around pdet pipeline calls
-/// should use it rather than re-inventing the guard. Mutes nest per thread
-/// and are independent across threads; a muted thread reads tracing and
-/// metrics as disabled.
+/// Per-thread opt-out for the whole obs surface (spans *and* metrics).
+///
+/// Thread model (since the distributed-observability PR): the trace
+/// recorder and the metrics registry are thread-safe — any thread may
+/// record spans or bump metrics concurrently. ScopedThreadMute is therefore
+/// no longer a *safety* requirement; it is a *policy* tool: a thread that
+/// holds one reads tracing and metrics as disabled, which keeps deliberately
+/// redundant work out of the record. The remaining holders are
+///   - detect::DetectionEngine's per-level lanes, whose counters the engine
+///     re-publishes as per-frame aggregates (keeping counter totals
+///     identical at every --threads setting), and
+///   - short-lived helper threads in tests that must not perturb counts.
+/// The runtime server's workers and the net service's io thread used to be
+/// muted wholesale; they now record freely (per-thread span buffers, merged
+/// at export). Mutes nest per thread and are independent across threads.
 bool obs_thread_muted();
 
 class ScopedThreadMute {
@@ -54,6 +67,7 @@ class ScopedThreadMute {
 /// One completed (or still-open, dur_ns == 0) span.
 struct TraceEvent {
   const char* name;        ///< static string supplied by PDET_TRACE_SCOPE
+  std::uint32_t tid;       ///< recording thread (registration order, from 0)
   int depth;               ///< nesting depth at entry (0 = top level)
   std::uint64_t start_ns;  ///< monotonic, relative to the trace epoch
   std::uint64_t dur_ns;
@@ -67,24 +81,30 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
+  void* buffer_ = nullptr;  ///< recording thread's buffer (type-erased)
+  std::uint64_t generation_ = 0;
   std::size_t index_ = 0;
   bool active_ = false;
 };
 
-/// Recorded spans, in start order. Only complete after every ScopedSpan in
-/// flight has destructed (dur_ns of open spans reads 0).
-const std::vector<TraceEvent>& trace_events();
+/// Merged snapshot of every thread's recorded spans, ordered by start time
+/// (stable, so a parent precedes its children). Spans still open when the
+/// snapshot is taken read dur_ns == 0.
+std::vector<TraceEvent> trace_events();
 
-/// Drop all recorded spans (the capacity/dropped counters reset too).
+/// Drop all recorded spans on every thread (the capacity/dropped counters
+/// reset too). Spans open across a clear are discarded, not corrupted.
 void clear_trace();
 
-/// Cap on recorded spans; once reached further spans are counted as dropped
-/// instead of recorded, so a long run cannot exhaust memory. Default 1<<20.
+/// Process-wide cap on recorded spans (summed across threads); once reached
+/// further spans are counted as dropped instead of recorded, so a long run
+/// cannot exhaust memory. Default 1<<20.
 void set_trace_capacity(std::size_t max_events);
 std::uint64_t trace_dropped();
 
-/// Chrome trace_event JSON ("ph":"X" complete events, microsecond units).
-/// Loadable in chrome://tracing and ui.perfetto.dev.
+/// Chrome trace_event JSON ("ph":"X" complete events, microsecond units,
+/// one tid row per recording thread). Loadable in chrome://tracing and
+/// ui.perfetto.dev.
 std::string trace_to_chrome_json();
 
 /// Aggregated per-stage table: count, total ms, self ms (total minus time in

@@ -1,12 +1,15 @@
 #include "src/runtime/server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "src/fault/injector.hpp"
+#include "src/obs/report.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
 #include "src/util/timer.hpp"
 
 namespace pdet::runtime {
@@ -42,6 +45,7 @@ DetectionServer::DetectionServer(svm::LinearModel model, ServerOptions options)
                     Scheduler::degraded_options(options.multiscale, 2)},
       queue_(options_.queue_capacity, options_.backpressure),
       scheduler_(options_.scheduler, options_.queue_capacity),
+      flight_(options_.timeline_depth > 0 ? options_.timeline_depth : 1),
       wait_hist_(latency_bounds()),
       service_hist_(latency_bounds()),
       total_hist_(latency_bounds()) {
@@ -72,6 +76,11 @@ void DetectionServer::start() {
   running_.store(true, std::memory_order_release);
   started_at_ = Clock::now();
   submit_slots_.resize(streams_.size());
+  if (options_.timeline_depth > 0) {
+    for (const auto& stream : streams_) {
+      flight_.attach_stream(stream->id(), stream->name());
+    }
+  }
   for (int i = 0; i < options_.workers; ++i) spawn_worker();
   if (options_.stall_timeout_ms > 0.0) {
     watchdog_ = std::thread([this] { watchdog_main(); });
@@ -91,7 +100,9 @@ void DetectionServer::spawn_worker() {
   });
 }
 
-SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
+SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame,
+                                     std::uint64_t trace_tag,
+                                     std::uint64_t recv_ns) {
   PDET_REQUIRE(started_);
   PDET_REQUIRE(stream >= 0 && stream < static_cast<int>(streams_.size()));
   StreamContext& ctx = *streams_[static_cast<std::size_t>(stream)];
@@ -102,6 +113,13 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
   slot.task.faults = 0;
   slot.task.frame = frame;  // copy into the reused per-stream slot
   slot.task.enqueued_at = Clock::now();
+  slot.task.timing = obs::FrameTimeline{};
+  slot.task.timing.trace_id = trace_tag;
+  slot.task.timing.stream = stream;
+  slot.task.timing.sequence = slot.task.sequence;
+  slot.task.timing.service_recv_ns =
+      recv_ns != 0 ? recv_ns : obs::timeline_now_ns();
+  slot.task.timing.queue_admit_ns = obs::timeline_now_ns();
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -126,6 +144,7 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
       d.queue_wait_ms = ms_since(slot.evicted.enqueued_at);
       d.service_ms = 0.0;
       d.total_ms = d.queue_wait_ms;
+      d.timing = slot.evicted.timing;
       d.detections.clear();
       finish(d);
       return SubmitStatus::kAcceptedEvicted;
@@ -140,6 +159,8 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
       d.queue_wait_ms = 0.0;
       d.service_ms = 0.0;
       d.total_ms = 0.0;
+      d.timing = slot.task.timing;
+      d.timing.queue_admit_ns = 0;  // never admitted
       d.detections.clear();
       finish(d);
       return SubmitStatus::kRejected;
@@ -151,18 +172,20 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame) {
 
 void DetectionServer::worker_main(WorkerState* state,
                                   detect::DetectionEngine* engine) {
-  // The obs registry/trace buffer are single-threaded; the engine's own
-  // instrumentation must stay silent here. publish_metrics() re-publishes
-  // the aggregate accounting from the registry-owning thread.
-  obs::ScopedThreadMute mute;
+  // Workers record spans and metrics directly — the obs layer keeps a buffer
+  // per thread and merges at export, so no mute is needed here. (The engine
+  // still mutes its own per-level lanes internally and re-publishes their
+  // counters as aggregates, keeping totals thread-count-invariant.)
   FrameTask task;       // reused: pop() swaps queue slots through it
   StreamResult result;  // reused: detection vector stays warm
   while (queue_.pop(task)) {
+    PDET_TRACE_SCOPE("runtime/frame");
     const double wait_ms = ms_since(task.enqueued_at);
     // Pressure counts the frame in hand too: it was popped an instant ago,
     // and without it a queue of capacity C could never read more than
     // (C-1)/C full here, leaving small queues unable to reach the watermark.
     const AdmitDecision decision = scheduler_.admit(queue_.size() + 1, wait_ms);
+    task.timing.schedule_ns = obs::timeline_now_ns();
 
     result.stream = task.stream;
     result.sequence = task.sequence;
@@ -173,6 +196,7 @@ void DetectionServer::worker_main(WorkerState* state,
       result.service_ms = 0.0;
       result.detections.clear();
       result.total_ms = ms_since(task.enqueued_at);
+      result.timing = task.timing;
       finish(result);
       continue;
     }
@@ -190,6 +214,7 @@ void DetectionServer::worker_main(WorkerState* state,
 
     bool faulted = false;
     const util::Timer service;
+    task.timing.engine_start_ns = obs::timeline_now_ns();
     try {
       if (fault::armed()) {
         const fault::Decision stall = fault::check("runtime.worker.stall");
@@ -205,6 +230,22 @@ void DetectionServer::worker_main(WorkerState* state,
       result.status =
           decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
       result.detections = detected.detections;  // copy-assign, capacity reuse
+      // Per-level engine time, folded into the timeline's fixed slots
+      // (levels beyond the last slot accumulate there).
+      task.timing.level_count = 0;
+      for (std::size_t i = 0;
+           i < detected.per_level.size(); ++i) {
+        const std::size_t slot =
+            std::min(i, obs::kTimelineMaxLevels - 1);
+        const auto us = static_cast<std::uint32_t>(
+            detected.per_level[i].ms * 1e3);
+        if (slot == i) {
+          task.timing.level_us[slot] = us;
+          ++task.timing.level_count;
+        } else {
+          task.timing.level_us[slot] += us;
+        }
+      }
     } catch (const std::exception& e) {
       faulted = true;
       result.service_ms = service.milliseconds();
@@ -212,6 +253,8 @@ void DetectionServer::worker_main(WorkerState* state,
                      task.stream,
                      static_cast<unsigned long long>(task.sequence), e.what());
     }
+    task.timing.engine_end_ns = obs::timeline_now_ns();
+    result.timing = task.timing;
 
     bool abandoned = false;
     {
@@ -241,6 +284,7 @@ void DetectionServer::worker_main(WorkerState* state,
 
 void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
   ++task.faults;
+  bool poisoned = false;
   if (task.faults < options_.max_frame_faults) {
     // Retry on another engine (any worker may pick it up; a transient
     // engine-state fault won't repeat there). try_push, not push: workers
@@ -259,6 +303,7 @@ void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
         dropped.queue_wait_ms = ms_since(evicted.enqueued_at);
         dropped.service_ms = 0.0;
         dropped.total_ms = dropped.queue_wait_ms;
+        dropped.timing = evicted.timing;
         finish(dropped);
         return;
       }
@@ -270,6 +315,7 @@ void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
     }
   } else {
     // Poison: this frame has faulted max_frame_faults distinct attempts.
+    poisoned = true;
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.poison_frames;
     util::log_warn("runtime: poison frame stream %d seq %llu after %d faults",
@@ -279,11 +325,14 @@ void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
   result.status = FrameStatus::kError;
   result.detections.clear();
   result.total_ms = ms_since(task.enqueued_at);
+  result.timing = task.timing;
   finish(result);
+  // Trigger after finish() so the poison frame's own timeline is already in
+  // the ring when the dump is written.
+  if (poisoned) flight_trigger("poison frame");
 }
 
 void DetectionServer::watchdog_main() {
-  obs::ScopedThreadMute mute;
   const auto poll = std::chrono::duration<double, std::milli>(
       options_.watchdog_poll_ms);
   while (!watchdog_stop_.load(std::memory_order_acquire)) {
@@ -323,13 +372,26 @@ void DetectionServer::watchdog_main() {
       error.status = FrameStatus::kError;
       error.degrade_level = scheduler_.level();
       error.total_ms = error.service_ms;
+      // The hung frame's stamped timeline is still in the worker's hands;
+      // identify the frame so the dump shows where the stream stalled.
+      error.timing = obs::FrameTimeline{};
+      error.timing.stream = error.stream;
+      error.timing.sequence = error.sequence;
       finish(error);
       spawn_worker();
+      flight_trigger("worker quarantine");
     }
   }
 }
 
-void DetectionServer::finish(const StreamResult& result) {
+void DetectionServer::finish(StreamResult& result) {
+  // Finalize the frame's timeline: outcome + delivery stamp. wire_send (and
+  // the client_* hops) are stamped downstream, outside the server's view.
+  result.timing.stream = result.stream;
+  result.timing.sequence = result.sequence;
+  result.timing.status = static_cast<std::uint8_t>(result.status);
+  result.timing.degrade_level = static_cast<std::uint8_t>(result.degrade_level);
+  result.timing.deliver_ns = obs::timeline_now_ns();
   // Account before delivering: an observer who has seen a result (a remote
   // client querying stats right after its last frame, say) must never find
   // the counters lagging behind it — the exactly-once accounting identity
@@ -365,12 +427,46 @@ void DetectionServer::finish(const StreamResult& result) {
       wait_hist_.record(result.queue_wait_ms);
     }
   }
+  // Record the timeline before delivering, for the same reason as the
+  // counters above: a telemetry query racing the delivery must find every
+  // result it has seen already in the ring.
+  if (options_.timeline_depth > 0) flight_.record(result.timing);
   streams_[static_cast<std::size_t>(result.stream)]->deliver(result);
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     --in_flight_;
   }
   drain_cv_.notify_all();
+  // Health edge trigger: the first result that finds the server out of
+  // kHealthy dumps the flight recorder (the frames that led up to the fault
+  // are exactly what the rings hold). Draining is operator-initiated, not a
+  // fault — no dump on stop().
+  const HealthState h = health();
+  if (h == HealthState::kDegraded) {
+    if (!was_unhealthy_.exchange(true, std::memory_order_relaxed)) {
+      flight_trigger("health left healthy");
+    }
+  } else if (h == HealthState::kHealthy) {
+    was_unhealthy_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void DetectionServer::flight_trigger(const char* reason) {
+  if (options_.timeline_depth == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.flight_triggers;
+  }
+  util::log_warn("runtime: flight recorder triggered (%s)", reason);
+  if (options_.flight_dump_path.empty()) return;
+  const int n = flight_dumps_written_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= options_.max_flight_dumps) return;
+  const std::string base =
+      options_.flight_dump_path + util::format("-%d", n);
+  std::string text = util::format("trigger: %s\n", reason);
+  text += flight_.to_text();
+  obs::write_file(base + ".trace.json", flight_.to_chrome_json());
+  obs::write_file(base + ".txt", text);
 }
 
 void DetectionServer::drain() {
@@ -436,6 +532,7 @@ RuntimeStats DetectionServer::stats() const {
 
 void DetectionServer::publish_metrics() {
   const RuntimeStats s = stats();
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   const auto delta = [](const char* name, long long current, long long& last) {
     if (current != last) {
       obs::counter_add(name, current - last);
@@ -456,6 +553,8 @@ void DetectionServer::publish_metrics() {
   delta("runtime.workers_replaced", s.workers_replaced,
         published_.workers_replaced);
   delta("runtime.poison_frames", s.poison_frames, published_.poison_frames);
+  delta("runtime.flight_triggers", s.flight_triggers,
+        published_.flight_triggers);
   obs::gauge_set("runtime.health", static_cast<double>(s.health));
   obs::gauge_set("runtime.queue_depth", static_cast<double>(s.queue_depth));
   obs::gauge_set("runtime.degrade_level", static_cast<double>(s.degrade_level));

@@ -24,10 +24,11 @@
 // Threading contract: one producer per stream (frames of a stream must be
 // submitted in order; different streams submit concurrently), M internal
 // workers, callbacks fire on worker/producer threads under the stream's
-// delivery lock. Workers run obs-muted (obs::ScopedThreadMute — the trace
-// buffer and metrics registry are single-threaded by design); the server
-// aggregates worker-side accounting locally and publish_metrics() writes it
-// into the registry from the calling thread.
+// delivery lock. Workers record obs spans/metrics directly (the obs layer is
+// thread-safe; per-thread buffers merge at export) and stamp each frame's
+// FrameTimeline at every hop; the server still aggregates its own counters
+// locally so stats() is one consistent snapshot, and publish_metrics()
+// mirrors them into the registry.
 // Fault containment (see DESIGN §9): a worker that throws delivers a
 // per-frame kError result instead of dying; a frame is retried once on a
 // different engine before being declared poison; a watchdog thread (enabled
@@ -51,6 +52,7 @@
 
 #include "src/detect/engine.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/runtime/bounded_queue.hpp"
 #include "src/runtime/scheduler.hpp"
 #include "src/runtime/stream.hpp"
@@ -80,6 +82,17 @@ struct ServerOptions {
   /// Clean completions required after the last fault before health returns
   /// from kDegraded to kHealthy.
   int recovery_frames = 16;
+
+  // Flight recorder (DESIGN §10): last N frame timelines per stream, kept in
+  // preallocated rings and dumped when a fault trigger fires.
+  /// Timelines retained per stream; 0 disables recording (and dumps).
+  std::size_t timeline_depth = 64;
+  /// Dump file prefix; on a trigger the recorder writes
+  /// `<prefix>-<n>.trace.json` (Chrome trace) and `<prefix>-<n>.txt`.
+  /// Empty = count triggers but write nothing.
+  std::string flight_dump_path;
+  /// Cap on dump files written (triggers beyond it only count).
+  int max_flight_dumps = 4;
 };
 
 /// Coarse serving-health summary, fed by the fault counters: kDegraded while
@@ -99,8 +112,9 @@ enum class SubmitStatus {
 };
 
 /// Aggregate accounting snapshot. Counters cover the server's lifetime;
-/// histograms summarize worker-side measurements (obs::Histogram under a
-/// server-local lock, since workers cannot touch the global registry).
+/// histograms summarize worker-side measurements (server-local obs::Histogram
+/// instances, so stats() reads one consistent snapshot without coupling to
+/// whatever else the process publishes into the global registry).
 struct RuntimeStats {
   long long submitted = 0;         ///< submit() calls
   long long completed = 0;         ///< frames processed (ok + degraded)
@@ -113,6 +127,7 @@ struct RuntimeStats {
   long long worker_stalls = 0;     ///< hung frames detected by the watchdog
   long long workers_replaced = 0;  ///< replacement workers spawned
   long long poison_frames = 0;     ///< frames that faulted max_frame_faults times
+  long long flight_triggers = 0;   ///< flight-recorder dump triggers fired
   HealthState health = HealthState::kHealthy;  ///< at snapshot time
   double wall_seconds = 0.0;       ///< start() to stop() (or to now)
   double aggregate_fps = 0.0;      ///< completed / wall_seconds
@@ -149,7 +164,14 @@ class DetectionServer {
   /// Submit the next frame of `stream`. The frame is copied into a pooled
   /// slot (no steady-state allocation once slots are warm); the caller may
   /// reuse its buffer immediately. One producer per stream.
-  SubmitStatus submit(int stream, const imgproc::ImageF& frame);
+  ///
+  /// `trace_tag` is the client's frame tag, carried through to the result's
+  /// FrameTimeline so a remote frame's journey is reconstructable end to end
+  /// (0 for local submitters). `recv_ns` is an optional upstream receive
+  /// stamp (obs::timeline_now_ns domain) — the net service passes the moment
+  /// it decoded the submit off the wire; 0 means "stamp at submit".
+  SubmitStatus submit(int stream, const imgproc::ImageF& frame,
+                      std::uint64_t trace_tag = 0, std::uint64_t recv_ns = 0);
 
   /// Block until every accepted frame has been delivered. Producers must
   /// have stopped submitting (or be blocked on a full kBlock queue, which
@@ -167,10 +189,15 @@ class DetectionServer {
 
   RuntimeStats stats() const;
 
+  /// The per-stream timeline rings (the flight recorder). Always present;
+  /// records only when ServerOptions::timeline_depth > 0.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
   /// Write the runtime counters/gauges into the global obs registry
   /// (runtime.frames_*, runtime.queue_depth, runtime.*_ms.p50/p99...).
   /// Counter deltas are tracked so repeated publishes accumulate correctly.
-  /// Call from the thread that owns the registry (the obs convention).
+  /// Thread-safe: the delta state has its own lock and the registry itself
+  /// is thread-safe, so a periodic publisher and a telemetry query may race.
   void publish_metrics();
 
  private:
@@ -181,6 +208,10 @@ class DetectionServer {
     std::uint64_t sequence = 0;
     int faults = 0;  ///< processing attempts that faulted (poison tracking)
     Clock::time_point enqueued_at{};
+    /// Carries trace_id + recv/admit stamps through the queue; the worker
+    /// adds schedule/engine stamps. Fixed-size POD, so queue slots stay
+    /// allocation-free.
+    obs::FrameTimeline timing;
     imgproc::ImageF frame;
   };
 
@@ -211,8 +242,12 @@ class DetectionServer {
   void worker_main(WorkerState* state, detect::DetectionEngine* engine);
   void watchdog_main();
   void handle_fault(FrameTask& task, StreamResult& result);
-  void finish(const StreamResult& result);
+  void finish(StreamResult& result);
   void record_drop(const StreamResult& result);
+  /// Flight-recorder dump trigger (poison frame, quarantine, health left
+  /// healthy). Counts the trigger; writes dump files when configured and
+  /// under the cap. Call without locks held.
+  void flight_trigger(const char* reason);
 
   const ServerOptions options_;
   const svm::LinearModel model_;
@@ -231,6 +266,10 @@ class DetectionServer {
   std::deque<detect::DetectionEngine> engines_;
   std::deque<WorkerState> worker_states_;
   std::thread watchdog_;
+
+  obs::FlightRecorder flight_;
+  std::atomic<int> flight_dumps_written_{0};
+  std::atomic<bool> was_unhealthy_{false};  ///< health-transition edge latch
 
   bool started_ = false;
   std::atomic<bool> running_{false};
@@ -254,7 +293,9 @@ class DetectionServer {
   obs::Histogram service_hist_;
   obs::Histogram total_hist_;
 
-  /// Last published counter values, for delta publishing.
+  /// Last published counter values, for delta publishing (own lock: publish
+  /// can be called concurrently from an owner loop and a telemetry query).
+  std::mutex publish_mutex_;
   RuntimeStats published_;
 };
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/detect/detection.hpp"
+#include "src/obs/timeline.hpp"
 
 namespace pdet::runtime {
 
@@ -39,6 +40,10 @@ struct StreamResult {
   double queue_wait_ms = 0.0;   ///< submit -> worker dequeue
   double service_ms = 0.0;      ///< engine processing time
   double total_ms = 0.0;        ///< submit -> delivery handoff
+  /// The frame's hop-by-hop journey (server-side stamps; the net layer adds
+  /// wire_send after encoding). Fixed-size POD — copying it into pending
+  /// slots allocates nothing.
+  obs::FrameTimeline timing;
   std::vector<detect::Detection> detections;
 };
 

@@ -1,5 +1,6 @@
 #include "src/util/logging.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -37,10 +38,22 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) {
   if (level < s.level) return;
   const double uptime =
       std::chrono::duration<double>(Clock::now() - s.epoch).count();
-  std::fprintf(stderr, "[%10.3f] [pdet:%s] ", uptime,
-               to_string(level).c_str());
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+  // Assemble the whole line and emit it with a single stdio call so lines
+  // from concurrent threads (workers, io thread, watchdog) never interleave
+  // mid-line. Messages beyond the buffer are truncated, not split.
+  char line[1024];
+  int n = std::snprintf(line, sizeof(line), "[%10.3f] [pdet:%s] ", uptime,
+                        to_string(level).c_str());
+  if (n < 0) return;
+  if (n < static_cast<int>(sizeof(line)) - 1) {
+    const int m = std::vsnprintf(line + n, sizeof(line) - 1 -
+                                               static_cast<std::size_t>(n),
+                                 fmt, args);
+    if (m > 0) n += m;
+    n = std::min(n, static_cast<int>(sizeof(line)) - 2);
+  }
+  line[n] = '\n';
+  std::fwrite(line, 1, static_cast<std::size_t>(n) + 1, stderr);
 }
 
 }  // namespace

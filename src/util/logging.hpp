@@ -1,9 +1,11 @@
 // Minimal leveled logger writing to stderr.
 //
 // The libraries themselves stay quiet below `warn`; examples and benches may
-// raise verbosity for progress reporting. Not thread-safe by design: pdet is
-// single-threaded end to end (the paper's parallelism lives in the modeled
-// hardware, not host threads).
+// raise verbosity for progress reporting. Each log call writes its formatted
+// line with one fwrite, so lines from concurrent threads (runtime workers,
+// the net io thread, the watchdog) interleave whole, never mid-line; the
+// level switch is a plain int read racily by design (a torn level read only
+// mis-filters one message, and levels change at startup in practice).
 #pragma once
 
 #include <optional>

@@ -7,17 +7,22 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/fault/injector.hpp"
 #include "src/hog/descriptor.hpp"
 #include "src/net/client.hpp"
 #include "src/net/service.hpp"
 #include "src/net/socket.hpp"
 #include "src/net/wire.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/svm/model_io.hpp"
 #include "src/util/rng.hpp"
 
@@ -70,12 +75,39 @@ wire::Result sample_result() {
   r.total_ms = 8.75f;
   r.detections.push_back({10, 20, 64, 128, 1.75f, 1.26});
   r.detections.push_back({-3, 0, 32, 64, -0.5f, 2.0});
+  // v3 trace block: hop offsets (µs from service recv) + per-level times.
+  r.trace.admit_us = 15;
+  r.trace.schedule_us = 520;
+  r.trace.engine_start_us = 530;
+  r.trace.engine_end_us = 7780;
+  r.trace.deliver_us = 7900;
+  r.trace.send_us = 7950;
+  r.trace.level_count = 2;
+  r.trace.level_us[0] = 5000;
+  r.trace.level_us[1] = 2250;
   return r;
+}
+
+wire::TelemetryReport sample_telemetry() {
+  wire::TelemetryReport t;
+  t.uptime_seconds = 123.75;
+  t.health_state = 1;
+  t.timeline_frames = 4096;
+  t.timeline_window = 64;
+  t.admit = {0.01f, 0.2f};
+  t.queue = {0.5f, 4.25f};
+  t.engine = {7.5f, 11.0f};
+  t.total = {8.25f, 15.5f};
+  t.prometheus =
+      "# TYPE pdet_runtime_health gauge\npdet_runtime_health 1\n"
+      "# TYPE pdet_runtime_frames_completed_total counter\n"
+      "pdet_runtime_frames_completed_total 4096\n";
+  return t;
 }
 
 /// Encode each message type once, in a fixed order, into separate buffers.
 std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
-  std::vector<std::vector<std::uint8_t>> frames(8);
+  std::vector<std::vector<std::uint8_t>> frames(10);
   wire::Hello hello;
   hello.client_name = "cam-front";
   wire::encode_hello(hello, frames[0]);
@@ -117,6 +149,8 @@ std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
   err.message = "no free stream slot";
   wire::encode_error(err, frames[6]);
   wire::encode_shutdown(frames[7]);
+  wire::encode_telemetry_query(frames[8]);
+  wire::encode_telemetry_report(sample_telemetry(), frames[9]);
   return frames;
 }
 
@@ -252,6 +286,61 @@ TEST(WireCodec, ResultRoundtrip) {
     EXPECT_FLOAT_EQ(r.detections[i].score, in.detections[i].score);
     EXPECT_DOUBLE_EQ(r.detections[i].scale, in.detections[i].scale);
   }
+  // v3: the trace block rides every Result.
+  EXPECT_EQ(r.trace.admit_us, in.trace.admit_us);
+  EXPECT_EQ(r.trace.schedule_us, in.trace.schedule_us);
+  EXPECT_EQ(r.trace.engine_start_us, in.trace.engine_start_us);
+  EXPECT_EQ(r.trace.engine_end_us, in.trace.engine_end_us);
+  EXPECT_EQ(r.trace.deliver_us, in.trace.deliver_us);
+  EXPECT_EQ(r.trace.send_us, in.trace.send_us);
+  ASSERT_EQ(r.trace.level_count, in.trace.level_count);
+  for (std::size_t i = 0; i < in.trace.level_count; ++i) {
+    EXPECT_EQ(r.trace.level_us[i], in.trace.level_us[i]) << "level " << i;
+  }
+}
+
+TEST(WireCodec, TelemetryRoundtrip) {
+  std::vector<std::uint8_t> buf;
+  wire::encode_telemetry_query(buf);
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  EXPECT_EQ(out.type, wire::MsgType::kTelemetryQuery);
+  EXPECT_EQ(consumed, buf.size());
+
+  const wire::TelemetryReport in = sample_telemetry();
+  buf.clear();
+  wire::encode_telemetry_report(in, buf);
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kTelemetryReport);
+  const wire::TelemetryReport& t = out.telemetry;
+  EXPECT_DOUBLE_EQ(t.uptime_seconds, in.uptime_seconds);
+  EXPECT_EQ(t.health_state, in.health_state);
+  EXPECT_EQ(t.timeline_frames, in.timeline_frames);
+  EXPECT_EQ(t.timeline_window, in.timeline_window);
+  EXPECT_FLOAT_EQ(t.admit.p50_ms, in.admit.p50_ms);
+  EXPECT_FLOAT_EQ(t.admit.p99_ms, in.admit.p99_ms);
+  EXPECT_FLOAT_EQ(t.queue.p50_ms, in.queue.p50_ms);
+  EXPECT_FLOAT_EQ(t.queue.p99_ms, in.queue.p99_ms);
+  EXPECT_FLOAT_EQ(t.engine.p50_ms, in.engine.p50_ms);
+  EXPECT_FLOAT_EQ(t.engine.p99_ms, in.engine.p99_ms);
+  EXPECT_FLOAT_EQ(t.total.p50_ms, in.total.p50_ms);
+  EXPECT_FLOAT_EQ(t.total.p99_ms, in.total.p99_ms);
+  EXPECT_EQ(t.prometheus, in.prometheus);
+}
+
+TEST(WireCodec, TelemetryReportCapsOversizedPrometheusText) {
+  // A runaway registry must not produce an unbounded frame: the encoder
+  // truncates at the wire cap and the result still round-trips cleanly.
+  wire::TelemetryReport in = sample_telemetry();
+  in.prometheus.assign(wire::kMaxTelemetryTextLen + 4096, 'x');
+  std::vector<std::uint8_t> buf;
+  wire::encode_telemetry_report(in, buf);
+  wire::Message out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_message(buf, out, consumed), wire::DecodeStatus::kOk);
+  ASSERT_EQ(out.type, wire::MsgType::kTelemetryReport);
+  EXPECT_EQ(out.telemetry.prometheus.size(), wire::kMaxTelemetryTextLen);
 }
 
 TEST(WireCodec, StatsAndControlRoundtrip) {
@@ -867,6 +956,147 @@ TEST(Client, ReconnectsAcrossServerRestartOnSamePort) {
   client.disconnect();
   second.stop();
   EXPECT_EQ(second.stats().frames_received, 1);
+}
+
+// --- telemetry plane + flight recorder (protocol v3) -------------------------
+
+TEST(DetectionService, TelemetryQueryReturnsLivePlaneAndGraftedTimelines) {
+  ServiceOptions opts = test_service_options();
+  const svm::LinearModel model = make_model(opts.runtime.hog, 31);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+#ifndef PDET_OBS_DISABLED
+  obs::set_metrics_enabled(true);
+#endif
+
+  ClientOptions copts;
+  copts.port = service.port();
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+  constexpr int kFrames = 4;
+  wire::Result result;
+  for (int f = 0; f < kFrames; ++f) {
+    ASSERT_TRUE(client.submit(
+        make_frame(160, 160, 300 + static_cast<std::uint64_t>(f))));
+    ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+    // Every v3 Result carries the server-side hop offsets.
+    EXPECT_GT(result.trace.engine_end_us, result.trace.engine_start_us);
+    EXPECT_GE(result.trace.deliver_us, result.trace.engine_end_us);
+    EXPECT_GT(result.trace.send_us, 0u);
+  }
+
+  // The grafted timeline reads as one monotone journey on the client clock.
+  obs::FrameTimeline t;
+  ASSERT_TRUE(client.last_timeline(t));
+  EXPECT_EQ(t.trace_id, static_cast<std::uint64_t>(kFrames - 1));
+  EXPECT_GT(t.client_encode_ns, 0u);
+  EXPECT_GE(t.service_recv_ns, t.client_encode_ns);
+  EXPECT_GE(t.queue_admit_ns, t.service_recv_ns);
+  EXPECT_GE(t.schedule_ns, t.queue_admit_ns);
+  EXPECT_GE(t.engine_start_ns, t.schedule_ns);
+  EXPECT_GT(t.engine_end_ns, t.engine_start_ns);
+  EXPECT_GE(t.deliver_ns, t.engine_end_ns);
+  EXPECT_GE(t.client_decode_ns, t.client_encode_ns);
+
+  wire::TelemetryReport telemetry;
+  ASSERT_TRUE(client.query_telemetry(telemetry, 30000.0))
+      << client.last_error();
+  EXPECT_EQ(telemetry.health_state,
+            static_cast<std::uint32_t>(runtime::HealthState::kHealthy));
+  EXPECT_GT(telemetry.uptime_seconds, 0.0);
+  EXPECT_GE(telemetry.timeline_frames, static_cast<std::uint64_t>(kFrames));
+  EXPECT_GT(telemetry.timeline_window, 0u);
+  EXPECT_GT(telemetry.engine.p50_ms, 0.0f);
+  EXPECT_GE(telemetry.total.p99_ms, telemetry.total.p50_ms);
+#ifndef PDET_OBS_DISABLED
+  // Prometheus text exposition, scrape-ready.
+  EXPECT_NE(telemetry.prometheus.find("# TYPE pdet_runtime_health gauge"),
+            std::string::npos)
+      << telemetry.prometheus.substr(0, 400);
+  EXPECT_NE(telemetry.prometheus.find("pdet_runtime_health 0"),
+            std::string::npos);
+  ASSERT_FALSE(telemetry.prometheus.empty());
+  EXPECT_EQ(telemetry.prometheus.back(), '\n');
+  obs::set_metrics_enabled(false);
+  obs::Registry::instance().reset();
+#endif
+
+  // Telemetry and frames interleave on one connection without disorder.
+  ASSERT_TRUE(client.submit(make_frame(160, 160, 310)));
+  ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+  EXPECT_TRUE(client.in_order());
+  EXPECT_EQ(client.protocol_errors(), 0);
+  client.disconnect();
+  service.stop();
+}
+
+TEST(DetectionService, PoisonFramesAreReconstructableFromFlightDump) {
+  // The PR's acceptance scenario: chaos over loopback, then the flight dump
+  // must reconstruct the journey of every poison frame.
+  const std::string prefix = testing::TempDir() + "pdet-net-flight";
+  ServiceOptions opts = test_service_options();
+  opts.runtime.workers = 1;  // deterministic: one worker poisons serially
+  opts.runtime.flight_dump_path = prefix;
+  const svm::LinearModel model = make_model(opts.runtime.hog, 33);
+  DetectionService service(model, opts);
+  ASSERT_TRUE(service.start());
+
+  ClientOptions copts;
+  copts.port = service.port();
+  Client client(copts);
+  ASSERT_TRUE(client.connect()) << client.last_error();
+  wire::Result result;
+  // Clean warmup (tags 0-1), then every engine attempt throws: tags 2-4
+  // exhaust max_frame_faults and come back as poison kError frames.
+  for (std::uint64_t f = 0; f < 2; ++f) {
+    ASSERT_TRUE(client.submit(make_frame(160, 160, 400 + f)));
+    ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+    ASSERT_EQ(result.status, runtime::FrameStatus::kOk);
+  }
+  constexpr std::uint64_t kPoison = 3;
+  {
+    fault::Plan plan;
+    plan.seed = 7;
+    plan.with("runtime.engine.fault", 1.0);
+    fault::ScopedPlan armed(plan);
+    for (std::uint64_t f = 0; f < kPoison; ++f) {
+      ASSERT_TRUE(client.submit(make_frame(160, 160, 420 + f)));
+      ASSERT_TRUE(client.next_result(result, 30000.0)) << client.last_error();
+      EXPECT_EQ(result.status, runtime::FrameStatus::kError);
+      EXPECT_EQ(result.tag, 2 + f);
+    }
+  }
+  client.disconnect();
+  service.stop();  // joins workers: all pending dumps are on disk
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.runtime.poison_frames, static_cast<long long>(kPoison));
+  EXPECT_GE(stats.runtime.flight_triggers, static_cast<long long>(kPoison));
+
+  // Union of the written dumps (health-edge + one per poison, capped).
+  std::string dumps;
+  int files = 0;
+  for (int n = 0; n < 8; ++n) {
+    std::ifstream in(prefix + "-" + std::to_string(n) + ".txt");
+    if (!in) continue;
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    dumps += slurp.str();
+    ++files;
+    // The paired Chrome trace exists alongside every text dump.
+    std::ifstream json(prefix + "-" + std::to_string(n) + ".trace.json");
+    EXPECT_TRUE(json.good()) << "missing trace.json for dump " << n;
+  }
+  ASSERT_GT(files, 0);
+  EXPECT_NE(dumps.find("trigger: poison frame"), std::string::npos);
+  for (std::uint64_t f = 0; f < kPoison; ++f) {
+    const std::string tag = "tag=" + std::to_string(2 + f) + " ";
+    EXPECT_NE(dumps.find(tag), std::string::npos)
+        << "poison frame " << tag << "missing from flight dumps";
+  }
+  // The journey itself is in the dump: hop durations per line.
+  EXPECT_NE(dumps.find("admit="), std::string::npos);
+  EXPECT_NE(dumps.find("queue="), std::string::npos);
 }
 
 }  // namespace

@@ -2,12 +2,16 @@
 // trace export, the metrics registry, and the disabled-mode guarantees.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/hwsim/timing.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/obs/trace.hpp"
 
 namespace pdet::obs {
@@ -151,6 +155,103 @@ TEST_F(ObsTest, SummaryAggregatesCountsAndSelfTime) {
               1e-6 + parent->total_ms * 1e-6);
   EXPECT_NEAR(child->self_ms, child->total_ms, 1e-9);
   EXPECT_LE(parent->min_ms, parent->max_ms);
+}
+
+TEST_F(ObsTest, ConcurrentSpansMergeWithPerThreadOrderPreserved) {
+  set_tracing_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  static const char* kNames[kThreads] = {"mt/t0", "mt/t1", "mt/t2", "mt/t3"};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([i, &ready] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {}  // start together: real interleaving
+      for (int s = 0; s < kSpansPerThread; ++s) {
+        PDET_TRACE_SCOPE(kNames[i]);
+        { PDET_TRACE_SCOPE("mt/leaf"); }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+  EXPECT_EQ(trace_dropped(), 0u);
+  // The merged view is start-ordered regardless of which thread recorded.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns) << "index " << i;
+  }
+  // Per tid: one owner name, full count, and intact nesting — the leaf
+  // always directly follows its parent at depth+1 in that thread's order.
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  ASSERT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  for (const std::uint32_t tid : tids) {
+    std::vector<const TraceEvent*> own;
+    for (const TraceEvent& e : events) {
+      if (e.tid == tid) own.push_back(&e);
+    }
+    ASSERT_EQ(own.size(), static_cast<std::size_t>(kSpansPerThread * 2));
+    const char* owner = own[0]->name;
+    for (std::size_t s = 0; s < own.size(); s += 2) {
+      EXPECT_STREQ(own[s]->name, owner);
+      EXPECT_EQ(own[s]->depth, 0);
+      EXPECT_STREQ(own[s + 1]->name, "mt/leaf");
+      EXPECT_EQ(own[s + 1]->depth, 1);
+      EXPECT_GE(own[s + 1]->start_ns, own[s]->start_ns);
+      EXPECT_LE(own[s + 1]->start_ns + own[s + 1]->dur_ns,
+                own[s]->start_ns + own[s]->dur_ns);
+    }
+  }
+  // And the Chrome export stays well-formed with one row per thread.
+  const std::string json = trace_to_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json.substr(0, 400);
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), events.size());
+}
+
+TEST_F(ObsTest, WorkerPoolMutesAreIndependentAndReleaseCleanly) {
+  set_tracing_enabled(true);
+  set_metrics_enabled(true);
+  constexpr int kWorkers = 6;  // even: half muted, half recording
+  std::atomic<int> ready{0};
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kWorkers; ++i) {
+    pool.emplace_back([i, &ready] {
+      ready.fetch_add(1);
+      while (ready.load() < kWorkers) {}
+      if (i % 2 == 0) {
+        ScopedThreadMute mute;
+        { PDET_TRACE_SCOPE("pool/muted"); }
+        counter_add("pool.frames", 1);
+      } else {
+        { PDET_TRACE_SCOPE("pool/live"); }
+        counter_add("pool.frames", 1);
+      }
+      // Past its guard, every worker records again.
+      { PDET_TRACE_SCOPE("pool/after"); }
+      counter_add("pool.after", 1);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  // Muted workers contributed nothing inside the guard, everything after.
+  EXPECT_EQ(Registry::instance().counter("pool.frames"), kWorkers / 2);
+  EXPECT_EQ(Registry::instance().counter("pool.after"), kWorkers);
+  std::size_t live = 0;
+  std::size_t after = 0;
+  for (const TraceEvent& e : trace_events()) {
+    const std::string name(e.name);
+    EXPECT_NE(name, "pool/muted");
+    if (name == "pool/live") ++live;
+    if (name == "pool/after") ++after;
+  }
+  EXPECT_EQ(live, static_cast<std::size_t>(kWorkers / 2));
+  EXPECT_EQ(after, static_cast<std::size_t>(kWorkers));
 }
 
 TEST_F(ObsTest, FreeHelpersNoOpWhileMetricsDisabled) {
@@ -326,6 +427,116 @@ TEST_F(ObsTest, MuteSilencesSpansAndMetricsThenReleases) {
   EXPECT_EQ(Registry::instance().counter("live.counter"), 2);
 }
 #endif
+
+// --- frame timelines & the flight recorder (unconditional: the timeline
+// layer is data plumbing for the wire protocol, so it works — and is tested
+// — even under PDET_OBS_DISABLED) ---
+
+FrameTimeline make_timeline(std::uint64_t tag, int stream) {
+  FrameTimeline t;
+  t.trace_id = tag;
+  t.stream = stream;
+  t.sequence = tag;
+  t.status = 0;
+  const std::uint64_t base = 1'000'000'000ull + tag * 1'000'000ull;
+  t.service_recv_ns = base;
+  t.queue_admit_ns = base + 100'000;       // +0.1 ms
+  t.schedule_ns = base + 600'000;          // +0.5 ms queued
+  t.engine_start_ns = base + 700'000;
+  t.engine_end_ns = base + 3'700'000;      // 3 ms engine
+  t.deliver_ns = base + 3'900'000;
+  t.wire_send_ns = base + 4'000'000;
+  t.level_count = 2;
+  t.level_us[0] = 2000;
+  t.level_us[1] = 1000;
+  return t;
+}
+
+TEST(TimelineRing, WrapsOverwritingOldestWithoutLosingCount) {
+  TimelineRing ring(4);
+  for (std::uint64_t tag = 1; tag <= 10; ++tag) {
+    ring.record(make_timeline(tag, 0));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  const std::vector<FrameTimeline> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].trace_id, 7u + i) << "oldest-first order";
+  }
+}
+
+TEST(TimelineBreakdown, DerivesHopDurationsFromStamps) {
+  const FrameTimeline t = make_timeline(12, 0);
+  const TimelineBreakdown b = breakdown(t);
+  EXPECT_NEAR(b.admit_ms, 0.1, 1e-9);
+  EXPECT_NEAR(b.queue_ms, 0.5, 1e-9);
+  EXPECT_NEAR(b.engine_ms, 3.0, 1e-9);
+  EXPECT_NEAR(b.deliver_ms, 0.2, 1e-9);
+  EXPECT_NEAR(b.egress_ms, 0.1, 1e-9);
+  EXPECT_NEAR(b.total_ms, 4.0, 1e-9);
+  // Client-only hops read 0 for a server-side record.
+  EXPECT_EQ(b.ingress_ms, 0.0);
+  EXPECT_EQ(b.return_ms, 0.0);
+  // Missing stamps never yield negative or garbage durations.
+  FrameTimeline partial;
+  partial.engine_start_ns = 5;
+  const TimelineBreakdown pb = breakdown(partial);
+  EXPECT_EQ(pb.engine_ms, 0.0);
+  EXPECT_EQ(pb.total_ms, 0.0);
+  // The one-line rendering carries the key fields.
+  const std::string line = to_line(t);
+  EXPECT_NE(line.find("tag=12"), std::string::npos) << line;
+  EXPECT_NE(line.find("engine="), std::string::npos) << line;
+}
+
+TEST(FlightRecorderTest, RecordsPerStreamRingsAndCountsUnknownAsDropped) {
+  FlightRecorder fr(/*depth_per_stream=*/3);
+  fr.attach_stream(0, "cam0");
+  fr.attach_stream(1, "cam1");
+  fr.attach_stream(1, "cam1");  // idempotent
+  for (std::uint64_t tag = 1; tag <= 5; ++tag) {
+    fr.record(make_timeline(tag, 0));
+  }
+  fr.record(make_timeline(100, 1));
+  fr.record(make_timeline(7, 9));  // never attached
+  EXPECT_EQ(fr.total_recorded(), 6u);
+  EXPECT_EQ(fr.dropped(), 1u);
+  const std::vector<FrameTimeline> snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // 3 retained on stream 0 + 1 on stream 1
+  EXPECT_EQ(snap[0].trace_id, 3u);  // stream-major, oldest first
+  EXPECT_EQ(snap[1].trace_id, 4u);
+  EXPECT_EQ(snap[2].trace_id, 5u);
+  EXPECT_EQ(snap[3].trace_id, 100u);
+  const std::string json = fr.to_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("cam0"), std::string::npos);
+  EXPECT_NE(json.find("cam1"), std::string::npos);
+  const std::string text = fr.to_text();
+  EXPECT_NE(text.find("tag=100"), std::string::npos) << text;
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordingKeepsEveryFrameAccounted) {
+  constexpr int kStreams = 4;
+  constexpr int kFramesPerStream = 200;
+  FlightRecorder fr(/*depth_per_stream=*/16);
+  for (int s = 0; s < kStreams; ++s) {
+    fr.attach_stream(s, "cam" + std::to_string(s));
+  }
+  std::vector<std::thread> pool;
+  for (int s = 0; s < kStreams; ++s) {
+    pool.emplace_back([s, &fr] {
+      for (std::uint64_t tag = 0; tag < kFramesPerStream; ++tag) {
+        fr.record(make_timeline(tag, s));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(fr.total_recorded(),
+            static_cast<std::uint64_t>(kStreams * kFramesPerStream));
+  EXPECT_EQ(fr.dropped(), 0u);
+  EXPECT_EQ(fr.snapshot().size(), static_cast<std::size_t>(kStreams * 16));
+}
 
 }  // namespace
 }  // namespace pdet::obs
