@@ -17,6 +17,7 @@
 #include "src/dataset/scene.hpp"
 #include "src/eval/detection_eval.hpp"
 #include "src/hog/descriptor.hpp"
+#include "src/hwsim/score_backend.hpp"
 #include "src/hwsim/timing.hpp"
 #include "src/obs/report.hpp"
 #include "src/util/cli.hpp"
@@ -114,8 +115,16 @@ int main(int argc, char** argv) {
                 "miss rate vs FPPI, feature vs image pyramid");
   cli.add_int("frames", 24, "evaluation frames");
   cli.add_int("threads", 1, "pyramid-level lanes in the detection engine");
+  cli.add_string("backend", "scalar",
+                 "scoring backend: scalar | batch | hwsim");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
+  score::BackendKind backend = score::BackendKind::kScalar;
+  if (!score::parse_backend(cli.get_string("backend"), backend)) {
+    std::fprintf(stderr, "unknown --backend %s (want scalar|batch|hwsim)\n",
+                 cli.get_string("backend").c_str());
+    return 1;
+  }
   util::set_default_log_level(util::LogLevel::kWarn);
   obs::configure_from_cli(cli);
   // Benches always aggregate metrics — the per-stage JSON below rides on them.
@@ -129,6 +138,14 @@ int main(int argc, char** argv) {
   ms.scales = {1.0, 1.26, 1.59, 2.0};
   const int threads = cli.get_int("threads");
   detector.mutable_config().threads = threads;
+  // hwsim is a constructed device, not a bare enum: build it once and share
+  // it with every engine in this binary.
+  hwsim::HwsimScoreBackend hwsim_device;
+  if (backend == score::BackendKind::kHwsim) {
+    detector.mutable_config().scorer = &hwsim_device;
+  } else {
+    detector.mutable_config().backend = backend;
+  }
 
   const FrameSet frames = make_frames(cli.get_int("frames"), 555);
   std::size_t total_truth = 0;
@@ -192,10 +209,15 @@ int main(int argc, char** argv) {
   // nothing. Measured with the global operator-new counter above; obs is
   // switched off during the measurement so histogram bookkeeping does not
   // pollute the count.
-  std::printf("\n--- engine allocation steady state (%d thread%s) ---\n",
-              threads, threads == 1 ? "" : "s");
+  std::printf("\n--- engine allocation steady state (%d thread%s, %s backend) ---\n",
+              threads, threads == 1 ? "" : "s", score::to_string(backend));
   ms.strategy = detect::PyramidStrategy::kFeature;
   detect::DetectionEngine engine(detect::EngineOptions{.threads = threads});
+  if (backend == score::BackendKind::kHwsim) {
+    engine.set_scorer(&hwsim_device);
+  } else {
+    engine.set_backend(backend);
+  }
   const imgproc::ImageF& alloc_frame = frames.scenes.front().image;
   const auto run_frame = [&] {
     (void)engine.process(alloc_frame, detector.config().hog, detector.model(),

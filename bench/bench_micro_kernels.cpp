@@ -11,6 +11,8 @@
 #include "src/hog/feature_scale.hpp"
 #include "src/hwsim/fixed_pipeline.hpp"
 #include "src/hwsim/pipeline.hpp"
+#include "src/hwsim/score_backend.hpp"
+#include "src/score/backend.hpp"
 #include "src/imgproc/convert.hpp"
 #include "src/imgproc/gradient.hpp"
 #include "src/imgproc/resize.hpp"
@@ -105,6 +107,70 @@ void BM_SvmDecision4608(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SvmDecision4608);
+
+// --- scoring backends: scores/sec vs batch size ---
+// One ScoreBatch of `batch` windows (descriptor-sized random rows) pushed
+// through each backend. Scalar is the per-row reference loop; batch is the
+// blocked/unrolled kernel whose advantage should grow with batch size (one
+// weight-vector pass serves two windows); hwsim runs the quantized MACBAR
+// model with latency simulation off so the measurement is host arithmetic,
+// not modeled device time.
+svm::LinearModel scoring_model(std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  svm::LinearModel model;
+  model.weights.resize(dim);
+  for (auto& w : model.weights) w = static_cast<float>(rng.normal(0, 0.02));
+  model.bias = 0.1f;
+  return model;
+}
+
+void fill_batch(score::ScoreBatch& batch, std::size_t dim, std::size_t count,
+                std::uint64_t seed) {
+  util::Rng rng(seed);
+  batch.configure(dim, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::span<float> dst = batch.push(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      dst[d] = static_cast<float>(rng.uniform());
+    }
+  }
+}
+
+void score_backend_bench(benchmark::State& state,
+                         score::ScoringBackend& backend) {
+  const auto kDim =
+      static_cast<std::size_t>(hog::HogParams().descriptor_size());
+  const svm::LinearModel model = scoring_model(kDim, 13);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  score::ScoreBatch batch;
+  fill_batch(batch, kDim, count, 14);
+  for (auto _ : state) {
+    backend.score(model, batch);
+    benchmark::DoNotOptimize(batch.score(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_ScoreScalar(benchmark::State& state) {
+  score::ScalarBackend backend;
+  score_backend_bench(state, backend);
+}
+BENCHMARK(BM_ScoreScalar)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ScoreBatch(benchmark::State& state) {
+  score::BatchBackend backend;
+  score_backend_bench(state, backend);
+}
+BENCHMARK(BM_ScoreBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ScoreHwsim(benchmark::State& state) {
+  hwsim::HwsimBackendOptions opts;
+  opts.simulate_latency = false;
+  hwsim::HwsimScoreBackend backend(opts);
+  score_backend_bench(state, backend);
+}
+BENCHMARK(BM_ScoreHwsim)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_ScanLevel960x540(benchmark::State& state) {
   const hog::HogParams params;

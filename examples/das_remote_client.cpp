@@ -31,6 +31,7 @@
 #include "src/net/client.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/runtime/server.hpp"
+#include "src/score/backend.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
@@ -212,6 +213,13 @@ int main(int argc, char** argv) {
         {"server health",
          runtime::to_string(
              static_cast<runtime::HealthState>(report.health_state))});
+    table.add_row(
+        {"scoring backend",
+         std::string(score::to_string(
+             static_cast<score::BackendKind>(report.score_backend)))});
+    table.add_row({"score batches (mean fill)",
+                   std::to_string(report.score_batches) + " (" +
+                       util::to_fixed(report.score_fill, 1) + ")"});
   }
   net::wire::TelemetryReport telemetry;
   const bool have_telemetry = client.query_telemetry(telemetry, 2000.0);

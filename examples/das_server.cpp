@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
   cli.add_double("deadline-ms", 0.0, "per-frame latency deadline (0 = none)");
   cli.add_string("policy", "drop-oldest",
                  "full-queue policy: block | drop-oldest | drop-newest");
+  cli.add_string("backend", "scalar",
+                 "scoring backend: scalar | batch | hwsim (MACBAR offload "
+                 "model, one shared simulated device)");
   cli.add_int("listen", 0, "serve remote clients on this TCP port (0 = off)");
   cli.add_int("max-clients", 8, "remote mode: concurrent client connections");
   cli.add_int("chaos-seed", 0,
@@ -119,6 +122,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  score::BackendKind backend_kind = score::BackendKind::kAuto;
+  if (!score::parse_backend(cli.get_string("backend"), backend_kind)) {
+    std::fprintf(stderr, "unknown --backend %s (want scalar|batch|hwsim)\n",
+                 cli.get_string("backend").c_str());
+    return 1;
+  }
+
   // Train once; every worker engine serves the same model (the paper's
   // accelerator stores one parameter set shared by all windows).
   std::printf("training detector...\n");
@@ -144,6 +154,7 @@ int main(int argc, char** argv) {
     sopts.runtime.hog = detector.config().hog;
     sopts.runtime.multiscale = detector.config().multiscale;
     sopts.runtime.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
+    sopts.runtime.backend = backend_kind;
     net::DetectionService service(detector.model(), sopts);
     std::string error;
     if (!service.start(&error)) {
@@ -225,6 +236,7 @@ int main(int argc, char** argv) {
   opts.hog = detector.config().hog;
   opts.multiscale = detector.config().multiscale;
   opts.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
+  opts.backend = backend_kind;
 
   runtime::DetectionServer server(detector.model(), opts);
   std::mutex print_mutex;

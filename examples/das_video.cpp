@@ -16,6 +16,7 @@
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/scene.hpp"
 #include "src/detect/tracker.hpp"
+#include "src/hwsim/score_backend.hpp"
 #include "src/hwsim/timing.hpp"
 #include "src/obs/report.hpp"
 #include "src/util/cli.hpp"
@@ -29,8 +30,17 @@ int main(int argc, char** argv) {
   cli.add_int("frames", 48, "frames to simulate");
   cli.add_int("fps", 30, "simulated camera rate (lower than 60 to keep the demo fast)");
   cli.add_int("threads", 1, "pyramid-level lanes in the detection engine");
+  cli.add_string("backend", "scalar",
+                 "scoring backend: scalar | batch | hwsim (quantized MACBAR "
+                 "offload model)");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
+  score::BackendKind backend = score::BackendKind::kScalar;
+  if (!score::parse_backend(cli.get_string("backend"), backend)) {
+    std::fprintf(stderr, "unknown --backend %s (want scalar|batch|hwsim)\n",
+                 cli.get_string("backend").c_str());
+    return 1;
+  }
   util::set_default_log_level(util::LogLevel::kWarn);
   obs::configure_from_cli(cli);
 
@@ -56,6 +66,14 @@ int main(int argc, char** argv) {
   ms.scales = {1.0, 1.12, 1.26, 1.41, 1.59, 1.78, 2.0, 2.24, 2.52, 2.83};
   ms.scan.threshold = -0.15f;
   detector.mutable_config().threads = cli.get_int("threads");
+  // hwsim is a constructed device, not a bare enum: build it here and share
+  // it with the detector's engine for the whole run.
+  hwsim::HwsimScoreBackend hwsim_device;
+  if (backend == score::BackendKind::kHwsim) {
+    detector.mutable_config().scorer = &hwsim_device;
+  } else {
+    detector.mutable_config().backend = backend;
+  }
 
   // Camera geometry sized so the whole approach stays inside detector
   // coverage: at f = 2000 px a pedestrian at 28 m is ~121 px (scale 1.2) and
@@ -149,10 +167,11 @@ int main(int argc, char** argv) {
   // frame after the first should hit warm workspace buffers.
   const auto& estats = detector.engine_stats();
   std::printf("engine: %lld frames, %.1f KiB workspace, %lld grow events, "
-              "%lld reuse hits (%d thread%s)\n",
+              "%lld reuse hits (%d thread%s, %s backend)\n",
               estats.frames, static_cast<double>(estats.alloc_bytes) / 1024.0,
               estats.grow_events, estats.reuse_hits, cli.get_int("threads"),
-              cli.get_int("threads") == 1 ? "" : "s");
+              cli.get_int("threads") == 1 ? "" : "s",
+              score::to_string(estats.backend));
   if (!braked) {
     std::printf("note: no brake decision fired — raise --frames or speed\n");
   }

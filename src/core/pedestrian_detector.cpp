@@ -58,6 +58,11 @@ detect::MultiscaleResult PedestrianDetector::detect(
   // Config is re-read every call, so mutable_config() changes between frames
   // take effect; the engine re-shapes its workspace when shapes change.
   engine_.set_threads(config_.threads);
+  if (config_.scorer != nullptr) {
+    engine_.set_scorer(config_.scorer);
+  } else {
+    engine_.set_backend(config_.backend);
+  }
   detect::MultiscaleResult result =
       engine_.process(frame, config_.hog, *model_, config_.multiscale);
   obs::observe("core.detect_ms", timer.milliseconds());
@@ -66,6 +71,11 @@ detect::MultiscaleResult PedestrianDetector::detect(
 
 float PedestrianDetector::score_window(const imgproc::ImageF& window) const {
   PDET_REQUIRE(model_.has_value());
+  if (config_.scorer != nullptr) {
+    engine_.set_scorer(config_.scorer);
+  } else {
+    engine_.set_backend(config_.backend);
+  }
   return engine_.score_window(window, config_.hog, *model_);
 }
 

@@ -27,6 +27,13 @@ struct DetectorConfig {
   detect::MultiscaleOptions multiscale;    ///< 2 scales, feature pyramid
   svm::DcdOptions training;                ///< LIBLINEAR-style DCD
   int threads = 1;                         ///< pyramid-level lanes in detect()
+
+  /// Scoring backend for detect()/score_window() (kAuto = env or scalar).
+  score::BackendKind backend = score::BackendKind::kAuto;
+
+  /// Externally owned backend overriding `backend` (e.g. an hwsim device);
+  /// must outlive the detector.
+  score::ScoringBackend* scorer = nullptr;
 };
 
 class PedestrianDetector {

@@ -32,8 +32,8 @@ struct LevelJobCtx {
 std::size_t LevelWorkspace::capacity_bytes() const {
   return scaled.capacity_bytes() + gradient_capacity_bytes(grad) +
          cells.capacity_bytes() + blocks.capacity_bytes() +
-         block_scratch.capacity() * sizeof(float) +
-         desc.capacity() * sizeof(float) + hits.capacity() * sizeof(Detection);
+         block_scratch.capacity() * sizeof(float) + batch.capacity_bytes() +
+         hits.capacity() * sizeof(Detection);
 }
 
 std::size_t AnchorWorkspace::capacity_bytes() const {
@@ -55,7 +55,7 @@ std::size_t FrameWorkspace::capacity_bytes() const {
   total += win_crop.capacity_bytes() + gradient_capacity_bytes(win_grad) +
            win_cells.capacity_bytes() + win_blocks.capacity_bytes() +
            win_block_scratch.capacity() * sizeof(float) +
-           win_desc.capacity() * sizeof(float);
+           win_batch.capacity_bytes();
   return total;
 }
 
@@ -81,10 +81,44 @@ void DetectionEngine::set_threads(int threads) {
   options_.threads = std::max(1, threads);
 }
 
+score::BackendKind DetectionEngine::backend() const {
+  if (options_.scorer != nullptr) return options_.scorer->kind();
+  return score::resolve(options_.backend);
+}
+
+void DetectionEngine::set_backend(score::BackendKind kind) {
+  PDET_REQUIRE(score::resolve(kind) != score::BackendKind::kHwsim);
+  options_.backend = kind;
+  options_.scorer = nullptr;
+  active_scorer_ = nullptr;
+}
+
+void DetectionEngine::set_scorer(score::ScoringBackend* scorer) {
+  options_.scorer = scorer;
+  active_scorer_ = nullptr;
+}
+
 void DetectionEngine::ensure_pool() {
   if (!pool_ || pool_->threads() != options_.threads) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
+}
+
+score::ScoringBackend& DetectionEngine::ensure_backend() {
+  if (options_.scorer != nullptr) {
+    active_scorer_ = options_.scorer;
+  } else {
+    const score::BackendKind kind = score::resolve(options_.backend);
+    // A bare kind cannot conjure an offload device; hwsim arrives via the
+    // scorer pointer (see EngineOptions::scorer).
+    PDET_REQUIRE(kind != score::BackendKind::kHwsim);
+    if (!owned_backend_ || owned_backend_->kind() != kind) {
+      owned_backend_ = score::make_backend(kind);
+    }
+    active_scorer_ = owned_backend_.get();
+  }
+  stats_.backend = active_scorer_->kind();
+  return *active_scorer_;
 }
 
 void DetectionEngine::run_level(const imgproc::ImageF& frame,
@@ -100,6 +134,7 @@ void DetectionEngine::run_level(const imgproc::ImageF& frame,
   level.scanned = false;
   level.cell_grids = 0;
   level.gradient_pixels = 0;
+  level.score_batches = 0;
   level.hits.clear();
 
   // Feature source for this level; points either at a shared read-only grid
@@ -156,10 +191,11 @@ void DetectionEngine::run_level(const imgproc::ImageF& frame,
   }
 
   hog::normalize_cells_into(*cells, params, level.block_scratch, level.blocks);
-  const auto dlen = static_cast<std::size_t>(params.descriptor_size());
-  if (level.desc.size() < dlen) level.desc.resize(dlen);
-  scan_level_into(level.blocks, params, model, options.scan, level.desc,
-                  level.hits);
+  level.batch.configure(static_cast<std::size_t>(params.descriptor_size()),
+                        options_.score_batch);
+  level.score_batches =
+      scan_level_into(level.blocks, params, model, *active_scorer_,
+                      options.scan, level.batch, level.hits);
 
   level.stats.scale = s;
   level.stats.cells_x = cells->cells_x();
@@ -194,6 +230,7 @@ const MultiscaleResult& DetectionEngine::process(
   if (static_cast<int>(ws.levels.size()) < n) {
     ws.levels.resize(static_cast<std::size_t>(n));
   }
+  ensure_backend();  // settle the scorer before any level lane reads it
 
   // Shared inputs are prepared on the calling thread (unmuted, so their
   // spans/counters record normally); levels then only read them.
@@ -275,17 +312,20 @@ const MultiscaleResult& DetectionEngine::process(
     long long cell_grids = 0;
     long long gradient_pixels = 0;
     long long dot_products = 0;
+    long long score_batches = 0;
     for (int i = 0; i < n; ++i) {
       const LevelWorkspace& level = ws.levels[static_cast<std::size_t>(i)];
       cell_grids += level.cell_grids;
       gradient_pixels += level.gradient_pixels;
       if (level.scanned) dot_products += level.stats.windows;
+      score_batches += level.score_batches;
     }
     if (cell_grids > 0) obs::counter_add("hog.cell_grids", cell_grids);
     if (gradient_pixels > 0) {
       obs::counter_add("imgproc.gradient_pixels", gradient_pixels);
     }
     if (dot_products > 0) obs::counter_add("svm.dot_products", dot_products);
+    if (score_batches > 0) obs::counter_add("score.batches", score_batches);
   }
   obs::counter_add("hog.pyramid_levels", result.levels);
   obs::counter_add("detect.frames");
@@ -336,11 +376,20 @@ float DetectionEngine::score_window(const imgproc::ImageF& window,
   hog::compute_cell_grid_into(*src, params, ws.win_grad, ws.win_cells);
   hog::normalize_cells_into(ws.win_cells, params, ws.win_block_scratch,
                             ws.win_blocks);
-  const auto dlen = static_cast<std::size_t>(params.descriptor_size());
-  if (ws.win_desc.size() < dlen) ws.win_desc.resize(dlen);
-  const std::span<float> desc(ws.win_desc.data(), dlen);
-  hog::extract_window(ws.win_blocks, params, 0, 0, desc);
-  return model.decision(desc);
+  // Single-window batch through the engine's backend: every scoring path in
+  // the engine runs behind the same seam (scalar keeps this bit-identical
+  // to the former inline model.decision call).
+  score::ScoringBackend& scorer = ensure_backend();
+  score::ScoreBatch& batch = ws.win_batch;
+  batch.configure(static_cast<std::size_t>(params.descriptor_size()), 1);
+  hog::extract_window(ws.win_blocks, params, 0, 0, batch.push(0));
+  scorer.score(model, batch);
+  obs::counter_add("svm.dot_products");
+  obs::counter_add("score.batches");
+  obs::observe("score.batch_fill", batch.fill());
+  const float result = batch.score(0);
+  batch.clear();
+  return result;
 }
 
 }  // namespace pdet::detect

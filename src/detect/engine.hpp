@@ -27,6 +27,7 @@
 
 #include "src/detect/multiscale.hpp"
 #include "src/imgproc/gradient.hpp"
+#include "src/score/backend.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace pdet::detect {
@@ -36,6 +37,18 @@ struct EngineOptions {
   /// thread with full per-stage tracing; N > 1 scans levels on a small
   /// internal pool with identical (bit-for-bit) results.
   int threads = 1;
+
+  /// Scoring backend for the scan (kAuto = PDET_SCORE_BACKEND or scalar).
+  /// kHwsim cannot be constructed here — pass the device via `scorer`.
+  score::BackendKind backend = score::BackendKind::kAuto;
+
+  /// Windows gathered per scoring batch (per level lane).
+  std::size_t score_batch = score::kDefaultBatchCapacity;
+
+  /// Externally owned backend shared across engines (the runtime passes its
+  /// cross-stream ScoreHub here). Overrides `backend`; must outlive the
+  /// engine. The engine never takes ownership.
+  score::ScoringBackend* scorer = nullptr;
 };
 
 /// Allocation/reuse accounting across the engine's lifetime.
@@ -44,6 +57,8 @@ struct EngineStats {
   long long grow_events = 0;  ///< frames that grew the workspace footprint
   long long reuse_hits = 0;   ///< frames served entirely from warm buffers
   std::size_t alloc_bytes = 0;  ///< workspace high-water footprint, bytes
+  /// Which backend scored the last frame (resolved, never kAuto).
+  score::BackendKind backend = score::BackendKind::kScalar;
 };
 
 /// Scratch owned by one pyramid level. A level touches nothing outside its
@@ -56,12 +71,13 @@ struct LevelWorkspace {
   hog::CellGrid cells;                 ///< per-level (re)scaled cell grid
   hog::BlockGrid blocks;               ///< normalized features the scan reads
   std::vector<float> block_scratch;    ///< one raw block (4 * bins floats)
-  std::vector<float> desc;             ///< one window descriptor
+  score::ScoreBatch batch;             ///< gathered windows awaiting scoring
   std::vector<Detection> hits;         ///< level detections, frame coords
   LevelStats stats;
   bool scanned = false;                ///< false = dropped (window too big)
   int cell_grids = 0;                  ///< obs compensation when muted
   long long gradient_pixels = 0;       ///< obs compensation when muted
+  long long score_batches = 0;         ///< obs compensation when muted
 
   std::size_t capacity_bytes() const;
 };
@@ -96,7 +112,7 @@ struct FrameWorkspace {
   hog::CellGrid win_cells;
   hog::BlockGrid win_blocks;
   std::vector<float> win_block_scratch;
-  std::vector<float> win_desc;
+  score::ScoreBatch win_batch;  ///< one-window batch through the backend
 
   std::size_t capacity_bytes() const;
 };
@@ -115,6 +131,19 @@ class DetectionEngine {
 
   int threads() const { return options_.threads; }
   void set_threads(int threads);
+
+  /// The backend that will score the next frame: the shared `scorer` if one
+  /// was injected, else the engine-owned backend for the resolved kind.
+  score::BackendKind backend() const;
+
+  /// Re-point scoring at `kind` (engine-owned backend, lazily rebuilt).
+  /// Clears any injected scorer. kHwsim is rejected here — the device must
+  /// come in through set_scorer().
+  void set_backend(score::BackendKind kind);
+
+  /// Share an externally owned backend (e.g. the runtime's ScoreHub or an
+  /// hwsim device); nullptr reverts to the engine-owned backend.
+  void set_scorer(score::ScoringBackend* scorer);
 
   /// Multi-scale detection over `frame`, semantically identical to
   /// detect_multiscale() (same spans and counters at threads == 1, same
@@ -140,11 +169,18 @@ class DetectionEngine {
                  const MultiscaleOptions& options, int index);
   void ensure_pool();
 
+  /// Resolve the active backend, creating the engine-owned one on demand.
+  /// Called from the process()/score_window() entry thread before any level
+  /// lane runs, so lanes see a settled pointer.
+  score::ScoringBackend& ensure_backend();
+
   EngineOptions options_;
   EngineStats stats_;
   std::size_t high_water_bytes_ = 0;
   FrameWorkspace workspace_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< lazily created, threads > 1
+  std::unique_ptr<score::ScoringBackend> owned_backend_;
+  score::ScoringBackend* active_scorer_ = nullptr;  ///< settled per frame
 };
 
 }  // namespace pdet::detect

@@ -1,5 +1,6 @@
 #include "src/detect/scanner.hpp"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -8,106 +9,103 @@
 #include "src/util/assert.hpp"
 
 namespace pdet::detect {
-#ifndef PDET_OBS_DISABLED
 namespace {
 
-/// Traced variant of the scan loop: windows of one cell row are gathered
-/// first and scored second, so "hog/extract_window" and "svm/score" show up
-/// as separate nested spans under "detect/scan_level". Evaluation order and
-/// arithmetic are identical to the plain loop (row-major, per-window double
-/// accumulation); only the interleaving changes, and only while tracing.
-void scan_level_traced(const hog::BlockGrid& blocks,
-                       const hog::HogParams& params,
-                       const svm::LinearModel& model,
-                       const ScanOptions& options, int nx, int ny,
-                       std::vector<Detection>& out) {
-  const auto dlen = static_cast<std::size_t>(params.descriptor_size());
-  std::vector<int> row_cx;
-  std::vector<float> row_desc;
-  for (int cy = 0; cy < ny; cy += options.cell_stride) {
-    row_cx.clear();
-    for (int cx = 0; cx < nx; cx += options.cell_stride) row_cx.push_back(cx);
-    row_desc.resize(row_cx.size() * dlen);
-    {
-      PDET_TRACE_SCOPE("hog/extract_window");
-      for (std::size_t i = 0; i < row_cx.size(); ++i) {
-        hog::extract_window(blocks, params, row_cx[i], cy,
-                            std::span<float>(row_desc).subspan(i * dlen, dlen));
-      }
-    }
-    {
-      PDET_TRACE_SCOPE("svm/score");
-      for (std::size_t i = 0; i < row_cx.size(); ++i) {
-        const float score = model.decision(
-            std::span<const float>(row_desc).subspan(i * dlen, dlen));
-        if (score > options.threshold) {
-          Detection d;
-          d.x = row_cx[i] * params.cell_size;
-          d.y = cy * params.cell_size;
-          d.width = params.window_width;
-          d.height = params.window_height;
-          d.score = score;
-          out.push_back(d);
-        }
-      }
+/// Score the gathered windows and emit detections in push (row-major) order.
+/// The window anchor rides in the tag: (cy << 32) | cx. Scoring metrics are
+/// recorded here, on the thread that owns the scan — not inside the backend,
+/// where a cross-stream hub drain would attribute them to the wrong stream
+/// (or to a muted lane twice, via the engine's aggregate compensation).
+void flush_batch(const svm::LinearModel& model, score::ScoringBackend& backend,
+                 const ScanOptions& options, const hog::HogParams& params,
+                 score::ScoreBatch& batch, std::vector<Detection>& out) {
+  {
+    PDET_TRACE_SCOPE("svm/score");
+    backend.score(model, batch);
+  }
+  obs::counter_add("svm.dot_products", static_cast<long long>(batch.size()));
+  obs::counter_add("score.batches");
+  obs::observe("score.batch_fill", batch.fill());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const float score = batch.score(i);
+    if (score > options.threshold) {
+      const std::uint64_t tag = batch.tag(i);
+      Detection d;
+      d.x = static_cast<int>(tag & 0xffffffffu) * params.cell_size;
+      d.y = static_cast<int>(tag >> 32) * params.cell_size;
+      d.width = params.window_width;
+      d.height = params.window_height;
+      d.score = score;
+      out.push_back(d);
     }
   }
+  batch.clear();
 }
 
 }  // namespace
-#endif  // PDET_OBS_DISABLED
 
 std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
                                   const hog::HogParams& params,
                                   const svm::LinearModel& model,
                                   const ScanOptions& options) {
   params.validate();
-  std::vector<float> desc(static_cast<std::size_t>(params.descriptor_size()));
+  // Local scalar backend: the reference path, deliberately insensitive to
+  // PDET_SCORE_BACKEND so equivalence tests have a fixed point to pin on.
+  score::ScalarBackend backend;
+  score::ScoreBatch batch;
+  batch.configure(static_cast<std::size_t>(params.descriptor_size()),
+                  score::kDefaultBatchCapacity);
   std::vector<Detection> out;
-  scan_level_into(blocks, params, model, options, desc, out);
+  scan_level_into(blocks, params, model, backend, options, batch, out);
   return out;
 }
 
-void scan_level_into(const hog::BlockGrid& blocks, const hog::HogParams& params,
-                     const svm::LinearModel& model, const ScanOptions& options,
-                     std::span<float> desc_scratch,
-                     std::vector<Detection>& out) {
+long long scan_level_into(const hog::BlockGrid& blocks,
+                          const hog::HogParams& params,
+                          const svm::LinearModel& model,
+                          score::ScoringBackend& backend,
+                          const ScanOptions& options, score::ScoreBatch& batch,
+                          std::vector<Detection>& out) {
   PDET_TRACE_SCOPE("detect/scan_level");
   params.validate();
   PDET_REQUIRE(options.cell_stride >= 1);
   PDET_REQUIRE(model.dimension() ==
                static_cast<std::size_t>(params.descriptor_size()));
-  PDET_REQUIRE(desc_scratch.size() >=
+  PDET_REQUIRE(batch.dimension() ==
                static_cast<std::size_t>(params.descriptor_size()));
+  PDET_REQUIRE(batch.empty());
   out.clear();
 
   const int nx = hog::window_positions_x(blocks, params);
   const int ny = hog::window_positions_y(blocks, params);
-  obs::counter_add("svm.dot_products",
-                   scan_window_count(blocks, params, options.cell_stride));
-#ifndef PDET_OBS_DISABLED
-  if (obs::tracing_enabled()) {
-    scan_level_traced(blocks, params, model, options, nx, ny, out);
-    return;
-  }
-#endif
-  const std::span<float> desc =
-      desc_scratch.first(static_cast<std::size_t>(params.descriptor_size()));
-  for (int cy = 0; cy < ny; cy += options.cell_stride) {
-    for (int cx = 0; cx < nx; cx += options.cell_stride) {
-      hog::extract_window(blocks, params, cx, cy, desc);
-      const float score = model.decision(desc);
-      if (score > options.threshold) {
-        Detection d;
-        d.x = cx * params.cell_size;
-        d.y = cy * params.cell_size;
-        d.width = params.window_width;
-        d.height = params.window_height;
-        d.score = score;
-        out.push_back(d);
+  if (nx <= 0 || ny <= 0) return 0;
+
+  // Gather row-major until the batch fills, flush, repeat: under tracing the
+  // level shows alternating "hog/extract_window" / "svm/score" spans, one
+  // pair per batch, with arithmetic identical to the historical loop.
+  long long batches = 0;
+  int cx = 0;
+  int cy = 0;
+  while (cy < ny) {
+    {
+      PDET_TRACE_SCOPE("hog/extract_window");
+      while (cy < ny && !batch.full()) {
+        const std::uint64_t tag =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy))
+             << 32) |
+            static_cast<std::uint32_t>(cx);
+        hog::extract_window(blocks, params, cx, cy, batch.push(tag));
+        cx += options.cell_stride;
+        if (cx >= nx) {
+          cx = 0;
+          cy += options.cell_stride;
+        }
       }
     }
+    flush_batch(model, backend, options, params, batch, out);
+    ++batches;
   }
+  return batches;
 }
 
 imgproc::ImageF score_map(const hog::BlockGrid& blocks,

@@ -11,6 +11,7 @@
 #include "src/detect/detection.hpp"
 #include "src/imgproc/image.hpp"
 #include "src/hog/descriptor.hpp"
+#include "src/score/backend.hpp"
 #include "src/svm/linear_svm.hpp"
 
 namespace pdet::detect {
@@ -20,24 +21,32 @@ struct ScanOptions {
   int cell_stride = 1;     ///< window step in cells (1 = paper's stride)
 };
 
-/// Scan every window position of `blocks` with `model`. Detections are
-/// reported in the *level's* pixel coordinates; the caller rescales to the
-/// original frame (multiscale.cpp does this).
+/// Scan every window position of `blocks` with `model`, scoring through a
+/// local scalar reference backend (bit-identical to the historical inline
+/// loop at any PDET_SCORE_BACKEND setting — this is the reference path the
+/// equivalence tests pin against). Detections are reported in the *level's*
+/// pixel coordinates; the caller rescales to the original frame
+/// (multiscale.cpp does this).
 std::vector<Detection> scan_level(const hog::BlockGrid& blocks,
                                   const hog::HogParams& params,
                                   const svm::LinearModel& model,
                                   const ScanOptions& options);
 
-/// `scan_level` into caller-owned storage. `desc_scratch` must hold at least
-/// `params.descriptor_size()` floats; `out` is cleared and refilled, so warm
-/// buffers make the scan allocation-free below its high-water mark (the
-/// DetectionEngine workspace path). The row-batched layout used while
-/// tracing is enabled still allocates its row staging — tracing is a
-/// diagnostic mode, not the steady-state one.
-void scan_level_into(const hog::BlockGrid& blocks, const hog::HogParams& params,
-                     const svm::LinearModel& model, const ScanOptions& options,
-                     std::span<float> desc_scratch,
-                     std::vector<Detection>& out);
+/// Batched scan core: windows are gathered row-major into `batch` (which the
+/// caller has configure()d to `params.descriptor_size()` with its chosen
+/// capacity) and flushed through `backend` whenever the batch fills.
+/// Detections land in `out` (cleared first) in the same row-major order as
+/// the historical per-window loop; a warm batch and warm `out` make the scan
+/// allocation-free (the DetectionEngine workspace path). Scoring metrics
+/// (svm.dot_products, score.batches, score.batch_fill) are recorded here on
+/// the calling thread — backends stay obs-silent so counters attribute to
+/// the stream that owns the windows. Returns the number of batches flushed.
+long long scan_level_into(const hog::BlockGrid& blocks,
+                          const hog::HogParams& params,
+                          const svm::LinearModel& model,
+                          score::ScoringBackend& backend,
+                          const ScanOptions& options, score::ScoreBatch& batch,
+                          std::vector<Detection>& out);
 
 /// Dense per-anchor score map of one level: pixel (cx, cy) of the returned
 /// image is the SVM score of the window anchored at cell (cx, cy). Used for

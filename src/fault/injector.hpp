@@ -23,6 +23,8 @@
 //   runtime.worker.stall  sleep `param` ms (default 50) inside a worker,
 //                         simulating a wedged engine for the watchdog
 //   svm.model.corrupt  flip one byte of a model file after reading it
+//   score.batch        throw from ScoringBackend::score before the kernel
+//                      runs (backend/device failure -> poison-frame path)
 //
 // Each point costs one relaxed atomic load while the injector is disarmed
 // (`armed()` below) — the production fast path pays a single branch, no

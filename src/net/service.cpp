@@ -253,6 +253,10 @@ void DetectionService::build_stats_report(wire::StatsReport& out) {
   out.workers_replaced = static_cast<std::uint64_t>(rt.workers_replaced);
   out.poison_frames = static_cast<std::uint64_t>(rt.poison_frames);
   out.health_state = static_cast<std::uint32_t>(rt.health);
+  out.score_backend = static_cast<std::uint32_t>(rt.backend);
+  out.score_batches = static_cast<std::uint64_t>(rt.score_batches);
+  out.score_windows = static_cast<std::uint64_t>(rt.score_windows);
+  out.score_fill = static_cast<float>(rt.score_fill);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.net_frames_received =
       static_cast<std::uint64_t>(counters_.frames_received);

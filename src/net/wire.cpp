@@ -153,6 +153,10 @@ bool decode_stats_report(ByteReader& r, StatsReport& out) {
   out.poison_frames = r.u64();
   out.net_frames_rejected = r.u64();
   out.health_state = r.u32();
+  out.score_backend = r.u32();
+  out.score_batches = r.u64();
+  out.score_windows = r.u64();
+  out.score_fill = r.f32();
   return r.ok() && r.exhausted();
 }
 
@@ -284,6 +288,10 @@ void encode_stats_report(const StatsReport& msg,
   w.u64(msg.poison_frames);
   w.u64(msg.net_frames_rejected);
   w.u32(msg.health_state);
+  w.u32(msg.score_backend);
+  w.u64(msg.score_batches);
+  w.u64(msg.score_windows);
+  w.f32(msg.score_fill);
   end_frame(w, out, at);
 }
 

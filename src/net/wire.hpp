@@ -42,6 +42,11 @@
 // New messages kTelemetryQuery / kTelemetryReport return the full metrics
 // registry in Prometheus text exposition format plus frame-timeline
 // percentiles from the server's flight-recorder window.
+//
+// v4 (breaking): StatsReport grew the scoring-backend block (which
+// ScoringBackend served — scalar/batch/hwsim — plus batch/window counts and
+// mean batch fill) so remote clients can see which backend scored their
+// frames and how well cross-stream batching coalesced.
 #pragma once
 
 #include <array>
@@ -58,7 +63,7 @@
 namespace pdet::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x50444E31u;  // "PDN1"
-inline constexpr std::uint8_t kProtocolVersion = 3;
+inline constexpr std::uint8_t kProtocolVersion = 4;
 inline constexpr std::size_t kHeaderSize = 16;
 /// Upper bound on a frame payload; a 4K-UHD float luminance plane is ~33 MiB,
 /// anything larger is a corrupt or hostile length field.
@@ -166,6 +171,11 @@ struct StatsReport {
   std::uint64_t poison_frames = 0;     ///< frames rejected after max faults
   std::uint64_t net_frames_rejected = 0;  ///< bad SubmitFrames answered Error
   std::uint32_t health_state = 0;      ///< runtime::HealthState as integer
+  // Scoring-backend block (v4; mirrors RuntimeStats).
+  std::uint32_t score_backend = 0;     ///< score::BackendKind as integer
+  std::uint64_t score_batches = 0;     ///< batches the backend scored
+  std::uint64_t score_windows = 0;     ///< windows the backend scored
+  float score_fill = 0.0f;             ///< mean batch fill [0, 1]
 };
 
 /// p50/p99 of one hop duration over the server's flight-recorder window.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/fault/injector.hpp"
+#include "src/hwsim/score_backend.hpp"
 #include "src/obs/report.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
@@ -57,6 +58,35 @@ DetectionServer::DetectionServer(svm::LinearModel model, ServerOptions options)
   options_.hog.validate();
   PDET_REQUIRE(model_.dimension() ==
                static_cast<std::size_t>(options_.hog.descriptor_size()));
+
+  // One scoring backend serves the whole engine pool. hwsim is the offload
+  // case: a single modeled device, which only the server (not a bare
+  // engine) knows how to construct and share.
+  const score::BackendKind kind = score::resolve(options_.backend);
+  if (kind == score::BackendKind::kHwsim) {
+    score_backend_ = std::make_unique<hwsim::HwsimScoreBackend>();
+  } else {
+    score_backend_ = score::make_backend(kind);
+  }
+  if (options_.cross_stream_batching) {
+    // lanes: one per worker keeps CPU backends pass-through (coalescing only
+    // when arrivals collide); a single lane serializes onto the one modeled
+    // hwsim device, with submitters parked on the hub's async completion.
+    const std::size_t lanes =
+        options_.score_lanes != 0
+            ? options_.score_lanes
+            : (kind == score::BackendKind::kHwsim
+                   ? 1
+                   : static_cast<std::size_t>(options_.workers));
+    // Every worker engine lane can have at most one batch in flight, plus
+    // slack for watchdog replacement workers spawned mid-run.
+    const std::size_t max_pending =
+        static_cast<std::size_t>(options_.workers) *
+            static_cast<std::size_t>(options_.engine_threads) +
+        8;
+    score_hub_ =
+        std::make_unique<score::ScoreHub>(*score_backend_, lanes, max_pending);
+  }
 }
 
 DetectionServer::~DetectionServer() { stop(); }
@@ -90,8 +120,12 @@ void DetectionServer::start() {
 void DetectionServer::spawn_worker() {
   // Called from start() (single-threaded) and from the watchdog (the only
   // post-start appender). Deques keep existing workers' pointers stable.
-  engines_.emplace_back(
-      detect::EngineOptions{.threads = options_.engine_threads});
+  engines_.emplace_back(detect::EngineOptions{
+      .threads = options_.engine_threads,
+      .score_batch = options_.score_batch,
+      .scorer = score_hub_ ? static_cast<score::ScoringBackend*>(
+                                 score_hub_.get())
+                           : score_backend_.get()});
   worker_states_.emplace_back();
   WorkerState* state = &worker_states_.back();
   detect::DetectionEngine* engine = &engines_.back();
@@ -518,6 +552,11 @@ RuntimeStats DetectionServer::stats() const {
   out.health = health();
   out.queue_depth = queue_.size();
   out.degrade_level = scheduler_.level();
+  out.backend = score_backend_->kind();
+  const score::BackendStats bs = score_backend_->stats();
+  out.score_batches = bs.batches;
+  out.score_windows = bs.windows;
+  out.score_fill = bs.mean_fill();
   if (started_) {
     out.wall_seconds =
         running_.load(std::memory_order_acquire)
@@ -556,6 +595,8 @@ void DetectionServer::publish_metrics() {
   delta("runtime.flight_triggers", s.flight_triggers,
         published_.flight_triggers);
   obs::gauge_set("runtime.health", static_cast<double>(s.health));
+  obs::gauge_set("runtime.score_backend", static_cast<double>(s.backend));
+  obs::gauge_set("runtime.score_fill", s.score_fill);
   obs::gauge_set("runtime.queue_depth", static_cast<double>(s.queue_depth));
   obs::gauge_set("runtime.degrade_level", static_cast<double>(s.degrade_level));
   obs::gauge_set("runtime.aggregate_fps", s.aggregate_fps);

@@ -56,6 +56,8 @@
 #include "src/runtime/bounded_queue.hpp"
 #include "src/runtime/scheduler.hpp"
 #include "src/runtime/stream.hpp"
+#include "src/score/backend.hpp"
+#include "src/score/hub.hpp"
 #include "src/svm/linear_svm.hpp"
 
 namespace pdet::runtime {
@@ -68,6 +70,22 @@ struct ServerOptions {
   SchedulerOptions scheduler;      ///< deadlines + degradation ladder
   hog::HogParams hog;              ///< detector window/descriptor geometry
   detect::MultiscaleOptions multiscale;  ///< full-quality (rung 0) config
+
+  // Scoring backend + cross-stream batching (DESIGN "Scoring backends").
+  /// Which backend classifies windows. kAuto = PDET_SCORE_BACKEND or scalar;
+  /// kHwsim builds the MACBAR offload model (one device, shared by all
+  /// workers through a single-lane hub).
+  score::BackendKind backend = score::BackendKind::kAuto;
+  /// Windows gathered per scoring batch inside each engine level lane.
+  std::size_t score_batch = score::kDefaultBatchCapacity;
+  /// Route every worker's batches through one shared ScoreHub, so batches
+  /// from different streams coalesce at the backend (drains back-to-back,
+  /// weight vector stays hot). Per-stream results are unchanged — the hub
+  /// only reorders which thread executes a batch, never its contents.
+  bool cross_stream_batching = true;
+  /// Concurrent hub drains. 0 = auto: 1 for hwsim (one modeled device),
+  /// `workers` otherwise (pass-through with opportunistic coalescing).
+  std::size_t score_lanes = 0;
 
   // Fault containment / self-healing knobs (DESIGN §9).
   /// Watchdog threshold: a worker busy on one frame for longer than this is
@@ -140,6 +158,11 @@ struct RuntimeStats {
   // while running).
   long long engine_frames = 0;
   std::size_t engine_alloc_bytes = 0;  ///< summed workspace high water
+  // Scoring-backend dimension (live at any time; backends count atomically).
+  score::BackendKind backend = score::BackendKind::kScalar;  ///< what scored
+  long long score_batches = 0;  ///< batches the backend scored
+  long long score_windows = 0;  ///< windows the backend scored
+  double score_fill = 0.0;      ///< mean batch fill, windows / capacity
 };
 
 class DetectionServer {
@@ -188,6 +211,13 @@ class DetectionServer {
   HealthState health() const;
 
   RuntimeStats stats() const;
+
+  /// The backend serving this server's engines (resolved, never kAuto).
+  score::BackendKind backend() const { return score_backend_->kind(); }
+
+  /// The cross-stream coalescing hub, or nullptr when
+  /// ServerOptions::cross_stream_batching is off.
+  const score::ScoreHub* score_hub() const { return score_hub_.get(); }
 
   /// The per-stream timeline rings (the flight recorder). Always present;
   /// records only when ServerOptions::timeline_depth > 0.
@@ -251,6 +281,12 @@ class DetectionServer {
 
   const ServerOptions options_;
   const svm::LinearModel model_;
+  /// The scoring backend shared by every worker engine (constructed from
+  /// ServerOptions::backend; hwsim builds the offload device here), plus the
+  /// optional cross-stream hub in front of it. Workers hold pointers into
+  /// these, so they are fixed for the server's lifetime.
+  std::unique_ptr<score::ScoringBackend> score_backend_;
+  std::unique_ptr<score::ScoreHub> score_hub_;
   /// Effective multiscale options per degradation rung, precomputed so a
   /// worker's per-frame scheduling path allocates nothing.
   std::array<detect::MultiscaleOptions, 3> rung_options_;

@@ -1,0 +1,98 @@
+#include "src/score/hub.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::score {
+
+namespace {
+/// Most requests one drain trip claims before re-checking the queue. Bounds
+/// the latency a parked submitter can see behind a greedy drainer while
+/// keeping the weight vector hot across consecutive batches.
+constexpr std::size_t kMaxGrab = 8;
+}  // namespace
+
+ScoreHub::ScoreHub(ScoringBackend& inner, std::size_t lanes,
+                   std::size_t max_pending)
+    : inner_(inner), lanes_(lanes == 0 ? 1 : lanes) {
+  PDET_REQUIRE(max_pending > 0);
+  pending_.reserve(max_pending);
+}
+
+void ScoreHub::score(const svm::LinearModel& model, ScoreBatch& batch) {
+  if (batch.empty()) return;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  pending_.push_back(Request{&model, &batch, false, nullptr});
+  const std::size_t my_index = pending_.size() - 1;
+  ++stats_.requests;
+  ++outstanding_;
+
+  // Worker-assisted drain: become a drainer unless the lane budget is spent,
+  // in which case an active drainer is guaranteed to pick our request up on
+  // its next claim (it re-checks the queue under this lock before exiting).
+  if (active_drains_ < lanes_) {
+    ++active_drains_;
+    while (head_ < pending_.size()) {
+      const std::size_t begin = head_;
+      const std::size_t end =
+          std::min(pending_.size(), begin + kMaxGrab);
+      head_ = end;
+      ++stats_.drains;
+      stats_.drained_batches += static_cast<long long>(end - begin);
+      stats_.max_coalesced = std::max(
+          stats_.max_coalesced, static_cast<long long>(end - begin));
+
+      // Copy the claimed work out: the vector may grow (and move) while the
+      // lock is dropped, so raw element references must not cross unlock.
+      const svm::LinearModel* models[kMaxGrab];
+      ScoreBatch* batches[kMaxGrab];
+      std::exception_ptr errors[kMaxGrab];
+      const std::size_t n = end - begin;
+      for (std::size_t i = 0; i < n; ++i) {
+        models[i] = pending_[begin + i].model;
+        batches[i] = pending_[begin + i].batch;
+      }
+
+      lock.unlock();
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          inner_.score(*models[i], *batches[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+      lock.lock();
+
+      for (std::size_t i = 0; i < n; ++i) {
+        pending_[begin + i].error = std::move(errors[i]);
+        pending_[begin + i].done = true;
+      }
+      cv_.notify_all();
+    }
+    --active_drains_;
+  }
+
+  cv_.wait(lock, [&] { return pending_[my_index].done; });
+  std::exception_ptr error = std::move(pending_[my_index].error);
+
+  // Last submitter out resets the ring so indices restart at 0; capacity is
+  // kept, so the steady state never reallocates.
+  --outstanding_;
+  if (outstanding_ == 0 && head_ == pending_.size()) {
+    pending_.clear();
+    head_ = 0;
+  }
+  lock.unlock();
+
+  if (error) std::rethrow_exception(error);
+}
+
+HubStats ScoreHub::hub_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pdet::score
