@@ -73,7 +73,9 @@ int main(int argc, char** argv) {
   cli.add_string("backend", "scalar",
                  "scoring backend: scalar | batch | hwsim (MACBAR offload "
                  "model, one shared simulated device)");
-  cli.add_int("listen", 0, "serve remote clients on this TCP port (0 = off)");
+  cli.add_int("listen", -1,
+              "serve remote clients on this TCP port (0 = ephemeral port, "
+              "printed on stdout; omit for local demo mode)");
   cli.add_int("max-clients", 8, "remote mode: concurrent client connections");
   cli.add_int("chaos-seed", 0,
               "arm seeded fault injection across io/runtime (0 = off)");
@@ -135,9 +137,11 @@ int main(int argc, char** argv) {
   core::PedestrianDetector detector;
   detector.train(dataset::make_window_set(616, 250, 500));
 
-  if (cli.get_int("listen") > 0) {
+  if (cli.get_int("listen") >= 0) {
     // Remote mode: expose the engine pool over TCP and serve until a stop
     // signal arrives; stop() drains in-flight frames and flushes results.
+    // --listen 0 binds an ephemeral port (printed below), which is what
+    // scripted harnesses and the fleet tooling use to avoid port races.
     net::ServiceOptions sopts;
     sopts.port = static_cast<std::uint16_t>(cli.get_int("listen"));
     sopts.host = "0.0.0.0";
@@ -161,8 +165,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
       return 1;
     }
+    // The bound port (the ephemeral one when --listen 0) goes to stdout and
+    // is flushed immediately so a parent process can scrape it.
     std::printf("serving on port %u (Ctrl-C to stop)...\n",
                 static_cast<unsigned>(service.port()));
+    std::fflush(stdout);
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }

@@ -38,6 +38,33 @@ std::uint64_t MultiStreamSource::frame_seed(int stream, int frame_index) const {
                    (static_cast<std::uint64_t>(frame_index) + 1));
 }
 
+void encode_multistream_options(const MultiStreamOptions& options,
+                                util::ByteWriter& w) {
+  w.i32(options.scene.width);
+  w.i32(options.scene.height);
+  w.f64(options.scene.camera.focal_px);
+  w.f64(options.scene.camera.camera_height_m);
+  w.f64(options.scene.camera.person_height_m);
+  w.f64(options.scene.clutter_density);
+  w.i32(options.min_pedestrians);
+  w.i32(options.max_pedestrians);
+  w.f64(options.min_distance_m);
+  w.f64(options.max_distance_m);
+}
+
+void decode_multistream_options(util::ByteReader& r, MultiStreamOptions& out) {
+  out.scene.width = r.i32();
+  out.scene.height = r.i32();
+  out.scene.camera.focal_px = r.f64();
+  out.scene.camera.camera_height_m = r.f64();
+  out.scene.camera.person_height_m = r.f64();
+  out.scene.clutter_density = r.f64();
+  out.min_pedestrians = r.i32();
+  out.max_pedestrians = r.i32();
+  out.min_distance_m = r.f64();
+  out.max_distance_m = r.f64();
+}
+
 Scene MultiStreamSource::frame(int stream, int frame_index) const {
   util::Rng rng(frame_seed(stream, frame_index));
   SceneOptions scene = options_.scene;

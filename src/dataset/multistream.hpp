@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/dataset/scene.hpp"
+#include "src/util/bytes.hpp"
 
 namespace pdet::dataset {
 
@@ -22,6 +23,17 @@ struct MultiStreamOptions {
   double min_distance_m = 8.0;  ///< pedestrian placement band
   double max_distance_m = 28.0;
 };
+
+/// Serialize the fields that determine frame content (scene geometry/camera/
+/// clutter + pedestrian band; pedestrian_distances_m is excluded — the
+/// source overwrites it per frame). A journal carrying these bytes plus the
+/// base seed pins the *entire* replayed workload.
+void encode_multistream_options(const MultiStreamOptions& options,
+                                util::ByteWriter& w);
+
+/// Counterpart of encode_multistream_options. Leaves `out` partially
+/// written and the reader failed on truncation; check r.ok().
+void decode_multistream_options(util::ByteReader& r, MultiStreamOptions& out);
 
 class MultiStreamSource {
  public:

@@ -25,6 +25,9 @@
 //   svm.model.corrupt  flip one byte of a model file after reading it
 //   score.batch        throw from ScoringBackend::score before the kernel
 //                      runs (backend/device failure -> poison-frame path)
+//   fleet.backend.drop drop one backend session in the fleet router as if
+//                      the shard's TCP link died (checked per backend
+//                      message), driving the re-shard/drain machinery
 //
 // Each point costs one relaxed atomic load while the injector is disarmed
 // (`armed()` below) — the production fast path pays a single branch, no

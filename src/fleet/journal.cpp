@@ -1,0 +1,167 @@
+#include "src/fleet/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/assert.hpp"
+#include "src/util/bytes.hpp"
+
+namespace pdet::fleet {
+
+int Journal::stream_count() const {
+  std::uint32_t max_stream = 0;
+  bool any = false;
+  for (const JournalRecord& r : records) {
+    max_stream = std::max(max_stream, r.stream);
+    any = true;
+  }
+  return any ? static_cast<int>(max_stream) + 1 : 0;
+}
+
+double Journal::duration_seconds() const {
+  return records.empty()
+             ? 0.0
+             : static_cast<double>(records.back().timestamp_us) * 1e-6;
+}
+
+Journal capture_journal(std::uint64_t seed,
+                        const dataset::MultiStreamOptions& options,
+                        int streams, int frames_per_stream, double fps) {
+  PDET_REQUIRE(streams >= 1);
+  PDET_REQUIRE(frames_per_stream >= 0);
+  PDET_REQUIRE(fps > 0.0);
+  Journal journal;
+  journal.seed = seed;
+  journal.options = options;
+  const dataset::MultiStreamSource source(seed, options);
+  const double period_us = 1e6 / fps;
+  journal.records.reserve(static_cast<std::size_t>(streams) *
+                          static_cast<std::size_t>(frames_per_stream));
+  for (int f = 0; f < frames_per_stream; ++f) {
+    for (int s = 0; s < streams; ++s) {
+      JournalRecord rec;
+      rec.stream = static_cast<std::uint32_t>(s);
+      rec.frame_index = static_cast<std::uint32_t>(f);
+      rec.frame_seed = source.frame_seed(s, f);
+      // Cameras share the frame rate but not the phase: stagger the shutter
+      // offsets evenly so the fleet sees a continuous arrival stream rather
+      // than synchronized bursts.
+      rec.timestamp_us = static_cast<std::uint64_t>(
+          period_us * (static_cast<double>(f) +
+                       static_cast<double>(s) / static_cast<double>(streams)));
+      journal.records.push_back(rec);
+    }
+  }
+  return journal;
+}
+
+void encode_journal(const Journal& journal, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  util::ByteWriter w(out);
+  w.u32(kJournalMagic);
+  w.u16(kJournalVersion);
+  w.u16(0);  // reserved
+  w.u64(journal.seed);
+  dataset::encode_multistream_options(journal.options, w);
+  w.u32(static_cast<std::uint32_t>(journal.records.size()));
+  for (const JournalRecord& r : journal.records) {
+    w.u32(r.stream);
+    w.u32(r.frame_index);
+    w.u64(r.frame_seed);
+    w.u64(r.timestamp_us);
+  }
+  const std::uint32_t crc = util::crc32(
+      std::span<const std::uint8_t>(out.data() + start, out.size() - start));
+  w.u32(crc);
+}
+
+bool decode_journal(std::span<const std::uint8_t> data, Journal& out,
+                    std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (data.size() < 4 + 4) return fail("journal truncated");
+  // The trailing CRC covers everything before it; check first so every
+  // later parse works on bytes known to be intact.
+  util::ByteReader tail(data.subspan(data.size() - 4));
+  const std::uint32_t declared_crc = tail.u32();
+  const std::uint32_t actual_crc =
+      util::crc32(data.subspan(0, data.size() - 4));
+  if (declared_crc != actual_crc) return fail("journal crc mismatch");
+
+  util::ByteReader r(data.subspan(0, data.size() - 4));
+  if (r.u32() != kJournalMagic) return fail("bad journal magic");
+  if (r.u16() != kJournalVersion) return fail("unsupported journal version");
+  (void)r.u16();  // reserved
+  out.seed = r.u64();
+  dataset::decode_multistream_options(r, out.options);
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return fail("journal truncated");
+  if (count > kMaxJournalRecords) return fail("journal record count absurd");
+  if (r.remaining() != static_cast<std::size_t>(count) * 24) {
+    return fail("journal record section size mismatch");
+  }
+  out.records.clear();
+  out.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    JournalRecord rec;
+    rec.stream = r.u32();
+    rec.frame_index = r.u32();
+    rec.frame_seed = r.u64();
+    rec.timestamp_us = r.u64();
+    out.records.push_back(rec);
+  }
+  if (!r.exhausted()) return fail("journal trailing garbage");
+  return true;
+}
+
+bool save_journal(const Journal& journal, const std::string& path,
+                  std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  encode_journal(journal, bytes);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = std::fclose(f) == 0 && wrote == bytes.size();
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+bool load_journal(const std::string& path, Journal& out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const std::size_t got = std::fread(chunk, 1, sizeof chunk, f);
+    bytes.insert(bytes.end(), chunk, chunk + got);
+    if (got < sizeof chunk) break;
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) *error = "read error on " + path;
+    return false;
+  }
+  return decode_journal(bytes, out, error);
+}
+
+bool journal_seeds_consistent(const Journal& journal) {
+  const dataset::MultiStreamSource source(journal.seed, journal.options);
+  for (const JournalRecord& r : journal.records) {
+    if (source.frame_seed(static_cast<int>(r.stream),
+                          static_cast<int>(r.frame_index)) != r.frame_seed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pdet::fleet

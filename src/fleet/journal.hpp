@@ -1,0 +1,89 @@
+// Deterministic traffic journal for fleet soak runs (pdet::fleet).
+//
+// A journal is the recorded shape of multi-camera traffic: for every frame,
+// which stream produced it, which frame index it was, the per-frame seed
+// that pins its pixel content (dataset::MultiStreamSource::frame_seed), and
+// when it arrived. Together with the base seed and the MultiStreamOptions
+// that drove the capture, the journal pins the *entire* workload — a
+// replayer regenerates every frame bit-for-bit and re-times it at 1×, 10×
+// or 100×, so two soak runs against the same seeded fleet are comparable
+// measurements of the serving stack, not of the load generator's mood.
+//
+// On-disk format, version 1 (util::ByteWriter/Reader, little-endian):
+//
+//   offset  field
+//        0  u32   magic 0x50444A31 ("PDJ1")
+//        4  u16   version (1)
+//        6  u16   reserved (0)
+//        8  u64   base seed
+//       16  ...   MultiStreamOptions (dataset::encode_multistream_options)
+//        +  u32   record count
+//        +  rec*  records: u32 stream, u32 frame_index,
+//                          u64 frame_seed, u64 timestamp_us
+//     tail  u32   crc32 over every preceding byte
+//
+// The trailing CRC makes truncation and bit rot loud (decode_journal
+// refuses), mirroring the wire protocol's framing discipline; frame_seed is
+// stored redundantly (it is derivable from seed+options) so a replayer can
+// verify that the options it decoded really regenerate the recorded
+// traffic before pointing it at a fleet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/dataset/multistream.hpp"
+
+namespace pdet::fleet {
+
+inline constexpr std::uint32_t kJournalMagic = 0x50444A31u;  // "PDJ1"
+inline constexpr std::uint16_t kJournalVersion = 1;
+inline constexpr std::uint32_t kMaxJournalRecords = 1u << 24;
+
+struct JournalRecord {
+  std::uint32_t stream = 0;
+  std::uint32_t frame_index = 0;
+  std::uint64_t frame_seed = 0;
+  std::uint64_t timestamp_us = 0;  ///< capture-clock arrival time
+};
+
+struct Journal {
+  std::uint64_t seed = 0;  ///< MultiStreamSource base seed
+  dataset::MultiStreamOptions options;
+  std::vector<JournalRecord> records;  ///< ascending timestamp_us
+
+  /// Streams the journal references (max stream id + 1).
+  int stream_count() const;
+  /// Capture duration: last record's timestamp (0 when empty).
+  double duration_seconds() const;
+};
+
+/// Synthesize a capture: `frames_per_stream` frames for each of `streams`
+/// cameras at `fps`, camera phases staggered evenly within a frame period,
+/// records interleaved in timestamp order. Pure function of its arguments.
+Journal capture_journal(std::uint64_t seed,
+                        const dataset::MultiStreamOptions& options,
+                        int streams, int frames_per_stream, double fps);
+
+/// Append the serialized journal to `out` (the *_into convention).
+void encode_journal(const Journal& journal, std::vector<std::uint8_t>& out);
+
+/// Strict decode: bad magic/version, truncation, trailing garbage or a CRC
+/// mismatch all fail with a description in `*error`. On success `out` is
+/// fully replaced.
+bool decode_journal(std::span<const std::uint8_t> data, Journal& out,
+                    std::string* error = nullptr);
+
+bool save_journal(const Journal& journal, const std::string& path,
+                  std::string* error = nullptr);
+bool load_journal(const std::string& path, Journal& out,
+                  std::string* error = nullptr);
+
+/// True when every record's frame_seed matches what a MultiStreamSource
+/// built from (journal.seed, journal.options) derives — the integrity check
+/// a replayer runs before trusting the decoded options.
+bool journal_seeds_consistent(const Journal& journal);
+
+}  // namespace pdet::fleet

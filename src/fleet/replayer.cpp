@@ -1,0 +1,138 @@
+#include "src/fleet/replayer.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "src/net/client.hpp"
+#include "src/util/bytes.hpp"
+
+namespace pdet::fleet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void log_result(const net::wire::Result& r, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  w.u64(r.tag);
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.u8(r.degrade_level);
+  w.u32(static_cast<std::uint32_t>(r.detections.size()));
+  for (const auto& d : r.detections) {
+    w.i32(d.x);
+    w.i32(d.y);
+    w.i32(d.width);
+    w.i32(d.height);
+    w.f32(d.score);
+    w.f64(d.scale);
+  }
+}
+
+/// One camera: replay this stream's records on the scaled timeline,
+/// interleaving zero-ish-timeout result polls so delivery is observed as it
+/// happens, then drain stragglers within the grace period.
+void replay_stream(const Journal& journal, const ReplayOptions& options,
+                   int stream, Clock::time_point start, StreamReplay& out) {
+  out.stream = stream;
+
+  net::ClientOptions copts;
+  copts.host = options.host;
+  copts.port = options.port;
+  copts.name = options.name_prefix + "-" + std::to_string(stream);
+  net::Client client(copts);
+  if (!client.connect()) {
+    out.connected = false;
+    out.in_order = false;
+    return;
+  }
+
+  const dataset::MultiStreamSource source(journal.seed, journal.options);
+  net::wire::Result result;
+  const double inv_speed = 1.0 / options.speed;
+
+  for (const JournalRecord& rec : journal.records) {
+    if (static_cast<int>(rec.stream) != stream) continue;
+    const Clock::time_point due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::micro>(
+                        static_cast<double>(rec.timestamp_us) * inv_speed));
+    // Poll for results while waiting out the inter-frame gap; a 1 ms wait
+    // keeps the pacing tight without spinning a core per camera.
+    while (Clock::now() < due) {
+      if (client.next_result(result, 1.0) && options.collect_results) {
+        log_result(result, out.result_log);
+      }
+    }
+    const dataset::Scene scene =
+        source.frame(stream, static_cast<int>(rec.frame_index));
+    if (client.submit(scene.image)) {
+      ++out.submitted;
+    }
+    while (client.next_result(result, 0.0)) {
+      if (options.collect_results) log_result(result, out.result_log);
+    }
+  }
+
+  // Trailing drain: results for the last submits are still in flight.
+  const Clock::time_point drain_end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             options.drain_ms));
+  while (client.results_received() + client.results_missed() <
+             client.submitted_on_connection() &&
+         Clock::now() < drain_end) {
+    if (client.next_result(result, options.result_timeout_ms)) {
+      if (options.collect_results) log_result(result, out.result_log);
+    } else if (!client.connected()) {
+      break;  // link died draining; whatever is missing counts as shed
+    }
+  }
+
+  out.received = client.results_received();
+  out.missed = client.results_missed();
+  out.protocol_errors = client.protocol_errors();
+  out.reconnects = client.reconnects();
+  out.in_order = client.in_order();
+  client.disconnect();
+}
+
+}  // namespace
+
+ReplayReport replay_journal(const Journal& journal,
+                            const ReplayOptions& options) {
+  ReplayReport report;
+  if (journal.records.empty() || options.speed <= 0.0 ||
+      !journal_seeds_consistent(journal)) {
+    return report;  // zero streams, exactly_once false
+  }
+  const int streams = journal.stream_count();
+  report.streams.resize(static_cast<std::size_t>(streams));
+
+  const Clock::time_point t0 = Clock::now();
+  // A beat of lead time so every camera thread is connected before the
+  // first journal timestamp comes due — the replayed phase stagger then
+  // reflects the capture, not thread spawn order.
+  const Clock::time_point start = t0 + std::chrono::milliseconds(50);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    threads.emplace_back(replay_stream, std::cref(journal),
+                         std::cref(options), s, start,
+                         std::ref(report.streams[static_cast<std::size_t>(s)]));
+  }
+  for (std::thread& t : threads) t.join();
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  report.exactly_once = true;
+  for (const StreamReplay& sr : report.streams) {
+    report.total_submitted += sr.submitted;
+    report.total_received += sr.received;
+    report.total_missed += sr.missed;
+    if (!sr.in_order || !sr.connected || sr.protocol_errors != 0) {
+      report.exactly_once = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace pdet::fleet

@@ -1,0 +1,84 @@
+// Open-loop journal replayer (pdet::fleet).
+//
+// The Replayer turns a fleet::Journal back into live traffic: one
+// net::Client (one camera) per recorded stream, each regenerating its
+// frames bit-for-bit from the journal's (seed, options, frame_seed) and
+// submitting them on the recorded timeline scaled by `speed` (1× = as
+// captured, 10×/100× = soak). Pacing is open-loop — a submit happens when
+// the journal says so, not when the previous result returned — so the
+// fleet under test sets its own backpressure story (shed or block), and
+// the replayer measures it instead of hiding it.
+//
+// The exactly-once audit rides on net::Client's ordering bookkeeping: per
+// stream, received tags must never move backwards and sequences must be
+// strictly increasing (in_order()), forward tag gaps are shedding (missed),
+// and every received result is counted. A replay is `exactly_once` when no
+// stream saw a duplicate, a reorder or a protocol violation — results may
+// be *fewer* than submissions (sheds are legal and counted), never more,
+// never out of order.
+//
+// With collect_results on, each stream also serializes the deterministic
+// fields of every result it receives (tag, status, degrade level,
+// detections — latencies and traces excluded, they are measurements, not
+// outcomes) into a per-stream byte log. Two replays of one journal against
+// equivalently configured fleets must produce byte-identical logs — the
+// replay-determinism gate in tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/journal.hpp"
+
+namespace pdet::fleet {
+
+struct ReplayOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< router (or single service) frontend
+  double speed = 1.0;      ///< timeline scale: 10 = 10× faster than capture
+  /// Grace period after the last submit for trailing results to arrive.
+  double drain_ms = 2000.0;
+  /// Per-wait timeout while draining (one next_result poll).
+  double result_timeout_ms = 50.0;
+  /// Serialize per-stream result logs for byte-identity comparison.
+  bool collect_results = false;
+  std::string name_prefix = "replay";  ///< client_name = prefix + "-" + stream
+};
+
+/// One camera's view of a replay.
+struct StreamReplay {
+  int stream = 0;
+  long long submitted = 0;
+  long long received = 0;
+  long long missed = 0;  ///< forward tag gaps: shed, not disorder
+  long long protocol_errors = 0;
+  long long reconnects = 0;
+  bool in_order = true;
+  bool connected = true;  ///< initial connect succeeded
+  /// Deterministic result fields in arrival order (collect_results only):
+  /// per result u64 tag, u8 status, u8 degrade, u32 count, then per
+  /// detection i32 x/y/w/h, f32 score, f64 scale.
+  std::vector<std::uint8_t> result_log;
+};
+
+struct ReplayReport {
+  std::vector<StreamReplay> streams;
+  long long total_submitted = 0;
+  long long total_received = 0;
+  long long total_missed = 0;
+  double wall_seconds = 0.0;
+  /// No duplicates, no reorders, no protocol violations on any stream (and
+  /// every camera connected). Sheds do not break exactly-once.
+  bool exactly_once = false;
+};
+
+/// Replay `journal` against host:port. Spawns one thread + client per
+/// stream, joins them all, returns the merged report. The journal's seeds
+/// are verified against its options first (journal_seeds_consistent);
+/// a corrupt journal yields a report with zero streams and exactly_once
+/// false.
+ReplayReport replay_journal(const Journal& journal,
+                            const ReplayOptions& options);
+
+}  // namespace pdet::fleet

@@ -1,0 +1,62 @@
+#include "src/fleet/ring.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::fleet {
+namespace {
+
+/// SplitMix64 finalizer — the avalanche mix used across pdet for seeds.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(int backends, int vnodes) : backends_(backends) {
+  PDET_REQUIRE(backends >= 1);
+  PDET_REQUIRE(vnodes >= 1);
+  points_.reserve(static_cast<std::size_t>(backends) *
+                  static_cast<std::size_t>(vnodes));
+  for (int b = 0; b < backends; ++b) {
+    for (int v = 0; v < vnodes; ++v) {
+      const std::uint64_t position =
+          mix64((static_cast<std::uint64_t>(b) << 32) |
+                (static_cast<std::uint64_t>(v) + 1));
+      points_.emplace_back(position, b);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::lookup(std::uint64_t key) const {
+  auto it = std::upper_bound(points_.begin(), points_.end(),
+                             std::make_pair(key, backends_));
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+int HashRing::lookup_up(std::uint64_t key, const std::vector<bool>& up) const {
+  PDET_REQUIRE(up.size() == static_cast<std::size_t>(backends_));
+  auto it = std::upper_bound(points_.begin(), points_.end(),
+                             std::make_pair(key, backends_));
+  for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (up[static_cast<std::size_t>(it->second)]) return it->second;
+    ++it;
+  }
+  return -1;
+}
+
+std::uint64_t HashRing::key_for(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace pdet::fleet

@@ -1,0 +1,53 @@
+// Consistent-hash ring over backend shards (pdet::fleet).
+//
+// Stream-to-shard placement for the fleet router. Each backend owns
+// `vnodes` points on a 64-bit ring (hash of (backend, replica)); a stream
+// key maps to the first point clockwise from its own hash. The two
+// properties the router leans on, both pinned by tests/test_fleet.cpp:
+//
+//   stability   removing one backend only moves the keys that lived on it
+//               (they slide to their clockwise successors); every other
+//               key keeps its shard. Adding it back restores the original
+//               placement exactly — so a backend bouncing through a restart
+//               returns its streams to it, keeping placement deterministic
+//               across fault/recovery cycles (what makes journal replays
+//               against a self-healing fleet reproducible).
+//   balance     vnodes spread each backend around the ring so load splits
+//               roughly evenly without any central assignment state.
+//
+// Liveness is the caller's: lookup() places over all members, lookup_up()
+// walks clockwise past down backends, which is exactly the "slide to
+// successor" rule above.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdet::fleet {
+
+class HashRing {
+ public:
+  /// `backends` members with `vnodes` ring points each.
+  HashRing(int backends, int vnodes);
+
+  int backends() const { return backends_; }
+
+  /// The owning backend for `key` over all members.
+  int lookup(std::uint64_t key) const;
+
+  /// The owning backend for `key`, skipping members whose `up[b]` is false;
+  /// -1 when every backend is down. up.size() must equal backends().
+  int lookup_up(std::uint64_t key, const std::vector<bool>& up) const;
+
+  /// Ring key for a stream/client name (FNV-1a, then mixed onto the ring).
+  static std::uint64_t key_for(std::string_view name);
+
+ private:
+  int backends_;
+  /// (ring position, backend), sorted by position.
+  std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+}  // namespace pdet::fleet

@@ -1,0 +1,21 @@
+#include "src/net/backoff.hpp"
+
+#include <algorithm>
+
+namespace pdet::net {
+
+double backoff_delay_ms(const BackoffPolicy& policy, int attempt,
+                        util::Rng& jitter_rng) {
+  const double exponential =
+      policy.base_ms *
+      static_cast<double>(1ULL << std::min(std::max(attempt, 0), 40));
+  const double capped = std::min(exponential, policy.max_ms);
+  // Always consume exactly one draw, jitter or not, so the stream position
+  // stays a pure function of the call count (the util::Rng discipline).
+  const double u = jitter_rng.uniform();
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double scaled = capped * (1.0 - jitter + 2.0 * jitter * u);
+  return std::max(scaled, 0.0);
+}
+
+}  // namespace pdet::net

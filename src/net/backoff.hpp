@@ -1,0 +1,69 @@
+// Seeded-jitter exponential backoff (pdet::net).
+//
+// The reconnect schedule shared by net::Client and the fleet router's
+// backend sessions. Plain capped exponential backoff has a fleet-scale
+// failure mode: when one backend restarts, every session that lost it
+// computes the *same* delays and redials in lockstep — a thundering herd
+// that can knock the freshly restarted process straight back over. The fix
+// is classic decorrelated jitter: attempt k sleeps a uniform draw from
+// [delay * (1 - jitter), delay * (1 + jitter)] where delay is the capped
+// exponential min(base * 2^k, max), with the draws coming from a *seeded*
+// SplitMix64 stream. Distinct seeds decorrelate sessions; a fixed seed keeps
+// every schedule bit-for-bit reproducible, which is what lets the chaos
+// tests assert on reconnect behaviour at all.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.hpp"
+
+namespace pdet::net {
+
+struct BackoffPolicy {
+  int attempts = 8;        ///< retries before giving up (0 disables)
+  double base_ms = 50.0;   ///< first-attempt delay
+  double max_ms = 2000.0;  ///< exponential cap (pre-jitter)
+  /// Jitter half-width as a fraction of the capped exponential delay:
+  /// attempt k sleeps uniform([d*(1-j), d*(1+j)]) with d = min(base*2^k, max).
+  /// 0 reproduces the legacy deterministic lockstep schedule.
+  double jitter = 0.5;
+  /// Seeds the jitter stream. Two schedules with equal policies but distinct
+  /// seeds draw decorrelated delays; equal seeds draw identical ones.
+  std::uint64_t seed = 0x6a09e667f3bcc909ULL;
+};
+
+/// The delay (ms) before retry `attempt` (0-based). Pure function of
+/// (policy, attempt, rng stream position): callers advance `jitter_rng` by
+/// exactly one draw per call, so the k-th call of any schedule with the same
+/// policy+seed yields the same delay.
+double backoff_delay_ms(const BackoffPolicy& policy, int attempt,
+                        util::Rng& jitter_rng);
+
+/// Stateful walker over one policy: next_delay_ms() per failed attempt,
+/// reset() after a success (the next outage starts from base again).
+class BackoffSchedule {
+ public:
+  BackoffSchedule() : BackoffSchedule(BackoffPolicy{}) {}
+  explicit BackoffSchedule(const BackoffPolicy& policy)
+      : policy_(policy), rng_(policy.seed) {}
+
+  /// True while retries remain (attempt < policy.attempts).
+  bool can_retry() const { return attempt_ < policy_.attempts; }
+  int attempt() const { return attempt_; }
+
+  /// Delay before the next retry; advances the attempt counter.
+  double next_delay_ms() { return backoff_delay_ms(policy_, attempt_++, rng_); }
+
+  /// Back to attempt 0. The jitter stream keeps advancing (not re-seeded):
+  /// successive outages draw fresh, still-reproducible delays.
+  void reset() { attempt_ = 0; }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  util::Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace pdet::net

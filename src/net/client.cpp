@@ -21,7 +21,28 @@ constexpr std::size_t kMaxEncodeStamps = 256;
 
 }  // namespace
 
-Client::Client(ClientOptions options) : options_(std::move(options)) {}
+BackoffPolicy client_backoff_policy(const ClientOptions& options) {
+  BackoffPolicy policy;
+  policy.attempts = options.reconnect_attempts;
+  policy.base_ms = options.reconnect_base_ms;
+  policy.max_ms = options.reconnect_max_ms;
+  policy.jitter = options.reconnect_jitter;
+  policy.seed = options.reconnect_seed;
+  if (policy.seed == 0) {
+    // FNV-1a over the client name: distinct camera names decorrelate by
+    // default, equal configurations stay reproducible.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : options.name) {
+      h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    }
+    policy.seed = h | 1;  // never hand Rng a zero-ish degenerate seed
+  }
+  return policy;
+}
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      backoff_(client_backoff_policy(options_)) {}
 
 Client::~Client() { disconnect(); }
 
@@ -83,7 +104,8 @@ bool Client::connect_once(std::string* error) {
 bool Client::connect() {
   if (connected()) return true;
   std::string error;
-  for (int attempt = 0;; ++attempt) {
+  backoff_.reset();
+  for (;;) {
     if (connect_once(&error)) {
       // "Reconnect" = re-establishing after an established link was lost
       // (whether or not backoff was needed: a restarted server may accept
@@ -92,13 +114,9 @@ bool Client::connect() {
       link_lost_ = false;
       return true;
     }
-    if (attempt >= options_.reconnect_attempts) break;
-    const double backoff =
-        std::min(options_.reconnect_base_ms *
-                     static_cast<double>(1u << std::min(attempt, 20)),
-                 options_.reconnect_max_ms);
+    if (!backoff_.can_retry()) break;
     std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(backoff));
+        std::chrono::duration<double, std::milli>(backoff_.next_delay_ms()));
   }
   last_error_ = "connect failed: " + error;
   return false;

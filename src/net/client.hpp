@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/net/backoff.hpp"
 #include "src/net/socket.hpp"
 #include "src/net/wire.hpp"
 #include "src/obs/timeline.hpp"
@@ -52,12 +53,25 @@ struct ClientOptions {
   std::string name = "camera";
   double connect_timeout_ms = 2000.0;
   double io_timeout_ms = 5000.0;  ///< per send/recv readiness wait
-  /// Reconnect schedule: attempt k sleeps min(base * 2^k, max) before
-  /// retrying, for at most `attempts` tries (0 disables reconnection).
+  /// Reconnect schedule: attempt k sleeps a jittered min(base * 2^k, max)
+  /// before retrying, for at most `attempts` tries (0 disables
+  /// reconnection). See net::BackoffPolicy for the jitter semantics.
   int reconnect_attempts = 8;
   double reconnect_base_ms = 50.0;
   double reconnect_max_ms = 2000.0;
+  /// Jitter half-width fraction of each delay (anti-thundering-herd; 0
+  /// restores the legacy lockstep schedule).
+  double reconnect_jitter = 0.5;
+  /// Seeds the jitter stream. 0 = derive from `name`, so a fleet of
+  /// distinctly named cameras decorrelates by default while any one
+  /// client's schedule stays reproducible run to run.
+  std::uint64_t reconnect_seed = 0;
 };
+
+/// The effective backoff policy for `options` (jitter seed derived from the
+/// client name when reconnect_seed is 0). Exposed so the router's backend
+/// sessions reuse the exact schedule the client walks.
+BackoffPolicy client_backoff_policy(const ClientOptions& options);
 
 class Client {
  public:
@@ -133,6 +147,7 @@ class Client {
   void fail_link(const std::string& why);
 
   const ClientOptions options_;
+  BackoffSchedule backoff_;
   Socket sock_;
   wire::HelloAck hello_ack_;
 

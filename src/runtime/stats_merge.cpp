@@ -1,0 +1,69 @@
+#include "src/runtime/stats_merge.hpp"
+
+#include <algorithm>
+
+namespace pdet::runtime {
+
+HealthState merge_health(HealthState a, HealthState b) {
+  return static_cast<HealthState>(
+      std::max(static_cast<int>(a), static_cast<int>(b)));
+}
+
+void merge_runtime_stats(RuntimeStats& acc, const RuntimeStats& in) {
+  acc.submitted += in.submitted;
+  acc.completed += in.completed;
+  acc.ok += in.ok;
+  acc.degraded += in.degraded;
+  acc.dropped_queue += in.dropped_queue;
+  acc.dropped_deadline += in.dropped_deadline;
+  acc.errors += in.errors;
+  acc.worker_faults += in.worker_faults;
+  acc.worker_stalls += in.worker_stalls;
+  acc.workers_replaced += in.workers_replaced;
+  acc.poison_frames += in.poison_frames;
+  acc.flight_triggers += in.flight_triggers;
+  acc.health = merge_health(acc.health, in.health);
+  acc.wall_seconds = std::max(acc.wall_seconds, in.wall_seconds);
+  acc.aggregate_fps += in.aggregate_fps;
+  acc.queue_depth += in.queue_depth;
+  acc.engine_frames += in.engine_frames;
+  acc.engine_alloc_bytes += in.engine_alloc_bytes;
+  // Window-weighted mean batch fill; a backend that scored nothing
+  // contributes nothing (avoids dragging the mean toward its 0.0 default).
+  const long long total_windows = acc.score_windows + in.score_windows;
+  if (total_windows > 0) {
+    acc.score_fill = (acc.score_fill * static_cast<double>(acc.score_windows) +
+                      in.score_fill * static_cast<double>(in.score_windows)) /
+                     static_cast<double>(total_windows);
+  }
+  acc.score_batches += in.score_batches;
+  acc.score_windows += in.score_windows;
+}
+
+RuntimeStats runtime_stats_delta(const RuntimeStats& after,
+                                 const RuntimeStats& before) {
+  RuntimeStats d = after;
+  d.submitted -= before.submitted;
+  d.completed -= before.completed;
+  d.ok -= before.ok;
+  d.degraded -= before.degraded;
+  d.dropped_queue -= before.dropped_queue;
+  d.dropped_deadline -= before.dropped_deadline;
+  d.errors -= before.errors;
+  d.worker_faults -= before.worker_faults;
+  d.worker_stalls -= before.worker_stalls;
+  d.workers_replaced -= before.workers_replaced;
+  d.poison_frames -= before.poison_frames;
+  d.flight_triggers -= before.flight_triggers;
+  // Gauges delta like counters so merge(before, delta) == after holds on
+  // every summed field; callers comparing live snapshots should expect
+  // non-monotone gauges and clamp if needed.
+  d.queue_depth -= before.queue_depth;
+  d.engine_frames -= before.engine_frames;
+  d.engine_alloc_bytes -= before.engine_alloc_bytes;
+  d.score_batches -= before.score_batches;
+  d.score_windows -= before.score_windows;
+  return d;
+}
+
+}  // namespace pdet::runtime

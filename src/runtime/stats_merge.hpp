@@ -1,0 +1,40 @@
+// Fleet-wide stats merging (pdet::runtime).
+//
+// The fleet router answers one StatsQuery by combining N per-backend
+// reports, and operators combine N RuntimeStats snapshots the same way. The
+// merge rules live here — next to the stats they merge — so the router, the
+// benches and the tests agree on one definition:
+//
+//   counters    sum              (frames are frames, wherever they ran)
+//   health      worst-of         (one degraded shard degrades the fleet)
+//   fps         sum              (aggregate throughput across shards)
+//   wall clock  max              (fleet uptime = longest-lived member)
+//   gauges      sum              (queue depth etc. — instantaneous totals)
+//   histograms  not merged       (percentiles do not compose; callers keep
+//                                 per-shard summaries and label the rows)
+//   score_fill  window-weighted  (mean batch fill across backends)
+//
+// The identity the property tests pin down: merging any partition of a set
+// of snapshots yields the same counter totals as merging the whole set in
+// one pass — associative and commutative on every summed field.
+#pragma once
+
+#include "src/runtime/server.hpp"
+
+namespace pdet::runtime {
+
+/// Worst-of: kDraining > kDegraded > kHealthy (enum order is severity).
+HealthState merge_health(HealthState a, HealthState b);
+
+/// Fold `in` into `acc` under the rules above. Histogram summaries and the
+/// snapshot-local degrade_level are left untouched (per-shard data).
+void merge_runtime_stats(RuntimeStats& acc, const RuntimeStats& in);
+
+/// Counter-wise a - b (same fields merge_runtime_stats sums): turns two
+/// lifetime snapshots into the delta a benchmark window observed. Health and
+/// backend are taken from `after`; wall clock and fps are recomputed by the
+/// caller if needed.
+RuntimeStats runtime_stats_delta(const RuntimeStats& after,
+                                 const RuntimeStats& before);
+
+}  // namespace pdet::runtime

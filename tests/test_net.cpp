@@ -4,6 +4,7 @@
 // server restart.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -142,7 +143,11 @@ std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
   stats.workers_replaced = 1;
   stats.poison_frames = 2;
   stats.net_frames_rejected = 7;
-  stats.health_state = 1;  // degraded
+  stats.health_state = 1;          // degraded
+  stats.score_backend = 2;         // the v4 scoring-backend block
+  stats.score_batches = 40;
+  stats.score_windows = 5120;
+  stats.score_fill = 0.8125f;
   wire::encode_stats_report(stats, frames[5]);
   wire::Error err;
   err.code = wire::ErrorCode::kBusy;
@@ -359,6 +364,10 @@ TEST(WireCodec, StatsAndControlRoundtrip) {
   EXPECT_EQ(out.stats.net_results_dropped, 1u);
   EXPECT_EQ(out.stats.active_connections, 4u);
   EXPECT_EQ(out.stats.frames_error, 3u);  // v2 fault/health block survives
+  EXPECT_EQ(out.stats.score_backend, 2u);  // v4 backend block survives
+  EXPECT_EQ(out.stats.score_batches, 40u);
+  EXPECT_EQ(out.stats.score_windows, 5120u);
+  EXPECT_FLOAT_EQ(out.stats.score_fill, 0.8125f);
   EXPECT_EQ(out.stats.worker_faults, 5u);
   EXPECT_EQ(out.stats.worker_stalls, 1u);
   EXPECT_EQ(out.stats.workers_replaced, 1u);
@@ -1097,6 +1106,75 @@ TEST(DetectionService, PoisonFramesAreReconstructableFromFlightDump) {
   // The journey itself is in the dump: hop durations per line.
   EXPECT_NE(dumps.find("admit="), std::string::npos);
   EXPECT_NE(dumps.find("queue="), std::string::npos);
+}
+
+// --- reconnect backoff jitter -----------------------------------------------
+
+// Two clients with distinct seeds must not share a reconnect schedule (the
+// anti-thundering-herd property: a fleet of cameras losing one server must
+// not redial in lockstep), while the same seed reproduces the same schedule
+// exactly and every delay respects the policy envelope.
+TEST(Backoff, SeededJitterDivergesAcrossSeedsAndReproduces) {
+  BackoffPolicy policy;
+  policy.attempts = 8;
+  policy.base_ms = 50.0;
+  policy.max_ms = 2000.0;
+  policy.jitter = 0.5;
+
+  policy.seed = 0x1111u;
+  BackoffSchedule a(policy);
+  BackoffSchedule a_again(policy);
+  policy.seed = 0x2222u;
+  BackoffSchedule b(policy);
+
+  bool diverged = false;
+  for (int k = 0; k < policy.attempts; ++k) {
+    ASSERT_TRUE(a.can_retry());
+    const double da = a.next_delay_ms();
+    const double da_again = a_again.next_delay_ms();
+    const double db = b.next_delay_ms();
+    EXPECT_DOUBLE_EQ(da, da_again) << "same seed, attempt " << k;
+    if (da != db) diverged = true;
+    // Envelope: nominal * [1 - jitter, 1 + jitter].
+    const double nominal =
+        std::min(policy.base_ms * static_cast<double>(1 << k), policy.max_ms);
+    EXPECT_GE(da, nominal * (1.0 - policy.jitter) - 1e-9);
+    EXPECT_LE(da, nominal * (1.0 + policy.jitter) + 1e-9);
+  }
+  EXPECT_TRUE(diverged) << "distinct seeds produced identical schedules";
+  EXPECT_FALSE(a.can_retry());  // attempts exhausted
+
+  // reset() re-arms the attempt budget without rewinding the jitter stream:
+  // the post-reset schedule stays inside the envelope but need not repeat.
+  a.reset();
+  ASSERT_TRUE(a.can_retry());
+  const double after_reset = a.next_delay_ms();
+  EXPECT_GE(after_reset, policy.base_ms * (1.0 - policy.jitter) - 1e-9);
+  EXPECT_LE(after_reset, policy.base_ms * (1.0 + policy.jitter) + 1e-9);
+
+  // Zero jitter restores the legacy deterministic ladder regardless of seed.
+  policy.jitter = 0.0;
+  policy.seed = 0x3333u;
+  BackoffSchedule flat(policy);
+  EXPECT_DOUBLE_EQ(flat.next_delay_ms(), 50.0);
+  EXPECT_DOUBLE_EQ(flat.next_delay_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(flat.next_delay_ms(), 200.0);
+}
+
+// Distinctly *named* clients derive distinct jitter seeds by default, and
+// an explicit reconnect_seed overrides the name-derived one.
+TEST(Backoff, ClientPolicyDerivesSeedFromName) {
+  ClientOptions a;
+  a.name = "cam-front";
+  ClientOptions b;
+  b.name = "cam-rear";
+  const BackoffPolicy pa = client_backoff_policy(a);
+  const BackoffPolicy pb = client_backoff_policy(b);
+  EXPECT_NE(pa.seed, pb.seed);
+  EXPECT_EQ(pa.seed, client_backoff_policy(a).seed);  // stable per name
+
+  a.reconnect_seed = 42;
+  EXPECT_EQ(client_backoff_policy(a).seed, 42u);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "src/runtime/bounded_queue.hpp"
 #include "src/runtime/scheduler.hpp"
 #include "src/runtime/server.hpp"
+#include "src/runtime/stats_merge.hpp"
 #include "src/runtime/stream.hpp"
 #include "src/util/rng.hpp"
 
@@ -553,6 +554,137 @@ TEST(DetectionServer, PublishMetricsWritesDeltasToRegistry) {
   obs::Registry::instance().reset();
 }
 #endif
+
+// --- fleet stats merge properties -------------------------------------------
+
+namespace {
+
+RuntimeStats random_stats(util::Rng& rng) {
+  RuntimeStats s;
+  const auto counter = [&rng] {
+    return static_cast<long long>(rng.uniform_int(0, 10000));
+  };
+  s.submitted = counter();
+  s.completed = counter();
+  s.ok = counter();
+  s.degraded = counter();
+  s.dropped_queue = counter();
+  s.dropped_deadline = counter();
+  s.errors = counter();
+  s.worker_faults = counter();
+  s.worker_stalls = counter();
+  s.workers_replaced = counter();
+  s.poison_frames = counter();
+  s.flight_triggers = counter();
+  s.health = static_cast<HealthState>(rng.uniform_int(0, 2));
+  s.wall_seconds = rng.uniform(0.0, 100.0);
+  s.aggregate_fps = rng.uniform(0.0, 500.0);
+  s.queue_depth = static_cast<std::size_t>(rng.uniform_int(0, 64));
+  s.engine_frames = counter();
+  s.engine_alloc_bytes = static_cast<std::size_t>(rng.uniform_int(0, 1 << 20));
+  s.score_batches = counter();
+  s.score_windows = counter();
+  s.score_fill = rng.uniform(0.0, 1.0);
+  return s;
+}
+
+/// The summed fields merge_runtime_stats folds — equality on these is what
+/// the partition-invariance property asserts.
+std::vector<long long> summed_fields(const RuntimeStats& s) {
+  return {s.submitted,
+          s.completed,
+          s.ok,
+          s.degraded,
+          s.dropped_queue,
+          s.dropped_deadline,
+          s.errors,
+          s.worker_faults,
+          s.worker_stalls,
+          s.workers_replaced,
+          s.poison_frames,
+          s.flight_triggers,
+          static_cast<long long>(s.queue_depth),
+          s.engine_frames,
+          static_cast<long long>(s.engine_alloc_bytes),
+          s.score_batches,
+          s.score_windows};
+}
+
+}  // namespace
+
+// Property: merging any partition of N snapshots yields the same counter
+// totals as merging all N in one pass — the identity that makes the fleet
+// router's per-shard aggregation trustworthy (associativity + commutativity
+// on every summed field, worst-of on health, window-weighted mean on fill).
+TEST(StatsMerge, PartitionInvariantAndCommutative) {
+  util::Rng rng(0xF1EE7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<RuntimeStats> parts;
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    for (int i = 0; i < n; ++i) parts.push_back(random_stats(rng));
+
+    // One pass, in order.
+    RuntimeStats all = parts[0];
+    for (int i = 1; i < n; ++i) merge_runtime_stats(all, parts[static_cast<std::size_t>(i)]);
+
+    // Two-way partition at a random split, then merge of the merges.
+    const int split = static_cast<int>(rng.uniform_int(1, n - 1));
+    RuntimeStats left = parts[0];
+    for (int i = 1; i < split; ++i) {
+      merge_runtime_stats(left, parts[static_cast<std::size_t>(i)]);
+    }
+    RuntimeStats right = parts[static_cast<std::size_t>(split)];
+    for (int i = split + 1; i < n; ++i) {
+      merge_runtime_stats(right, parts[static_cast<std::size_t>(i)]);
+    }
+    RuntimeStats combined = left;
+    merge_runtime_stats(combined, right);
+
+    // Reverse order (commutativity).
+    RuntimeStats reversed = parts[static_cast<std::size_t>(n - 1)];
+    for (int i = n - 2; i >= 0; --i) {
+      merge_runtime_stats(reversed, parts[static_cast<std::size_t>(i)]);
+    }
+
+    EXPECT_EQ(summed_fields(all), summed_fields(combined));
+    EXPECT_EQ(summed_fields(all), summed_fields(reversed));
+    EXPECT_EQ(all.health, combined.health);
+    EXPECT_EQ(all.health, reversed.health);
+    EXPECT_DOUBLE_EQ(all.wall_seconds, combined.wall_seconds);
+    EXPECT_NEAR(all.aggregate_fps, reversed.aggregate_fps, 1e-6);
+    // Window-weighted fill is partition-invariant up to float rounding.
+    EXPECT_NEAR(all.score_fill, combined.score_fill, 1e-9);
+    EXPECT_NEAR(all.score_fill, reversed.score_fill, 1e-9);
+  }
+}
+
+// Property: delta then merge round-trips — merge(before, delta(after,
+// before)) restores after's counters. This is the identity benches lean on
+// to attribute a measurement window out of lifetime snapshots.
+TEST(StatsMerge, DeltaMergeRoundTrip) {
+  util::Rng rng(0xD317A);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RuntimeStats before = random_stats(rng);
+    RuntimeStats after = before;
+    merge_runtime_stats(after, random_stats(rng));  // after >= before field-wise
+
+    const RuntimeStats delta = runtime_stats_delta(after, before);
+    RuntimeStats rebuilt = before;
+    merge_runtime_stats(rebuilt, delta);
+    EXPECT_EQ(summed_fields(rebuilt), summed_fields(after));
+  }
+}
+
+TEST(StatsMerge, HealthIsWorstOf) {
+  EXPECT_EQ(merge_health(HealthState::kHealthy, HealthState::kHealthy),
+            HealthState::kHealthy);
+  EXPECT_EQ(merge_health(HealthState::kHealthy, HealthState::kDegraded),
+            HealthState::kDegraded);
+  EXPECT_EQ(merge_health(HealthState::kDraining, HealthState::kDegraded),
+            HealthState::kDraining);
+  EXPECT_EQ(merge_health(HealthState::kDegraded, HealthState::kHealthy),
+            HealthState::kDegraded);
+}
 
 }  // namespace
 }  // namespace pdet::runtime
