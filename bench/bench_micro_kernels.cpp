@@ -56,6 +56,42 @@ void BM_CellGridFrame960x540(benchmark::State& state) {
 }
 BENCHMARK(BM_CellGridFrame960x540);
 
+// --- tile-size sweep: gradient + histogram kernels at candidate tile dims ---
+// The UHD pipeline (pdet::tile) picks a core tile size; these rows show what
+// the two dominant per-pixel kernels cost per candidate: VGA-class 640x480,
+// the default 960x544 tile (plus halo it crops ~1200x800, dominated by the
+// same per-pixel cost), and 720p-class 1280x720. Pixels/sec should be flat —
+// all three fit streaming access patterns — so the tile size choice is about
+// halo overhead, not kernel efficiency (see DESIGN.md tiling section).
+void BM_GradientTileSweep(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const int h = static_cast<int>(state.range(1));
+  const imgproc::ImageF img = random_image(w, h, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imgproc::compute_gradients(img));
+  }
+  state.SetItemsProcessed(state.iterations() * w * h);
+}
+BENCHMARK(BM_GradientTileSweep)
+    ->Args({640, 480})
+    ->Args({960, 544})
+    ->Args({1280, 720});
+
+void BM_CellGridTileSweep(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const int h = static_cast<int>(state.range(1));
+  const imgproc::ImageF img = random_image(w, h, 22);
+  const hog::HogParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hog::compute_cell_grid(img, params));
+  }
+  state.SetItemsProcessed(state.iterations() * w * h);
+}
+BENCHMARK(BM_CellGridTileSweep)
+    ->Args({640, 480})
+    ->Args({960, 544})
+    ->Args({1280, 720});
+
 void BM_NormalizeCellsFrame(benchmark::State& state) {
   const hog::HogParams params;
   const hog::CellGrid cells =

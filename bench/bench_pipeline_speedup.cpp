@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   util::Cli cli("bench_pipeline_speedup",
                 "Feature pyramid vs image pyramid cost (paper Sections 4-5)");
   cli.add_int("width", 960, "frame width");
-  cli.add_int("height", 540, "frame height");
+  cli.add_int("height", 536, "frame height (multiple of the 8-px cell)");
   cli.add_int("repeats", 3, "timing repeats per config");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;

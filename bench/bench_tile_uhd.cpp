@@ -1,0 +1,315 @@
+// UHD tiling bench: tile-parallel speedup, steady-state allocations, and
+// ROI scheduling under a tight deadline.
+//
+// Three claims from the tiling design (DESIGN.md §13) measured end to end:
+//
+//   1. Tile parallelism scales: the same 3840x2160 frame through the same
+//      warm TileEngine runs >= 2x faster with 4 tile lanes than with 1
+//      (median of paired runs; the gate only counts on hosts with >= 4
+//      cores — smaller machines report advisory numbers).
+//   2. Zero steady state: once warm, a full tiled UHD pass performs no heap
+//      allocation at all, measured with a global operator-new counter.
+//   3. ROI holds its bounds: with the budget pinned to the tightest deadline
+//      rung, every tile's age stays <= max_age and the tile the tracker
+//      predicts for the pedestrian is freshly detected every frame.
+//
+// The workload is held fixed across resolutions: render_scene_scaled draws
+// the SAME world (same seed, same base geometry) at HD and UHD, so the fps
+// column differences are resolution cost, not scene luck.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "src/dataset/scene.hpp"
+#include "src/detect/engine.hpp"
+#include "src/detect/tracker.hpp"
+#include "src/hog/descriptor.hpp"
+#include "src/obs/report.hpp"
+#include "src/svm/linear_svm.hpp"
+#include "src/tile/engine.hpp"
+#include "src/tile/roi.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+// Ground-truth heap accounting for the zero-allocation claim (same idiom as
+// bench_frame_detection): every operator-new in the binary bumps a counter.
+namespace {
+std::atomic<long long> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace pdet;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+// Throughput is independent of what the weights say, so a random model
+// stands in for a trained one; sigma keeps the detection count small but
+// non-zero, so the merge/NMS path runs on real data.
+svm::LinearModel random_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  svm::LinearModel model;
+  model.weights.resize(
+      static_cast<std::size_t>(hog::HogParams().descriptor_size()));
+  for (auto& w : model.weights) w = static_cast<float>(rng.normal(0, 0.02));
+  model.bias = 0.0f;
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_tile_uhd",
+                "UHD tiled detection: speedup, allocations, ROI bounds");
+  cli.add_int("reps", 3, "paired speedup measurements (median of ratios)");
+  cli.add_int("frames", 2, "frames per measurement");
+  cli.add_int("tile-threads", 4, "tile lanes for the parallel configuration");
+  cli.add_int("roi-frames", 14, "frames in the ROI scheduling section");
+  cli.add_int("max-age", 3, "ROI staleness bound (frames)");
+  obs::add_cli_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_default_log_level(util::LogLevel::kWarn);
+  obs::configure_from_cli(cli);
+  obs::set_metrics_enabled(true);
+
+  const int reps = cli.get_int("reps");
+  const int frames = cli.get_int("frames");
+  const int lanes = cli.get_int("tile-threads");
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool gated = cores >= 4;
+  util::Timer total_timer;
+
+  const hog::HogParams params;
+  const svm::LinearModel model = random_model(99);
+  detect::MultiscaleOptions ms;
+  ms.scales = {1.0, 2.0};  // integer ladder: tiled pass is bit-exact
+  ms.scan.threshold = 0.5f;
+
+  std::printf("E12: UHD tiled detection (%d lane%s vs 1, %d cores, %d x %d "
+              "frames per rep)\n\n",
+              lanes, lanes == 1 ? "" : "s", cores, reps, frames);
+
+  // --- tile-parallel speedup, workload fixed across resolutions ---
+  util::Table table({"resolution", "grid", "untiled fps", "tiled x1 fps",
+                     util::format("tiled x%d fps", lanes), "speedup"});
+  double uhd_speedup = 0.0;
+  struct Res {
+    int w, h;
+    const char* name;
+  };
+  for (const Res res : {Res{1920, 1080, "1920x1080"}, Res{3840, 2160, "3840x2160"}}) {
+    util::Rng rng(4711);
+    dataset::SceneOptions base;  // 960x540 base world, scaled up
+    base.width = 960;
+    base.height = 540;
+    base.pedestrian_distances_m = {12.0, 20.0, 35.0};
+    const dataset::Scene scene =
+        dataset::render_scene_scaled(rng, base, res.w, res.h);
+
+    detect::DetectionEngine untiled(detect::EngineOptions{.threads = 1});
+    tile::TileEngineOptions topts1;
+    tile::TileEngine tiled1(topts1);
+    tile::TileEngineOptions toptsN;
+    toptsN.threads = lanes;
+    tile::TileEngine tiledN(toptsN);
+
+    const auto time_untiled = [&] {
+      util::Timer t;
+      for (int i = 0; i < frames; ++i) {
+        (void)untiled.process(scene.image, params, model, ms);
+      }
+      return t.seconds();
+    };
+    const auto time_tiled = [&](tile::TileEngine& engine) {
+      util::Timer t;
+      for (int i = 0; i < frames; ++i) {
+        (void)engine.process(scene.image, params, model, ms);
+      }
+      return t.seconds();
+    };
+
+    // Warm every engine past its first-frame growth, then measure pairs.
+    (void)untiled.process(scene.image, params, model, ms);
+    (void)tiled1.process(scene.image, params, model, ms);
+    (void)tiledN.process(scene.image, params, model, ms);
+    std::vector<double> untiled_s, tiled1_s, tiledN_s, ratios;
+    for (int r = 0; r < reps; ++r) {
+      untiled_s.push_back(time_untiled());
+      const double t1 = time_tiled(tiled1);
+      const double tn = time_tiled(tiledN);
+      tiled1_s.push_back(t1);
+      tiledN_s.push_back(tn);
+      ratios.push_back(t1 / tn);
+    }
+    const double speedup = median(ratios);
+    if (res.w == 3840) uhd_speedup = speedup;
+    const auto fps = [&](const std::vector<double>& s) {
+      return util::to_fixed(frames / median(s), 2);
+    };
+    table.add_row({res.name,
+                   util::format("%dx%d", tiledN.plan().tiles_x(),
+                                tiledN.plan().tiles_y()),
+                   fps(untiled_s), fps(tiled1_s), fps(tiledN_s),
+                   util::to_fixed(speedup, 2) + "x"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("(tiled x1 vs untiled overhead is the halo re-compute; the "
+              "speedup column is\n tiled x%d vs tiled x1, median of %d "
+              "paired runs)\n\n",
+              lanes, reps);
+
+  // --- steady-state allocations: warm UHD tiled pass must allocate nothing ---
+  util::Rng rng(4711);
+  dataset::SceneOptions base;
+  base.width = 960;
+  base.height = 540;
+  base.pedestrian_distances_m = {12.0, 20.0, 35.0};
+  const dataset::Scene uhd = dataset::render_scene_scaled(rng, base, 3840, 2160);
+  tile::TileEngineOptions topts;
+  topts.threads = lanes;
+  tile::TileEngine engine(topts);
+  (void)engine.process(uhd.image, params, model, ms);
+  (void)engine.process(uhd.image, params, model, ms);  // reach high water
+  obs::set_metrics_enabled(false);
+  constexpr int kSteadyFrames = 4;
+  const long long before = g_heap_allocs.load();
+  for (int i = 0; i < kSteadyFrames; ++i) {
+    (void)engine.process(uhd.image, params, model, ms);
+  }
+  const long long steady =
+      (g_heap_allocs.load() - before) / kSteadyFrames;
+  obs::set_metrics_enabled(true);
+  std::printf("steady state: %lld heap allocations per warm UHD frame "
+              "(over %d frames, %d lanes, %.1f KiB tile workspaces) — "
+              "expected 0\n\n",
+              steady, kSteadyFrames, lanes,
+              static_cast<double>(engine.stats().alloc_bytes) / 1024.0);
+
+  // --- ROI scheduling under the tightest deadline rung ---
+  // Truth boxes drive the tracker (a perfect-detector stand-in): the section
+  // measures the *scheduler*, not the SVM. Budget = rung 2 = forced tiles
+  // only; the gates are the hard staleness bound and 100% hot coverage of
+  // the pedestrian's predicted tile.
+  dataset::ApproachOptions aopts;
+  aopts.scene.width = 3840;
+  aopts.scene.height = 2160;
+  aopts.scene.camera.focal_px = 7000.0;
+  aopts.start_distance_m = 85.0;
+  aopts.closing_speed_mps = 15.0;
+  aopts.fps = 10.0;
+  aopts.frames = cli.get_int("roi-frames");
+  aopts.min_distance_m = 45.0;
+  const auto sequence = dataset::render_approach_sequence(777, aopts);
+
+  tile::TileEngineOptions ropts_engine;
+  ropts_engine.threads = lanes;
+  tile::TileEngine roi_engine(ropts_engine);
+  tile::RoiOptions ropts;
+  ropts.max_age = cli.get_int("max-age");
+  tile::RoiScheduler roi(ropts);
+  detect::Tracker tracker;
+  std::vector<detect::Detection> predicted;
+  std::vector<int> selection;
+  int max_age_seen = 0;
+  int ped_fresh = 0;
+  int ped_checked = 0;
+  long long fresh_tiles = 0;
+  for (std::size_t f = 0; f < sequence.size(); ++f) {
+    const auto& scene = sequence[f];
+    const tile::TiledResult* res = nullptr;
+    if (f == 0) {
+      res = &roi_engine.process(scene.image, params, model, ms);
+    } else {
+      tracker.predict_boxes(1, predicted);
+      const int budget =
+          tile::RoiScheduler::rung_budget(roi_engine.plan().tile_count(), 2);
+      roi.plan_frame(roi_engine.plan(), roi_engine.ages(), predicted, budget,
+                     selection);
+      res = &roi_engine.process(scene.image, params, model, ms, &selection);
+    }
+    // Perfect-detector stand-in for the tracker.
+    std::vector<detect::Detection> truth_dets;
+    for (const auto& t : scene.truth) {
+      detect::Detection d;
+      d.x = t.x;
+      d.y = t.y;
+      d.width = t.width;
+      d.height = t.height;
+      d.score = 1.0f;
+      truth_dets.push_back(d);
+    }
+    tracker.update(truth_dets);
+    max_age_seen = std::max(max_age_seen, res->max_age);
+    fresh_tiles += res->tiles_detected;
+    const auto& truth = scene.truth.front();
+    const int cx = std::clamp(truth.x + truth.width / 2, 0,
+                              roi_engine.plan().frame_width() - 1);
+    const int cy = std::clamp(truth.y + truth.height / 2, 0,
+                              roi_engine.plan().frame_height() - 1);
+    const int ped_tile = roi_engine.plan().owner_of(cx, cy);
+    if (f >= 2) {  // tracker confirms after 2 hits; hot coverage from there
+      ++ped_checked;
+      if (std::find(selection.begin(), selection.end(), ped_tile) !=
+          selection.end()) {
+        ++ped_fresh;
+      }
+    }
+  }
+  const int tile_count = roi_engine.plan().tile_count();
+  std::printf("ROI rung 2 over %zu UHD frames (%d tiles, max-age %d): "
+              "%.1f fresh tiles/frame (vs %d untiled), worst staleness %d, "
+              "hot tile fresh %d/%d frames\n\n",
+              sequence.size(), tile_count, ropts.max_age,
+              static_cast<double>(fresh_tiles) /
+                  static_cast<double>(sequence.size()),
+              tile_count, max_age_seen, ped_fresh, ped_checked);
+
+  obs::gauge_set("tile.bench.uhd_speedup", uhd_speedup);
+  obs::gauge_set("tile.bench.steady_frame_allocs",
+                 static_cast<double>(steady));
+  obs::gauge_set("tile.bench.max_tile_age", static_cast<double>(max_age_seen));
+  std::printf("elapsed: %.1f s\n", total_timer.seconds());
+  if (!obs::report_from_cli(cli)) return 1;
+
+  bool ok = true;
+  if (steady != 0) {
+    std::printf("FAIL: warm tiled frames allocate (%lld per frame)\n", steady);
+    ok = false;
+  }
+  if (max_age_seen > ropts.max_age || ped_fresh != ped_checked) {
+    std::printf("FAIL: ROI bounds broke (staleness %d/%d, hot %d/%d)\n",
+                max_age_seen, ropts.max_age, ped_fresh, ped_checked);
+    ok = false;
+  }
+  if (gated && uhd_speedup < 2.0) {
+    std::printf("FAIL: UHD tile speedup %.2fx < 2x with %d lanes\n",
+                uhd_speedup, lanes);
+    ok = false;
+  } else if (!gated) {
+    std::printf("note: < 4 cores — %.2fx speedup is advisory, not gated\n",
+                uhd_speedup);
+  }
+  return ok ? 0 : 1;
+}

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   cli.add_double("start", 28.0, "initial distance m");
   cli.add_int("frames", 48, "frames to simulate");
   cli.add_int("fps", 30, "simulated camera rate (lower than 60 to keep the demo fast)");
+  cli.add_int("width", 512, "frame width px (multiple of the 8-px HOG cell)");
+  cli.add_int("height", 384, "frame height px (multiple of the 8-px HOG cell)");
   cli.add_int("threads", 1, "pyramid-level lanes in the detection engine");
   cli.add_string("backend", "scalar",
                  "scoring backend: scalar | batch | hwsim (quantized MACBAR "
@@ -43,6 +45,15 @@ int main(int argc, char** argv) {
   }
   util::set_default_log_level(util::LogLevel::kWarn);
   obs::configure_from_cli(cli);
+  const int width = cli.get_int("width");
+  const int height = cli.get_int("height");
+  if (width <= 0 || height <= 0 || width % 8 != 0 || height % 8 != 0) {
+    std::fprintf(stderr,
+                 "--width/--height must be positive multiples of the 8-px HOG "
+                 "cell (got %dx%d)\n",
+                 width, height);
+    return 1;
+  }
 
   // Train (with a small hard-negative pass: full-frame scanning without it
   // produces distracting clutter tracks).
@@ -80,8 +91,14 @@ int main(int argc, char** argv) {
   // at 12 m ~283 px (scale 2.8); the low hood-mounted camera keeps the feet
   // in frame at close range (see das_planner for the general analysis).
   dataset::ApproachOptions aopts;
-  aopts.scene.width = 512;
-  aopts.scene.height = 384;
+  aopts.scene.width = width;
+  aopts.scene.height = height;
+  // The focal length stays fixed when the frame grows: a larger --width/
+  // --height is a wider field of view at the same angular resolution, so the
+  // pedestrian's pixel size at a given distance — and detection recall — is
+  // identical at every resolution. (Scaling the focal instead pushes the
+  // person to pyramid scales the ladder was not tuned for; das_uhd is the
+  // long-lens UHD variant, with a ladder designed for its 7000 px focal.)
   aopts.scene.camera.focal_px = 2000.0;
   aopts.scene.camera.camera_height_m = 0.9;
   aopts.min_distance_m = 12.0;

@@ -7,6 +7,7 @@
 // ground truth (IoU matching), and writes an annotated PPM: white boxes =
 // ground truth, colored boxes = detections (per scale), with scores drawn in.
 #include <cstdio>
+#include <vector>
 
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/scene.hpp"
@@ -17,6 +18,7 @@
 #include "src/imgproc/convert.hpp"
 #include "src/imgproc/draw.hpp"
 #include "src/obs/report.hpp"
+#include "src/tile/engine.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
@@ -32,7 +34,13 @@ int main(int argc, char** argv) {
                  "hybrid (Dollar [4])");
   cli.add_int("seed", 99, "scene random seed");
   cli.add_double("threshold", -0.1, "detection threshold");
-  cli.add_int("threads", 1, "pyramid-level lanes in the detection engine");
+  cli.add_int("width", 960, "frame width px (multiple of the 8-px HOG cell)");
+  cli.add_int("height", 536, "frame height px (multiple of the 8-px HOG cell)");
+  cli.add_int("tiles", 0,
+              "run detection through an NxN tile grid (pdet::tile) instead of "
+              "the whole-frame engine; 0 = untiled");
+  cli.add_int("threads", 1,
+              "pyramid-level lanes (untiled) or tile lanes (--tiles > 0)");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   util::set_default_log_level(util::LogLevel::kWarn);
@@ -59,20 +67,59 @@ int main(int argc, char** argv) {
   }
 
   // Scene with pedestrians spanning the scale range.
+  const int width = cli.get_int("width");
+  const int height = cli.get_int("height");
+  if (width <= 0 || height <= 0 || width % 8 != 0 || height % 8 != 0) {
+    std::fprintf(stderr,
+                 "--width/--height must be positive multiples of the 8-px HOG "
+                 "cell (got %dx%d)\n",
+                 width, height);
+    return 1;
+  }
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
   dataset::SceneOptions sopts;
-  sopts.width = 960;
-  sopts.height = 540;
+  sopts.width = width;
+  sopts.height = height;  // cell-aligned (detection rejects non-multiples of 8)
+  // The focal length stays fixed when the frame grows: a larger --width/
+  // --height is a wider field of view at the same angular resolution, so the
+  // pedestrians' pixel sizes — and which ladder scales cover them — are the
+  // same at every resolution. (Scaling the focal with the frame would push
+  // the near pedestrian to scale ~8 at UHD, far beyond the ladder.)
+  sopts.camera.focal_px = 1000.0;
   sopts.pedestrian_distances_m = {16.5, 12.0, 8.5};
   const dataset::Scene scene = dataset::render_scene(rng, sopts);
 
-  const detect::MultiscaleResult result = detector.detect(scene.image);
-  std::printf("strategy=%s levels=%d windows=%lld raw=%zu kept=%zu "
-              "(engine workspace %.1f KiB, %d thread%s)\n",
-              strategy.c_str(), result.levels, result.windows_evaluated,
-              result.raw.size(), result.detections.size(),
-              static_cast<double>(detector.engine_stats().alloc_bytes) / 1024.0,
-              cli.get_int("threads"), cli.get_int("threads") == 1 ? "" : "s");
+  // Either one whole-frame pass or a tiled pass over an NxN grid; both end in
+  // the same detection list, so the matching/annotation below is shared.
+  std::vector<detect::Detection> detections;
+  const int tiles = cli.get_int("tiles");
+  if (tiles > 0) {
+    tile::TileEngineOptions topts;
+    topts.plan.tiles_x = tiles;
+    topts.plan.tiles_y = tiles;
+    topts.threads = cli.get_int("threads");
+    tile::TileEngine engine(topts);
+    const tile::TiledResult& tr = engine.process(
+        scene.image, detector.config().hog, detector.model(), ms);
+    detections = tr.detections;
+    std::printf("strategy=%s tiles=%dx%d windows=%lld raw=%zu kept=%zu "
+                "(halo %d px, merge %s to untiled, %d tile lane%s)\n",
+                strategy.c_str(), engine.plan().tiles_x(),
+                engine.plan().tiles_y(), tr.windows_evaluated, tr.raw.size(),
+                tr.detections.size(), engine.plan().halo_trail_x_px(),
+                engine.plan().exact() ? "identical" : "approximate",
+                cli.get_int("threads"), cli.get_int("threads") == 1 ? "" : "s");
+  } else {
+    const detect::MultiscaleResult result = detector.detect(scene.image);
+    detections = result.detections;
+    std::printf("strategy=%s levels=%d windows=%lld raw=%zu kept=%zu "
+                "(engine workspace %.1f KiB, %d thread%s)\n",
+                strategy.c_str(), result.levels, result.windows_evaluated,
+                result.raw.size(), result.detections.size(),
+                static_cast<double>(detector.engine_stats().alloc_bytes) /
+                    1024.0,
+                cli.get_int("threads"), cli.get_int("threads") == 1 ? "" : "s");
+  }
 
   // Match against truth.
   int hits = 0;
@@ -84,7 +131,7 @@ int main(int argc, char** argv) {
     truth.height = t.height;
     const detect::Detection* best = nullptr;
     double best_iou = 0.0;
-    for (const auto& d : result.detections) {
+    for (const auto& d : detections) {
       const double v = detect::iou(d, truth);
       if (v > best_iou) {
         best_iou = v;
@@ -108,7 +155,7 @@ int main(int argc, char** argv) {
   for (const auto& t : scene.truth) {
     imgproc::draw_rect(canvas, t.x, t.y, t.width, t.height, {255, 255, 255});
   }
-  for (const auto& d : result.detections) {
+  for (const auto& d : detections) {
     const imgproc::Rgb color =
         d.scale == 1.0 ? imgproc::Rgb{0, 255, 0}
                        : (d.scale < 2.0 ? imgproc::Rgb{255, 200, 0}

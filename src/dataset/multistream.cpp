@@ -1,5 +1,7 @@
 #include "src/dataset/multistream.hpp"
 
+#include <cmath>
+
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
 
@@ -19,6 +21,7 @@ std::uint64_t mix64(std::uint64_t z) {
 MultiStreamSource::MultiStreamSource(std::uint64_t seed,
                                      MultiStreamOptions options)
     : seed_(seed), options_(options) {
+  PDET_REQUIRE(options_.render_scale > 0.0);
   PDET_REQUIRE(options_.min_pedestrians >= 0);
   PDET_REQUIRE(options_.max_pedestrians >= options_.min_pedestrians);
   PDET_REQUIRE(options_.min_distance_m > 1.0);
@@ -50,6 +53,7 @@ void encode_multistream_options(const MultiStreamOptions& options,
   w.i32(options.max_pedestrians);
   w.f64(options.min_distance_m);
   w.f64(options.max_distance_m);
+  w.f64(options.render_scale);
 }
 
 void decode_multistream_options(util::ByteReader& r, MultiStreamOptions& out) {
@@ -63,6 +67,7 @@ void decode_multistream_options(util::ByteReader& r, MultiStreamOptions& out) {
   out.max_pedestrians = r.i32();
   out.min_distance_m = r.f64();
   out.max_distance_m = r.f64();
+  out.render_scale = r.f64();
 }
 
 Scene MultiStreamSource::frame(int stream, int frame_index) const {
@@ -75,7 +80,11 @@ Scene MultiStreamSource::frame(int stream, int frame_index) const {
     scene.pedestrian_distances_m.push_back(
         rng.uniform(options_.min_distance_m, options_.max_distance_m));
   }
-  return render_scene(rng, scene);
+  const int out_w = static_cast<int>(
+      std::lround(scene.width * options_.render_scale));
+  const int out_h = static_cast<int>(
+      std::lround(scene.height * options_.render_scale));
+  return render_scene_scaled(rng, scene, out_w, out_h);
 }
 
 }  // namespace pdet::dataset

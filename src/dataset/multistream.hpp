@@ -22,6 +22,12 @@ struct MultiStreamOptions {
   int max_pedestrians = 2;
   double min_distance_m = 8.0;  ///< pedestrian placement band
   double max_distance_m = 28.0;
+  /// Output-resolution multiplier on scene.width/height (render_scene_scaled):
+  /// 1.0 renders at base resolution bitwise-identically to before; 4.0 with
+  /// the 960x540-class default renders UHD frames of the SAME world — stream
+  /// k frame i shows the same scene at every scale, so cross-resolution
+  /// throughput comparisons (the tiling bench) hold the workload fixed.
+  double render_scale = 1.0;
 };
 
 /// Serialize the fields that determine frame content (scene geometry/camera/

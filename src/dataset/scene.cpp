@@ -8,29 +8,58 @@
 
 namespace pdet::dataset {
 
-Scene render_scene(util::Rng& rng, const SceneOptions& options) {
+Scene render_scene_scaled(util::Rng& rng, const SceneOptions& options,
+                          int out_width, int out_height) {
   PDET_REQUIRE(options.width >= 64 && options.height >= 128);
+  PDET_REQUIRE(out_width >= 64 && out_height >= 128);
   Scene scene;
   imgproc::ImageF& img = scene.image;
-  img = imgproc::ImageF(options.width, options.height);
+  img = imgproc::ImageF(out_width, out_height);
 
+  // World layout is decided entirely in *base* (options.width x height)
+  // units — every rng draw below except the final per-pixel noise stays in
+  // base units and in the exact order of the original renderer — then scaled
+  // by (kx, ky) at draw time. Two consequences this file's tests pin down:
+  // at kx == ky == 1 the output is bitwise identical to the unscaled
+  // renderer (x * 1.0 == x for doubles), and across resolutions the same
+  // seed renders the same world at a different pixel density, with truth
+  // boxes scaled to match (the UHD tiling bench compares detections across
+  // resolutions on exactly this property).
   const int w = options.width;
   const int h = options.height;
   const int horizon = h / 2;
+  const double kx = static_cast<double>(out_width) / w;
+  const double ky = static_cast<double>(out_height) / h;
+  const int out_horizon = static_cast<int>(std::lround(horizon * ky));
 
   // Sky: bright, slightly graded.
   const auto sky = static_cast<float>(rng.uniform(0.7, 0.9));
-  for (int y = 0; y < horizon; ++y) {
+  for (int y = 0; y < out_horizon; ++y) {
     const float v =
-        sky - 0.1f * (1.0f - static_cast<float>(y) / static_cast<float>(horizon));
-    std::fill(img.row(y), img.row(y) + w, v);
+        sky -
+        0.1f * (1.0f - static_cast<float>(y) / static_cast<float>(out_horizon));
+    std::fill(img.row(y), img.row(y) + out_width, v);
   }
   // Road/ground: darker, brightening toward the viewer.
   const auto ground = static_cast<float>(rng.uniform(0.35, 0.5));
-  for (int y = horizon; y < h; ++y) {
-    const float t = static_cast<float>(y - horizon) / static_cast<float>(h - horizon);
-    std::fill(img.row(y), img.row(y) + w, ground + 0.08f * t);
+  for (int y = out_horizon; y < out_height; ++y) {
+    const float t = static_cast<float>(y - out_horizon) /
+                    static_cast<float>(out_height - out_horizon);
+    std::fill(img.row(y), img.row(y) + out_width, ground + 0.08f * t);
   }
+
+  const auto sx = [&](double v) { return v * kx; };
+  const auto sy = [&](double v) { return v * ky; };
+
+  // One scratch mask serves every shape below: the rasterizers report the
+  // rectangle they touched, so blending and re-clearing cost the shape's
+  // area, not the frame's — the difference between ~1 s and ~30 s per UHD
+  // frame once a building grows a few hundred windows.
+  imgproc::ImageF m(out_width, out_height, 0.0f);
+  const auto stamp = [&](const MaskRect& rect, float value) {
+    blend(img, m, value, rect);
+    clear_mask(m, rect);
+  };
 
   // Buildings: textured rectangles on the horizon.
   const int buildings =
@@ -41,23 +70,20 @@ Scene render_scene(util::Rng& rng, const SceneOptions& options) {
     const int bh = rng.uniform_int(h / 8, horizon - 4);
     const int bx = rng.uniform_int(-bw / 2, w - bw / 2);
     const int by = horizon - bh;
-    imgproc::ImageF m(w, h, 0.0f);
-    mask_quad(m, {Point{static_cast<double>(bx), static_cast<double>(by)},
-                  Point{static_cast<double>(bx + bw), static_cast<double>(by)},
-                  Point{static_cast<double>(bx + bw), static_cast<double>(horizon)},
-                  Point{static_cast<double>(bx), static_cast<double>(horizon)}});
-    blend(img, m, std::clamp(static_cast<float>(rng.uniform(0.3, 0.65)), 0.0f, 1.0f));
-    // Window rows.
+    stamp(mask_quad(m, {Point{sx(bx), sy(by)}, Point{sx(bx + bw), sy(by)},
+                        Point{sx(bx + bw), sy(horizon)},
+                        Point{sx(bx), sy(horizon)}}),
+          std::clamp(static_cast<float>(rng.uniform(0.3, 0.65)), 0.0f, 1.0f));
+    // Window rows (loop bounds in base units: identical window grid — and
+    // identical rng stream position — at every output resolution).
     const auto win_lum = static_cast<float>(rng.uniform(0.15, 0.3));
     for (int wy = by + 6; wy < horizon - 6; wy += 14) {
       for (int wx = bx + 5; wx + 6 < bx + bw; wx += 12) {
         if (wx < 0 || wx + 6 >= w) continue;
-        imgproc::ImageF wm(w, h, 0.0f);
-        mask_quad(wm, {Point{static_cast<double>(wx), static_cast<double>(wy)},
-                       Point{static_cast<double>(wx + 6), static_cast<double>(wy)},
-                       Point{static_cast<double>(wx + 6), static_cast<double>(wy + 8)},
-                       Point{static_cast<double>(wx), static_cast<double>(wy + 8)}});
-        blend(img, wm, win_lum);
+        stamp(mask_quad(m, {Point{sx(wx), sy(wy)}, Point{sx(wx + 6), sy(wy)},
+                            Point{sx(wx + 6), sy(wy + 8)},
+                            Point{sx(wx), sy(wy + 8)}}),
+              win_lum);
       }
     }
   }
@@ -70,18 +96,18 @@ Scene render_scene(util::Rng& rng, const SceneOptions& options) {
     const double ph = options.camera.person_px(d) * rng.uniform(1.4, 2.4);
     const double py = options.camera.feet_row(h, d);
     const double px = rng.uniform(0.05 * w, 0.95 * w);
-    imgproc::ImageF m(w, h, 0.0f);
-    mask_capsule(m, {px, py - ph}, {px, py}, std::max(1.5, ph * 0.02));
-    blend(img, m, static_cast<float>(rng.uniform(0.1, 0.3)));
+    const MaskRect rect =
+        mask_capsule(m, {sx(px), sy(py - ph)}, {sx(px), sy(py)},
+                     std::max(1.5, ph * 0.02 * ky));
+    stamp(rect, static_cast<float>(rng.uniform(0.1, 0.3)));
   }
   {
-    imgproc::ImageF m(w, h, 0.0f);
     const double vx = w * rng.uniform(0.3, 0.7);
-    mask_quad(m, {Point{vx - 2, static_cast<double>(horizon)},
-                  Point{vx + 2, static_cast<double>(horizon)},
-                  Point{vx + w * 0.08, static_cast<double>(h)},
-                  Point{vx - w * 0.08, static_cast<double>(h)}});
-    blend(img, m, 0.8f);
+    stamp(mask_quad(m, {Point{sx(vx - 2), sy(horizon)},
+                        Point{sx(vx + 2), sy(horizon)},
+                        Point{sx(vx + w * 0.08), sy(h)},
+                        Point{sx(vx - w * 0.08), sy(h)}}),
+          0.8f);
   }
 
   // Pedestrians at the requested distances (far first so near ones occlude).
@@ -96,23 +122,31 @@ Scene render_scene(util::Rng& rng, const SceneOptions& options) {
     const float lum = rng.chance(0.5)
                           ? static_cast<float>(rng.uniform(0.05, 0.25))
                           : static_cast<float>(rng.uniform(0.7, 0.95));
-    draw_pedestrian_into(img, rng, fx, fy, hp, lum);
+    // Pose draws inside are geometry-independent, so passing scaled
+    // coordinates keeps the rng stream aligned with the base render.
+    draw_pedestrian_into(img, rng, sx(fx), sy(fy), sy(hp), lum);
 
     GroundTruthBox box;
     // INRIA-protocol box: person height is ~0.8 of the 128px window, so the
     // tight body box is padded to the window aspect the detector scans.
-    const double win_h = hp / 0.8;
+    const double win_h = sy(hp) / 0.8;
     const double win_w = win_h / 2.0;
-    box.x = static_cast<int>(std::lround(fx - win_w / 2));
-    box.y = static_cast<int>(std::lround(fy - (win_h + hp) / 2));
+    box.x = static_cast<int>(std::lround(sx(fx) - win_w / 2));
+    box.y = static_cast<int>(std::lround(sy(fy) - (win_h + sy(hp)) / 2));
     box.width = static_cast<int>(std::lround(win_w));
     box.height = static_cast<int>(std::lround(win_h));
     box.distance_m = d;
     scene.truth.push_back(box);
   }
 
+  // Per-pixel draw — the one resolution-dependent rng consumer, so it comes
+  // last: everything the world is made of has already been drawn.
   add_noise(img, rng, rng.uniform(0.01, 0.03));
   return scene;
+}
+
+Scene render_scene(util::Rng& rng, const SceneOptions& options) {
+  return render_scene_scaled(rng, options, options.width, options.height);
 }
 
 std::vector<Scene> render_approach_sequence(std::uint64_t seed,
@@ -125,15 +159,19 @@ std::vector<Scene> render_approach_sequence(std::uint64_t seed,
   std::vector<Scene> sequence;
   const double step_m = options.closing_speed_mps / options.fps;
   const float person_lum = util::Rng(seed).chance(0.5) ? 0.12f : 0.85f;
+  // Static world: every frame used to re-render the identical background
+  // (same seed each time); render it once and copy per frame — bitwise the
+  // same sequence, and the copy is ~30x cheaper than a render at UHD.
+  util::Rng background_rng(seed);
+  SceneOptions opts = options.scene;
+  opts.pedestrian_distances_m = {};  // drawn manually below
+  const Scene background = render_scene(background_rng, opts);
   for (int f = 0; f < options.frames; ++f) {
     const double distance = options.start_distance_m - f * step_m;
     if (distance < options.min_distance_m) break;
 
-    // Static world: identical seed per frame renders the same background.
-    util::Rng frame_rng(seed);
-    SceneOptions opts = options.scene;
-    opts.pedestrian_distances_m = {};  // drawn manually below
-    Scene scene = render_scene(frame_rng, opts);
+    Scene scene;
+    scene.image = background.image;
 
     // Walking pose advances with the frame index.
     util::Rng pose_rng(seed ^ (0x9e37ULL + static_cast<std::uint64_t>(f) * 0x85ebca6bULL));

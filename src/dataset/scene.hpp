@@ -40,8 +40,12 @@ struct SceneCamera {
 };
 
 struct SceneOptions {
+  // Default dimensions are multiples of the 8-px HOG cell: detection entry
+  // points reject misaligned frames (hog::require_frame_alignment) rather
+  // than silently truncating them. 536 covers the same 67 cell rows the old
+  // 540 default effectively used.
   int width = 960;
-  int height = 540;
+  int height = 536;
   SceneCamera camera;
   std::vector<double> pedestrian_distances_m{25.0, 45.0};
   double clutter_density = 1.0;  ///< multiplier on background object count
@@ -54,6 +58,17 @@ struct Scene {
 
 /// Render a street scene with one pedestrian per requested distance.
 Scene render_scene(util::Rng& rng, const SceneOptions& options);
+
+/// Render the SAME world `render_scene` would produce for this rng state at
+/// a different output resolution: every layout draw happens in base
+/// (options.width x height) units and is scaled to the output at draw time,
+/// so the same seed gives the same scene across resolutions — the UHD tiling
+/// path renders 3840x2160 frames this way. Truth boxes come back in output
+/// coordinates. At out == base dimensions the result is bitwise identical to
+/// render_scene (only the final per-pixel noise draw depends on the output
+/// resolution, and it is the last rng consumer).
+Scene render_scene_scaled(util::Rng& rng, const SceneOptions& options,
+                          int out_width, int out_height);
 
 /// A pedestrian-approach video: the vehicle closes on a pedestrian at
 /// `closing_speed_mps`, so the person's apparent size grows frame by frame.

@@ -15,9 +15,9 @@ void mask_accumulate(imgproc::ImageF& mask, int x, int y, float coverage) {
 
 }  // namespace
 
-void mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
-                  double ry) {
-  if (rx <= 0.0 || ry <= 0.0) return;
+MaskRect mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
+                      double ry) {
+  if (rx <= 0.0 || ry <= 0.0) return {};
   const int x0 = std::max(0, static_cast<int>(std::floor(cx - rx - 1)));
   const int x1 = std::min(mask.width() - 1, static_cast<int>(std::ceil(cx + rx + 1)));
   const int y0 = std::max(0, static_cast<int>(std::floor(cy - ry - 1)));
@@ -33,9 +33,10 @@ void mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
       if (cov > 0.0) mask_accumulate(mask, x, y, static_cast<float>(cov));
     }
   }
+  return {x0, y0, x1, y1};
 }
 
-void mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts) {
+MaskRect mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts) {
   double minx = pts[0][0];
   double maxx = pts[0][0];
   double miny = pts[0][1];
@@ -83,20 +84,22 @@ void mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts) {
       if (cov > 0.0) mask_accumulate(mask, x, y, static_cast<float>(cov));
     }
   }
+  return {x0, y0, x1, y1};
 }
 
-void mask_capsule(imgproc::ImageF& mask, Point a, Point b, double thickness) {
+MaskRect mask_capsule(imgproc::ImageF& mask, Point a, Point b,
+                      double thickness) {
   const double dx = b[0] - a[0];
   const double dy = b[1] - a[1];
   const double len = std::sqrt(dx * dx + dy * dy);
   if (len < 1e-9) {
-    mask_ellipse(mask, a[0], a[1], thickness / 2, thickness / 2);
-    return;
+    return mask_ellipse(mask, a[0], a[1], thickness / 2, thickness / 2);
   }
   const double nx = -dy / len * thickness / 2;
   const double ny = dx / len * thickness / 2;
-  mask_quad(mask, {Point{a[0] + nx, a[1] + ny}, Point{b[0] + nx, b[1] + ny},
-                   Point{b[0] - nx, b[1] - ny}, Point{a[0] - nx, a[1] - ny}});
+  return mask_quad(mask,
+                   {Point{a[0] + nx, a[1] + ny}, Point{b[0] + nx, b[1] + ny},
+                    Point{b[0] - nx, b[1] - ny}, Point{a[0] - nx, a[1] - ny}});
 }
 
 void box_blur(imgproc::ImageF& img, int radius, int passes) {
@@ -144,6 +147,33 @@ void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask, float value) {
   for (std::size_t i = 0; i < d.size(); ++i) {
     const float a = std::clamp(m[i], 0.0f, 1.0f);
     d[i] = d[i] * (1.0f - a) + value * a;
+  }
+}
+
+void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask, float value,
+           const MaskRect& rect) {
+  PDET_REQUIRE(dst.width() == mask.width() && dst.height() == mask.height());
+  const int x0 = std::max(0, rect.x0);
+  const int x1 = std::min(dst.width() - 1, rect.x1);
+  const int y0 = std::max(0, rect.y0);
+  const int y1 = std::min(dst.height() - 1, rect.y1);
+  for (int y = y0; y <= y1; ++y) {
+    float* d = dst.row(y);
+    const float* m = mask.row(y);
+    for (int x = x0; x <= x1; ++x) {
+      const float a = std::clamp(m[x], 0.0f, 1.0f);
+      d[x] = d[x] * (1.0f - a) + value * a;
+    }
+  }
+}
+
+void clear_mask(imgproc::ImageF& mask, const MaskRect& rect) {
+  const int x0 = std::max(0, rect.x0);
+  const int x1 = std::min(mask.width() - 1, rect.x1);
+  const int y0 = std::max(0, rect.y0);
+  const int y1 = std::min(mask.height() - 1, rect.y1);
+  for (int y = y0; y <= y1; ++y) {
+    std::fill(mask.row(y) + x0, mask.row(y) + x1 + 1, 0.0f);
   }
 }
 

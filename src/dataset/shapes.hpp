@@ -6,6 +6,7 @@
 // what gives HOG realistic (not razor-sharp) gradient distributions.
 #pragma once
 
+#include <algorithm>
 #include <array>
 
 #include "src/imgproc/image.hpp"
@@ -14,15 +15,38 @@ namespace pdet::dataset {
 
 using Point = std::array<double, 2>;
 
+/// Inclusive pixel bounding box of the region a rasterizer touched. Lets a
+/// caller reuse one frame-sized scratch mask and blend/clear only the dirty
+/// rectangle — at UHD a full-frame pass per shape is ~8 Mpx, a building
+/// window is ~1 Kpx, and the scene renderer draws hundreds of shapes.
+struct MaskRect {
+  int x0 = 0, y0 = 0;
+  int x1 = -1, y1 = -1;
+  bool empty() const { return x1 < x0 || y1 < y0; }
+  MaskRect& include(const MaskRect& o) {
+    if (o.empty()) return *this;
+    if (empty()) {
+      *this = o;
+    } else {
+      x0 = std::min(x0, o.x0);
+      y0 = std::min(y0, o.y0);
+      x1 = std::max(x1, o.x1);
+      y1 = std::max(y1, o.y1);
+    }
+    return *this;
+  }
+};
+
 /// max-accumulate an axis-aligned ellipse into `mask` (values toward 1).
-void mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
-                  double ry);
+MaskRect mask_ellipse(imgproc::ImageF& mask, double cx, double cy, double rx,
+                      double ry);
 
 /// max-accumulate a convex quadrilateral (points in order).
-void mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts);
+MaskRect mask_quad(imgproc::ImageF& mask, const std::array<Point, 4>& pts);
 
 /// Convenience: thick line segment as a quad.
-void mask_capsule(imgproc::ImageF& mask, Point a, Point b, double thickness);
+MaskRect mask_capsule(imgproc::ImageF& mask, Point a, Point b,
+                      double thickness);
 
 /// Separable box blur, `passes` >= 1 (3 passes ~ Gaussian).
 void box_blur(imgproc::ImageF& img, int radius, int passes);
@@ -33,5 +57,15 @@ void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask, float value);
 /// Blend with per-pixel value image instead of a constant.
 void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask,
            const imgproc::ImageF& value);
+
+/// blend restricted to `rect` (union of the mask_* return values). With the
+/// mask zero outside the rect the result is identical to the full blend —
+/// a zero-alpha blend leaves the destination pixel untouched.
+void blend(imgproc::ImageF& dst, const imgproc::ImageF& mask, float value,
+           const MaskRect& rect);
+
+/// Zero `rect` of a mask: resets a reused scratch mask for the next shape
+/// without paying a frame-sized clear.
+void clear_mask(imgproc::ImageF& mask, const MaskRect& rect);
 
 }  // namespace pdet::dataset

@@ -222,6 +222,10 @@ const MultiscaleResult& DetectionEngine::process(
   PDET_TRACE_SCOPE("detect/multiscale");
   const util::Timer frame_timer;
   params.validate();
+  // Input frames must be cell-aligned (throws std::invalid_argument — see
+  // hog::require_frame_alignment); resized pyramid *levels* of arbitrary
+  // dimensions remain fine, truncation there is inherent to the pyramid.
+  hog::require_frame_alignment(frame.width(), frame.height(), params);
   PDET_REQUIRE(model.dimension() ==
                static_cast<std::size_t>(params.descriptor_size()));
 

@@ -46,6 +46,8 @@ const std::vector<Track>& Tracker::update(
     const Detection& det = detections[static_cast<std::size_t>(best_d)];
     const double a = options_.position_alpha;
     const int old_height = track.box.height;
+    const double old_cx = track.box.x + track.box.width / 2.0;
+    const double old_cy = track.box.y + track.box.height / 2.0;
     track.box.x = static_cast<int>(std::lround(a * det.x + (1 - a) * track.box.x));
     track.box.y = static_cast<int>(std::lround(a * det.y + (1 - a) * track.box.y));
     track.box.width =
@@ -64,6 +66,13 @@ const std::vector<Track>& Tracker::update(
           options_.growth_alpha * growth +
           (1 - options_.growth_alpha) * track.height_growth_per_frame;
     }
+    // Velocity sample = smoothed center's frame-to-frame delta. Coasting
+    // tracks skip this block entirely, so they keep the last estimate.
+    const double va = options_.velocity_alpha;
+    const double new_cx = track.box.x + track.box.width / 2.0;
+    const double new_cy = track.box.y + track.box.height / 2.0;
+    track.vx_per_frame = va * (new_cx - old_cx) + (1 - va) * track.vx_per_frame;
+    track.vy_per_frame = va * (new_cy - old_cy) + (1 - va) * track.vy_per_frame;
   }
 
   // Unmatched tracks coast; drop after max_misses.
@@ -90,6 +99,35 @@ const std::vector<Track>& Tracker::update(
   obs::gauge_set("tracker.active_tracks",
                  static_cast<double>(tracks_.size()));
   return tracks_;
+}
+
+Detection Track::predicted(int frames_ahead) const {
+  PDET_REQUIRE(frames_ahead >= 0);
+  Detection out = box;
+  const double cx = box.x + box.width / 2.0 + vx_per_frame * frames_ahead;
+  const double cy = box.y + box.height / 2.0 + vy_per_frame * frames_ahead;
+  // Height compounds the growth estimate; width follows to keep the aspect.
+  double h = box.height;
+  double w = box.width;
+  if (box.height > 0) {
+    h = box.height * std::pow(1.0 + height_growth_per_frame, frames_ahead);
+    h = std::max(1.0, h);
+    w = box.width * (h / box.height);
+  }
+  out.width = static_cast<int>(std::lround(w));
+  out.height = static_cast<int>(std::lround(h));
+  out.x = static_cast<int>(std::lround(cx - out.width / 2.0));
+  out.y = static_cast<int>(std::lround(cy - out.height / 2.0));
+  return out;
+}
+
+void Tracker::predict_boxes(int frames_ahead,
+                            std::vector<Detection>& out) const {
+  out.clear();
+  for (const Track& track : tracks_) {
+    if (!track.confirmed(options_.min_hits)) continue;
+    out.push_back(track.predicted(frames_ahead));
+  }
 }
 
 std::optional<double> Tracker::frames_to_height(const Track& track,

@@ -25,8 +25,19 @@ struct Track {
   /// Smoothed growth rate of box height per frame (fraction, e.g. 0.01 =
   /// +1%/frame). Positive growth = approaching.
   double height_growth_per_frame = 0.0;
+  /// Smoothed box-center velocity in pixels per frame (EMA of the smoothed
+  /// center's frame-to-frame delta; coasting tracks keep the last estimate).
+  double vx_per_frame = 0.0;
+  double vy_per_frame = 0.0;
 
   bool confirmed(int min_hits) const { return hits >= min_hits; }
+
+  /// Extrapolate the track `frames_ahead` frames: center advances with the
+  /// velocity estimate, height compounds the growth rate, width keeps the
+  /// aspect ratio. This is the occupancy prediction the tile RoiScheduler
+  /// consumes — deliberately the same constant-velocity model the DAS
+  /// stopping analysis assumes.
+  Detection predicted(int frames_ahead) const;
 };
 
 struct TrackerOptions {
@@ -35,6 +46,7 @@ struct TrackerOptions {
   int min_hits = 2;           ///< frames before a track is "confirmed"
   double position_alpha = 0.6;  ///< EMA weight of the new detection
   double growth_alpha = 0.3;    ///< EMA weight of the new growth sample
+  double velocity_alpha = 0.5;  ///< EMA weight of the new velocity sample
 };
 
 class Tracker {
@@ -46,6 +58,13 @@ class Tracker {
   const std::vector<Track>& update(const std::vector<Detection>& detections);
 
   const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Fill `out` with Track::predicted(frames_ahead) for every confirmed
+  /// track (options().min_hits). `out` is cleared first and reuses its
+  /// capacity — the runtime calls this per frame on a warm vector.
+  void predict_boxes(int frames_ahead, std::vector<Detection>& out) const;
+
+  const TrackerOptions& options() const { return options_; }
 
   /// Estimated frames until the track's box height reaches `limit_height`
   /// px, from the current height and smoothed growth; nullopt if receding or

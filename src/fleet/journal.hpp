@@ -39,7 +39,8 @@
 namespace pdet::fleet {
 
 inline constexpr std::uint32_t kJournalMagic = 0x50444A31u;  // "PDJ1"
-inline constexpr std::uint16_t kJournalVersion = 1;
+// v2: MultiStreamOptions gained render_scale (appended to the options blob).
+inline constexpr std::uint16_t kJournalVersion = 2;
 inline constexpr std::uint32_t kMaxJournalRecords = 1u << 24;
 
 struct JournalRecord {

@@ -3,13 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 #include "src/imgproc/convolve.hpp"
 #include "src/imgproc/gradient.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/util/strings.hpp"
 
 namespace pdet::hog {
+
+void require_frame_alignment(int width, int height, const HogParams& params) {
+  if (width % params.cell_size != 0 || height % params.cell_size != 0) {
+    throw std::invalid_argument(util::format(
+        "frame %dx%d is not a multiple of the HOG cell size %d "
+        "(trailing partial cells would be silently dropped); pad or crop "
+        "the frame to %dx%d",
+        width, height, params.cell_size,
+        width - width % params.cell_size,
+        height - height % params.cell_size));
+  }
+}
 
 CellGrid::CellGrid(int cells_x, int cells_y, int bins)
     : cells_x_(cells_x),

@@ -44,10 +44,22 @@ class CellGrid {
   std::vector<float> data_;
 };
 
+/// Throw std::invalid_argument unless both frame dimensions are exact
+/// multiples of params.cell_size. Top-level detection entries
+/// (DetectionEngine::process, detect_multiscale, tile::TilePlan) call this:
+/// a misaligned frame would silently lose its trailing partial cells, which
+/// tiling turns from a curiosity into a routine hazard. A throw (not a
+/// PDET_REQUIRE abort) keeps bad frames containable — frames arrive off the
+/// network, and the runtime's worker fault containment must be able to turn
+/// one into a per-frame error instead of a process death.
+void require_frame_alignment(int width, int height, const HogParams& params);
+
 /// Extract cell histograms from a grayscale float image.
 ///
 /// The image is processed in full; dimensions need not be cell-aligned (the
 /// trailing partial cells are dropped, as the streaming hardware does).
+/// Pyramid levels of arbitrary resized dimensions rely on this; full input
+/// frames should be gated with require_frame_alignment first.
 /// Voting follows params: magnitude-weighted, bilinear in orientation
 /// between the two nearest bins, and (optionally) bilinear in space across
 /// the four nearest cell centers.

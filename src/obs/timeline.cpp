@@ -167,6 +167,10 @@ std::string to_line(const FrameTimeline& t) {
   if (b.ingress_ms > 0.0) out += util::format(" ingress=%.3fms", b.ingress_ms);
   out += util::format(" admit=%.3fms queue=%.3fms engine=%.3fms", b.admit_ms,
                       b.queue_ms, b.engine_ms);
+  if (t.tiles_planned > 0) {
+    out += util::format(" tiles=%u/%u", static_cast<unsigned>(t.tiles_detected),
+                        static_cast<unsigned>(t.tiles_planned));
+  }
   if (t.level_count > 0) {
     out += " levels[";
     const std::size_t n =

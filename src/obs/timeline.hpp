@@ -51,6 +51,13 @@ struct FrameTimeline {
   std::uint8_t status = 0;      ///< runtime::FrameStatus as int
   std::uint8_t degrade_level = 0;  ///< scheduler rung chosen (3 = skip)
   std::uint8_t level_count = 0;    ///< pyramid levels actually timed
+  // Tiled-path hop (pdet::tile): how many tiles the scheduler planned for
+  // this frame and how many were freshly detected (the rest served their
+  // cached detections). 0/0 = frame took the untiled path. Local-only fields:
+  // the v3 wire protocol does not carry them, so remotely grafted timelines
+  // decode with both at 0.
+  std::uint8_t tiles_planned = 0;
+  std::uint8_t tiles_detected = 0;
 
   // Hop stamps, timeline_now_ns() domain; 0 = hop not reached. The client_*
   // and wire-recv stamps only exist in the client process (grafted from wire

@@ -55,6 +55,8 @@ DetectionServer::DetectionServer(svm::LinearModel model, ServerOptions options)
   PDET_REQUIRE(options_.max_frame_faults >= 1);
   PDET_REQUIRE(options_.recovery_frames >= 0);
   PDET_REQUIRE(options_.stall_timeout_ms >= 0.0);
+  PDET_REQUIRE(options_.tiling.roi_rung >= 0);
+  PDET_REQUIRE(options_.tiling.tile_threads >= 1);
   options_.hog.validate();
   PDET_REQUIRE(model_.dimension() ==
                static_cast<std::size_t>(options_.hog.descriptor_size()));
@@ -106,6 +108,25 @@ void DetectionServer::start() {
   running_.store(true, std::memory_order_release);
   started_at_ = Clock::now();
   submit_slots_.resize(streams_.size());
+  if (options_.tiling.enabled) {
+    // Per-stream tiled pipelines. The tile engines score through the same
+    // shared backend/hub as the pooled engines, so cross-stream batching and
+    // backend stats keep working on the tiled path.
+    tile::TileEngineOptions topts;
+    topts.plan = options_.tiling.plan;
+    topts.threads = options_.tiling.tile_threads;
+    topts.engine = detect::EngineOptions{
+        .threads = 1,
+        .score_batch = options_.score_batch,
+        .scorer = score_hub_
+                      ? static_cast<score::ScoringBackend*>(score_hub_.get())
+                      : score_backend_.get()};
+    tile_streams_.reserve(streams_.size());
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      tile_streams_.push_back(std::make_unique<TileStreamState>(
+          topts, options_.tiling.roi));
+    }
+  }
   if (options_.timeline_depth > 0) {
     for (const auto& stream : streams_) {
       flight_.attach_stream(stream->id(), stream->name());
@@ -257,27 +278,32 @@ void DetectionServer::worker_main(WorkerState* state,
           throw std::runtime_error("injected engine fault");
         }
       }
-      const detect::MultiscaleResult& detected =
-          engine->process(task.frame, options_.hog, model_,
-                          rung_options_[static_cast<std::size_t>(decision.level)]);
-      result.service_ms = service.milliseconds();
-      result.status =
-          decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
-      result.detections = detected.detections;  // copy-assign, capacity reuse
-      // Per-level engine time, folded into the timeline's fixed slots
-      // (levels beyond the last slot accumulate there).
-      task.timing.level_count = 0;
-      for (std::size_t i = 0;
-           i < detected.per_level.size(); ++i) {
-        const std::size_t slot =
-            std::min(i, obs::kTimelineMaxLevels - 1);
-        const auto us = static_cast<std::uint32_t>(
-            detected.per_level[i].ms * 1e3);
-        if (slot == i) {
-          task.timing.level_us[slot] = us;
-          ++task.timing.level_count;
-        } else {
-          task.timing.level_us[slot] += us;
+      if (options_.tiling.enabled) {
+        process_tiled(task, decision, result);
+        result.service_ms = service.milliseconds();
+      } else {
+        const detect::MultiscaleResult& detected =
+            engine->process(task.frame, options_.hog, model_,
+                            rung_options_[static_cast<std::size_t>(decision.level)]);
+        result.service_ms = service.milliseconds();
+        result.status =
+            decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
+        result.detections = detected.detections;  // copy-assign, capacity reuse
+        // Per-level engine time, folded into the timeline's fixed slots
+        // (levels beyond the last slot accumulate there).
+        task.timing.level_count = 0;
+        for (std::size_t i = 0;
+             i < detected.per_level.size(); ++i) {
+          const std::size_t slot =
+              std::min(i, obs::kTimelineMaxLevels - 1);
+          const auto us = static_cast<std::uint32_t>(
+              detected.per_level[i].ms * 1e3);
+          if (slot == i) {
+            task.timing.level_us[slot] = us;
+            ++task.timing.level_count;
+          } else {
+            task.timing.level_us[slot] += us;
+          }
         }
       }
     } catch (const std::exception& e) {
@@ -314,6 +340,45 @@ void DetectionServer::worker_main(WorkerState* state,
     result.total_ms = ms_since(task.enqueued_at);
     finish(result);
   }
+}
+
+void DetectionServer::process_tiled(FrameTask& task,
+                                    const AdmitDecision& decision,
+                                    StreamResult& result) {
+  TileStreamState& ts = *tile_streams_[static_cast<std::size_t>(task.stream)];
+  std::lock_guard<std::mutex> lock(ts.mutex);
+  // Deadline pressure degrades *spatially* on the tiled path: every rung
+  // keeps the full-quality scale ladder (rung_options_[0]) and sheds load by
+  // detecting fewer tiles instead — hot (tracker-predicted) tiles every
+  // frame, cold tiles round-robin under the rung's budget, every tile within
+  // the scheduler's hard staleness bound.
+  const std::vector<int>* selection = nullptr;
+  const bool roi_mode = options_.tiling.roi.max_age > 0 &&
+                        decision.level >= options_.tiling.roi_rung &&
+                        ts.engine.plan().built();
+  if (roi_mode) {
+    ts.tracker.predict_boxes(1, ts.predicted);
+    const int budget = tile::RoiScheduler::rung_budget(
+        ts.engine.plan().tile_count(), decision.level);
+    ts.roi.plan_frame(ts.engine.plan(), ts.engine.ages(), ts.predicted, budget,
+                      ts.selection);
+    selection = &ts.selection;
+  }
+  const tile::TiledResult& tiled = ts.engine.process(
+      task.frame, options_.hog, model_, rung_options_[0], selection);
+  result.detections = tiled.detections;  // copy-assign, capacity reuse
+  result.status =
+      decision.level == 0 ? FrameStatus::kOk : FrameStatus::kDegraded;
+  ts.tracker.update(result.detections);
+  task.timing.tiles_planned = static_cast<std::uint8_t>(
+      std::min(tiled.tiles_total, 255));
+  task.timing.tiles_detected = static_cast<std::uint8_t>(
+      std::min(tiled.tiles_detected, 255));
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  counters_.tiles_detected += tiled.tiles_detected;
+  counters_.tiles_reused += tiled.tiles_reused;
+  if (roi_mode) ++counters_.roi_frames;
+  counters_.max_tile_age = std::max(counters_.max_tile_age, tiled.max_age);
 }
 
 void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
@@ -529,6 +594,13 @@ void DetectionServer::stop() {
     frames += engine.stats().frames;
     bytes += engine.stats().alloc_bytes;
   }
+  // On the tiled path the pooled engines stayed cold; the per-stream tile
+  // engines carry the real per-tile workspace accounting.
+  for (const auto& ts : tile_streams_) {
+    const tile::TileStats t = ts->engine.stats();
+    frames += t.engine_frames;
+    bytes += t.alloc_bytes;
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   counters_.engine_frames = frames;
   counters_.engine_alloc_bytes = bytes;
@@ -594,6 +666,13 @@ void DetectionServer::publish_metrics() {
   delta("runtime.poison_frames", s.poison_frames, published_.poison_frames);
   delta("runtime.flight_triggers", s.flight_triggers,
         published_.flight_triggers);
+  delta("runtime.tiles_detected", s.tiles_detected, published_.tiles_detected);
+  delta("runtime.tiles_reused", s.tiles_reused, published_.tiles_reused);
+  delta("runtime.roi_frames", s.roi_frames, published_.roi_frames);
+  if (options_.tiling.enabled) {
+    obs::gauge_set("runtime.max_tile_age",
+                   static_cast<double>(s.max_tile_age));
+  }
   obs::gauge_set("runtime.health", static_cast<double>(s.health));
   obs::gauge_set("runtime.score_backend", static_cast<double>(s.backend));
   obs::gauge_set("runtime.score_fill", s.score_fill);

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "src/detect/engine.hpp"
+#include "src/detect/tracker.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/runtime/bounded_queue.hpp"
@@ -59,8 +60,28 @@
 #include "src/score/backend.hpp"
 #include "src/score/hub.hpp"
 #include "src/svm/linear_svm.hpp"
+#include "src/tile/engine.hpp"
+#include "src/tile/roi.hpp"
 
 namespace pdet::runtime {
+
+/// Tiled UHD serving (DESIGN §13). When enabled, every stream gets a warm
+/// tile::TileEngine + tracker + RoiScheduler; workers route frames through
+/// the tiled pipeline instead of their pooled untiled engine. Deadline
+/// pressure degrades *spatially* (fewer tiles per frame, picked by the ROI
+/// scheduler from tracker predictions) rather than by thinning scales, so
+/// tracked pedestrians keep full-rate coverage while the background ages at
+/// a bounded rate.
+struct TilingOptions {
+  bool enabled = false;
+  tile::TilePlanOptions plan;
+  tile::RoiOptions roi;
+  /// Scheduler rung at/above which ROI mode engages; below it every tile is
+  /// detected every frame. (Rung 3 frames are skipped before tiling.)
+  int roi_rung = 1;
+  /// Tile lanes per stream engine (tile::TileEngineOptions::threads).
+  int tile_threads = 1;
+};
 
 struct ServerOptions {
   int workers = 2;                 ///< engine pool size (one engine each)
@@ -70,6 +91,7 @@ struct ServerOptions {
   SchedulerOptions scheduler;      ///< deadlines + degradation ladder
   hog::HogParams hog;              ///< detector window/descriptor geometry
   detect::MultiscaleOptions multiscale;  ///< full-quality (rung 0) config
+  TilingOptions tiling;            ///< UHD tiled pipeline (off by default)
 
   // Scoring backend + cross-stream batching (DESIGN "Scoring backends").
   /// Which backend classifies windows. kAuto = PDET_SCORE_BACKEND or scalar;
@@ -163,6 +185,11 @@ struct RuntimeStats {
   long long score_batches = 0;  ///< batches the backend scored
   long long score_windows = 0;  ///< windows the backend scored
   double score_fill = 0.0;      ///< mean batch fill, windows / capacity
+  // Tiled-pipeline dimension (all zero unless ServerOptions::tiling.enabled).
+  long long tiles_detected = 0;  ///< tiles freshly detected across streams
+  long long tiles_reused = 0;    ///< tiles served from their detection cache
+  long long roi_frames = 0;      ///< frames processed under ROI selection
+  int max_tile_age = 0;          ///< worst tile age seen (gauge)
 };
 
 class DetectionServer {
@@ -268,8 +295,31 @@ class DetectionServer {
     std::thread thread;
   };
 
+  /// Per-stream tiled pipeline (ServerOptions::tiling.enabled): workers of
+  /// any pool slot may carry a stream's frame, so the warm engine + tracker
+  /// live with the stream, serialized by a per-stream mutex (frames of one
+  /// stream are processed in submit order by construction of the queue —
+  /// the mutex only guards against cross-stream workers touching the state).
+  struct TileStreamState {
+    std::mutex mutex;
+    tile::TileEngine engine;
+    tile::RoiScheduler roi;
+    detect::Tracker tracker;
+    std::vector<detect::Detection> predicted;  ///< warm prediction buffer
+    std::vector<int> selection;                ///< warm tile selection
+
+    TileStreamState(const tile::TileEngineOptions& engine_options,
+                    const tile::RoiOptions& roi_options)
+        : engine(engine_options), roi(roi_options) {}
+  };
+
   void spawn_worker();
   void worker_main(WorkerState* state, detect::DetectionEngine* engine);
+  /// The tiled counterpart of the engine->process call in worker_main:
+  /// predict, select tiles, detect, track. Returns the tiled result (valid
+  /// until the stream's next frame; caller copies under the stream lock).
+  void process_tiled(FrameTask& task, const AdmitDecision& decision,
+                     StreamResult& result);
   void watchdog_main();
   void handle_fault(FrameTask& task, StreamResult& result);
   void finish(StreamResult& result);
@@ -295,6 +345,8 @@ class DetectionServer {
   Scheduler scheduler_;
   std::vector<std::unique_ptr<StreamContext>> streams_;
   std::vector<SubmitSlot> submit_slots_;
+  /// One per stream when tiling is enabled (sized at start()), else empty.
+  std::vector<std::unique_ptr<TileStreamState>> tile_streams_;
   // Deques for reference stability: the watchdog appends replacement
   // engines/workers while existing workers hold pointers into both. Only
   // the watchdog appends after start(); stop() joins the watchdog before

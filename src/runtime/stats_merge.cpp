@@ -38,6 +38,11 @@ void merge_runtime_stats(RuntimeStats& acc, const RuntimeStats& in) {
   }
   acc.score_batches += in.score_batches;
   acc.score_windows += in.score_windows;
+  acc.tiles_detected += in.tiles_detected;
+  acc.tiles_reused += in.tiles_reused;
+  acc.roi_frames += in.roi_frames;
+  // High-water gauge: the fleet-wide worst tile age is the max, not a sum.
+  acc.max_tile_age = std::max(acc.max_tile_age, in.max_tile_age);
 }
 
 RuntimeStats runtime_stats_delta(const RuntimeStats& after,
@@ -63,6 +68,11 @@ RuntimeStats runtime_stats_delta(const RuntimeStats& after,
   d.engine_alloc_bytes -= before.engine_alloc_bytes;
   d.score_batches -= before.score_batches;
   d.score_windows -= before.score_windows;
+  d.tiles_detected -= before.tiles_detected;
+  d.tiles_reused -= before.tiles_reused;
+  d.roi_frames -= before.roi_frames;
+  // max_tile_age keeps `after`'s value: like health it is a state gauge, not
+  // a summable counter (merge(before, delta) still yields after via max).
   return d;
 }
 

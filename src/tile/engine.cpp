@@ -1,0 +1,178 @@
+#include "src/tile/engine.hpp"
+
+#include <algorithm>
+
+#include "src/detect/nms.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace pdet::tile {
+namespace {
+
+struct TileJobCtx {
+  TileEngine* engine;
+  const imgproc::ImageF* frame;
+  const hog::HogParams* params;
+  const svm::LinearModel* model;
+  const std::vector<int>* selection;
+};
+
+}  // namespace
+
+TileEngine::TileEngine(TileEngineOptions options) : options_(options) {
+  options_.threads = std::max(1, options_.threads);
+  // The tile grid is the parallelism axis; per-tile engines stay inline so
+  // lanes never nest pools.
+  options_.engine.threads = 1;
+}
+
+void TileEngine::ensure_pool() {
+  if (!pool_ || pool_->threads() != options_.threads) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+void TileEngine::rebuild(const imgproc::ImageF& frame,
+                         const hog::HogParams& params,
+                         const detect::MultiscaleOptions& options) {
+  plan_.build(frame.width(), frame.height(), params, options, options_.plan);
+  built_w_ = frame.width();
+  built_h_ = frame.height();
+  built_scales_ = options.scales;
+
+  const auto n = static_cast<std::size_t>(plan_.tile_count());
+  if (slots_.size() != n) {
+    slots_.clear();  // drop old engines; tile geometry changed wholesale
+    slots_.resize(n);
+    for (TileSlot& slot : slots_) {
+      slot.engine = detect::DetectionEngine(options_.engine);
+    }
+  }
+  for (TileSlot& slot : slots_) {
+    slot.owned.clear();
+    slot.windows = 0;
+    slot.fresh = false;
+  }
+  ages_.assign(n, 0);
+  all_tiles_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) all_tiles_[i] = static_cast<int>(i);
+}
+
+void TileEngine::run_tile(const imgproc::ImageF& frame,
+                          const hog::HogParams& params,
+                          const svm::LinearModel& model, int tile) {
+  const TileGeometry& t = plan_.tile(tile);
+  TileSlot& slot = slots_[static_cast<std::size_t>(tile)];
+  frame.crop_into(t.x, t.y, t.w, t.h, slot.crop);
+  const detect::MultiscaleResult& res =
+      slot.engine.process(slot.crop, params, model, tile_options_);
+  // Keep the detections this tile owns: anchor inside the (half-open) core.
+  // Halo-anchored windows were evaluated for the neighbor's benefit only —
+  // the neighbor owns and reports them, so no seam duplicates exist by
+  // construction.
+  slot.owned.clear();
+  for (const detect::Detection& d : res.raw) {
+    detect::Detection g = d;
+    g.x += t.x;
+    g.y += t.y;
+    if (g.x >= t.core_x && g.x < t.core_x + t.core_w && g.y >= t.core_y &&
+        g.y < t.core_y + t.core_h) {
+      slot.owned.push_back(g);
+    }
+  }
+  slot.windows = res.windows_evaluated;
+  slot.fresh = true;
+}
+
+const TiledResult& TileEngine::process(const imgproc::ImageF& frame,
+                                       const hog::HogParams& params,
+                                       const svm::LinearModel& model,
+                                       const detect::MultiscaleOptions& options,
+                                       const std::vector<int>* selection) {
+  PDET_TRACE_SCOPE("tile/process");
+  const util::Timer frame_timer;
+  if (!plan_.built() || built_w_ != frame.width() ||
+      built_h_ != frame.height() || built_scales_ != options.scales) {
+    rebuild(frame, params, options);
+  }
+  // Per-tile pass shares the caller's options but defers NMS to the global
+  // cross-tile merge (vector assignment reuses capacity — no steady alloc).
+  tile_options_ = options;
+  tile_options_.run_nms = false;
+
+  const std::vector<int>& sel = selection != nullptr ? *selection : all_tiles_;
+  const int n = plan_.tile_count();
+  for (TileSlot& slot : slots_) slot.fresh = false;
+
+  const auto run_count = static_cast<int>(sel.size());
+  if (options_.threads > 1 && run_count > 1) {
+    ensure_pool();
+    TileJobCtx ctx{this, &frame, &params, &model, &sel};
+    pool_->parallel_for(
+        run_count,
+        +[](void* raw_ctx, int index) {
+          auto* job = static_cast<TileJobCtx*>(raw_ctx);
+          // Tiles record obs spans/counters directly — the obs layer is
+          // thread-safe and each tile is visited exactly once, so totals
+          // are identical at every thread count.
+          job->engine->run_tile(
+              *job->frame, *job->params, *job->model,
+              (*job->selection)[static_cast<std::size_t>(index)]);
+        },
+        &ctx);
+  } else {
+    for (const int tile : sel) run_tile(frame, params, model, tile);
+  }
+
+  // Merge in tile-index order: independent of which thread ran which tile.
+  TiledResult& result = result_;
+  result.raw.clear();
+  result.windows_evaluated = 0;
+  result.tiles_total = n;
+  result.tiles_detected = 0;
+  result.tiles_reused = 0;
+  result.max_age = 0;
+  for (int i = 0; i < n; ++i) {
+    TileSlot& slot = slots_[static_cast<std::size_t>(i)];
+    int& age = ages_[static_cast<std::size_t>(i)];
+    if (slot.fresh) {
+      age = 0;
+      ++result.tiles_detected;
+      result.windows_evaluated += slot.windows;
+    } else {
+      ++age;
+      ++result.tiles_reused;
+    }
+    result.max_age = std::max(result.max_age, age);
+    result.raw.insert(result.raw.end(), slot.owned.begin(), slot.owned.end());
+  }
+  if (options.run_nms) {
+    detect::nms_into(result.raw, options.nms_iou, nms_scratch_,
+                     result.detections);
+  } else {
+    result.detections = result.raw;
+  }
+
+  ++stats_.frames;
+  stats_.tiles_detected += result.tiles_detected;
+  stats_.tiles_reused += result.tiles_reused;
+  obs::counter_add("tile.frames");
+  obs::counter_add("tile.tiles_detected", result.tiles_detected);
+  obs::counter_add("tile.tiles_reused", result.tiles_reused);
+  obs::gauge_set("tile.max_age", static_cast<double>(result.max_age));
+  obs::observe("tile.frame_ms", frame_timer.milliseconds());
+  return result;
+}
+
+TileStats TileEngine::stats() const {
+  TileStats out = stats_;
+  for (const TileSlot& slot : slots_) {
+    out.engine_frames += slot.engine.stats().frames;
+    out.alloc_bytes += slot.engine.stats().alloc_bytes;
+  }
+  return out;
+}
+
+}  // namespace pdet::tile

@@ -1,0 +1,118 @@
+// Tiled detection engine with per-tile temporal coherence (pdet::tile).
+//
+// One warm detect::DetectionEngine (plus crop buffer and cached detections)
+// per tile of a TilePlan. process() crops each scheduled tile, runs the
+// full multi-scale chain on it, keeps the detections whose anchor lies in
+// the tile's core (see plan.hpp for why that reproduces the untiled pass
+// bit for bit on integer ladders), and merges across tiles into one global
+// NMS. Tiles run sequentially or over a util::ThreadPool
+// (TileEngineOptions::threads); merge order is tile-index order either way,
+// so results are independent of the thread count.
+//
+// Temporal coherence: each tile slot caches its owned raw detections. A
+// frame processed with a partial selection (RoiScheduler::plan_frame) serves
+// the skipped tiles from their caches — stale boxes, bounded by the
+// scheduler's max_age — and the merged NMS still sees a full-frame picture.
+// Slot ages (frames since fresh detection) are owned here and read by the
+// scheduler.
+//
+// Zero steady state: crops, per-tile engines, caches, merge and result
+// vectors are all persistent and reshaped in place, so once warm a frame
+// allocates nothing (bench_tile_uhd counts operator new to pin this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/detect/engine.hpp"
+#include "src/tile/plan.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace pdet::tile {
+
+struct TileEngineOptions {
+  TilePlanOptions plan;
+  /// Tile lanes: 1 runs tiles inline, N > 1 scans tiles on an internal pool
+  /// (identical results — tiles are independent and merged in index order).
+  int threads = 1;
+  /// Per-tile engine configuration. `threads` here is forced to 1 — the tile
+  /// grid is the parallelism axis; nested level pools would oversubscribe.
+  detect::EngineOptions engine;
+};
+
+/// Lifetime accounting across all tiles (mirrors detect::EngineStats).
+struct TileStats {
+  long long frames = 0;          ///< process() calls
+  long long tiles_detected = 0;  ///< tiles freshly detected
+  long long tiles_reused = 0;    ///< tiles served from their cache
+  long long engine_frames = 0;   ///< per-tile engine process() calls, summed
+  std::size_t alloc_bytes = 0;   ///< per-tile workspace high water, summed
+};
+
+struct TiledResult {
+  std::vector<detect::Detection> detections;  ///< post-NMS, frame coords
+  std::vector<detect::Detection> raw;  ///< owned pre-NMS (fresh + cached)
+  long long windows_evaluated = 0;     ///< fresh tiles only
+  int tiles_total = 0;
+  int tiles_detected = 0;  ///< fresh this frame
+  int tiles_reused = 0;    ///< served from cache this frame
+  int max_age = 0;         ///< worst tile age after this frame
+};
+
+class TileEngine {
+ public:
+  explicit TileEngine(TileEngineOptions options = {});
+
+  /// Tiled multi-scale detection. `selection` is an ascending list of tile
+  /// indices to freshly detect (from RoiScheduler::plan_frame); nullptr
+  /// detects every tile. The returned reference points into the workspace
+  /// and is valid until the next process() call. The plan is built lazily
+  /// from the first frame and rebuilt (caches cleared) when the frame size
+  /// or multiscale options change. Throws std::invalid_argument on frames
+  /// that are not cell-aligned.
+  const TiledResult& process(const imgproc::ImageF& frame,
+                             const hog::HogParams& params,
+                             const svm::LinearModel& model,
+                             const detect::MultiscaleOptions& options,
+                             const std::vector<int>* selection = nullptr);
+
+  const TilePlan& plan() const { return plan_; }
+  /// Per-tile frames since last fresh detection (scheduler input). Empty
+  /// until the first process().
+  std::span<const int> ages() const { return ages_; }
+  TileStats stats() const;
+  const TiledResult& last_result() const { return result_; }
+
+ private:
+  struct TileSlot {
+    imgproc::ImageF crop;                  ///< expanded tile rect, warm
+    detect::DetectionEngine engine;        ///< per-tile warm workspace
+    std::vector<detect::Detection> owned;  ///< cached core-owned raw boxes
+    long long windows = 0;                 ///< windows of the last fresh run
+    bool fresh = false;                    ///< detected this frame
+  };
+
+  void rebuild(const imgproc::ImageF& frame, const hog::HogParams& params,
+               const detect::MultiscaleOptions& options);
+  void run_tile(const imgproc::ImageF& frame, const hog::HogParams& params,
+                const svm::LinearModel& model, int tile);
+  void ensure_pool();
+
+  TileEngineOptions options_;
+  TilePlan plan_;
+  // Fingerprint of the inputs the plan was built for (rebuild detector).
+  int built_w_ = 0;
+  int built_h_ = 0;
+  std::vector<double> built_scales_;
+
+  std::vector<TileSlot> slots_;
+  std::vector<int> ages_;
+  std::vector<int> all_tiles_;  ///< identity selection for the full pass
+  detect::MultiscaleOptions tile_options_;  ///< per-tile copy, run_nms off
+  std::vector<detect::Detection> nms_scratch_;
+  TiledResult result_;
+  TileStats stats_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace pdet::tile

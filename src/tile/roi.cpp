@@ -1,0 +1,79 @@
+#include "src/tile/roi.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace pdet::tile {
+
+RoiScheduler::RoiScheduler(RoiOptions options) : options_(options) {
+  PDET_REQUIRE(options_.max_age >= 0);
+  PDET_REQUIRE(options_.min_cold_per_frame >= 0);
+  PDET_REQUIRE(options_.margin_px >= 0);
+}
+
+int RoiScheduler::rung_budget(int tile_count, int level) {
+  PDET_REQUIRE(tile_count >= 1);
+  if (level <= 0) return tile_count;
+  if (level == 1) return (tile_count + 1) / 2;
+  return 0;
+}
+
+bool RoiScheduler::is_hot(const TilePlan& plan, int tile,
+                          std::span<const detect::Detection> predicted) const {
+  const TileGeometry& t = plan.tile(tile);
+  const int m = options_.margin_px;
+  for (const detect::Detection& d : predicted) {
+    // Half-open rect intersection of the grown box with the tile core.
+    const bool x_hit =
+        d.x - m < t.core_x + t.core_w && d.x + d.width + m > t.core_x;
+    const bool y_hit =
+        d.y - m < t.core_y + t.core_h && d.y + d.height + m > t.core_y;
+    if (x_hit && y_hit) return true;
+  }
+  return false;
+}
+
+void RoiScheduler::plan_frame(const TilePlan& plan, std::span<const int> ages,
+                              std::span<const detect::Detection> predicted,
+                              int budget, std::vector<int>& out) {
+  const int n = plan.tile_count();
+  PDET_REQUIRE(static_cast<int>(ages.size()) == n);
+  out.clear();
+  mark_.assign(static_cast<std::size_t>(n), 0);
+
+  // max_age == 0 means "ROI off": every tile, every frame.
+  if (options_.max_age == 0) {
+    for (int i = 0; i < n; ++i) out.push_back(i);
+    return;
+  }
+
+  // Forced set: hot tiles (predicted pedestrians detect every frame) and
+  // tiles the staleness bound would otherwise break (skipping tile i makes
+  // its age ages[i] + 1, which must stay <= max_age).
+  for (int i = 0; i < n; ++i) {
+    const bool stale = ages[static_cast<std::size_t>(i)] + 1 > options_.max_age;
+    if (stale || is_hot(plan, i, predicted)) {
+      mark_[static_cast<std::size_t>(i)] = 1;
+      out.push_back(i);
+    }
+  }
+
+  // Cold fill: round-robin from the cursor up to the budget, with the
+  // min_cold_per_frame floor so unwatched regions are always revisited.
+  const int cold_target = std::max(
+      options_.min_cold_per_frame,
+      budget - static_cast<int>(out.size()));
+  int added = 0;
+  for (int step = 0; step < n && added < cold_target; ++step) {
+    const int i = (cursor_ + step) % n;
+    if (mark_[static_cast<std::size_t>(i)]) continue;
+    mark_[static_cast<std::size_t>(i)] = 1;
+    out.push_back(i);
+    ++added;
+    cursor_ = (i + 1) % n;  // resume after the last cold tile taken
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace pdet::tile

@@ -1,0 +1,75 @@
+// ROI tile scheduling with a hard staleness bound (pdet::tile).
+//
+// When the runtime's deadline ladder says the full tile set will not fit
+// the frame budget, detecting *every* tile every frame is the wrong spend:
+// pedestrians are sparse, and the tracker already knows roughly where they
+// will be (Campmany et al.'s GPU pipeline concentrates compute on regions
+// of interest for exactly this reason). The scheduler splits the grid:
+//
+//   hot    tiles whose core (grown by margin_px) intersects a predicted
+//          pedestrian box — detected EVERY frame, regardless of budget;
+//   stale  tiles whose age would exceed max_age if skipped again — also
+//          forced, so the staleness bound is hard, not advisory;
+//   cold   everything else — refreshed round-robin with whatever budget
+//          remains, never fewer than min_cold_per_frame per frame so a
+//          pedestrian entering from an unwatched region is found within
+//          tile_count / min_cold_per_frame frames even at max_age = large.
+//
+// Ages are owned by the TileEngine (frames since the tile was last freshly
+// detected; the engine serves skipped tiles from its per-tile detection
+// cache — the temporal-coherence half of the design). The scheduler is
+// almost stateless: options, a round-robin cursor, and reused scratch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/detect/detection.hpp"
+#include "src/tile/plan.hpp"
+
+namespace pdet::tile {
+
+struct RoiOptions {
+  /// Hard staleness bound: after any scheduled frame, every tile's age is
+  /// <= max_age frames. 0 forces every tile every frame (ROI off).
+  int max_age = 4;
+  /// Cold tiles refreshed round-robin per frame even when the budget is 0.
+  int min_cold_per_frame = 1;
+  /// Pixels to grow each predicted box by before intersecting tile cores:
+  /// absorbs prediction error plus the detection window overhang.
+  int margin_px = 32;
+};
+
+class RoiScheduler {
+ public:
+  explicit RoiScheduler(RoiOptions options = {});
+
+  const RoiOptions& options() const { return options_; }
+
+  /// Tile budget the deadline ladder implies for a frame at `level`:
+  /// rung 0 = every tile, rung 1 = half, rung >= 2 = forced tiles only
+  /// (hot + stale + the cold round-robin minimum). Rung 3 never reaches the
+  /// engine — the scheduler skips the frame before tiles matter.
+  static int rung_budget(int tile_count, int level);
+
+  /// True when `tile` must run this frame because a predicted box (grown by
+  /// margin_px) touches its core.
+  bool is_hot(const TilePlan& plan, int tile,
+              std::span<const detect::Detection> predicted) const;
+
+  /// Select the tiles to detect this frame. `ages[i]` is tile i's frames
+  /// since last fresh detection (TileEngine::ages()); `budget` is the target
+  /// selection size (forced tiles may exceed it — the staleness bound and
+  /// hot coverage win over the budget). `out` is filled with ascending tile
+  /// indices, deduplicated; hot and stale tiles are always included.
+  void plan_frame(const TilePlan& plan, std::span<const int> ages,
+                  std::span<const detect::Detection> predicted, int budget,
+                  std::vector<int>& out);
+
+ private:
+  RoiOptions options_;
+  int cursor_ = 0;                  ///< cold round-robin position
+  std::vector<std::uint8_t> mark_;  ///< per-tile selected flag (reused)
+};
+
+}  // namespace pdet::tile

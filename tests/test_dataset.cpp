@@ -316,6 +316,49 @@ TEST(Scene, Deterministic) {
   EXPECT_EQ(render_scene(a, opts).image, render_scene(b, opts).image);
 }
 
+TEST(Scene, ScaledAtUnityIsBitwiseIdentical) {
+  // render_scene_scaled at the base resolution must reproduce render_scene
+  // exactly — the tiled-UHD path leans on this to compare workloads across
+  // resolutions without perturbing every existing seed-pinned test.
+  SceneOptions opts;
+  opts.width = 256;
+  opts.height = 192;
+  util::Rng a(31);
+  util::Rng b(31);
+  const Scene base = render_scene(a, opts);
+  const Scene scaled = render_scene_scaled(b, opts, 256, 192);
+  EXPECT_EQ(base.image, scaled.image);
+  ASSERT_EQ(base.truth.size(), scaled.truth.size());
+  for (std::size_t i = 0; i < base.truth.size(); ++i) {
+    EXPECT_EQ(base.truth[i].x, scaled.truth[i].x);
+    EXPECT_EQ(base.truth[i].y, scaled.truth[i].y);
+    EXPECT_EQ(base.truth[i].width, scaled.truth[i].width);
+    EXPECT_EQ(base.truth[i].height, scaled.truth[i].height);
+  }
+}
+
+TEST(Scene, ScaledRendersTheSameWorldLarger) {
+  // Same seed, 2x resolution: truth boxes scale with the frame (same world,
+  // higher pixel density), pedestrians stay at their base-relative spots.
+  SceneOptions opts;
+  opts.width = 256;
+  opts.height = 192;
+  util::Rng a(77);
+  util::Rng b(77);
+  const Scene base = render_scene(a, opts);
+  const Scene big = render_scene_scaled(b, opts, 512, 384);
+  EXPECT_EQ(big.image.width(), 512);
+  EXPECT_EQ(big.image.height(), 384);
+  ASSERT_EQ(base.truth.size(), big.truth.size());
+  for (std::size_t i = 0; i < base.truth.size(); ++i) {
+    EXPECT_NEAR(big.truth[i].x, 2 * base.truth[i].x, 2);
+    EXPECT_NEAR(big.truth[i].y, 2 * base.truth[i].y, 2);
+    EXPECT_NEAR(big.truth[i].width, 2 * base.truth[i].width, 2);
+    EXPECT_NEAR(big.truth[i].height, 2 * base.truth[i].height, 2);
+    EXPECT_EQ(big.truth[i].distance_m, base.truth[i].distance_m);
+  }
+}
+
 MultiStreamOptions small_multistream() {
   MultiStreamOptions opts;
   opts.scene.width = 192;
@@ -367,6 +410,42 @@ TEST(MultiStream, ContentIndependentOfStreamCount) {
   for (int s = 0; s < 3; ++s) (void)few.frame(s, 0);
   for (int s = 0; s < 16; ++s) (void)many.frame(s, 0);
   EXPECT_EQ(few.frame(2, 1).image, many.frame(2, 1).image);
+}
+
+TEST(MultiStream, RenderScaleScalesFramesOfTheSameWorld) {
+  MultiStreamOptions base = small_multistream();
+  MultiStreamOptions uhd = small_multistream();
+  uhd.render_scale = 2.0;
+  const MultiStreamSource a(21, base);
+  const MultiStreamSource b(21, uhd);
+  const Scene small = a.frame(0, 3);
+  const Scene big = b.frame(0, 3);
+  EXPECT_EQ(big.image.width(), 2 * small.image.width());
+  EXPECT_EQ(big.image.height(), 2 * small.image.height());
+  // Same (stream, frame) seed => same world: the pedestrian count agrees
+  // and every truth box lands at ~2x its base position.
+  ASSERT_EQ(big.truth.size(), small.truth.size());
+  for (std::size_t i = 0; i < small.truth.size(); ++i) {
+    EXPECT_NEAR(big.truth[i].x, 2 * small.truth[i].x, 2);
+    EXPECT_NEAR(big.truth[i].height, 2 * small.truth[i].height, 2);
+  }
+}
+
+TEST(MultiStream, OptionsCodecRoundTripsRenderScale) {
+  MultiStreamOptions opts = small_multistream();
+  opts.render_scale = 4.0;
+  opts.min_pedestrians = 1;
+  std::vector<std::uint8_t> bytes;
+  util::ByteWriter w(bytes);
+  encode_multistream_options(opts, w);
+  util::ByteReader r(bytes);
+  MultiStreamOptions back;
+  decode_multistream_options(r, back);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back.render_scale, 4.0);
+  EXPECT_EQ(back.scene.width, opts.scene.width);
+  EXPECT_EQ(back.min_pedestrians, 1);
 }
 
 TEST(MultiStream, PedestrianCountStaysInConfiguredBand) {

@@ -140,6 +140,54 @@ TEST(Tracker, IdsMonotonicallyIncrease) {
   EXPECT_EQ(tracks[0].id, 2);
 }
 
+TEST(Tracker, VelocityTracksConstantMotion) {
+  // A detection moving +10 px/frame in x: the velocity EMA converges onto
+  // the smoothed center's actual per-frame delta.
+  Tracker tracker;
+  for (int f = 0; f < 30; ++f) tracker.update({box(f * 10, 50, 64, 128)});
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const Track& t = tracker.tracks()[0];
+  EXPECT_NEAR(t.vx_per_frame, 10.0, 1.0);
+  EXPECT_NEAR(t.vy_per_frame, 0.0, 0.5);
+}
+
+TEST(Tracker, PredictedExtrapolatesCenterAndGrowth) {
+  Track track;
+  track.box = box(100, 100, 50, 100);
+  track.vx_per_frame = 8.0;
+  track.vy_per_frame = -2.0;
+  track.height_growth_per_frame = 0.1;
+
+  const Detection now = track.predicted(0);
+  EXPECT_EQ(now.x, track.box.x);
+  EXPECT_EQ(now.y, track.box.y);
+  EXPECT_EQ(now.width, track.box.width);
+  EXPECT_EQ(now.height, track.box.height);
+
+  const Detection ahead = track.predicted(2);
+  // Height compounds: 100 * 1.1^2 = 121; width keeps the 1:2 aspect.
+  EXPECT_EQ(ahead.height, 121);
+  EXPECT_EQ(ahead.width, 61);  // lround(50 * 1.21)
+  // Center moved by 2 * (vx, vy) = (+16, -4).
+  EXPECT_NEAR(ahead.x + ahead.width / 2.0, 125.0 + 16.0, 1.0);
+  EXPECT_NEAR(ahead.y + ahead.height / 2.0, 150.0 - 4.0, 11.0);  // h grew too
+}
+
+TEST(Tracker, PredictBoxesConfirmedTracksOnly) {
+  Tracker tracker;  // min_hits = 2
+  tracker.update({box(0, 0, 64, 128)});
+  std::vector<Detection> predicted;
+  tracker.predict_boxes(1, predicted);
+  EXPECT_TRUE(predicted.empty()) << "1-hit track is not confirmed";
+  tracker.update({box(4, 0, 64, 128)});
+  tracker.predict_boxes(1, predicted);
+  ASSERT_EQ(predicted.size(), 1u);
+  // Coasting keeps the velocity: predictions still move with the track.
+  tracker.update({});
+  tracker.predict_boxes(1, predicted);
+  ASSERT_EQ(predicted.size(), 1u);
+}
+
 TEST(Tracker, AgeAdvancesEveryFrame) {
   // age counts frames *since creation*: 0 on the creating update, +1 each
   // subsequent frame.
