@@ -50,8 +50,18 @@ const char* status_name(pdet::runtime::FrameStatus status) {
     case pdet::runtime::FrameStatus::kDroppedQueue: return "drop:queue";
     case pdet::runtime::FrameStatus::kDroppedDeadline: return "drop:deadline";
     case pdet::runtime::FrameStatus::kError: return "error";
+    case pdet::runtime::FrameStatus::kDegradedInput: return "degraded:input";
   }
   return "?";
+}
+
+const char* camera_name(std::uint8_t state) {
+  switch (state) {
+    case 0: return "healthy";
+    case 1: return "suspect";
+    case 2: return "quarantined";
+    default: return "?";
+  }
 }
 
 }  // namespace
@@ -110,6 +120,7 @@ int main(int argc, char** argv) {
   const int watch_s = cli.get_int("watch");
   if (watch_s > 0) {
     net::wire::TelemetryReport t;
+    net::wire::StatsReport sr;
     while (g_stop == 0) {
       if (!client.query_telemetry(t, 2000.0)) {
         std::fprintf(stderr, "telemetry query failed: %s\n",
@@ -132,6 +143,18 @@ int main(int argc, char** argv) {
           static_cast<double>(t.engine.p99_ms),
           static_cast<double>(t.total.p50_ms),
           static_cast<double>(t.total.p99_ms));
+      // Frame-quality / camera-health dashboard row (wire v5 guard block);
+      // all-zero on a server running without --guard.
+      if (client.query_stats(sr, 2000.0)) {
+        std::printf(
+            "  guard: unusable %llu  soft %llu  cams suspect/quarantined "
+            "%u/%u  quarantines/recoveries %llu/%llu\n",
+            static_cast<unsigned long long>(sr.guard_unusable),
+            static_cast<unsigned long long>(sr.guard_soft),
+            sr.cameras_suspect, sr.cameras_quarantined,
+            static_cast<unsigned long long>(sr.camera_quarantines),
+            static_cast<unsigned long long>(sr.camera_recoveries));
+      }
       if (cli.get_flag("prometheus")) {
         std::fputs(t.prometheus.c_str(), stdout);
       }
@@ -145,11 +168,17 @@ int main(int argc, char** argv) {
 
   const bool show_timelines = cli.get_flag("timelines");
   const auto print_result = [&](const net::wire::Result& result) {
-    std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms\n",
+    std::printf("#%-3llu %-13s rung %d  %2zu det  total %6.1f ms",
                 static_cast<unsigned long long>(result.tag),
                 status_name(result.status), result.degrade_level,
                 result.detections.size(),
                 static_cast<double>(result.total_ms));
+    if (result.input_quality != 0 || result.camera_state != 0) {
+      std::printf("  [reasons %#x cam %s]",
+                  static_cast<unsigned>(result.quality_reasons),
+                  camera_name(result.camera_state));
+    }
+    std::printf("\n");
     obs::FrameTimeline t;
     if (show_timelines && client.last_timeline(t)) {
       std::printf("     %s\n", obs::to_line(t).c_str());
@@ -220,6 +249,12 @@ int main(int argc, char** argv) {
     table.add_row({"score batches (mean fill)",
                    std::to_string(report.score_batches) + " (" +
                        util::to_fixed(report.score_fill, 1) + ")"});
+    table.add_row({"server guard (unusable/soft)",
+                   std::to_string(report.guard_unusable) + " / " +
+                       std::to_string(report.guard_soft)});
+    table.add_row({"server cameras (suspect/quarantined)",
+                   std::to_string(report.cameras_suspect) + " / " +
+                       std::to_string(report.cameras_quarantined)});
   }
   net::wire::TelemetryReport telemetry;
   const bool have_telemetry = client.query_telemetry(telemetry, 2000.0);

@@ -33,6 +33,7 @@
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/multistream.hpp"
 #include "src/fault/injector.hpp"
+#include "src/guard/sensor.hpp"
 #include "src/net/service.hpp"
 #include "src/obs/report.hpp"
 #include "src/runtime/server.hpp"
@@ -79,6 +80,11 @@ int main(int argc, char** argv) {
   cli.add_int("max-clients", 8, "remote mode: concurrent client connections");
   cli.add_int("chaos-seed", 0,
               "arm seeded fault injection across io/runtime (0 = off)");
+  cli.add_flag("fault-list",
+               "print every registered fault-injection site and exit");
+  cli.add_flag("guard",
+               "enable the input-integrity gate: per-frame quality verdicts, "
+               "camera-health quarantine, tracker coasting on unusable input");
   cli.add_flag("telemetry",
                "enable the live telemetry plane: metrics registry on, "
                "TelemetryQuery answered with Prometheus text");
@@ -94,12 +100,22 @@ int main(int argc, char** argv) {
   // --telemetry turns the metrics registry on even without --metrics: a
   // remote TelemetryQuery renders whatever the registry holds.
   if (cli.get_flag("telemetry")) obs::set_metrics_enabled(true);
+  if (cli.get_flag("fault-list")) {
+    // Introspection: the static site registry plus whatever the armed plan
+    // has touched so far (nothing yet at startup — the table is the point).
+    std::printf("%-24s %s\n", "site", "what it does when armed");
+    for (const fault::SiteDoc& site : fault::registered_sites()) {
+      std::printf("%-24s %s\n", site.name, site.what);
+    }
+    return 0;
+  }
   install_signal_handlers();
 
   // Chaos mode: a deterministic fault schedule across every injection point
   // plus the runtime's watchdog/self-healing machinery. The same seed
   // reproduces the same fault sequence (per-point check counts permitting).
   const int chaos_seed = cli.get_int("chaos-seed");
+  const bool guard_on = cli.get_flag("guard");
   if (chaos_seed != 0) {
     fault::Plan plan;
     plan.seed = static_cast<std::uint64_t>(chaos_seed);
@@ -109,6 +125,14 @@ int main(int argc, char** argv) {
         .with("net.recv.eintr", 0.02)
         .with("runtime.engine.fault", 0.05)
         .with("runtime.worker.stall", 0.01, /*param=*/120);
+    if (guard_on) {
+      // With the gate on, also degrade the sensor itself (demo mode runs
+      // submitted frames through guard::SensorSimulator below).
+      plan.with("sensor.frame.freeze", 0.05)
+          .with("sensor.frame.tear", 0.03)
+          .with("sensor.rows.dead", 0.03)
+          .with("sensor.frame.blackout", 0.02);
+    }
     fault::Injector::instance().arm(plan);
     std::printf("chaos: armed fault plan, seed %d\n", chaos_seed);
   }
@@ -159,6 +183,7 @@ int main(int argc, char** argv) {
     sopts.runtime.multiscale = detector.config().multiscale;
     sopts.runtime.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
     sopts.runtime.backend = backend_kind;
+    sopts.runtime.guard.enabled = guard_on;
     net::DetectionService service(detector.model(), sopts);
     std::string error;
     if (!service.start(&error)) {
@@ -199,6 +224,15 @@ int main(int argc, char** argv) {
                    std::to_string(stats.runtime.errors) + " / " +
                        std::to_string(stats.runtime.poison_frames)});
     table.add_row({"health", runtime::to_string(stats.runtime.health)});
+    if (guard_on) {
+      table.add_row({"guard unusable / soft",
+                     std::to_string(stats.runtime.guard_unusable) + " / " +
+                         std::to_string(stats.runtime.guard_soft)});
+      table.add_row(
+          {"camera quarantines / recoveries",
+           std::to_string(stats.runtime.camera_quarantines) + " / " +
+               std::to_string(stats.runtime.camera_recoveries)});
+    }
     table.add_row({"flight-recorder triggers",
                    std::to_string(stats.runtime.flight_triggers)});
     table.add_row({"aggregate fps",
@@ -244,6 +278,7 @@ int main(int argc, char** argv) {
   opts.multiscale = detector.config().multiscale;
   opts.multiscale.scales = {1.0, 1.26, 1.59, 2.0};
   opts.backend = backend_kind;
+  opts.guard.enabled = guard_on;
 
   runtime::DetectionServer server(detector.model(), opts);
   std::mutex print_mutex;
@@ -261,6 +296,8 @@ int main(int argc, char** argv) {
                             status = "drop:deadline"; break;
                           case runtime::FrameStatus::kError:
                             status = "error"; break;
+                          case runtime::FrameStatus::kDegradedInput:
+                            status = "degraded:input"; break;
                         }
                         std::lock_guard<std::mutex> lock(print_mutex);
                         std::printf(
@@ -276,13 +313,27 @@ int main(int argc, char** argv) {
   server.start();
   const auto interval = std::chrono::duration<double, std::milli>(
       cli.get_double("interval-ms"));
+  // With --guard + --chaos-seed, frames pass through the deterministic
+  // sensor-fault model on their way in, so the gate has something to catch.
+  // Streams are disjoint SensorSimulator slots, so producers stay parallel.
+  const bool sensor_chaos = guard_on && chaos_seed != 0;
+  guard::SensorSimulator sensor(
+      static_cast<std::uint64_t>(chaos_seed != 0 ? chaos_seed : 1), streams);
   std::vector<std::thread> producers;
   for (int s = 0; s < streams; ++s) {
     producers.emplace_back([&, s] {
       auto next = std::chrono::steady_clock::now();
+      imgproc::ImageF scratch;
       for (int f = 0; f < frames && g_stop == 0; ++f) {
-        (void)server.submit(
-            s, feed[static_cast<std::size_t>(s)][static_cast<std::size_t>(f)]);
+        const imgproc::ImageF& clean =
+            feed[static_cast<std::size_t>(s)][static_cast<std::size_t>(f)];
+        const imgproc::ImageF* submit = &clean;
+        if (sensor_chaos) {
+          scratch = clean;
+          sensor.apply(s, static_cast<std::uint64_t>(f), scratch);
+          submit = &scratch;
+        }
+        (void)server.submit(s, *submit);
         if (interval.count() > 0.0) {
           next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               interval);
@@ -316,6 +367,17 @@ int main(int argc, char** argv) {
                      std::to_string(stats.worker_stalls) + " / " +
                      std::to_string(stats.workers_replaced)});
   table.add_row({"health", runtime::to_string(stats.health)});
+  if (guard_on) {
+    table.add_row({"guard unusable / soft",
+                   std::to_string(stats.guard_unusable) + " / " +
+                       std::to_string(stats.guard_soft)});
+    table.add_row({"camera quarantines / recoveries",
+                   std::to_string(stats.camera_quarantines) + " / " +
+                       std::to_string(stats.camera_recoveries)});
+    table.add_row({"cameras suspect / quarantined",
+                   std::to_string(stats.cameras_suspect) + " / " +
+                       std::to_string(stats.cameras_quarantined)});
+  }
   table.add_row({"flight-recorder triggers",
                  std::to_string(stats.flight_triggers)});
   table.add_row({"aggregate fps", util::to_fixed(stats.aggregate_fps, 1)});
@@ -338,8 +400,10 @@ int main(int argc, char** argv) {
   server.publish_metrics();
   if (!obs::report_from_cli(cli)) return 1;
   // Every submitted frame must have been delivered exactly once — including
-  // frames that faulted and were delivered as errors under chaos.
+  // frames that faulted and were delivered as errors under chaos, and frames
+  // the integrity gate short-circuited as unusable input.
   const long long delivered = stats.completed + stats.dropped_queue +
-                              stats.dropped_deadline + stats.errors;
+                              stats.dropped_deadline + stats.errors +
+                              stats.guard_unusable;
   return delivered == stats.submitted ? 0 : 1;
 }

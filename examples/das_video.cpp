@@ -9,13 +9,18 @@
 // against the ground-truth closing kinematics and against the stopping
 // distance the paper computes.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "src/core/bootstrap.hpp"
 #include "src/core/das.hpp"
 #include "src/core/pedestrian_detector.hpp"
 #include "src/dataset/scene.hpp"
 #include "src/detect/tracker.hpp"
+#include "src/fault/injector.hpp"
+#include "src/guard/gate.hpp"
+#include "src/guard/sensor.hpp"
 #include "src/hwsim/score_backend.hpp"
 #include "src/hwsim/timing.hpp"
 #include "src/obs/report.hpp"
@@ -35,6 +40,10 @@ int main(int argc, char** argv) {
   cli.add_string("backend", "scalar",
                  "scoring backend: scalar | batch | hwsim (quantized MACBAR "
                  "offload model)");
+  cli.add_int("sensor-chaos", 0,
+              "degrade the camera feed with a seeded sensor-fault schedule "
+              "(freeze/tear/blackout/dead rows); the integrity gate skips "
+              "unusable frames and the tracker coasts (0 = off)");
   obs::add_cli_options(cli);
   if (!cli.parse(argc, argv)) return 1;
   score::BackendKind backend = score::BackendKind::kScalar;
@@ -106,7 +115,26 @@ int main(int argc, char** argv) {
   aopts.closing_speed_mps = cli.get_double("speed-kmh") / 3.6;
   aopts.fps = cli.get_int("fps");
   aopts.frames = cli.get_int("frames");
-  const auto sequence = dataset::render_approach_sequence(2718, aopts);
+  // --sensor-chaos: degrade the rendered feed with a seeded fault schedule
+  // and put the integrity gate in front of the detector. Unusable frames
+  // skip the engine; the tracker coasts on predicted boxes instead.
+  const int sensor_seed = cli.get_int("sensor-chaos");
+  if (sensor_seed != 0) {
+    fault::Plan plan;
+    plan.seed = static_cast<std::uint64_t>(sensor_seed);
+    plan.with("sensor.frame.freeze", 0.10)
+        .with("sensor.frame.tear", 0.05)
+        .with("sensor.frame.blackout", 0.05)
+        .with("sensor.rows.dead", 0.05, /*param=*/10);
+    fault::Injector::instance().arm(plan);
+    std::printf("sensor-chaos: armed seeded sensor faults, seed %d\n",
+                sensor_seed);
+  }
+  guard::SensorSimulator sensor(
+      static_cast<std::uint64_t>(sensor_seed != 0 ? sensor_seed : 1), 1);
+  guard::FrameGuard gate;
+
+  auto sequence = dataset::render_approach_sequence(2718, aopts);
   std::printf("simulating %zu frames at %d fps, closing %.1f km/h from %.0f m\n",
               sequence.size(), cli.get_int("fps"), cli.get_double("speed-kmh"),
               aopts.start_distance_m);
@@ -116,14 +144,39 @@ int main(int argc, char** argv) {
   std::printf("total stopping distance at this speed: %.1f m\n\n", stop_m);
 
   detect::Tracker tracker;
+  std::vector<detect::Detection> coast_buf;
   bool braked = false;
   int tracked_frames = 0;
+  int coasted = 0;
   std::printf("frame  dist(m)  tracks  main-track                TTC est (s)  truth (s)\n");
   for (std::size_t f = 0; f < sequence.size(); ++f) {
     PDET_TRACE_SCOPE("das/frame");
-    const auto& scene = sequence[f];
-    const auto result = detector.detect(scene.image);
-    const auto& tracks = tracker.update(result.detections);
+    auto& scene = sequence[f];
+    if (sensor_seed != 0) {
+      sensor.apply(0, static_cast<std::uint64_t>(f), scene.image);
+    }
+    // Gate the (possibly degraded) pixels. Unusable frames never reach the
+    // detector: the tracker coasts on its own one-frame-ahead predictions,
+    // which keeps identities and the TTC estimate alive across the gap.
+    bool unusable = false;
+    std::uint32_t gate_reasons = 0;
+    if (sensor_seed != 0) {
+      const guard::GuardVerdict& v = gate.inspect(scene.image);
+      unusable = v.quality == guard::FrameQuality::kUnusable;
+      gate_reasons = v.reasons;
+    }
+    if (unusable) {
+      coast_buf.clear();
+      tracker.predict_boxes(1, coast_buf);
+      ++coasted;
+    }
+    const auto& tracks =
+        unusable ? tracker.update(coast_buf)
+                 : tracker.update(detector.detect(scene.image).detections);
+    if (unusable) {
+      std::printf("%5zu  gate: unusable input (%s) — tracker coasting\n", f,
+                  guard::reasons_to_string(gate_reasons).c_str());
+    }
 
     // Report the confirmed track best matching the truth.
     const auto& truth = scene.truth.front();
@@ -180,6 +233,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\ntracked the pedestrian in %d / %zu frames\n", tracked_frames,
               sequence.size());
+  if (sensor_seed != 0) {
+    std::printf("sensor-chaos: gate ruled %d / %zu frames unusable; tracker "
+                "coasted through them\n",
+                coasted, sequence.size());
+  }
   // The streaming loop above is exactly the engine's steady state: every
   // frame after the first should hit warm workspace buffers.
   const auto& estats = detector.engine_stats();

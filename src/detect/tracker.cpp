@@ -13,6 +13,7 @@ Tracker::Tracker(TrackerOptions options) : options_(options) {
   PDET_REQUIRE(options.match_iou > 0.0 && options.match_iou <= 1.0);
   PDET_REQUIRE(options.max_misses >= 0);
   PDET_REQUIRE(options.position_alpha > 0.0 && options.position_alpha <= 1.0);
+  PDET_REQUIRE(options.max_coast >= 0);
 }
 
 const std::vector<Track>& Tracker::update(
@@ -124,9 +125,13 @@ Detection Track::predicted(int frames_ahead) const {
 void Tracker::predict_boxes(int frames_ahead,
                             std::vector<Detection>& out) const {
   out.clear();
+  const int ahead = std::min(frames_ahead, options_.max_coast);
   for (const Track& track : tracks_) {
     if (!track.confirmed(options_.min_hits)) continue;
-    out.push_back(track.predicted(frames_ahead));
+    // A track that has coasted past the cap is gone, not predictable — an
+    // uncapped extrapolation would drift its stale box across the frame.
+    if (track.misses_in_a_row > options_.max_coast) continue;
+    out.push_back(track.predicted(ahead));
   }
 }
 

@@ -47,6 +47,13 @@ struct TrackerOptions {
   double position_alpha = 0.6;  ///< EMA weight of the new detection
   double growth_alpha = 0.3;    ///< EMA weight of the new growth sample
   double velocity_alpha = 0.5;  ///< EMA weight of the new velocity sample
+  /// Extrapolation cap for predict_boxes(): predictions beyond this many
+  /// frames ahead are clamped to max_coast, and tracks that have already
+  /// coasted past it (misses_in_a_row > max_coast) are excluded entirely.
+  /// The constant-velocity + compounding-growth model is only credible for
+  /// a handful of frames; an uncapped prediction drifts a stale box across
+  /// the frame — worse than admitting the track is gone.
+  int max_coast = 8;
 };
 
 class Tracker {
@@ -62,6 +69,8 @@ class Tracker {
   /// Fill `out` with Track::predicted(frames_ahead) for every confirmed
   /// track (options().min_hits). `out` is cleared first and reuses its
   /// capacity — the runtime calls this per frame on a warm vector.
+  /// Extrapolation is bounded by options().max_coast: frames_ahead is
+  /// clamped to it, and tracks already coasting beyond it are skipped.
   void predict_boxes(int frames_ahead, std::vector<Detection>& out) const;
 
   const TrackerOptions& options() const { return options_; }

@@ -35,6 +35,7 @@ void Injector::arm(const Plan& plan) {
     PointState state;
     state.spec = spec;
     state.rng_state = point_seed(plan.seed, spec.point);
+    state.planned = true;
     points_[spec.point] = std::move(state);
   }
   armed_.store(true, std::memory_order_relaxed);
@@ -88,6 +89,54 @@ long long Injector::total_fires() const {
   long long total = 0;
   for (const auto& [name, state] : points_) total += state.fires;
   return total;
+}
+
+std::vector<Injector::PointInfo> Injector::points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    PointInfo info;
+    info.point = name;
+    info.planned = state.planned;
+    info.checks = state.checks;
+    info.fires = state.fires;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::span<const SiteDoc> registered_sites() {
+  static constexpr SiteDoc kSites[] = {
+      {"fleet.backend.drop",
+       "drop one fleet backend session as if the shard's TCP link died"},
+      {"net.recv.corrupt", "XOR received byte [param % n] with 0x01"},
+      {"net.recv.eintr", "fail one recv(2) with errno == EINTR"},
+      {"net.recv.latency", "sleep param ms (default 1) before the recv"},
+      {"net.recv.reset", "fail one recv(2) with errno == ECONNRESET"},
+      {"net.recv.short", "truncate one recv(2) window to param bytes"},
+      {"net.send.eintr", "fail one send(2) with errno == EINTR"},
+      {"net.send.latency", "sleep param ms (default 1) before the send"},
+      {"net.send.reset", "fail one send(2) with errno == ECONNRESET"},
+      {"net.send.short", "truncate one send(2) to param bytes (default 1)"},
+      {"runtime.engine.fault", "throw from the worker's engine task"},
+      {"runtime.worker.stall",
+       "sleep param ms (default 50) inside a worker (watchdog bait)"},
+      {"score.batch", "throw from ScoringBackend::score (device failure)"},
+      {"sensor.cols.dead", "zero param consecutive columns (default 8)"},
+      {"sensor.frame.blackout", "camera outputs an all-zero frame"},
+      {"sensor.frame.freeze", "camera repeats its previous output frame"},
+      {"sensor.frame.tear",
+       "top param% rows (default 50) from the previous frame"},
+      {"sensor.gain.drift",
+       "multiply pixels by param/100 gain (default 500 = 5x), saturating"},
+      {"sensor.noise.gauss", "add gaussian noise, sigma = param/100"},
+      {"sensor.noise.saltpepper",
+       "set param per-mille of pixels (default 50) to black or white"},
+      {"sensor.rows.dead", "zero param consecutive rows (default 8)"},
+      {"svm.model.corrupt", "flip one byte of a model file after reading"},
+  };
+  return kSites;
 }
 
 void sleep_ms(std::uint32_t ms) {

@@ -28,6 +28,25 @@
 //   fleet.backend.drop drop one backend session in the fleet router as if
 //                      the shard's TCP link died (checked per backend
 //                      message), driving the re-shard/drain machinery
+//   sensor.frame.freeze   camera repeats its previous output frame
+//   sensor.frame.tear     top `param`% rows from the previous frame
+//                         (default 50), bottom from the current
+//   sensor.frame.blackout camera outputs an all-zero frame
+//   sensor.rows.dead      zero `param` consecutive rows (default 8)
+//   sensor.cols.dead      zero `param` consecutive columns (default 8)
+//   sensor.noise.saltpepper  set `param` per-mille of pixels (default 50)
+//                         to full black or full white
+//   sensor.noise.gauss    add gaussian noise, sigma = `param`/100
+//   sensor.gain.drift     multiply pixels by `param`/100 gain (default
+//                         500 = 5x), saturating toward white
+//
+// (The sensor.* sites live in guard::SensorSimulator rather than production
+// code proper — they model the *camera* failing, and are checked wherever a
+// simulator is spliced between a frame source and the serving stack.)
+//
+// The full table is compiled in: registered_sites() returns it, and
+// `das_server --fault-list` prints it, so operators can discover valid plan
+// names without reading source.
 //
 // Each point costs one relaxed atomic load while the injector is disarmed
 // (`armed()` below) — the production fast path pays a single branch, no
@@ -50,6 +69,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -113,12 +133,23 @@ class Injector {
   long long fires(std::string_view point) const;
   long long total_fires() const;
 
+  /// Live accounting for every point the current (or last) plan named or a
+  /// site visited: planned flag, check and fire counts. Sorted by name.
+  struct PointInfo {
+    std::string point;
+    bool planned = false;  ///< named in the armed plan (vs visited unplanned)
+    long long checks = 0;
+    long long fires = 0;
+  };
+  std::vector<PointInfo> points() const;
+
  private:
   struct PointState {
     PointSpec spec;
     std::uint64_t rng_state = 0;
     long long checks = 0;
     long long fires = 0;
+    bool planned = false;  ///< named in arm()'s plan vs visited unplanned
   };
 
   Injector() = default;
@@ -141,6 +172,18 @@ inline bool armed() { return Injector::instance().armed(); }
 
 /// Helper for latency-style points: sleep `ms` milliseconds.
 void sleep_ms(std::uint32_t ms);
+
+/// One row of the compiled-in site table: name + what firing does (the
+/// `param` semantics). This is documentation-as-data — the same table as
+/// the header comment above, queryable at runtime (`das_server
+/// --fault-list`). Keep both in sync when adding a site.
+struct SiteDoc {
+  const char* name;
+  const char* what;
+};
+
+/// Every injection point compiled into the codebase, sorted by name.
+std::span<const SiteDoc> registered_sites();
 
 /// RAII plan for tests: arms on construction, disarms on destruction, so a
 /// failing assertion cannot leak an armed injector into the next test.

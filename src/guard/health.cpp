@@ -1,0 +1,52 @@
+#include "src/guard/health.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace pdet::guard {
+
+const char* to_string(CameraState s) {
+  switch (s) {
+    case CameraState::kHealthy: return "healthy";
+    case CameraState::kSuspect: return "suspect";
+    case CameraState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+CameraHealth::CameraHealth(CameraHealthOptions options) : options_(options) {
+  PDET_REQUIRE(options.suspect_after >= 1);
+  PDET_REQUIRE(options.quarantine_after >= options.suspect_after);
+  PDET_REQUIRE(options.recovery_frames >= 1);
+}
+
+CameraState CameraHealth::observe(FrameQuality quality) {
+  switch (quality) {
+    case FrameQuality::kUnusable:
+      clean_run_ = 0;
+      ++unusable_run_;
+      if (unusable_run_ >= options_.quarantine_after) {
+        state_ = CameraState::kQuarantined;
+      } else if (unusable_run_ >= options_.suspect_after &&
+                 state_ == CameraState::kHealthy) {
+        state_ = CameraState::kSuspect;
+      }
+      break;
+    case FrameQuality::kHealthy:
+      unusable_run_ = 0;
+      if (state_ == CameraState::kHealthy) break;
+      if (++clean_run_ >= options_.recovery_frames) {
+        clean_run_ = 0;
+        state_ = state_ == CameraState::kQuarantined ? CameraState::kSuspect
+                                                     : CameraState::kHealthy;
+      }
+      break;
+    case FrameQuality::kDegraded:
+      // Neutral: breaks an unusable run without counting toward recovery.
+      unusable_run_ = 0;
+      clean_run_ = 0;
+      break;
+  }
+  return state_;
+}
+
+}  // namespace pdet::guard

@@ -1,0 +1,62 @@
+// Per-stream camera-health state machine (pdet::guard).
+//
+// One unusable frame is a glitch; a run of them is a failing camera. The
+// CameraHealth machine turns the per-frame FrameQuality stream into an
+// operator-facing per-camera state:
+//
+//   kHealthy ──(suspect_after consecutive unusable)──► kSuspect
+//   kSuspect ──(quarantine_after consecutive unusable)──► kQuarantined
+//   any      ──(recovery_frames consecutive healthy)──► one level down
+//
+// Recovery is hysteretic and one level at a time, mirroring the runtime's
+// worker-watchdog recovery ladder: a quarantined camera must prove
+// recovery_frames clean frames to become merely suspect, and the same again
+// to be healthy — a flapping sensor cannot oscillate the fleet's routing.
+// Degraded (but usable) frames are neutral: they neither extend an unusable
+// run nor count as clean.
+//
+// Deterministic and allocation-free: state is three counters; observe() is
+// a pure function of the verdict sequence. Not thread-safe — one machine
+// per stream on the submit path, like FrameGuard.
+#pragma once
+
+#include <cstdint>
+
+#include "src/guard/gate.hpp"
+
+namespace pdet::guard {
+
+enum class CameraState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+};
+
+const char* to_string(CameraState s);
+
+struct CameraHealthOptions {
+  int suspect_after = 2;     ///< consecutive unusable frames -> kSuspect
+  int quarantine_after = 6;  ///< consecutive unusable frames -> kQuarantined
+  int recovery_frames = 8;   ///< consecutive healthy frames -> one level down
+};
+
+class CameraHealth {
+ public:
+  explicit CameraHealth(CameraHealthOptions options = {});
+
+  /// Feed one frame's verdict; returns the (possibly changed) state.
+  CameraState observe(FrameQuality quality);
+
+  CameraState state() const { return state_; }
+  int unusable_run() const { return unusable_run_; }
+  int clean_run() const { return clean_run_; }
+  const CameraHealthOptions& options() const { return options_; }
+
+ private:
+  CameraHealthOptions options_;
+  CameraState state_ = CameraState::kHealthy;
+  int unusable_run_ = 0;
+  int clean_run_ = 0;
+};
+
+}  // namespace pdet::guard

@@ -1,0 +1,140 @@
+#include "src/guard/sensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/fault/injector.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace pdet::guard {
+namespace {
+
+// Independent rng stream per (simulator seed, stream, frame) — the same
+// SplitMix-mix idiom dataset::MultiStreamSource uses for frame seeds, so a
+// frame's corruption is a pure function of its identity.
+std::uint64_t pixel_seed(std::uint64_t seed, int stream,
+                         std::uint64_t frame_index) {
+  std::uint64_t h = seed;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(stream)) + 1) *
+       0x9e3779b97f4a7c15ULL;
+  h ^= (frame_index + 1) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+void copy_rows(const imgproc::ImageF& src, imgproc::ImageF& dst, int row_begin,
+               int row_end) {
+  for (int y = row_begin; y < row_end; ++y) {
+    const float* s = src.row(y);
+    std::copy(s, s + src.width(), dst.row(y));
+  }
+}
+
+}  // namespace
+
+SensorSimulator::SensorSimulator(std::uint64_t seed, int max_streams)
+    : seed_(seed), streams_(static_cast<std::size_t>(max_streams)) {
+  PDET_REQUIRE(max_streams > 0);
+}
+
+void SensorSimulator::reset_stream(int stream) {
+  PDET_REQUIRE(stream >= 0 &&
+               static_cast<std::size_t>(stream) < streams_.size());
+  streams_[static_cast<std::size_t>(stream)].have_prev = false;
+}
+
+std::uint32_t SensorSimulator::apply(int stream, std::uint64_t frame_index,
+                                     imgproc::ImageF& frame) {
+  PDET_REQUIRE(stream >= 0 &&
+               static_cast<std::size_t>(stream) < streams_.size());
+  PDET_REQUIRE(!frame.empty());
+  StreamState& state = streams_[static_cast<std::size_t>(stream)];
+  const int w = frame.width();
+  const int h = frame.height();
+  const bool history =
+      state.have_prev && state.prev.width() == w && state.prev.height() == h;
+
+  std::uint32_t fired = 0;
+  if (fault::armed()) {
+    util::Rng rng(pixel_seed(seed_, stream, frame_index));
+
+    // History-dependent faults first: they replace content wholesale, so
+    // the additive degradations below land on what the consumer will see.
+    if (const auto d = fault::check("sensor.frame.freeze");
+        d.fire && history) {
+      copy_rows(state.prev, frame, 0, h);
+      fired |= kFaultFreeze;
+    }
+    if (const auto d = fault::check("sensor.frame.tear");
+        d.fire && history && (fired & kFaultFreeze) == 0) {
+      const std::uint32_t percent = d.param == 0 ? 50 : std::min(d.param, 100u);
+      const int split = static_cast<int>(
+          static_cast<std::uint64_t>(h) * percent / 100);
+      copy_rows(state.prev, frame, 0, split);
+      fired |= kFaultTear;
+    }
+    if (const auto d = fault::check("sensor.frame.blackout"); d.fire) {
+      frame.fill(0.0f);
+      fired |= kFaultBlackout;
+    }
+    if (const auto d = fault::check("sensor.rows.dead"); d.fire) {
+      const int count =
+          std::min(h, d.param == 0 ? 8 : static_cast<int>(d.param));
+      const int start = rng.uniform_int(0, h - count);
+      for (int y = start; y < start + count; ++y) {
+        float* r = frame.row(y);
+        std::fill(r, r + w, 0.0f);
+      }
+      fired |= kFaultDeadRows;
+    }
+    if (const auto d = fault::check("sensor.cols.dead"); d.fire) {
+      const int count =
+          std::min(w, d.param == 0 ? 8 : static_cast<int>(d.param));
+      const int start = rng.uniform_int(0, w - count);
+      for (int y = 0; y < h; ++y) {
+        float* r = frame.row(y);
+        std::fill(r + start, r + start + count, 0.0f);
+      }
+      fired |= kFaultDeadCols;
+    }
+    if (const auto d = fault::check("sensor.noise.saltpepper"); d.fire) {
+      const std::uint32_t per_mille = d.param == 0 ? 50 : d.param;
+      const auto pixels = frame.pixels();
+      const auto hits = static_cast<std::size_t>(
+          static_cast<std::uint64_t>(pixels.size()) *
+          std::min(per_mille, 1000u) / 1000);
+      for (std::size_t i = 0; i < hits; ++i) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(pixels.size()) - 1));
+        pixels[at] = rng.chance(0.5) ? 0.0f : 1.0f;
+      }
+      fired |= kFaultSaltPepper;
+    }
+    if (const auto d = fault::check("sensor.noise.gauss"); d.fire) {
+      const double sigma = (d.param == 0 ? 10 : d.param) / 100.0;
+      for (float& p : frame.pixels()) {
+        p = std::clamp(
+            p + static_cast<float>(rng.normal(0.0, sigma)), 0.0f, 1.0f);
+      }
+      fired |= kFaultGaussNoise;
+    }
+    if (const auto d = fault::check("sensor.gain.drift"); d.fire) {
+      const float gain = static_cast<float>(d.param == 0 ? 500 : d.param) / 100.0f;
+      for (float& p : frame.pixels()) {
+        p = std::clamp(p * gain, 0.0f, 1.0f);
+      }
+      fired |= kFaultGainDrift;
+    }
+  }
+
+  // Retain what the consumer saw — a frozen capture pipeline replays its
+  // last *output* buffer, faults and all.
+  state.prev.reset(w, h);
+  std::copy(frame.pixels().begin(), frame.pixels().end(),
+            state.prev.pixels().begin());
+  state.have_prev = true;
+  return fired;
+}
+
+}  // namespace pdet::guard

@@ -1,0 +1,82 @@
+// Deterministic sensor-fault model (pdet::guard).
+//
+// The chaos plane (pdet::fault) covers process and network faults; this
+// file models the *input* failing: the camera itself. SensorSimulator sits
+// between a frame source and whatever consumes frames, applying seeded
+// degradations in place. Each degradation is gated by a named
+// fault::Injector site, so the existing Plan machinery (probability, skip,
+// max_fires, per-point seeded schedules) composes unchanged — a chaos
+// schedule can freeze stream 2 at frame 40 for exactly 6 frames and zero 8
+// readout rows with 1% probability, reproducibly.
+//
+//   sensor.frame.freeze    repeat the previous output frame verbatim
+//   sensor.frame.tear      top `param`% rows from the previous frame,
+//                          bottom from the current (default 50)
+//   sensor.frame.blackout  zero the frame
+//   sensor.rows.dead       zero `param` consecutive rows (default 8) at a
+//                          seeded position
+//   sensor.cols.dead       zero `param` consecutive columns (default 8)
+//   sensor.noise.saltpepper set `param` per-mille of pixels (default 50 =
+//                          5%) to 0 or 1 at seeded positions
+//   sensor.noise.gauss     add gaussian noise, sigma = `param`/100
+//                          (default 10 = 0.1), clamped to [0,1]
+//   sensor.gain.drift      multiply by `param`/100 gain (default 500 = 5x),
+//                          clamped to [0,1] — drives saturation
+//
+// Every pixel decision (positions, noise values) draws from an Rng seeded
+// by (simulator seed, stream, frame_index), so the corruption applied to a
+// given frame is a pure function of the plan and that frame's identity —
+// independent of thread interleaving across streams and of wall time.
+// Freeze and tear repeat the previous *output* frame (what the consumer
+// actually saw), matching how a real capture pipeline replays its DMA
+// buffer. Per-stream history is preallocated; apply() does not allocate
+// once each stream has seen its frame size.
+//
+// Not thread-safe per stream: one producer per stream, the same contract
+// as runtime submit() and FrameGuard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/imgproc/image.hpp"
+
+namespace pdet::guard {
+
+// Which degradations fired on a frame (bitmask returned by apply()).
+inline constexpr std::uint32_t kFaultFreeze = 1u << 0;
+inline constexpr std::uint32_t kFaultTear = 1u << 1;
+inline constexpr std::uint32_t kFaultBlackout = 1u << 2;
+inline constexpr std::uint32_t kFaultDeadRows = 1u << 3;
+inline constexpr std::uint32_t kFaultDeadCols = 1u << 4;
+inline constexpr std::uint32_t kFaultSaltPepper = 1u << 5;
+inline constexpr std::uint32_t kFaultGaussNoise = 1u << 6;
+inline constexpr std::uint32_t kFaultGainDrift = 1u << 7;
+
+class SensorSimulator {
+ public:
+  /// `seed` feeds the per-(stream, frame) pixel rng; which frames a fault
+  /// fires on is the injector plan's business, not the seed's.
+  explicit SensorSimulator(std::uint64_t seed, int max_streams);
+
+  /// Degrade `frame` in place according to the armed injector plan; returns
+  /// the mask of faults that fired (0 = clean pass-through). Must be called
+  /// with consecutive frame indices per stream for freeze/tear history to
+  /// mean anything, but any monotonic sequence is accepted.
+  std::uint32_t apply(int stream, std::uint64_t frame_index,
+                      imgproc::ImageF& frame);
+
+  /// Drop a stream's retained history (freeze/tear need one prior frame).
+  void reset_stream(int stream);
+
+ private:
+  struct StreamState {
+    imgproc::ImageF prev;  ///< previous *output* frame
+    bool have_prev = false;
+  };
+
+  std::uint64_t seed_;
+  std::vector<StreamState> streams_;
+};
+
+}  // namespace pdet::guard

@@ -293,6 +293,8 @@ void Client::graft_timeline(const wire::Result& r) {
   t.sequence = r.sequence;
   t.status = static_cast<std::uint8_t>(r.status);
   t.degrade_level = r.degrade_level;
+  t.input_quality = r.input_quality;
+  t.camera_state = r.camera_state;
   t.client_encode_ns = encode_ns;
   t.client_decode_ns = decode_ns;
   if (encode_ns != 0 && decode_ns > encode_ns) {
@@ -309,6 +311,7 @@ void Client::graft_timeline(const wire::Result& r) {
       return us == 0 ? 0 : recv_ns + static_cast<std::uint64_t>(us) * 1000;
     };
     t.service_recv_ns = recv_ns;
+    t.gate_ns = hop(r.trace.gate_us);
     t.queue_admit_ns = hop(r.trace.admit_us);
     t.schedule_ns = hop(r.trace.schedule_us);
     t.engine_start_ns = hop(r.trace.engine_start_us);

@@ -257,6 +257,14 @@ void DetectionService::build_stats_report(wire::StatsReport& out) {
   out.score_batches = static_cast<std::uint64_t>(rt.score_batches);
   out.score_windows = static_cast<std::uint64_t>(rt.score_windows);
   out.score_fill = static_cast<float>(rt.score_fill);
+  out.guard_unusable = static_cast<std::uint64_t>(rt.guard_unusable);
+  out.guard_soft = static_cast<std::uint64_t>(rt.guard_soft);
+  out.camera_quarantines =
+      static_cast<std::uint64_t>(rt.camera_quarantines);
+  out.camera_recoveries = static_cast<std::uint64_t>(rt.camera_recoveries);
+  out.cameras_suspect = static_cast<std::uint32_t>(rt.cameras_suspect);
+  out.cameras_quarantined =
+      static_cast<std::uint32_t>(rt.cameras_quarantined);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.net_frames_received =
       static_cast<std::uint64_t>(counters_.frames_received);
@@ -507,9 +515,13 @@ void DetectionService::flush_slot_queues() {
       out.queue_wait_ms = static_cast<float>(r.queue_wait_ms);
       out.service_ms = static_cast<float>(r.service_ms);
       out.total_ms = static_cast<float>(r.total_ms);
+      out.input_quality = r.input_quality;
+      out.camera_state = r.camera_state;
+      out.quality_reasons = r.quality_reasons;
       // Flatten the server-side timeline into wire offsets relative to
       // service receive; wire_send is stamped here, at encode time.
       const obs::FrameTimeline& t = r.timing;
+      out.trace.gate_us = us_offset(t.service_recv_ns, t.gate_ns);
       out.trace.admit_us = us_offset(t.service_recv_ns, t.queue_admit_ns);
       out.trace.schedule_us = us_offset(t.service_recv_ns, t.schedule_ns);
       out.trace.engine_start_us =

@@ -77,7 +77,8 @@ bool decode_result(ByteReader& r, Result& out) {
   out.sequence = r.u64();
   out.tag = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(runtime::FrameStatus::kError)) {
+  if (status >
+      static_cast<std::uint8_t>(runtime::FrameStatus::kDegradedInput)) {
     return false;
   }
   out.status = static_cast<runtime::FrameStatus>(status);
@@ -86,13 +87,18 @@ bool decode_result(ByteReader& r, Result& out) {
   out.queue_wait_ms = r.f32();
   out.service_ms = r.f32();
   out.total_ms = r.f32();
+  // v5 frame-quality block: integrity verdict + camera health + reasons.
+  out.input_quality = r.u8();
+  out.camera_state = r.u8();
+  r.skip(2);  // pad
+  out.quality_reasons = r.u32();
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > kMaxDetections) return false;
-  // 28 bytes per detection plus the fixed prefix of the v3 trace block;
-  // reject inconsistent counts before resizing. The trace block's own
-  // length is variable (level_count), so the exact-size check is the final
-  // exhausted().
-  if (r.remaining() < static_cast<std::size_t>(count) * 28 + 25) return false;
+  // 28 bytes per detection plus the fixed prefix of the v3/v5 trace block
+  // (seven u32 hop offsets + u8 level count); reject inconsistent counts
+  // before resizing. The trace block's own length is variable
+  // (level_count), so the exact-size check is the final exhausted().
+  if (r.remaining() < static_cast<std::size_t>(count) * 28 + 29) return false;
   out.detections.resize(count);
   for (detect::Detection& d : out.detections) {
     d.x = r.i32();
@@ -102,13 +108,15 @@ bool decode_result(ByteReader& r, Result& out) {
     d.score = r.f32();
     d.scale = r.f64();
   }
-  // v3 trace block: six u32 hop offsets, u8 level count, level times.
+  // v3 trace block (+ gate_us in v5): seven u32 hop offsets, u8 level
+  // count, level times.
   out.trace.admit_us = r.u32();
   out.trace.schedule_us = r.u32();
   out.trace.engine_start_us = r.u32();
   out.trace.engine_end_us = r.u32();
   out.trace.deliver_us = r.u32();
   out.trace.send_us = r.u32();
+  out.trace.gate_us = r.u32();
   const std::uint8_t levels = r.u8();
   if (!r.ok() || levels > obs::kTimelineMaxLevels) return false;
   out.trace.level_count = levels;
@@ -157,6 +165,12 @@ bool decode_stats_report(ByteReader& r, StatsReport& out) {
   out.score_batches = r.u64();
   out.score_windows = r.u64();
   out.score_fill = r.f32();
+  out.guard_unusable = r.u64();
+  out.guard_soft = r.u64();
+  out.camera_quarantines = r.u64();
+  out.camera_recoveries = r.u64();
+  out.cameras_suspect = r.u32();
+  out.cameras_quarantined = r.u32();
   return r.ok() && r.exhausted();
 }
 
@@ -234,6 +248,10 @@ void encode_result(const Result& msg, std::vector<std::uint8_t>& out) {
   w.f32(msg.queue_wait_ms);
   w.f32(msg.service_ms);
   w.f32(msg.total_ms);
+  w.u8(msg.input_quality);
+  w.u8(msg.camera_state);
+  w.u16(0);  // pad
+  w.u32(msg.quality_reasons);
   w.u32(static_cast<std::uint32_t>(msg.detections.size()));
   for (const detect::Detection& d : msg.detections) {
     w.i32(d.x);
@@ -252,6 +270,7 @@ void encode_result(const Result& msg, std::vector<std::uint8_t>& out) {
   w.u32(msg.trace.engine_end_us);
   w.u32(msg.trace.deliver_us);
   w.u32(msg.trace.send_us);
+  w.u32(msg.trace.gate_us);
   w.u8(levels);
   for (std::uint8_t i = 0; i < levels; ++i) {
     w.u32(msg.trace.level_us[i]);
@@ -292,6 +311,12 @@ void encode_stats_report(const StatsReport& msg,
   w.u64(msg.score_batches);
   w.u64(msg.score_windows);
   w.f32(msg.score_fill);
+  w.u64(msg.guard_unusable);
+  w.u64(msg.guard_soft);
+  w.u64(msg.camera_quarantines);
+  w.u64(msg.camera_recoveries);
+  w.u32(msg.cameras_suspect);
+  w.u32(msg.cameras_quarantined);
   end_frame(w, out, at);
 }
 

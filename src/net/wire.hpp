@@ -47,6 +47,13 @@
 // ScoringBackend served — scalar/batch/hwsim — plus batch/window counts and
 // mean batch fill) so remote clients can see which backend scored their
 // frames and how well cross-stream batching coalesced.
+//
+// v5 (breaking): input integrity (pdet::guard). Result grew the frame-
+// quality block (input_quality / camera_state / quality_reasons) and the
+// kDegradedInput frame status, FrameTrace grew the gate_us hop, and
+// StatsReport grew the guard block (guard_unusable..cameras_quarantined) so
+// a remote client can see per-frame integrity verdicts and per-camera
+// health without scraping telemetry.
 #pragma once
 
 #include <array>
@@ -63,7 +70,7 @@
 namespace pdet::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x50444E31u;  // "PDN1"
-inline constexpr std::uint8_t kProtocolVersion = 4;
+inline constexpr std::uint8_t kProtocolVersion = 5;
 inline constexpr std::size_t kHeaderSize = 16;
 /// Upper bound on a frame payload; a 4K-UHD float luminance plane is ~33 MiB,
 /// anything larger is a corrupt or hostile length field.
@@ -129,6 +136,7 @@ struct FrameTrace {
   std::uint32_t engine_end_us = 0;    ///< recv -> detect::process returned
   std::uint32_t deliver_us = 0;       ///< recv -> in-order delivery fired
   std::uint32_t send_us = 0;          ///< recv -> result encoded for wire
+  std::uint32_t gate_us = 0;          ///< recv -> integrity gate verdict (v5)
   std::uint8_t level_count = 0;       ///< pyramid levels actually timed
   std::array<std::uint32_t, obs::kTimelineMaxLevels> level_us{};
 };
@@ -144,6 +152,12 @@ struct Result {
   float queue_wait_ms = 0.0f;
   float service_ms = 0.0f;
   float total_ms = 0.0f;
+  // Frame-quality block (v5; mirrors StreamResult). guard::FrameQuality,
+  // guard::CameraState and the reason mask as raw ints; all 0 when the
+  // server runs with the gate disabled.
+  std::uint8_t input_quality = 0;
+  std::uint8_t camera_state = 0;
+  std::uint32_t quality_reasons = 0;
   FrameTrace trace;  ///< server-side timeline offsets (v3)
   std::vector<detect::Detection> detections;
 };
@@ -176,6 +190,13 @@ struct StatsReport {
   std::uint64_t score_batches = 0;     ///< batches the backend scored
   std::uint64_t score_windows = 0;     ///< windows the backend scored
   float score_fill = 0.0f;             ///< mean batch fill [0, 1]
+  // Input-integrity block (v5; mirrors RuntimeStats).
+  std::uint64_t guard_unusable = 0;    ///< frames short-circuited by the gate
+  std::uint64_t guard_soft = 0;        ///< degraded-but-usable verdicts
+  std::uint64_t camera_quarantines = 0;  ///< healthy->quarantined transitions
+  std::uint64_t camera_recoveries = 0;   ///< quarantined->suspect transitions
+  std::uint32_t cameras_suspect = 0;     ///< streams currently suspect
+  std::uint32_t cameras_quarantined = 0;  ///< streams currently quarantined
 };
 
 /// p50/p99 of one hop duration over the server's flight-recorder window.

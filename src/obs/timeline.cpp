@@ -20,6 +20,26 @@ const char* status_name(std::uint8_t status) {
     case 2: return "drop_queue";
     case 3: return "drop_deadline";
     case 4: return "error";
+    case 5: return "degraded_input";
+  }
+  return "?";
+}
+
+/// Mirrors guard::FrameQuality / guard::CameraState (same dependency rule).
+const char* quality_name(std::uint8_t quality) {
+  switch (quality) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "unusable";
+  }
+  return "?";
+}
+
+const char* camera_name(std::uint8_t state) {
+  switch (state) {
+    case 0: return "healthy";
+    case 1: return "suspect";
+    case 2: return "quarantined";
   }
   return "?";
 }
@@ -32,9 +52,9 @@ double ms_between(std::uint64_t from_ns, std::uint64_t to_ns) {
 /// First / last non-zero stamp of a timeline, for total latency.
 std::uint64_t first_stamp(const FrameTimeline& t) {
   for (const std::uint64_t s :
-       {t.client_encode_ns, t.service_recv_ns, t.queue_admit_ns, t.schedule_ns,
-        t.engine_start_ns, t.engine_end_ns, t.deliver_ns, t.wire_send_ns,
-        t.client_decode_ns}) {
+       {t.client_encode_ns, t.service_recv_ns, t.gate_ns, t.queue_admit_ns,
+        t.schedule_ns, t.engine_start_ns, t.engine_end_ns, t.deliver_ns,
+        t.wire_send_ns, t.client_decode_ns}) {
     if (s != 0) return s;
   }
   return 0;
@@ -43,8 +63,8 @@ std::uint64_t first_stamp(const FrameTimeline& t) {
 std::uint64_t last_stamp(const FrameTimeline& t) {
   for (const std::uint64_t s :
        {t.client_decode_ns, t.wire_send_ns, t.deliver_ns, t.engine_end_ns,
-        t.engine_start_ns, t.schedule_ns, t.queue_admit_ns, t.service_recv_ns,
-        t.client_encode_ns}) {
+        t.engine_start_ns, t.schedule_ns, t.queue_admit_ns, t.gate_ns,
+        t.service_recv_ns, t.client_encode_ns}) {
     if (s != 0) return s;
   }
   return 0;
@@ -147,6 +167,7 @@ std::vector<FrameTimeline> FlightRecorder::snapshot() const {
 TimelineBreakdown breakdown(const FrameTimeline& t) {
   TimelineBreakdown b;
   b.ingress_ms = ms_between(t.client_encode_ns, t.service_recv_ns);
+  b.gate_ms = ms_between(t.service_recv_ns, t.gate_ns);
   b.admit_ms = ms_between(t.service_recv_ns, t.queue_admit_ns);
   b.queue_ms = ms_between(t.queue_admit_ns, t.schedule_ns);
   b.engine_ms = ms_between(t.engine_start_ns, t.engine_end_ns);
@@ -164,7 +185,12 @@ std::string to_line(const FrameTimeline& t) {
       static_cast<unsigned long long>(t.trace_id), t.stream,
       static_cast<unsigned long long>(t.sequence), status_name(t.status),
       static_cast<unsigned>(t.degrade_level));
+  if (t.input_quality != 0 || t.camera_state != 0) {
+    out += util::format(" input=%s cam=%s", quality_name(t.input_quality),
+                        camera_name(t.camera_state));
+  }
   if (b.ingress_ms > 0.0) out += util::format(" ingress=%.3fms", b.ingress_ms);
+  if (b.gate_ms > 0.0) out += util::format(" gate=%.3fms", b.gate_ms);
   out += util::format(" admit=%.3fms queue=%.3fms engine=%.3fms", b.admit_ms,
                       b.queue_ms, b.engine_ms);
   if (t.tiles_planned > 0) {
@@ -260,6 +286,8 @@ std::string FlightRecorder::to_chrome_json() const {
       const int pid = r->stream;
       append_slice(out, first, "ingress", pid, 1, t.client_encode_ns,
                    t.service_recv_ns, t.trace_id, t.sequence);
+      append_slice(out, first, "gate", pid, 9, t.service_recv_ns, t.gate_ns,
+                   t.trace_id, t.sequence);
       append_slice(out, first, "admit", pid, 2, t.service_recv_ns,
                    t.queue_admit_ns, t.trace_id, t.sequence);
       append_slice(out, first, "queue", pid, 3, t.queue_admit_ns,

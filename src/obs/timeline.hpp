@@ -58,12 +58,19 @@ struct FrameTimeline {
   // decode with both at 0.
   std::uint8_t tiles_planned = 0;
   std::uint8_t tiles_detected = 0;
+  // Input-integrity verdict (pdet::guard): guard::FrameQuality and
+  // guard::CameraState as ints (obs cannot depend on guard — same rule as
+  // `status` above). 0/0 = healthy or gate disabled. Carried on the wire
+  // from protocol v5.
+  std::uint8_t input_quality = 0;
+  std::uint8_t camera_state = 0;
 
   // Hop stamps, timeline_now_ns() domain; 0 = hop not reached. The client_*
   // and wire-recv stamps only exist in the client process (grafted from wire
   // offsets); the server's recorder fills service_recv..wire_send.
   std::uint64_t client_encode_ns = 0;  ///< client: frame encoded for wire
   std::uint64_t service_recv_ns = 0;   ///< server io thread decoded submit
+  std::uint64_t gate_ns = 0;           ///< frame-integrity gate verdict
   std::uint64_t queue_admit_ns = 0;    ///< accepted into the bounded queue
   std::uint64_t schedule_ns = 0;       ///< worker consulted the scheduler
   std::uint64_t engine_start_ns = 0;   ///< detect::process() entered
@@ -149,6 +156,7 @@ class FlightRecorder {
 /// the client's display.
 struct TimelineBreakdown {
   double ingress_ms = 0.0;   ///< client encode -> service recv (client only)
+  double gate_ms = 0.0;      ///< service recv -> integrity-gate verdict
   double admit_ms = 0.0;     ///< service recv -> queue admit
   double queue_ms = 0.0;     ///< queue admit -> schedule
   double engine_ms = 0.0;    ///< engine start -> end

@@ -96,8 +96,24 @@ DetectionServer::~DetectionServer() { stop(); }
 int DetectionServer::add_stream(std::string name, ResultCallback on_result) {
   PDET_REQUIRE(!started_);
   const int id = static_cast<int>(streams_.size());
+  ResultCallback callback = std::move(on_result);
+  if (options_.guard.enabled) {
+    // Feed the stream's coast tracker from real deliveries. The wrapper runs
+    // in sequence order under the stream's delivery lock, so the tracker
+    // sees detections in frame order; guard_streams_ is sized at start(),
+    // before any delivery can fire.
+    callback = [this, id, cb = std::move(callback)](const StreamResult& r) {
+      if (r.status == FrameStatus::kOk || r.status == FrameStatus::kDegraded) {
+        GuardStreamState& gs = *guard_streams_[static_cast<std::size_t>(id)];
+        std::lock_guard<std::mutex> lock(gs.mutex);
+        gs.tracker.update(r.detections);
+        gs.coast = 0;
+      }
+      cb(r);
+    };
+  }
   streams_.push_back(
-      std::make_unique<StreamContext>(id, std::move(name), std::move(on_result)));
+      std::make_unique<StreamContext>(id, std::move(name), std::move(callback)));
   return id;
 }
 
@@ -125,6 +141,13 @@ void DetectionServer::start() {
     for (std::size_t i = 0; i < streams_.size(); ++i) {
       tile_streams_.push_back(std::make_unique<TileStreamState>(
           topts, options_.tiling.roi));
+    }
+  }
+  if (options_.guard.enabled) {
+    guard_streams_.reserve(streams_.size());
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      guard_streams_.push_back(std::make_unique<GuardStreamState>(
+          options_.guard.gate, options_.guard.camera, options_.guard.tracker));
     }
   }
   if (options_.timeline_depth > 0) {
@@ -174,11 +197,82 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame,
   slot.task.timing.sequence = slot.task.sequence;
   slot.task.timing.service_recv_ns =
       recv_ns != 0 ? recv_ns : obs::timeline_now_ns();
+  slot.task.quality_reasons = 0;
+
+  // Input-integrity gate (DESIGN §14): inspect the pixels before they cost a
+  // queue slot or an engine. Runs on the producer thread — single producer
+  // per stream, so the gate and camera machine need no lock.
+  bool gate_soft = false;
+  if (options_.guard.enabled) {
+    GuardStreamState& gs = *guard_streams_[static_cast<std::size_t>(stream)];
+    const guard::GuardVerdict& verdict = gs.gate.inspect(slot.task.frame);
+    slot.task.timing.gate_ns = obs::timeline_now_ns();
+    slot.task.timing.input_quality = static_cast<std::uint8_t>(verdict.quality);
+    slot.task.quality_reasons = verdict.reasons;
+    const guard::CameraState before = gs.camera.state();
+    const guard::CameraState after = gs.camera.observe(verdict.quality);
+    slot.task.timing.camera_state = static_cast<std::uint8_t>(after);
+    const bool quarantined_now =
+        after == guard::CameraState::kQuarantined && before != after;
+    if (after != before) {
+      gs.state.store(static_cast<std::uint8_t>(after),
+                     std::memory_order_relaxed);
+      util::log_warn("runtime: camera %d %s -> %s (%s)", stream,
+                     guard::to_string(before), guard::to_string(after),
+                     guard::reasons_to_string(verdict.reasons).c_str());
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (after == guard::CameraState::kQuarantined)
+        ++counters_.camera_quarantines;
+      if (before == guard::CameraState::kQuarantined)
+        ++counters_.camera_recoveries;
+    }
+    if (verdict.quality == guard::FrameQuality::kUnusable) {
+      // Short-circuit: the frame never reaches the queue. It still owes its
+      // stream exactly one in-order delivery — status kDegradedInput, with
+      // the tracker's bounded coast predictions in place of garbage pixels.
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.submitted;
+      }
+      {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        ++in_flight_;
+      }
+      StreamResult& d = slot.dropped;
+      d.stream = stream;
+      d.sequence = slot.task.sequence;
+      d.status = FrameStatus::kDegradedInput;
+      d.degrade_level = scheduler_.level();
+      d.queue_wait_ms = 0.0;
+      d.service_ms = 0.0;
+      d.total_ms = ms_since(slot.task.enqueued_at);
+      d.timing = slot.task.timing;  // queue_admit stays 0: never queued
+      d.quality_reasons = verdict.reasons;
+      {
+        std::lock_guard<std::mutex> lock(gs.mutex);
+        ++gs.coast;
+        if (gs.coast <= gs.tracker.options().max_coast) {
+          gs.tracker.predict_boxes(gs.coast, gs.predicted);
+        } else {
+          // Coasted past the credible horizon: admit the view is gone.
+          gs.predicted.clear();
+        }
+        d.detections = gs.predicted;  // copy-assign, capacity reuse
+      }
+      finish(d);
+      if (quarantined_now) flight_trigger("camera quarantined");
+      return SubmitStatus::kAccepted;
+    }
+    // (Only an unusable verdict can enter quarantine, so the pass-through
+    // path never needs the flight trigger.)
+    gate_soft = verdict.quality == guard::FrameQuality::kDegraded;
+  }
   slot.task.timing.queue_admit_ns = obs::timeline_now_ns();
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.submitted;
+    if (gate_soft) ++counters_.guard_soft;
   }
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
@@ -200,6 +294,7 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame,
       d.service_ms = 0.0;
       d.total_ms = d.queue_wait_ms;
       d.timing = slot.evicted.timing;
+      d.quality_reasons = slot.evicted.quality_reasons;
       d.detections.clear();
       finish(d);
       return SubmitStatus::kAcceptedEvicted;
@@ -216,6 +311,7 @@ SubmitStatus DetectionServer::submit(int stream, const imgproc::ImageF& frame,
       d.total_ms = 0.0;
       d.timing = slot.task.timing;
       d.timing.queue_admit_ns = 0;  // never admitted
+      d.quality_reasons = slot.task.quality_reasons;
       d.detections.clear();
       finish(d);
       return SubmitStatus::kRejected;
@@ -246,6 +342,7 @@ void DetectionServer::worker_main(WorkerState* state,
     result.sequence = task.sequence;
     result.degrade_level = decision.level;
     result.queue_wait_ms = wait_ms;
+    result.quality_reasons = task.quality_reasons;
     if (decision.skip) {
       result.status = FrameStatus::kDroppedDeadline;
       result.service_ms = 0.0;
@@ -403,6 +500,7 @@ void DetectionServer::handle_fault(FrameTask& task, StreamResult& result) {
         dropped.service_ms = 0.0;
         dropped.total_ms = dropped.queue_wait_ms;
         dropped.timing = evicted.timing;
+        dropped.quality_reasons = evicted.quality_reasons;
         finish(dropped);
         return;
       }
@@ -491,6 +589,11 @@ void DetectionServer::finish(StreamResult& result) {
   result.timing.status = static_cast<std::uint8_t>(result.status);
   result.timing.degrade_level = static_cast<std::uint8_t>(result.degrade_level);
   result.timing.deliver_ns = obs::timeline_now_ns();
+  // The timeline is the single source for the gate verdict bytes (stamped at
+  // submit); mirror them onto the result so every delivery path — worker,
+  // drop, watchdog — reports consistently.
+  result.input_quality = result.timing.input_quality;
+  result.camera_state = result.timing.camera_state;
   // Account before delivering: an observer who has seen a result (a remote
   // client querying stats right after its last frame, say) must never find
   // the counters lagging behind it — the exactly-once accounting identity
@@ -514,6 +617,9 @@ void DetectionServer::finish(StreamResult& result) {
         break;
       case FrameStatus::kError:
         ++counters_.errors;
+        break;
+      case FrameStatus::kDegradedInput:
+        ++counters_.guard_unusable;
         break;
     }
     if (result.status == FrameStatus::kOk ||
@@ -608,6 +714,14 @@ void DetectionServer::stop() {
 
 HealthState DetectionServer::health() const {
   if (draining_.load(std::memory_order_acquire)) return HealthState::kDraining;
+  // A quarantined camera degrades serving health for as long as it lasts —
+  // the fleet is down one input, even though every frame is still answered.
+  for (const auto& gs : guard_streams_) {
+    if (gs->state.load(std::memory_order_relaxed) ==
+        static_cast<std::uint8_t>(guard::CameraState::kQuarantined)) {
+      return HealthState::kDegraded;
+    }
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return clean_needed_ > 0 ? HealthState::kDegraded : HealthState::kHealthy;
 }
@@ -624,6 +738,12 @@ RuntimeStats DetectionServer::stats() const {
   out.health = health();
   out.queue_depth = queue_.size();
   out.degrade_level = scheduler_.level();
+  for (const auto& gs : guard_streams_) {
+    const auto state = static_cast<guard::CameraState>(
+        gs->state.load(std::memory_order_relaxed));
+    if (state == guard::CameraState::kSuspect) ++out.cameras_suspect;
+    if (state == guard::CameraState::kQuarantined) ++out.cameras_quarantined;
+  }
   out.backend = score_backend_->kind();
   const score::BackendStats bs = score_backend_->stats();
   out.score_batches = bs.batches;
@@ -672,6 +792,18 @@ void DetectionServer::publish_metrics() {
   if (options_.tiling.enabled) {
     obs::gauge_set("runtime.max_tile_age",
                    static_cast<double>(s.max_tile_age));
+  }
+  delta("runtime.guard_unusable", s.guard_unusable, published_.guard_unusable);
+  delta("runtime.guard_soft", s.guard_soft, published_.guard_soft);
+  delta("runtime.camera_quarantines", s.camera_quarantines,
+        published_.camera_quarantines);
+  delta("runtime.camera_recoveries", s.camera_recoveries,
+        published_.camera_recoveries);
+  if (options_.guard.enabled) {
+    obs::gauge_set("runtime.cameras_suspect",
+                   static_cast<double>(s.cameras_suspect));
+    obs::gauge_set("runtime.cameras_quarantined",
+                   static_cast<double>(s.cameras_quarantined));
   }
   obs::gauge_set("runtime.health", static_cast<double>(s.health));
   obs::gauge_set("runtime.score_backend", static_cast<double>(s.backend));

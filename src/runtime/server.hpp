@@ -52,6 +52,8 @@
 
 #include "src/detect/engine.hpp"
 #include "src/detect/tracker.hpp"
+#include "src/guard/gate.hpp"
+#include "src/guard/health.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/runtime/bounded_queue.hpp"
@@ -83,6 +85,23 @@ struct TilingOptions {
   int tile_threads = 1;
 };
 
+/// Input-integrity gate (DESIGN §14). When enabled, every submitted frame
+/// passes a per-stream guard::FrameGuard *before* scheduling: frames ruled
+/// kUnusable never reach the engine — they short-circuit to an in-order
+/// FrameStatus::kDegradedInput delivery whose detections are the stream
+/// tracker's coast predictions (bounded by the tracker's max_coast), and a
+/// per-stream guard::CameraHealth machine turns unusable runs into the
+/// healthy/suspect/quarantined camera states surfaced in RuntimeStats, the
+/// runtime.health ladder and the wire StatsReport.
+struct InputGuardOptions {
+  bool enabled = false;
+  guard::GateOptions gate;
+  guard::CameraHealthOptions camera;
+  /// Tracker maintained per stream for coasting (updated from delivered
+  /// detections, consulted when the gate rejects a frame).
+  detect::TrackerOptions tracker;
+};
+
 struct ServerOptions {
   int workers = 2;                 ///< engine pool size (one engine each)
   int engine_threads = 1;          ///< per-engine pyramid-level lanes
@@ -92,6 +111,7 @@ struct ServerOptions {
   hog::HogParams hog;              ///< detector window/descriptor geometry
   detect::MultiscaleOptions multiscale;  ///< full-quality (rung 0) config
   TilingOptions tiling;            ///< UHD tiled pipeline (off by default)
+  InputGuardOptions guard;         ///< frame-integrity gate (off by default)
 
   // Scoring backend + cross-stream batching (DESIGN "Scoring backends").
   /// Which backend classifies windows. kAuto = PDET_SCORE_BACKEND or scalar;
@@ -190,6 +210,13 @@ struct RuntimeStats {
   long long tiles_reused = 0;    ///< tiles served from their detection cache
   long long roi_frames = 0;      ///< frames processed under ROI selection
   int max_tile_age = 0;          ///< worst tile age seen (gauge)
+  // Input-integrity dimension (all zero unless ServerOptions::guard.enabled).
+  long long guard_unusable = 0;  ///< frames short-circuited as kDegradedInput
+  long long guard_soft = 0;      ///< frames gated kDegraded but still run
+  long long camera_quarantines = 0;  ///< entries into kQuarantined
+  long long camera_recoveries = 0;   ///< exits from kQuarantined
+  int cameras_suspect = 0;       ///< streams currently suspect (gauge)
+  int cameras_quarantined = 0;   ///< streams currently quarantined (gauge)
 };
 
 class DetectionServer {
@@ -269,6 +296,9 @@ class DetectionServer {
     /// adds schedule/engine stamps. Fixed-size POD, so queue slots stay
     /// allocation-free.
     obs::FrameTimeline timing;
+    /// Gate reason mask for frames the guard let through (timing carries the
+    /// quality/camera bytes; the full mask doesn't fit there).
+    std::uint32_t quality_reasons = 0;
     imgproc::ImageF frame;
   };
 
@@ -313,6 +343,29 @@ class DetectionServer {
         : engine(engine_options), roi(roi_options) {}
   };
 
+  /// Per-stream input-integrity state (ServerOptions::guard.enabled). The
+  /// gate and camera machine run only on the submit path — single producer
+  /// per stream by contract, so they need no lock. The tracker is shared
+  /// between the delivery path (update() on real detections, in order under
+  /// the stream's delivery lock) and the submit path (coast predictions for
+  /// rejected frames); `mutex` serializes those two. `state` mirrors the
+  /// camera machine for lock-free reads by health()/stats().
+  struct GuardStreamState {
+    guard::FrameGuard gate;
+    guard::CameraHealth camera;
+    std::atomic<std::uint8_t> state{0};  ///< guard::CameraState as int
+    std::mutex mutex;                    ///< tracker + predicted + coast
+    detect::Tracker tracker;
+    std::vector<detect::Detection> predicted;  ///< warm coast buffer
+    int coast = 0;  ///< consecutive unusable frames coasted so far
+
+    GuardStreamState(const guard::GateOptions& gate_options,
+                     const guard::CameraHealthOptions& camera_options,
+                     const detect::TrackerOptions& tracker_options)
+        : gate(gate_options), camera(camera_options),
+          tracker(tracker_options) {}
+  };
+
   void spawn_worker();
   void worker_main(WorkerState* state, detect::DetectionEngine* engine);
   /// The tiled counterpart of the engine->process call in worker_main:
@@ -347,6 +400,8 @@ class DetectionServer {
   std::vector<SubmitSlot> submit_slots_;
   /// One per stream when tiling is enabled (sized at start()), else empty.
   std::vector<std::unique_ptr<TileStreamState>> tile_streams_;
+  /// One per stream when the input guard is enabled (sized at start()).
+  std::vector<std::unique_ptr<GuardStreamState>> guard_streams_;
   // Deques for reference stability: the watchdog appends replacement
   // engines/workers while existing workers hold pointers into both. Only
   // the watchdog appends after start(); stop() joins the watchdog before

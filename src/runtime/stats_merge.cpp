@@ -43,6 +43,14 @@ void merge_runtime_stats(RuntimeStats& acc, const RuntimeStats& in) {
   acc.roi_frames += in.roi_frames;
   // High-water gauge: the fleet-wide worst tile age is the max, not a sum.
   acc.max_tile_age = std::max(acc.max_tile_age, in.max_tile_age);
+  acc.guard_unusable += in.guard_unusable;
+  acc.guard_soft += in.guard_soft;
+  acc.camera_quarantines += in.camera_quarantines;
+  acc.camera_recoveries += in.camera_recoveries;
+  // Camera-state gauges sum across shards: each stream lives on exactly one
+  // server, so fleet-wide suspect/quarantined counts are additive.
+  acc.cameras_suspect += in.cameras_suspect;
+  acc.cameras_quarantined += in.cameras_quarantined;
 }
 
 RuntimeStats runtime_stats_delta(const RuntimeStats& after,
@@ -71,6 +79,12 @@ RuntimeStats runtime_stats_delta(const RuntimeStats& after,
   d.tiles_detected -= before.tiles_detected;
   d.tiles_reused -= before.tiles_reused;
   d.roi_frames -= before.roi_frames;
+  d.guard_unusable -= before.guard_unusable;
+  d.guard_soft -= before.guard_soft;
+  d.camera_quarantines -= before.camera_quarantines;
+  d.camera_recoveries -= before.camera_recoveries;
+  d.cameras_suspect -= before.cameras_suspect;
+  d.cameras_quarantined -= before.cameras_quarantined;
   // max_tile_age keeps `after`'s value: like health it is a state gauge, not
   // a summable counter (merge(before, delta) still yields after via max).
   return d;

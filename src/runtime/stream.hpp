@@ -28,6 +28,9 @@ enum class FrameStatus {
   kDroppedQueue,     ///< evicted (kDropOldest) or refused (kDropNewest)
   kDroppedDeadline,  ///< skipped by the scheduler (deadline / ladder rung 3)
   kError,            ///< processing faulted (engine threw / worker replaced)
+  kDegradedInput,    ///< integrity gate ruled the pixels unusable; the
+                     ///< detections are tracker coast predictions, not
+                     ///< engine output (pdet::guard, wire protocol >= 5)
 };
 
 /// One delivery. `detections` is empty for dropped frames; the latency
@@ -40,6 +43,13 @@ struct StreamResult {
   double queue_wait_ms = 0.0;   ///< submit -> worker dequeue
   double service_ms = 0.0;      ///< engine processing time
   double total_ms = 0.0;        ///< submit -> delivery handoff
+  /// Input-integrity verdict (guard::FrameQuality / reason mask /
+  /// guard::CameraState as raw ints so this header stays guard-free; 0s
+  /// when the gate is disabled). kDegradedInput status always carries
+  /// input_quality == 2.
+  std::uint8_t input_quality = 0;
+  std::uint32_t quality_reasons = 0;
+  std::uint8_t camera_state = 0;
   /// The frame's hop-by-hop journey (server-side stamps; the net layer adds
   /// wire_send after encoding). Fixed-size POD — copying it into pending
   /// slots allocates nothing.

@@ -76,7 +76,12 @@ wire::Result sample_result() {
   r.total_ms = 8.75f;
   r.detections.push_back({10, 20, 64, 128, 1.75f, 1.26});
   r.detections.push_back({-3, 0, 32, 64, -0.5f, 2.0});
+  // v5 frame-quality block: gate verdict + camera health + reason mask.
+  r.input_quality = 2;
+  r.camera_state = 1;
+  r.quality_reasons = 0x23;  // frozen | tear | low-contrast
   // v3 trace block: hop offsets (µs from service recv) + per-level times.
+  r.trace.gate_us = 9;
   r.trace.admit_us = 15;
   r.trace.schedule_us = 520;
   r.trace.engine_start_us = 530;
@@ -148,6 +153,12 @@ std::vector<std::vector<std::uint8_t>> encode_one_of_each() {
   stats.score_batches = 40;
   stats.score_windows = 5120;
   stats.score_fill = 0.8125f;
+  stats.guard_unusable = 11;       // the v5 input-integrity block
+  stats.guard_soft = 23;
+  stats.camera_quarantines = 2;
+  stats.camera_recoveries = 1;
+  stats.cameras_suspect = 1;
+  stats.cameras_quarantined = 1;
   wire::encode_stats_report(stats, frames[5]);
   wire::Error err;
   err.code = wire::ErrorCode::kBusy;
@@ -291,7 +302,12 @@ TEST(WireCodec, ResultRoundtrip) {
     EXPECT_FLOAT_EQ(r.detections[i].score, in.detections[i].score);
     EXPECT_DOUBLE_EQ(r.detections[i].scale, in.detections[i].scale);
   }
-  // v3: the trace block rides every Result.
+  // v5: the frame-quality block rides every Result.
+  EXPECT_EQ(r.input_quality, in.input_quality);
+  EXPECT_EQ(r.camera_state, in.camera_state);
+  EXPECT_EQ(r.quality_reasons, in.quality_reasons);
+  // v3: the trace block rides every Result (+ the v5 gate hop).
+  EXPECT_EQ(r.trace.gate_us, in.trace.gate_us);
   EXPECT_EQ(r.trace.admit_us, in.trace.admit_us);
   EXPECT_EQ(r.trace.schedule_us, in.trace.schedule_us);
   EXPECT_EQ(r.trace.engine_start_us, in.trace.engine_start_us);
@@ -374,6 +390,12 @@ TEST(WireCodec, StatsAndControlRoundtrip) {
   EXPECT_EQ(out.stats.poison_frames, 2u);
   EXPECT_EQ(out.stats.net_frames_rejected, 7u);
   EXPECT_EQ(out.stats.health_state, 1u);
+  EXPECT_EQ(out.stats.guard_unusable, 11u);  // v5 guard block survives
+  EXPECT_EQ(out.stats.guard_soft, 23u);
+  EXPECT_EQ(out.stats.camera_quarantines, 2u);
+  EXPECT_EQ(out.stats.camera_recoveries, 1u);
+  EXPECT_EQ(out.stats.cameras_suspect, 1u);
+  EXPECT_EQ(out.stats.cameras_quarantined, 1u);
   ASSERT_EQ(wire::decode_message(frames[6], out, consumed),
             wire::DecodeStatus::kOk);
   ASSERT_EQ(out.type, wire::MsgType::kError);

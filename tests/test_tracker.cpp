@@ -188,6 +188,50 @@ TEST(Tracker, PredictBoxesConfirmedTracksOnly) {
   ASSERT_EQ(predicted.size(), 1u);
 }
 
+TEST(Tracker, PredictBoxesCapsExtrapolationAtMaxCoast) {
+  // The coast cap bounds how far predictions extrapolate: asking for 10
+  // frames ahead with max_coast = 3 yields exactly the 3-frame prediction
+  // (compounding height growth forever would balloon a stale box).
+  TrackerOptions opts;
+  opts.max_coast = 3;
+  Tracker tracker(opts);
+  tracker.update({box(0, 0, 50, 100)});
+  tracker.update({box(8, 2, 52, 104)});
+  std::vector<Detection> capped;
+  std::vector<Detection> at_cap;
+  tracker.predict_boxes(10, capped);
+  tracker.predict_boxes(opts.max_coast, at_cap);
+  ASSERT_EQ(capped.size(), 1u);
+  ASSERT_EQ(at_cap.size(), 1u);
+  EXPECT_EQ(capped[0].x, at_cap[0].x);
+  EXPECT_EQ(capped[0].y, at_cap[0].y);
+  EXPECT_EQ(capped[0].width, at_cap[0].width);
+  EXPECT_EQ(capped[0].height, at_cap[0].height);
+}
+
+TEST(Tracker, PredictBoxesExcludesTracksCoastedPastTheCap) {
+  // A track that has missed more consecutive frames than max_coast no
+  // longer contributes predictions, even while max_misses keeps it alive
+  // for reacquisition.
+  TrackerOptions opts;
+  opts.max_misses = 10;
+  opts.max_coast = 2;
+  Tracker tracker(opts);
+  tracker.update({box(0, 0, 50, 100)});
+  tracker.update({box(4, 0, 50, 100)});
+  std::vector<Detection> predicted;
+  tracker.update({});  // miss 1
+  tracker.predict_boxes(1, predicted);
+  EXPECT_EQ(predicted.size(), 1u);
+  tracker.update({});  // miss 2 == max_coast: still predicting
+  tracker.predict_boxes(1, predicted);
+  EXPECT_EQ(predicted.size(), 1u);
+  tracker.update({});  // miss 3 > max_coast: prediction too stale
+  tracker.predict_boxes(1, predicted);
+  EXPECT_TRUE(predicted.empty());
+  ASSERT_EQ(tracker.tracks().size(), 1u) << "track itself survives";
+}
+
 TEST(Tracker, AgeAdvancesEveryFrame) {
   // age counts frames *since creation*: 0 on the creating update, +1 each
   // subsequent frame.
